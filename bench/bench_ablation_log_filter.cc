@@ -1,0 +1,82 @@
+// Ablation — per-partition log-block filtering (§4.6).
+//
+// Paper claim: "XLOG uses this filtering information to disseminate only
+// relevant log blocks to each Page Server" — without it, every Page
+// Server of a large database would receive the full log stream
+// (potentially hundreds of servers x 100 MB/s).
+//
+// Measurement: produce a log spread across 8 partitions, then replay the
+// consumption of one Page Server with and without filtering, counting
+// payload bytes shipped.
+
+#include "harness.h"
+
+using namespace socrates;
+using namespace socrates::bench;
+
+int main() {
+  PrintHeader("Ablation: XLOG per-partition block filtering (§4.6)",
+              "page servers receive only blocks touching their "
+              "partition");
+
+  sim::Simulator sim;
+  service::DeploymentOptions o;
+  o.partition_map.pages_per_partition = 128;
+  o.num_page_servers = 8;
+  service::Deployment d(sim, o);
+  workload::CdbOptions copts;
+  copts.scale_factor = 120;
+  workload::CdbWorkload cdb(copts, workload::CdbMix::Default());
+  RunSim(sim, [&]() -> sim::Task<> {
+    if (!(co_await d.Start()).ok()) abort();
+    if (!(co_await cdb.Load(d.primary_engine())).ok()) abort();
+    co_await d.xlog().available().WaitFor(d.log_client().end_lsn());
+  });
+
+  // Consume the full stream once unfiltered and once per-partition.
+  uint64_t unfiltered_bytes = 0;
+  std::vector<uint64_t> per_partition(8, 0);
+  RunSim(sim, [&]() -> sim::Task<> {
+    Lsn end = d.xlog().available().value();
+    Lsn pos = engine::kLogStreamStart;
+    while (pos < end) {
+      auto blocks = co_await d.xlog().Pull(pos, std::nullopt, 4 * MiB);
+      if (!blocks.ok() || blocks->empty()) break;
+      for (auto& b : *blocks) {
+        unfiltered_bytes += b.payload.size();
+        pos = b.end_lsn();
+      }
+    }
+    for (PartitionId p = 0; p < 8; p++) {
+      pos = engine::kLogStreamStart;
+      while (pos < end) {
+        auto blocks = co_await d.xlog().Pull(pos, p, 4 * MiB);
+        if (!blocks.ok() || blocks->empty()) break;
+        for (auto& b : *blocks) {
+          per_partition[p] += b.payload.size();  // 0 for filtered blocks
+          pos = b.start_lsn + b.payload_size;
+        }
+      }
+    }
+  });
+
+  uint64_t filtered_total = 0;
+  printf("\n%-12s %-18s\n", "Partition", "Bytes received");
+  for (int p = 0; p < 8; p++) {
+    printf("%-12d %-18llu\n", p, (unsigned long long)per_partition[p]);
+    filtered_total += per_partition[p];
+  }
+  printf("\nUnfiltered stream size: %llu bytes per server -> %llu total "
+         "for 8 servers\n",
+         (unsigned long long)unfiltered_bytes,
+         (unsigned long long)(unfiltered_bytes * 8));
+  printf("Filtered total across 8 servers: %llu bytes (%.1f%% of "
+         "broadcast)\n",
+         (unsigned long long)filtered_total,
+         100.0 * filtered_total / (unfiltered_bytes * 8.0));
+  printf("\nNote: blocks batch many transactions, so a block often "
+         "touches several\npartitions; finer blocks or per-record "
+         "shipping would filter more.\n");
+  d.Stop();
+  return 0;
+}

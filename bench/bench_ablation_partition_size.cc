@@ -1,0 +1,94 @@
+// Ablation — Page Server partition size (§6).
+//
+// Paper claim: finer sharding improves availability because a smaller
+// partition spins up (seeds) faster after a failure — "a lower
+// mean-time-to-recovery implies higher availability" — and increases
+// bulk-operation parallelism. The paper lands on 128 GB per Page Server.
+//
+// Measurement: fix the database size, vary pages-per-partition, and
+// measure (a) time to fully seed a replacement Page Server's covering
+// cache and (b) time until it can serve its first page (always ~O(1)).
+
+#include "harness.h"
+
+using namespace socrates;
+using namespace socrates::bench;
+
+namespace {
+
+struct SeedResult {
+  SimTime full_seed_us;
+  SimTime first_page_us;
+  int partitions;
+};
+
+SeedResult Measure(uint64_t pages_per_partition) {
+  sim::Simulator sim;
+  service::DeploymentOptions o;
+  o.partition_map.pages_per_partition = pages_per_partition;
+  workload::CdbOptions copts;
+  copts.scale_factor = 1500;  // ~4500 pages of data
+  workload::CdbWorkload cdb(copts, workload::CdbMix::Default());
+  uint64_t db_pages = cdb.ApproxBytes() / kPageSize + 64;
+  o.num_page_servers =
+      static_cast<int>((db_pages + pages_per_partition - 1) /
+                       pages_per_partition);
+  service::Deployment d(sim, o);
+  SeedResult r{};
+  r.partitions = o.num_page_servers;
+  RunSim(sim, [&]() -> sim::Task<> {
+    if (!(co_await d.Start()).ok()) abort();
+    if (!(co_await cdb.Load(d.primary_engine())).ok()) abort();
+    for (int p = 0; p < d.num_page_servers(); p++) {
+      co_await d.page_server(p)->applied_lsn().WaitFor(
+          d.log_client().end_lsn());
+      (void)co_await d.page_server(p)->Checkpoint();
+    }
+
+    // Simulate replacing page server 0: crash, cold cache, restart, and
+    // seed the covering cache from XStore.
+    auto* ps = d.page_server(0);
+    ps->Crash();
+    // Cold replacement: purge the surviving RBPEX to model a NEW node.
+    for (PageId p = 0; p < pages_per_partition; p++) {
+      if (ps->pool()->Contains(p)) ps->pool()->Purge(p);
+    }
+    SimTime t0 = sim.now();
+    if (!(co_await ps->Start()).ok()) abort();
+    co_await ps->applied_lsn().WaitFor(d.log_client().end_lsn());
+    // First page available (the server serves while seeding).
+    auto first = co_await ps->GetPageAtLsn(engine::kRootPageId, 0);
+    (void)first;
+    r.first_page_us = sim.now() - t0;
+    // Full seed of the covering cache.
+    ps->SeedAsync();
+    while (!ps->seeding_done() &&
+           sim.now() - t0 < 300LL * 1000 * 1000) {
+      co_await sim::Delay(sim, 5000);
+    }
+    r.full_seed_us = sim.now() - t0;
+  });
+  d.Stop();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: Page Server partition size (§6)",
+              "smaller partitions seed faster -> lower MTTR -> higher "
+              "availability");
+
+  printf("\n%-18s %12s %18s %20s\n", "Pages/partition", "Servers",
+         "First page (ms)", "Full seed (ms)");
+  for (uint64_t pages : {256ull, 512ull, 1024ull, 2048ull, 4096ull}) {
+    SeedResult r = Measure(pages);
+    printf("%-18llu %12d %18.2f %20.1f\n", (unsigned long long)pages,
+           r.partitions, r.first_page_us / 1e3, r.full_seed_us / 1e3);
+  }
+  printf("\nExpected shape: 'first page' is ~constant (the server is "
+         "available\nimmediately — async seeding), while the full-seed "
+         "time scales with the\npartition size. Smaller partitions = "
+         "faster MTTR at the cost of more servers.\n");
+  return 0;
+}

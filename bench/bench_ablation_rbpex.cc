@@ -1,0 +1,95 @@
+// Ablation — RBPEX recoverability (§3.3).
+//
+// Paper claim: after a short failure (e.g. a reboot for a software
+// upgrade), a *recoverable* SSD cache makes restart far cheaper: the node
+// replays the few log records for updated pages instead of refetching
+// the entire cache from remote servers. Lower mean-time-to-peak-
+// performance means higher availability.
+//
+// Measurement: identical crash+restart with RBPEX vs a plain
+// non-recoverable buffer-pool extension; compare remote page fetches and
+// the time to re-verify the working set at full speed.
+
+#include "harness.h"
+
+using namespace socrates;
+using namespace socrates::bench;
+
+namespace {
+
+struct RestartCost {
+  uint64_t remote_fetches;
+  SimTime rewarm_us;
+};
+
+RestartCost Measure(bool recoverable) {
+  sim::Simulator sim;
+  service::DeploymentOptions o;
+  o.partition_map.pages_per_partition = 8192;
+  o.num_page_servers = 1;
+  o.compute.mem_pages = 64;
+  o.compute.ssd_pages = 4096;  // big RBPEX holds the working set
+  o.compute.rbpex_recoverable = recoverable;
+  service::Deployment d(sim, o);
+  workload::CdbOptions copts;
+  copts.scale_factor = 150;
+  workload::CdbWorkload cdb(copts, workload::CdbMix::Default());
+  RestartCost cost{};
+  RunSim(sim, [&]() -> sim::Task<> {
+    if (!(co_await d.Start()).ok()) abort();
+    if (!(co_await cdb.Load(d.primary_engine())).ok()) abort();
+    (void)co_await d.Checkpoint();
+    // Touch the working set so it is cached (memory + SSD tiers).
+    engine::Engine* e = d.primary_engine();
+    auto warm = e->Begin(true);
+    for (int t = 0; t < 6; t++) {
+      (void)co_await e->Scan(
+          warm.get(), engine::MakeKey(static_cast<TableId>(t + 1), 0),
+          cdb.TableRows(t));
+    }
+    (void)co_await e->Commit(warm.get());
+
+    // Crash + restart.
+    uint64_t fetches0 = d.primary()->remote_fetches();
+    SimTime t0 = sim.now();
+    if (!(co_await d.RestartPrimary()).ok()) abort();
+    // Re-verify the whole working set (time-to-warm measurement).
+    auto verify = e->Begin(true);
+    for (int t = 0; t < 6; t++) {
+      (void)co_await e->Scan(
+          verify.get(), engine::MakeKey(static_cast<TableId>(t + 1), 0),
+          cdb.TableRows(t));
+    }
+    (void)co_await e->Commit(verify.get());
+    cost.rewarm_us = sim.now() - t0;
+    cost.remote_fetches = d.primary()->remote_fetches() - fetches0;
+  });
+  d.Stop();
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: RBPEX recoverable cache vs plain BPE (§3.3)",
+              "recoverable cache => short failures do not refetch the "
+              "cache from remote servers");
+  RestartCost rbpex = Measure(true);
+  RestartCost bpe = Measure(false);
+  printf("\n%-22s %18s %16s\n", "", "Remote fetches", "Re-warm (ms)");
+  printf("%-22s %18llu %16.1f\n", "RBPEX (recoverable)",
+         (unsigned long long)rbpex.remote_fetches, rbpex.rewarm_us / 1e3);
+  printf("%-22s %18llu %16.1f\n", "plain BPE (lost)",
+         (unsigned long long)bpe.remote_fetches, bpe.rewarm_us / 1e3);
+  printf("\nRefetch reduction: %.0fx fewer remote fetches; re-warm "
+         "%.1f ms faster\n(the verification scan itself dominates both "
+         "re-warm times; the refetch\ncount is the availability-relevant "
+         "number — every refetch is a remote\nround trip a warm RBPEX "
+         "avoids, §3.3)\n",
+         rbpex.remote_fetches
+             ? static_cast<double>(bpe.remote_fetches) /
+                   rbpex.remote_fetches
+             : static_cast<double>(bpe.remote_fetches),
+         (bpe.rewarm_us - rbpex.rewarm_us) / 1e3);
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Micro-benchmarks (google-benchmark, real CPU time) for the hot
+// building blocks: CRC32-C, page checksum, slotted-page operations,
+// version-chain codec, log-record codec + redo, Zipf generation, and the
+// simulator's event loop itself.
+
+#include <benchmark/benchmark.h>
+
+#include "common/crc32c.h"
+#include "common/random.h"
+#include "engine/btree_page.h"
+#include "engine/log_record.h"
+#include "engine/version.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "storage/page.h"
+
+namespace socrates {
+namespace {
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(512)->Arg(8192)->Arg(65536);
+
+void BM_PageChecksum(benchmark::State& state) {
+  storage::Page page;
+  page.Format(1, storage::PageType::kBTreeLeaf);
+  for (auto _ : state) {
+    page.UpdateChecksum();
+    benchmark::DoNotOptimize(page.VerifyChecksum());
+  }
+  state.SetBytesProcessed(state.iterations() * kPageSize);
+}
+BENCHMARK(BM_PageChecksum);
+
+void BM_LeafInsertLookup(benchmark::State& state) {
+  Random rng(1);
+  std::string value(state.range(0), 'v');
+  for (auto _ : state) {
+    storage::Page page;
+    engine::BTreePage::Format(&page, 1, 0, engine::kMinKey,
+                              engine::kMaxKey, kInvalidPageId);
+    engine::BTreePage bp(&page);
+    uint64_t k = 0;
+    while (bp.CanHostLeafInsert(static_cast<uint32_t>(value.size()))) {
+      benchmark::DoNotOptimize(bp.LeafInsert(k++, Slice(value)));
+    }
+    for (uint64_t i = 0; i < k; i++) {
+      benchmark::DoNotOptimize(bp.FindSlot(i));
+    }
+  }
+}
+BENCHMARK(BM_LeafInsertLookup)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_VersionChainCodec(benchmark::State& state) {
+  engine::VersionChain chain;
+  for (int i = 0; i < state.range(0); i++) {
+    chain.Push(i + 1, false, Slice("payload-payload-payload"));
+  }
+  std::string encoded = chain.Encode();
+  for (auto _ : state) {
+    engine::VersionChain decoded;
+    benchmark::DoNotOptimize(
+        engine::VersionChain::Decode(Slice(encoded), &decoded));
+    benchmark::DoNotOptimize(decoded.VisibleAt(state.range(0) / 2));
+    benchmark::DoNotOptimize(decoded.Encode());
+  }
+}
+BENCHMARK(BM_VersionChainCodec)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_LogRecordCodec(benchmark::State& state) {
+  engine::LogRecord rec;
+  rec.type = engine::LogRecordType::kLeafInsert;
+  rec.txn_id = 7;
+  rec.page_id = 42;
+  rec.key = 123456;
+  rec.value = std::string(state.range(0), 'r');
+  for (auto _ : state) {
+    std::string enc = rec.Encode();
+    engine::LogRecord dec;
+    benchmark::DoNotOptimize(engine::LogRecord::Decode(Slice(enc), &dec));
+  }
+}
+BENCHMARK(BM_LogRecordCodec)->Arg(64)->Arg(512);
+
+void BM_RedoApply(benchmark::State& state) {
+  engine::LogRecord rec;
+  rec.type = engine::LogRecordType::kLeafInsert;
+  rec.page_id = 1;
+  rec.value = std::string(100, 'v');
+  for (auto _ : state) {
+    storage::Page page;
+    engine::BTreePage::Format(&page, 1, 0, engine::kMinKey,
+                              engine::kMaxKey, kInvalidPageId);
+    Lsn lsn = 100;
+    for (uint64_t k = 0; k < 50; k++) {
+      rec.key = k;
+      benchmark::DoNotOptimize(engine::ApplyToPage(rec, lsn, &page));
+      lsn += 128;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_RedoApply);
+
+void BM_Zipf(benchmark::State& state) {
+  ZipfGenerator zipf(1000000, 0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next());
+  }
+}
+BENCHMARK(BM_Zipf);
+
+void BM_SimulatorEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    int count = 0;
+    for (int i = 0; i < 1000; i++) {
+      s.ScheduleAt(i, [&count] { count++; });
+    }
+    s.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventLoop);
+
+sim::Task<> PingPong(sim::Simulator& s, int n, int* out) {
+  for (int i = 0; i < n; i++) {
+    co_await sim::Delay(s, 1);
+    (*out)++;
+  }
+}
+
+void BM_CoroutineSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    int out = 0;
+    sim::Spawn(s, PingPong(s, 1000, &out));
+    s.Run();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineSwitch);
+
+}  // namespace
+}  // namespace socrates
+
+BENCHMARK_MAIN();

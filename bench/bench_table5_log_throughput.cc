@@ -1,0 +1,75 @@
+// Table 5 — log throughput under the update-heavy ("max log") CDB mix,
+// HADR vs Socrates (16 cores, 256 clients).
+//
+// Paper:            Log MB/s    CPU %
+//   HADR            56.9        46.2
+//   Socrates        89.8        73.2
+//
+// Mechanism to reproduce: in HADR, log production is throttled by the
+// XStore backup egress (log + database backups stream through the
+// Compute node). Socrates backs up with XStore snapshots, so the Primary
+// can push log as fast as the landing zone accepts it — higher log rate
+// AND higher CPU utilization; neither system is CPU-saturated (the log
+// pipeline is the bottleneck).
+
+#include "harness.h"
+
+using namespace socrates;
+using namespace socrates::bench;
+
+int main() {
+  PrintHeader("Table 5: CDB max-log mix, log throughput",
+              "HADR 56.9 MB/s @46.2% CPU; Socrates 89.8 MB/s @73.2% CPU");
+
+  // A larger scale factor keeps write-write conflicts between the 256
+  // concurrent bulk updates rare (the paper's 1 TB database has no such
+  // contention).
+  const uint64_t kScale = 1000;
+  const int kCores = 16;
+  const int kClients = 256;
+  const SimTime kMeasure = 2 * 1000 * 1000;
+
+  // This experiment is log-path-bound, not CPU-bound or read-bound: the
+  // paper's Table 5 runs with the log component saturated on both
+  // systems. Accordingly: light CPU cost per row (cpu_scale) and a
+  // fully cached compute tier (reads never stall the commit path).
+  const double kCpuScale = 1.2;
+
+  // HADR: XStore egress shared between continuous log backup and
+  // delta/database backups throttles the log.
+  HadrBed hadr;
+  hadr::HadrOptions hopts;
+  hopts.max_backup_lag_bytes = 4 * MiB;
+  hopts.background_backup_bytes_per_s = 24 * MiB;
+  hadr.Build(kScale, workload::CdbMix::MaxLog(), kCores, hopts,
+             /*xstore_bandwidth_mb_s=*/80.0, kCpuScale);
+  uint64_t h_log0 = hadr.cluster->sink()->end_lsn();
+  auto h = hadr.Run(kClients, kMeasure);
+  uint64_t h_log = hadr.cluster->sink()->end_lsn() - h_log0;
+  hadr.cluster->Stop();
+
+  // Socrates: DirectDrive landing zone, snapshot backups (no coupling).
+  // A single in-flight LZ write models the paper's log-writer cadence.
+  SocratesBed soc;
+  soc.Build(kScale, workload::CdbMix::MaxLog(), /*mem=*/1.0, /*ssd=*/1.0,
+            kCores, sim::DeviceProfile::DirectDrive(),
+            /*page_servers=*/4, kCpuScale, /*lz_max_inflight=*/2);
+  uint64_t s_log0 = soc.deployment->log_client().end_lsn();
+  auto s = soc.Run(kClients, kMeasure);
+  uint64_t s_log = soc.deployment->log_client().end_lsn() - s_log0;
+  soc.deployment->Stop();
+
+  double secs = kMeasure / 1e6;
+  double h_mb_s = h_log / secs / 1e6;
+  double s_mb_s = s_log / secs / 1e6;
+  printf("\n%-10s %12s %10s\n", "", "Log MB/s", "CPU %");
+  printf("%-10s %12.1f %10.1f   (paper: 56.9 / 46.2)\n", "HADR", h_mb_s,
+         100 * h.cpu_utilization);
+  printf("%-10s %12.1f %10.1f   (paper: 89.8 / 73.2)\n", "Socrates",
+         s_mb_s, 100 * s.cpu_utilization);
+  printf("\nSocrates/HADR log throughput ratio: %.2fx  (paper: 1.58x)\n",
+         s_mb_s / h_mb_s);
+  printf("HADR backup stalls: %llu (log throttled by backup egress)\n",
+         (unsigned long long)hadr.cluster->sink()->backup_stalls());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Elasticity tour (§5/§6): everything the pay-as-you-go model needs, all
+// O(1) regardless of database size —
+//   * serverless resize: swap the Primary for a bigger T-shirt size,
+//   * geo-replication: a read replica in another region,
+//   * Page Server hot standby + instant partition failover.
+//
+//   $ ./examples/elasticity
+
+#include <cstdio>
+
+#include "socrates.h"
+
+using namespace socrates;
+
+namespace {
+
+sim::Task<> Main(sim::Simulator& sim, service::Deployment& d, bool* ok,
+                 bool* done) {
+  (void)co_await d.Start();
+  engine::Engine* db = d.primary_engine();
+  for (uint64_t i = 0; i < 300; i += 30) {
+    auto txn = db->Begin();
+    for (uint64_t k = i; k < i + 30; k++) {
+      (void)db->Put(txn.get(), engine::MakeKey(1, k),
+                    "row-" + std::to_string(k));
+    }
+    (void)co_await db->Commit(txn.get());
+  }
+  printf("loaded 300 rows on an %d-core primary\n",
+         d.primary()->cpu().cores());
+
+  // 1. Serverless scale-up: 8 -> 32 cores, no data copied.
+  SimTime t0 = sim.now();
+  Status st = co_await d.ResizeCompute(32);
+  printf("resized to %d cores in %.2f ms (virtual): %s\n",
+         d.primary()->cpu().cores(), (sim.now() - t0) / 1000.0,
+         st.ToString().c_str());
+  bool resize_ok = st.ok() && d.primary()->cpu().cores() == 32;
+
+  // 2. A geo-replica 60 ms away serves consistent snapshot reads.
+  auto geo = co_await d.AddGeoSecondary(/*rtt_us=*/60000);
+  printf("geo-secondary added: %s\n", geo.status().ToString().c_str());
+  co_await (*geo)->applier()->applied_lsn().WaitFor(
+      d.log_client().end_lsn());
+  auto reader = (*geo)->engine()->Begin(true);
+  auto v = co_await (*geo)->engine()->Get(reader.get(),
+                                          engine::MakeKey(1, 42));
+  printf("geo read of row 42: %s\n",
+         v.ok() ? v->c_str() : v.status().ToString().c_str());
+  (void)co_await (*geo)->engine()->Commit(reader.get());
+  bool geo_ok = v.ok() && *v == "row-42";
+
+  // 3. Hot-standby Page Server: failover is a metadata flip.
+  st = co_await d.AddPageServerReplica(0);
+  printf("page-server replica for partition 0: %s\n",
+         st.ToString().c_str());
+  co_await d.page_server_replica(0)->applied_lsn().WaitFor(
+      d.log_client().end_lsn());
+  t0 = sim.now();
+  st = co_await d.FailoverPageServer(0);
+  printf("partition 0 failover in %.3f ms (virtual): %s\n",
+         (sim.now() - t0) / 1000.0, st.ToString().c_str());
+  bool ps_ok = st.ok();
+
+  // Still fully readable and writable after all three operations.
+  auto txn = d.primary_engine()->Begin();
+  (void)d.primary_engine()->Put(txn.get(), engine::MakeKey(1, 999),
+                                "after-elasticity");
+  st = co_await d.primary_engine()->Commit(txn.get());
+  printf("post-elasticity commit: %s\n", st.ToString().c_str());
+
+  *ok = resize_ok && geo_ok && ps_ok && st.ok();
+  *done = true;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim;
+  service::DeploymentOptions opts;
+  opts.num_page_servers = 2;
+  opts.partition_map.pages_per_partition = 4096;
+  service::Deployment d(sim, opts);
+  bool ok = false, done = false;
+  sim::Spawn(sim, Main(sim, d, &ok, &done));
+  while (!done && sim.Step()) {
+  }
+  d.Stop();
+  printf("\nelasticity example %s\n", ok ? "PASSED" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Failover: the §5/§6 availability story. A Primary and a Secondary run
+// against shared Page Servers; the Primary dies mid-workload; the
+// Secondary is promoted after draining the hardened log and not a single
+// acked commit is lost — because durability lives in XLOG/XStore, not in
+// any compute node.
+//
+//   $ ./examples/failover
+
+#include <cstdio>
+
+#include "service/deployment.h"
+
+using namespace socrates;
+
+namespace {
+
+sim::Task<> Main(sim::Simulator& sim, service::Deployment& d,
+                 bool* ok, bool* done) {
+  Status st = co_await d.Start();
+  printf("deployment up (1 primary, 1 secondary, %d page servers): %s\n",
+         d.num_page_servers(), st.ToString().c_str());
+
+  engine::Engine* db = d.primary_engine();
+
+  // Commit 500 rows. Every ack means the log quorum-hardened in the LZ.
+  for (uint64_t i = 0; i < 500; i += 10) {
+    auto txn = db->Begin();
+    for (uint64_t k = i; k < i + 10; k++) {
+      (void)db->Put(txn.get(), engine::MakeKey(1, k),
+                    "acked-" + std::to_string(k));
+    }
+    Status cs = co_await db->Commit(txn.get());
+    if (!cs.ok()) printf("commit failed: %s\n", cs.ToString().c_str());
+  }
+  printf("500 rows committed; durable log end = LSN %llu\n",
+         (unsigned long long)d.durable_end());
+
+  // Disaster: the Primary VM disappears.
+  printf("\n*** killing the primary ***\n");
+  SimTime t0 = sim.now();
+  st = co_await d.Failover();
+  printf("failover complete in %.2f ms (virtual): %s\n",
+         (sim.now() - t0) / 1000.0, st.ToString().c_str());
+
+  // The promoted node serves everything that was ever acked.
+  engine::Engine* db2 = d.primary_engine();
+  auto reader = db2->Begin(true);
+  int found = 0;
+  for (uint64_t k = 0; k < 500; k++) {
+    auto v = co_await db2->Get(reader.get(), engine::MakeKey(1, k));
+    if (v.ok() && *v == "acked-" + std::to_string(k)) found++;
+  }
+  (void)co_await db2->Commit(reader.get());
+  printf("rows surviving failover: %d / 500\n", found);
+
+  // And it takes new writes immediately.
+  auto txn = db2->Begin();
+  (void)db2->Put(txn.get(), engine::MakeKey(1, 999), "written-after");
+  st = co_await db2->Commit(txn.get());
+  printf("post-failover commit: %s\n", st.ToString().c_str());
+  *ok = found == 500 && st.ok();
+  *done = true;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim;
+  service::DeploymentOptions opts;
+  opts.num_page_servers = 2;
+  opts.num_secondaries = 1;
+  opts.partition_map.pages_per_partition = 4096;
+  service::Deployment d(sim, opts);
+  bool ok = false;
+  bool done = false;
+  sim::Spawn(sim, Main(sim, d, &ok, &done));
+  while (!done && sim.Step()) {
+  }
+  d.Stop();
+  printf("\nfailover example %s\n", ok ? "PASSED" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// Point-in-time restore: the §3.5/§4.7 story. Backups are constant-time
+// XStore snapshots; a restore copies snapshot metadata, attaches fresh
+// Page Servers, and replays exactly the log range needed to reach the
+// requested instant — no size-of-data step anywhere on the critical
+// path.
+//
+//   $ ./examples/pitr
+
+#include <cstdio>
+
+#include "service/deployment.h"
+
+using namespace socrates;
+
+namespace {
+
+sim::Task<> WriteEpoch(engine::Engine* db, const std::string& tag) {
+  for (uint64_t i = 0; i < 200; i += 20) {
+    auto txn = db->Begin();
+    for (uint64_t k = i; k < i + 20; k++) {
+      (void)db->Put(txn.get(), engine::MakeKey(1, k),
+                    tag + "-" + std::to_string(k));
+    }
+    (void)co_await db->Commit(txn.get());
+  }
+}
+
+sim::Task<int> CountEpoch(engine::Engine* db, const std::string& tag) {
+  auto reader = db->Begin(true);
+  int found = 0;
+  for (uint64_t k = 0; k < 200; k++) {
+    auto v = co_await db->Get(reader.get(), engine::MakeKey(1, k));
+    if (v.ok() && v->rfind(tag + "-", 0) == 0) found++;
+  }
+  (void)co_await db->Commit(reader.get());
+  co_return found;
+}
+
+sim::Task<> Main(sim::Simulator& sim, service::Deployment& d,
+                 bool* done) {
+  (void)co_await d.Start();
+  engine::Engine* db = d.primary_engine();
+
+  co_await WriteEpoch(db, "monday");
+  printf("wrote epoch 'monday'\n");
+
+  SimTime t0 = sim.now();
+  auto backup = co_await d.Backup();
+  printf("backup taken in %.2f ms (virtual) — snapshot pointers only: "
+         "%s\n",
+         (sim.now() - t0) / 1000.0, backup.status().ToString().c_str());
+
+  co_await WriteEpoch(db, "tuesday");
+  Lsn tuesday_lsn = d.durable_end();
+  printf("wrote epoch 'tuesday' (durable end LSN %llu)\n",
+         (unsigned long long)tuesday_lsn);
+
+  co_await WriteEpoch(db, "oops-wednesday");
+  printf("wrote epoch 'oops-wednesday' (the mistake to undo)\n");
+
+  // Restore to the end of Tuesday.
+  t0 = sim.now();
+  auto restored = co_await d.PointInTimeRestore(*backup, tuesday_lsn);
+  if (!restored.ok()) {
+    printf("restore failed: %s\n", restored.status().ToString().c_str());
+    *done = false;
+    co_return;
+  }
+  printf("PITR dispatched + recovered in %.2f ms (virtual)\n",
+         (sim.now() - t0) / 1000.0);
+
+  int tuesday = co_await CountEpoch((*restored)->primary_engine(), "tuesday");
+  int oops =
+      co_await CountEpoch((*restored)->primary_engine(), "oops-wednesday");
+  printf("restored database: %d/200 'tuesday' rows, %d 'oops' rows\n",
+         tuesday, oops);
+
+  int live = co_await CountEpoch(db, "oops-wednesday");
+  printf("live database still at 'oops-wednesday': %d/200 rows\n", live);
+  *done = tuesday == 200 && oops == 0 && live == 200;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim;
+  service::DeploymentOptions opts;
+  opts.num_page_servers = 2;
+  opts.partition_map.pages_per_partition = 4096;
+  service::Deployment d(sim, opts);
+  bool done = false;
+  bool finished = false;
+  sim::Spawn(sim, [](sim::Simulator& s, service::Deployment& dd,
+                     bool* ok, bool* fin) -> sim::Task<> {
+    co_await Main(s, dd, ok);
+    *fin = true;
+  }(sim, d, &done, &finished));
+  while (!finished && sim.Step()) {
+  }
+  d.Stop();
+  printf("\npitr example %s\n", done ? "PASSED" : "FAILED");
+  return done ? 0 : 1;
+}

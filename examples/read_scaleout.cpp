@@ -1,0 +1,109 @@
+// Read scale-out: the §4.1.3 story. Any number of Secondaries attach to
+// the same Page Servers without copying data (O(1) spin-up); each serves
+// snapshot reads at its applied-log position while the Primary keeps
+// writing. The shared persistent version store is what lets every node
+// pick the right row version for its snapshot.
+//
+//   $ ./examples/read_scaleout
+
+#include <cstdio>
+
+#include "service/deployment.h"
+
+using namespace socrates;
+
+namespace {
+
+sim::Task<> Main(sim::Simulator& sim, service::Deployment& d,
+                 bool* ok, bool* done) {
+  (void)co_await d.Start();
+  engine::Engine* db = d.primary_engine();
+
+  // Seed data.
+  for (uint64_t i = 0; i < 400; i += 20) {
+    auto txn = db->Begin();
+    for (uint64_t k = i; k < i + 20; k++) {
+      (void)db->Put(txn.get(), engine::MakeKey(1, k),
+                    "v1-" + std::to_string(k));
+    }
+    (void)co_await db->Commit(txn.get());
+  }
+  printf("seeded 400 rows\n");
+
+  // Spin up three read replicas — no data copy, O(1) each.
+  for (int i = 0; i < 3; i++) {
+    SimTime t0 = sim.now();
+    auto sec = co_await d.AddSecondary();
+    printf("secondary %d up in %.3f ms (virtual): %s\n", i,
+           (sim.now() - t0) / 1000.0,
+           sec.status().ToString().c_str());
+  }
+
+  // Writers keep updating while replicas serve reads.
+  bool mismatch = false;
+  for (int round = 0; round < 5; round++) {
+    auto txn = db->Begin();
+    for (uint64_t k = 0; k < 400; k += 4) {
+      (void)db->Put(txn.get(), engine::MakeKey(1, k),
+                    "v" + std::to_string(round + 2) + "-" +
+                        std::to_string(k));
+    }
+    (void)co_await db->Commit(txn.get());
+
+    // Each secondary reads at its own snapshot; values must be internally
+    // consistent (all from one committed state).
+    for (int s = 0; s < d.num_secondaries(); s++) {
+      engine::Engine* replica = d.secondary(s)->engine();
+      auto reader = replica->Begin(true);
+      std::string epoch;
+      for (uint64_t k = 0; k < 400; k += 100) {
+        auto v = co_await replica->Get(reader.get(),
+                                       engine::MakeKey(1, k));
+        if (v.ok()) {
+          std::string e = v->substr(0, v->find('-'));
+          if (epoch.empty()) epoch = e;
+          if (e != epoch) mismatch = true;
+        }
+      }
+      (void)co_await replica->Commit(reader.get());
+    }
+  }
+  printf("5 write rounds with concurrent replica reads: %s\n",
+         mismatch ? "TORN SNAPSHOT OBSERVED" : "all snapshots consistent");
+
+  // Wait for replicas to catch up fully, then verify final state.
+  int fresh = 0;
+  for (int s = 0; s < d.num_secondaries(); s++) {
+    co_await d.secondary(s)->applier()->applied_lsn().WaitFor(
+        d.log_client().end_lsn());
+    engine::Engine* replica = d.secondary(s)->engine();
+    auto reader = replica->Begin(true);
+    auto v = co_await replica->Get(reader.get(), engine::MakeKey(1, 0));
+    if (v.ok() && v->rfind("v6-", 0) == 0) fresh++;
+    (void)co_await replica->Commit(reader.get());
+    printf("secondary %d: remote fetches so far %llu, applied LSN %llu\n",
+           s, (unsigned long long)d.secondary(s)->remote_fetches(),
+           (unsigned long long)d.secondary(s)->applied_lsn());
+  }
+  printf("replicas serving the final committed value: %d / %d\n", fresh,
+         d.num_secondaries());
+  *ok = !mismatch && fresh == d.num_secondaries();
+  *done = true;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim;
+  service::DeploymentOptions opts;
+  opts.num_page_servers = 2;
+  opts.partition_map.pages_per_partition = 4096;
+  service::Deployment d(sim, opts);
+  bool ok = false, done = false;
+  sim::Spawn(sim, Main(sim, d, &ok, &done));
+  while (!done && sim.Step()) {
+  }
+  d.Stop();
+  printf("\nread_scaleout example %s\n", ok ? "PASSED" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// Little-endian fixed-width and length-prefixed encoding helpers used by the
+// log-record and page formats. All on-media formats in this library are
+// explicitly little-endian so page images and log blocks are
+// byte-for-byte portable across nodes.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace socrates {
+
+inline void EncodeFixed16(char* dst, uint16_t v) { memcpy(dst, &v, 2); }
+inline void EncodeFixed32(char* dst, uint32_t v) { memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  EncodeFixed16(buf, v);
+  dst->append(buf, 2);
+}
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+/// Appends a 32-bit length prefix followed by the bytes.
+inline void PutLengthPrefixed(std::string* dst, Slice value) {
+  PutFixed32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+/// Reads a 32-bit length-prefixed slice from `input`, advancing it.
+/// Returns false if input is truncated.
+inline bool GetLengthPrefixed(Slice* input, Slice* result) {
+  if (input->size() < 4) return false;
+  uint32_t len = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  if (input->size() < len) return false;
+  *result = Slice(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+/// Reads fixed-width values from `input`, advancing it. Returns false on
+/// truncation.
+inline bool GetFixed16(Slice* input, uint16_t* v) {
+  if (input->size() < 2) return false;
+  *v = DecodeFixed16(input->data());
+  input->remove_prefix(2);
+  return true;
+}
+inline bool GetFixed32(Slice* input, uint32_t* v) {
+  if (input->size() < 4) return false;
+  *v = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  return true;
+}
+inline bool GetFixed64(Slice* input, uint64_t* v) {
+  if (input->size() < 8) return false;
+  *v = DecodeFixed64(input->data());
+  input->remove_prefix(8);
+  return true;
+}
+
+}  // namespace socrates

@@ -1,0 +1,39 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace socrates {
+namespace crc32c {
+
+namespace {
+
+// CRC32-C polynomial, reflected.
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; j++) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  uint32_t crc = ~init_crc;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; i++) {
+    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace crc32c
+}  // namespace socrates

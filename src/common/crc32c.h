@@ -1,0 +1,35 @@
+// CRC32-C (Castagnoli) used to checksum pages and log blocks. Software
+// table-driven implementation; masked variant for values stored alongside
+// the data they protect (RocksDB idiom).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace socrates {
+namespace crc32c {
+
+/// Returns crc32c of data[0,n) extended from `init_crc`.
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// crc32c of data[0,n).
+inline uint32_t Value(const char* data, size_t n) {
+  return Extend(0, data, n);
+}
+
+inline constexpr uint32_t kMaskDelta = 0xa282ead8ul;
+
+/// Mask a crc before storing it next to the protected bytes, so that the
+/// crc of a buffer containing embedded crcs is not trivially fixated.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+inline uint32_t Unmask(uint32_t masked_crc) {
+  uint32_t rot = masked_crc - kMaskDelta;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace crc32c
+}  // namespace socrates

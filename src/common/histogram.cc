@@ -1,0 +1,112 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace socrates {
+
+namespace {
+// Exponential bucket limits: 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14, ...
+// (LevelDB-style). Built once.
+std::vector<double> BuildLimits(int n) {
+  std::vector<double> limits;
+  limits.reserve(n);
+  double v = 1.0;
+  while (static_cast<int>(limits.size()) < n - 1) {
+    limits.push_back(v);
+    double next = v * 1.15;
+    if (next < v + 1.0) next = v + 1.0;
+    v = next;
+  }
+  limits.push_back(1e200);  // catch-all final bucket
+  return limits;
+}
+const std::vector<double>& Limits() {
+  static const std::vector<double> kLimits = BuildLimits(154);
+  return kLimits;
+}
+}  // namespace
+
+Histogram::Histogram() { Clear(); }
+
+void Histogram::Clear() {
+  min_ = 1e200;
+  max_ = 0;
+  count_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  buckets_.assign(Limits().size(), 0);
+}
+
+void Histogram::Add(double value) {
+  const auto& limits = Limits();
+  size_t b =
+      std::upper_bound(limits.begin(), limits.end(), value) - limits.begin();
+  if (b >= buckets_.size()) b = buckets_.size() - 1;
+  buckets_[b]++;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_++;
+  sum_ += value;
+  sum_squares_ += value * value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::stddev() const {
+  if (count_ == 0) return 0.0;
+  double n = static_cast<double>(count_);
+  double variance = (sum_squares_ * n - sum_ * sum_) / (n * n);
+  return variance > 0 ? std::sqrt(variance) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const auto& limits = Limits();
+  double threshold = static_cast<double>(count_) * (p / 100.0);
+  double cumulative = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    cumulative += static_cast<double>(buckets_[b]);
+    if (cumulative >= threshold) {
+      // Interpolate within the bucket.
+      double left = (b == 0) ? 0.0 : limits[b - 1];
+      double right = limits[b];
+      double left_count = cumulative - static_cast<double>(buckets_[b]);
+      double pos = buckets_[b] == 0
+                       ? 0.0
+                       : (threshold - left_count) /
+                             static_cast<double>(buckets_[b]);
+      double r = left + (right - left) * pos;
+      if (r < min_) r = min_;
+      if (r > max_) r = max_;
+      return r;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f min=%.1f "
+           "max=%.1f stddev=%.1f",
+           static_cast<unsigned long long>(count_), mean(), Percentile(50),
+           Percentile(95), Percentile(99), min(), max(), stddev());
+  return std::string(buf);
+}
+
+}  // namespace socrates

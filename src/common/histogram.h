@@ -1,0 +1,58 @@
+// Latency histogram with exponential buckets plus exact min/max/mean/stddev,
+// used by the benchmark harness to report the paper's latency tables
+// (e.g. Table 6: STDEV / Min / Median / Max in microseconds).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace socrates {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return max_; }
+  double mean() const;
+  double stddev() const;
+  /// p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string ToString() const;
+
+ private:
+  double min_;
+  double max_;
+  uint64_t count_;
+  double sum_;
+  double sum_squares_;
+  std::vector<uint64_t> buckets_;
+};
+
+/// Simple monotonically increasing counter bundle keyed by name; cheap
+/// enough to be always-on in services.
+struct CounterStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+}  // namespace socrates

@@ -1,0 +1,49 @@
+#include "common/random.h"
+
+namespace socrates {
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : rng_(seed), n_(n), theta_(theta) {
+  assert(n > 0);
+  // Exact zeta is O(n); for very large keyspaces use the standard
+  // approximation zeta(n) ~ zeta(n0) + integral tail, accurate enough for
+  // workload skew purposes.
+  constexpr uint64_t kExactLimit = 1 << 22;
+  if (n <= kExactLimit) {
+    zetan_ = Zeta(n, theta);
+  } else {
+    double base = Zeta(kExactLimit, theta);
+    // Integral of x^-theta from kExactLimit to n.
+    double a = 1.0 - theta;
+    base += (std::pow(static_cast<double>(n), a) -
+             std::pow(static_cast<double>(kExactLimit), a)) /
+            a;
+    zetan_ = base;
+  }
+  zeta2theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfGenerator::Next() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v >= n_) v = n_ - 1;
+  return v;
+}
+
+}  // namespace socrates

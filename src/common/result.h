@@ -1,0 +1,63 @@
+// Result<T>: a Status plus a value on success (Arrow's arrow::Result idiom).
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace socrates {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Success.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Failure. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assign the value of a Result expression or propagate its error.
+#define SOCRATES_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto SOCRATES_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!SOCRATES_CONCAT_(_res_, __LINE__).ok())      \
+    return SOCRATES_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(SOCRATES_CONCAT_(_res_, __LINE__)).value()
+
+#define SOCRATES_CONCAT_(a, b) SOCRATES_CONCAT_IMPL_(a, b)
+#define SOCRATES_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace socrates

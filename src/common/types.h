@@ -1,0 +1,68 @@
+// Fundamental identifier types shared by every tier.
+//
+// LSNs in this reproduction are 64-bit byte offsets into the virtual log
+// stream (the "log" is a single logical sequence produced by the Primary),
+// matching the paper's model where a single writer produces log and all
+// consumers order themselves by LSN.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace socrates {
+
+/// Log sequence number: byte offset into the virtual log stream.
+using Lsn = uint64_t;
+inline constexpr Lsn kInvalidLsn = 0;
+inline constexpr Lsn kMaxLsn = std::numeric_limits<Lsn>::max();
+
+/// Identifies a database page. Pages are numbered densely from 0.
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPageId =
+    std::numeric_limits<PageId>::max();
+
+/// Transaction identifier, assigned by the transaction manager.
+using TxnId = uint64_t;
+inline constexpr TxnId kInvalidTxnId = 0;
+
+/// Commit timestamp used for snapshot isolation visibility.
+using Timestamp = uint64_t;
+inline constexpr Timestamp kInvalidTimestamp = 0;
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+/// Identifies a Page Server partition. Pages map to partitions by range:
+/// partition p owns pages [p * pages_per_partition, (p+1) * ...).
+using PartitionId = uint32_t;
+inline constexpr PartitionId kInvalidPartition =
+    std::numeric_limits<PartitionId>::max();
+
+/// Identifies one node (Compute, Page Server, XLOG process) in a deployment.
+using NodeId = uint32_t;
+
+/// Simulated time in microseconds (the simulator's native unit).
+using SimTime = int64_t;
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Table identifier inside the mini engine's catalog.
+using TableId = uint32_t;
+
+// Byte-size literals.
+inline constexpr uint64_t KiB = 1024;
+inline constexpr uint64_t MiB = 1024 * KiB;
+inline constexpr uint64_t GiB = 1024 * MiB;
+
+/// Database page size. SQL Server uses 8 KiB pages; so do we.
+inline constexpr uint32_t kPageSize = 8192;
+
+/// Log blocks are written to the landing zone in 512-byte aligned units,
+/// mirroring the sector-aligned SQL Server log block format.
+inline constexpr uint32_t kLogBlockAlign = 512;
+
+/// Maximum size of one log block (SQL Server caps blocks at 60 KiB).
+inline constexpr uint32_t kMaxLogBlockSize = 60 * KiB;
+
+}  // namespace socrates

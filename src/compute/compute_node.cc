@@ -1,0 +1,260 @@
+#include "compute/compute_node.h"
+
+namespace socrates {
+namespace compute {
+
+// GetPage@LSN client over RBIO (§3.4): typed request to the best replica
+// of the owning partition, freshness LSN from the evicted-LSN map
+// (Primary) or the applied watermark (Secondary), checksum verification
+// on receipt, optional readahead via GetPageRange.
+class ComputeNode::RemoteFetcher : public engine::PageFetcher {
+ public:
+  explicit RemoteFetcher(ComputeNode* node) : node_(node) {}
+
+  sim::Task<Result<storage::Page>> FetchPage(PageId page_id) override {
+    std::vector<rbio::Endpoint> endpoints =
+        node_->router_->EndpointsFor(page_id);
+    if (endpoints.empty()) {
+      co_return Result<storage::Page>(
+          Status::Unavailable("no page server for partition"));
+    }
+    Lsn min_lsn = node_->evicted_map_.Get(page_id);
+    if (min_lsn == kInvalidLsn) min_lsn = 0;
+    if (node_->recovery_floor_ != kInvalidLsn) {
+      min_lsn = std::max(min_lsn, node_->recovery_floor_);
+    }
+    bool secondary = node_->role_ == Role::kSecondary;
+    if (secondary) {
+      // §4.5: the fetch must cover everything the apply loop has already
+      // processed (and possibly skipped) for this page; register so
+      // records arriving mid-fetch are queued and drained below.
+      min_lsn = std::max(min_lsn, node_->applied_lsn());
+      node_->applier_->RegisterPendingFetch(page_id);
+    }
+    node_->remote_fetches_++;
+
+    // Readahead (Primary only): one GetPageRange covers the miss plus
+    // the next few pages — the multi-page access pattern the Page
+    // Server's stride-preserving covering cache serves in one I/O.
+    uint32_t readahead = secondary ? 0 : node_->opts_.readahead_pages;
+    Result<storage::Page> page = Status::NotFound("not fetched");
+    if (readahead > 1) {
+      // Freshness must hold for EVERY page in the range, not just the
+      // requested one: take the max evicted-LSN across the range, or a
+      // prefetched page could be staler than state this node already
+      // observed (and the log records it then produces would diverge
+      // from the Page Servers' view).
+      Lsn range_min = min_lsn;
+      for (uint32_t i = 1; i < readahead; i++) {
+        Lsn l = node_->evicted_map_.Get(page_id + i);
+        if (l != kInvalidLsn) range_min = std::max(range_min, l);
+      }
+      Result<std::vector<storage::Page>> pages =
+          co_await node_->rbio_->GetPageRange(endpoints, page_id,
+                                              readahead, range_min);
+      if (!pages.ok()) {
+        page = Result<storage::Page>(pages.status());
+      } else {
+        page = Result<storage::Page>(Status::NotFound("page not found"));
+        for (storage::Page& p : *pages) {
+          if (p.page_id() == page_id) {
+            page = Result<storage::Page>(std::move(p));
+          } else {
+            node_->pool_->InstallIfAbsent(std::move(p));
+          }
+        }
+      }
+    } else {
+      page = co_await node_->rbio_->GetPage(endpoints, page_id, min_lsn);
+    }
+
+    if (!page.ok()) {
+      if (secondary) node_->applier_->CancelPendingFetch(page_id);
+      co_return page;
+    }
+    if (secondary) {
+      Status ds =
+          node_->applier_->DrainPendingInto(page_id, &page.value());
+      if (!ds.ok()) co_return Result<storage::Page>(ds);
+    }
+    co_return page;
+  }
+
+ private:
+  ComputeNode* node_;
+};
+
+ComputeNode::ComputeNode(sim::Simulator& sim, Role role,
+                         PageServerRouter* router, xlog::XLogProcess* xlog,
+                         engine::LogSink* sink,
+                         const ComputeOptions& options)
+    : sim_(sim),
+      role_(role),
+      router_(router),
+      xlog_(xlog),
+      sink_(sink),
+      opts_(options),
+      cpu_(std::make_unique<sim::CpuResource>(sim, options.cpu_cores)),
+      evicted_map_(options.evicted_map_buckets),
+      rpc_rng_(0xfe7c + options.cpu_cores) {
+  rbio::RbioClientOptions rbio_opts;
+  rbio_opts.network = options.rpc_latency;
+  rbio_opts.cpu_per_request_us = options.rpc_cpu_us;
+  rbio_ = std::make_unique<rbio::RbioClient>(
+      sim, cpu_.get(), rbio_opts, 0xb10c + options.cpu_cores);
+  engine::BufferPoolOptions pool_opts;
+  pool_opts.mem_pages = opts_.mem_pages;
+  pool_opts.ssd_pages = opts_.ssd_pages;
+  pool_opts.ssd_recoverable = opts_.rbpex_recoverable;
+  fetcher_ = std::make_unique<RemoteFetcher>(this);
+  pool_ = std::make_unique<engine::BufferPool>(sim, pool_opts,
+                                               fetcher_.get(),
+                                               /*seed=*/0xc0de);
+  pool_->set_eviction_callback(
+      [this](PageId id, Lsn lsn) { evicted_map_.Update(id, lsn); });
+  applier_ = std::make_unique<engine::RedoApplier>(
+      sim, pool_.get(), engine::RedoApplier::MissPolicy::kIgnoreUncached);
+  engine_ = std::make_unique<engine::Engine>(
+      sim, pool_.get(), role == Role::kPrimary ? sink : nullptr);
+  if (role == Role::kSecondary) {
+    engine_->SetReadTsProvider(
+        [this] { return applier_->applied_commit_ts(); });
+  }
+}
+
+ComputeNode::~ComputeNode() = default;
+
+sim::Task<Status> ComputeNode::BootstrapPrimary() {
+  if (role_ != Role::kPrimary || sink_ == nullptr) {
+    co_return Status::InvalidArgument("not a primary");
+  }
+  SOCRATES_CO_RETURN_IF_ERROR(co_await engine_->Bootstrap());
+  Result<Lsn> ckpt = co_await LogCheckpoint();
+  co_return ckpt.status();
+}
+
+sim::Task<Result<Lsn>> ComputeNode::LogCheckpoint() {
+  engine::LogRecord rec;
+  rec.type = engine::LogRecordType::kCheckpoint;
+  rec.commit_ts = engine_->last_committed_ts();
+  rec.next_page_id = engine_->btree()->next_page_id();
+  Lsn lsn = sink_->Append(rec);
+  Lsn end = sink_->end_lsn();
+  SOCRATES_CO_RETURN_IF_ERROR(co_await sink_->WaitHardened(end));
+  co_return lsn;
+}
+
+sim::Task<Status> ComputeNode::StartSecondary() {
+  if (role_ != Role::kSecondary || xlog_ == nullptr) {
+    co_return Status::InvalidArgument("not a secondary");
+  }
+  applier_->applied_lsn().Advance(engine::kLogStreamStart);
+  xlog_consumer_id_ = xlog_->RegisterConsumer("secondary");
+  consuming_ = true;
+  sim::Spawn(sim_, SecondaryApplyLoop());
+  co_return Status::OK();
+}
+
+sim::Task<> ComputeNode::SecondaryApplyLoop() {
+  // Secondaries consume the complete log stream (no partition filter).
+  Random pull_rng(0x9e0);
+  while (consuming_) {
+    Lsn from = applier_->applied_lsn().value();
+    co_await xlog_->available().WaitFor(from + 1);
+    if (!consuming_) break;
+    // Log shipping distance (zero intra-DC, real for geo-replicas, §6).
+    SimTime ship = opts_.pull_latency.Sample(pull_rng);
+    if (ship > 0) co_await sim::Delay(sim_, ship);
+    Result<std::vector<xlog::LogBlock>> blocks =
+        co_await xlog_->Pull(from, std::nullopt, opts_.pull_bytes);
+    if (!blocks.ok()) {
+      co_await sim::Delay(sim_, 10000);
+      continue;
+    }
+    for (xlog::LogBlock& block : *blocks) {
+      if (block.start_lsn > applier_->applied_lsn().value()) {
+        fprintf(stderr, "[secondary] FATAL: log gap %llu -> %llu\n",
+                (unsigned long long)applier_->applied_lsn().value(),
+                (unsigned long long)block.start_lsn);
+        consuming_ = false;
+        co_return;
+      }
+      co_await cpu_->Consume(10 + block.payload.size() / 2000);
+      Result<Lsn> end = co_await applier_->ApplyStream(
+          Slice(block.payload), block.start_lsn,
+          /*resume_from=*/applier_->applied_lsn().value());
+      if (!end.ok()) {
+        fprintf(stderr, "[secondary] FATAL log apply error: %s\n",
+                end.status().ToString().c_str());
+        consuming_ = false;
+        co_return;
+      }
+      applier_->applied_lsn().Advance(*end);
+    }
+    xlog_->ReportProgress(xlog_consumer_id_,
+                          applier_->applied_lsn().value());
+  }
+}
+
+sim::Task<Status> ComputeNode::RecoverPrimary(Lsn replay_from,
+                                              Lsn durable_end) {
+  if (role_ != Role::kPrimary || xlog_ == nullptr) {
+    co_return Status::InvalidArgument("not a primary");
+  }
+  // 1. RBPEX: keep the warm cache, discard anything speculative.
+  (void)co_await pool_->Recover(durable_end);
+  // 2. Redo the hardened tail over cached pages. Uncached pages will be
+  //    fetched fresh (>= durable_end) from Page Servers when touched.
+  applier_->applied_lsn().Advance(replay_from);
+  co_await xlog_->available().WaitFor(durable_end);
+  while (applier_->applied_lsn().value() < durable_end) {
+    Lsn from = applier_->applied_lsn().value();
+    Result<std::vector<xlog::LogBlock>> blocks =
+        co_await xlog_->Pull(from, std::nullopt, opts_.pull_bytes);
+    if (!blocks.ok()) co_return blocks.status();
+    if (blocks->empty()) break;
+    for (xlog::LogBlock& block : *blocks) {
+      Result<Lsn> end = co_await applier_->ApplyStream(
+          Slice(block.payload), block.start_lsn,
+          /*resume_from=*/applier_->applied_lsn().value());
+      if (!end.ok()) co_return end.status();
+      applier_->applied_lsn().Advance(*end);
+    }
+  }
+  // 3. Counters from the checkpoint + everything replayed after it.
+  PageId next_page = std::max<PageId>(applier_->checkpoint_next_page_id(),
+                                      applier_->max_page_seen() + 1);
+  engine_->RestoreCounters(applier_->applied_commit_ts(), next_page);
+  // 4. The evicted-LSN map died with the process: every fetch must be
+  //    satisfied at least at the durable log end.
+  recovery_floor_ = durable_end;
+  evicted_map_.Clear();
+  co_return Status::OK();
+}
+
+sim::Task<Status> ComputeNode::Promote(engine::LogSink* sink,
+                                       Lsn durable_end) {
+  if (role_ != Role::kSecondary) {
+    co_return Status::InvalidArgument("only secondaries promote");
+  }
+  // Apply every hardened byte before taking writes.
+  co_await applier_->applied_lsn().WaitFor(durable_end);
+  consuming_ = false;
+  role_ = Role::kPrimary;
+  sink_ = sink;
+  engine_->SetSink(sink);
+  engine_->SetReadTsProvider(nullptr);
+  PageId next_page = std::max<PageId>(applier_->checkpoint_next_page_id(),
+                                      applier_->max_page_seen() + 1);
+  engine_->RestoreCounters(applier_->applied_commit_ts(), next_page);
+  recovery_floor_ = durable_end;
+  co_return Status::OK();
+}
+
+void ComputeNode::Crash() {
+  consuming_ = false;
+  pool_->Crash();
+}
+
+}  // namespace compute
+}  // namespace socrates

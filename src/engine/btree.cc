@@ -1,0 +1,371 @@
+#include "engine/btree.h"
+
+#include <cassert>
+
+#include "sim/task.h"
+
+namespace socrates {
+namespace engine {
+
+namespace {
+
+// Maximum traversal retries before declaring the structure corrupt. On a
+// healthy Secondary the log-apply thread catches up after a few pauses.
+constexpr int kMaxTraverseRetries = 10000;
+
+// Build the image of a freshly formatted page carrying slots
+// [from, to) of `src`. Used by splits.
+void CopyRange(const BTreePage& src, storage::Page* dst_page, PageId dst_id,
+               uint64_t low, uint64_t high, PageId right_sibling, int from,
+               int to) {
+  BTreePage::Format(dst_page, dst_id, src.level(), low, high,
+                    right_sibling);
+  BTreePage dst(dst_page);
+  for (int i = from; i < to; i++) {
+    if (src.is_leaf()) {
+      Status s = dst.LeafInsert(src.KeyAt(i), src.LeafValueAt(i));
+      assert(s.ok());
+      (void)s;
+    } else {
+      Status s = dst.InteriorInsert(src.KeyAt(i), src.ChildAt(i));
+      assert(s.ok());
+      (void)s;
+    }
+  }
+}
+
+}  // namespace
+
+sim::Task<Status> BTree::Create() {
+  Result<PageRef> root = pool_->NewPage(kRootPageId);
+  if (!root.ok()) co_return root.status();
+  LogRecord rec;
+  rec.type = LogRecordType::kPageFormat;
+  rec.page_id = kRootPageId;
+  rec.page_type = static_cast<uint32_t>(storage::PageType::kBTreeLeaf);
+  rec.level = 0;
+  rec.low_fence = kMinKey;
+  rec.high_fence = kMaxKey;
+  rec.right_sibling = kInvalidPageId;
+  co_return ApplyAndLog(rec, &root.value());
+}
+
+sim::Task<Result<PageRef>> BTree::TraverseToLeaf(uint64_t key,
+                                                 std::vector<PageId>* path) {
+  for (int attempt = 0; attempt < kMaxTraverseRetries; attempt++) {
+    path->clear();
+    PageId page_id = kRootPageId;
+    bool retry = false;
+    while (true) {
+      Result<PageRef> ref = co_await pool_->GetPage(page_id);
+      if (!ref.ok()) co_return Result<PageRef>(ref.status());
+      BTreePage bp(ref->page());
+      if (!bp.CoversKey(key) ||
+          (!bp.is_leaf() && bp.slot_count() == 0)) {
+        // §4.5: this page is from the "future" relative to the parent we
+        // came through (or apply is mid-flight). Pause and re-traverse.
+        traversal_retries_++;
+        static const bool trace =
+            getenv("SOCRATES_TRACE_RETRY") != nullptr;
+        if (trace) {
+          fprintf(stderr,
+                  "[btree] retry key=%llu page=%llu level=%u low=%llu "
+                  "high=%llu slots=%d attempt=%d pathlen=%zu\n",
+                  (unsigned long long)key, (unsigned long long)page_id,
+                  bp.level(), (unsigned long long)bp.low_fence(),
+                  (unsigned long long)bp.high_fence(), bp.slot_count(),
+                  attempt, path->size());
+        }
+        co_await sim::Delay(sim_, kRetryPauseUs);
+        retry = true;
+        break;
+      }
+      path->push_back(page_id);
+      if (bp.is_leaf()) co_return std::move(ref).value();
+      static const bool trace_route =
+          getenv("SOCRATES_TRACE_RETRY") != nullptr;
+      if (trace_route && attempt == 100) {
+        int slot = bp.FindChildSlot(key);
+        fprintf(stderr,
+                "[route] key=%llu page=%llu level=%u slots=%d chosen=%d "
+                "sep=%llu child=%llu next_sep=%llu\n",
+                (unsigned long long)key, (unsigned long long)page_id,
+                bp.level(), bp.slot_count(), slot,
+                (unsigned long long)bp.KeyAt(slot),
+                (unsigned long long)bp.ChildAt(slot),
+                (unsigned long long)(slot + 1 < bp.slot_count()
+                                         ? bp.KeyAt(slot + 1)
+                                         : bp.high_fence()));
+      }
+      page_id = bp.ChildAt(bp.FindChildSlot(key));
+    }
+    if (retry) continue;
+  }
+  co_return Result<PageRef>(
+      Status::Corruption("btree traversal did not converge"));
+}
+
+sim::Task<Result<VersionChain>> BTree::Find(uint64_t key) {
+  std::vector<PageId> path;
+  Result<PageRef> leaf = co_await TraverseToLeaf(key, &path);
+  if (!leaf.ok()) co_return Result<VersionChain>(leaf.status());
+  BTreePage bp(leaf->page());
+  int slot = bp.FindSlot(key);
+  if (slot < 0) co_return Result<VersionChain>(Status::NotFound("no key"));
+  VersionChain chain;
+  if (!VersionChain::Decode(bp.LeafValueAt(slot), &chain)) {
+    co_return Result<VersionChain>(
+        Status::Corruption("bad version chain encoding"));
+  }
+  co_return std::move(chain);
+}
+
+sim::Task<Result<size_t>> BTree::Scan(
+    uint64_t start, size_t count,
+    const std::function<bool(uint64_t, const VersionChain&)>& visitor) {
+  size_t visited = 0;
+  uint64_t key = start;
+  while (visited < count) {
+    std::vector<PageId> path;
+    Result<PageRef> leaf = co_await TraverseToLeaf(key, &path);
+    if (!leaf.ok()) co_return Result<size_t>(leaf.status());
+    BTreePage bp(leaf->page());
+    int slot = bp.LowerBound(key);
+    for (; slot < bp.slot_count() && visited < count; slot++) {
+      VersionChain chain;
+      if (!VersionChain::Decode(bp.LeafValueAt(slot), &chain)) {
+        co_return Result<size_t>(
+            Status::Corruption("bad version chain encoding"));
+      }
+      visited++;
+      if (!visitor(bp.KeyAt(slot), chain)) co_return visited;
+    }
+    if (visited >= count) break;
+    uint64_t high = bp.high_fence();
+    if (high == kMaxKey) break;  // rightmost leaf
+    // Continue from the next leaf's key range. Re-traversing (rather than
+    // chasing right_sibling directly) keeps the §4.5 consistency check on
+    // every hop.
+    key = high;
+  }
+  co_return visited;
+}
+
+Status BTree::ApplyAndLog(const LogRecord& rec, PageRef* page) {
+  assert(sink_ != nullptr);
+  Lsn lsn = sink_->Append(rec);
+  Status s = ApplyToPage(rec, lsn, page->page());
+  if (s.ok()) page->MarkDirty();
+  return s;
+}
+
+sim::Task<Status> BTree::Write(TxnId txn, uint64_t key,
+                               const VersionChain& chain) {
+  std::string encoded = chain.Encode();
+  if (encoded.size() > storage::kPageUsableSize / 2) {
+    co_return Status::InvalidArgument("version chain too large for a page");
+  }
+  for (int attempt = 0; attempt < kMaxTraverseRetries; attempt++) {
+    std::vector<PageId> path;
+    Result<PageRef> leaf = co_await TraverseToLeaf(key, &path);
+    if (!leaf.ok()) co_return leaf.status();
+    BTreePage bp(leaf->page());
+    bool exists = bp.FindSlot(key) >= 0;
+    uint32_t vsize = static_cast<uint32_t>(encoded.size());
+    bool fits = exists ? bp.CanHostLeafUpdate(key, vsize)
+                       : bp.CanHostLeafInsert(vsize);
+    if (fits) {
+      LogRecord rec;
+      rec.type = exists ? LogRecordType::kLeafUpdate
+                        : LogRecordType::kLeafInsert;
+      rec.txn_id = txn;
+      rec.page_id = path.back();
+      rec.key = key;
+      rec.value = encoded;
+      co_return ApplyAndLog(rec, &leaf.value());
+    }
+    // Split and retry. Release the leaf pin first; splits repin.
+    leaf.value().Release();
+    SOCRATES_CO_RETURN_IF_ERROR(
+        co_await SplitPage(txn, path, path.size() - 1));
+  }
+  co_return Status::Corruption("btree write did not converge");
+}
+
+sim::Task<Status> BTree::Erase(TxnId txn, uint64_t key) {
+  std::vector<PageId> path;
+  Result<PageRef> leaf = co_await TraverseToLeaf(key, &path);
+  if (!leaf.ok()) co_return leaf.status();
+  BTreePage bp(leaf->page());
+  if (bp.FindSlot(key) < 0) co_return Status::NotFound("no key");
+  LogRecord rec;
+  rec.type = LogRecordType::kLeafDelete;
+  rec.txn_id = txn;
+  rec.page_id = path.back();
+  rec.key = key;
+  co_return ApplyAndLog(rec, &leaf.value());
+}
+
+sim::Task<Status> BTree::SplitPage(TxnId txn,
+                                   const std::vector<PageId>& path,
+                                   size_t depth) {
+  if (depth == 0) co_return co_await SplitRoot(txn);
+
+  PageId left_id = path[depth];
+  Result<PageRef> left = co_await pool_->GetPage(left_id);
+  if (!left.ok()) co_return left.status();
+  BTreePage lp(left->page());
+  int n = lp.slot_count();
+  if (n < 2) co_return Status::Corruption("cannot split page with <2 keys");
+  int mid = n / 2;
+  uint64_t sep = lp.KeyAt(mid);
+
+  PageId right_id = AllocatePage();
+
+  // Build both halves as images, then log+apply them.
+  storage::Page right_img;
+  CopyRange(lp, &right_img, right_id, sep, lp.high_fence(),
+            lp.right_sibling(), mid, n);
+  storage::Page left_img;
+  CopyRange(lp, &left_img, left_id, lp.low_fence(), sep, right_id, 0, mid);
+
+  Result<PageRef> right = pool_->NewPage(right_id);
+  if (!right.ok()) co_return right.status();
+
+  LogRecord rrec;
+  rrec.type = LogRecordType::kPageImage;
+  rrec.txn_id = txn;
+  rrec.page_id = right_id;
+  rrec.value = right_img.AsSlice().ToString();
+  SOCRATES_CO_RETURN_IF_ERROR(ApplyAndLog(rrec, &right.value()));
+
+  LogRecord lrec;
+  lrec.type = LogRecordType::kPageImage;
+  lrec.txn_id = txn;
+  lrec.page_id = left_id;
+  lrec.value = left_img.AsSlice().ToString();
+  SOCRATES_CO_RETURN_IF_ERROR(ApplyAndLog(lrec, &left.value()));
+
+  co_return co_await InsertIntoInterior(txn, path, depth - 1, sep,
+                                        right_id);
+}
+
+sim::Task<Status> BTree::InsertIntoInterior(TxnId txn,
+                                            const std::vector<PageId>& path,
+                                            size_t depth, uint64_t sep,
+                                            PageId child) {
+  Result<PageRef> node = co_await pool_->GetPage(path[depth]);
+  if (!node.ok()) co_return node.status();
+  const uint32_t orig_level = BTreePage(node->page()).level();
+  if (BTreePage(node->page()).CanHostInteriorInsert()) {
+    LogRecord rec;
+    rec.type = LogRecordType::kInteriorInsert;
+    rec.txn_id = txn;
+    rec.page_id = path[depth];
+    rec.key = sep;
+    rec.child = child;
+    co_return ApplyAndLog(rec, &node.value());
+  }
+  // The interior page is full: split it first. Release the pin; splits
+  // repin by page id.
+  node.value().Release();
+  SOCRATES_CO_RETURN_IF_ERROR(co_await SplitPage(txn, path, depth));
+  // Relocate the insert target. Two cases:
+  //  * ordinary split: path[depth] kept its level; the separator belongs
+  //    to it or to its new right sibling (fence check).
+  //  * root split (depth reached 0 somewhere in the cascade): path[depth]
+  //    may now be an ANCESTOR (the root grew a level). Descend by key
+  //    until we are back at the original level — inserting higher up
+  //    would attach `child` at the wrong height and corrupt the tree.
+  PageId cur = path[depth];
+  for (int hop = 0; hop < 64; hop++) {
+    Result<PageRef> ref = co_await pool_->GetPage(cur);
+    if (!ref.ok()) co_return ref.status();
+    BTreePage p(ref->page());
+    if (p.level() > orig_level) {
+      cur = p.ChildAt(p.FindChildSlot(sep));
+      continue;
+    }
+    if (p.level() < orig_level) {
+      co_return Status::Corruption("interior relocation descended too far");
+    }
+    if (!p.CoversKey(sep)) {
+      cur = p.right_sibling();
+      if (cur == kInvalidPageId) {
+        co_return Status::Corruption(
+            "separator lost after interior split");
+      }
+      continue;
+    }
+    if (!p.CanHostInteriorInsert()) {
+      // Freshly split halves are half-empty; this cannot happen unless
+      // the tree is corrupt.
+      co_return Status::Corruption("split half cannot host separator");
+    }
+    LogRecord rec;
+    rec.type = LogRecordType::kInteriorInsert;
+    rec.txn_id = txn;
+    rec.page_id = cur;
+    rec.key = sep;
+    rec.child = child;
+    co_return ApplyAndLog(rec, &ref.value());
+  }
+  co_return Status::Corruption("interior relocation did not converge");
+}
+
+sim::Task<Status> BTree::SplitRoot(TxnId txn) {
+  Result<PageRef> root = co_await pool_->GetPage(kRootPageId);
+  if (!root.ok()) co_return root.status();
+  BTreePage rp(root->page());
+  int n = rp.slot_count();
+  if (n < 2) co_return Status::Corruption("cannot split root with <2 keys");
+  int mid = n / 2;
+  uint64_t sep = rp.KeyAt(mid);
+
+  PageId left_id = AllocatePage();
+  PageId right_id = AllocatePage();
+
+  storage::Page left_img, right_img;
+  CopyRange(rp, &left_img, left_id, rp.low_fence(), sep, right_id, 0, mid);
+  CopyRange(rp, &right_img, right_id, sep, rp.high_fence(),
+            rp.right_sibling(), mid, n);
+
+  // New root: interior page one level up with exactly two children.
+  storage::Page root_img;
+  BTreePage::Format(&root_img, kRootPageId, rp.level() + 1, rp.low_fence(),
+                    rp.high_fence(), kInvalidPageId);
+  {
+    BTreePage nr(&root_img);
+    Status s = nr.InteriorInsert(rp.low_fence(), left_id);
+    assert(s.ok());
+    s = nr.InteriorInsert(sep, right_id);
+    assert(s.ok());
+    (void)s;
+  }
+
+  Result<PageRef> left = pool_->NewPage(left_id);
+  if (!left.ok()) co_return left.status();
+  Result<PageRef> right = pool_->NewPage(right_id);
+  if (!right.ok()) co_return right.status();
+
+  LogRecord rec;
+  rec.type = LogRecordType::kPageImage;
+  rec.txn_id = txn;
+
+  rec.page_id = left_id;
+  rec.value = left_img.AsSlice().ToString();
+  SOCRATES_CO_RETURN_IF_ERROR(ApplyAndLog(rec, &left.value()));
+
+  rec.page_id = right_id;
+  rec.value = right_img.AsSlice().ToString();
+  SOCRATES_CO_RETURN_IF_ERROR(ApplyAndLog(rec, &right.value()));
+
+  rec.page_id = kRootPageId;
+  rec.value = root_img.AsSlice().ToString();
+  SOCRATES_CO_RETURN_IF_ERROR(ApplyAndLog(rec, &root.value()));
+
+  co_return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace socrates

@@ -1,0 +1,110 @@
+// B+-tree over the buffer pool.
+//
+// Read paths (Find/Scan) run on every tier — Primary, Secondaries — and
+// tolerate the paper's §4.5 hazard: because pages arrive via GetPage@LSN,
+// a traversal can observe a child "from the future" (already split) while
+// the parent was read from the present. Fence keys detect this: if the
+// search key falls outside the fetched page's [low, high) range, the
+// traversal pauses (letting log apply catch up) and retries.
+//
+// The write path (Write/Create) runs only on the Primary, serialized by
+// the engine's commit mutex. Every mutation is expressed as a log record
+// that is appended to the LogSink and then applied to the local page with
+// the same ApplyToPage used by redo on Page Servers — one code path for
+// do and redo. Structure changes (splits) are logged as full page images;
+// they are rare enough that the log-volume cost is negligible.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/btree_page.h"
+#include "engine/buffer_pool.h"
+#include "engine/log_record.h"
+#include "engine/log_sink.h"
+#include "engine/version.h"
+
+namespace socrates {
+namespace engine {
+
+/// Root page id is fixed; the root never moves (root splits rebuild it in
+/// place as an interior page over two freshly allocated children).
+inline constexpr PageId kRootPageId = 1;
+
+class BTree {
+ public:
+  /// `sink` may be null on read-only tiers (Secondaries, Page Servers).
+  BTree(sim::Simulator& sim, BufferPool* pool, LogSink* sink)
+      : sim_(sim), pool_(pool), sink_(sink) {}
+
+  /// Bootstrap a fresh tree (Primary, empty database): formats the root
+  /// as an empty leaf covering the whole key space.
+  sim::Task<Status> Create();
+
+  /// Point lookup: the version chain stored under `key`.
+  sim::Task<Result<VersionChain>> Find(uint64_t key);
+
+  /// Visit up to `count` keys >= `start` in order. The visitor returns
+  /// false to stop early. Returns the number of keys visited.
+  sim::Task<Result<size_t>> Scan(
+      uint64_t start, size_t count,
+      const std::function<bool(uint64_t, const VersionChain&)>& visitor);
+
+  /// Upsert: store `chain` under `key` (insert or replace), splitting as
+  /// needed. Primary-only, under the engine's commit mutex.
+  sim::Task<Status> Write(TxnId txn, uint64_t key,
+                          const VersionChain& chain);
+
+  /// Remove `key` entirely (version GC when the whole chain is dead).
+  sim::Task<Status> Erase(TxnId txn, uint64_t key);
+
+  PageId next_page_id() const { return next_page_id_; }
+  void set_next_page_id(PageId id) { next_page_id_ = id; }
+
+  /// Attach a log sink (Secondary promotion: the tree becomes writable).
+  void SetSink(LogSink* sink) { sink_ = sink; }
+
+  /// Number of fence-key traversal retries observed (the §4.5 race).
+  uint64_t traversal_retries() const { return traversal_retries_; }
+
+  /// Pause before retrying a traversal that hit a future page; gives the
+  /// log-apply thread time to catch up (§4.5).
+  static constexpr SimTime kRetryPauseUs = 200;
+
+ private:
+  // Traverse to the leaf covering `key`; fills `path` with page ids from
+  // root to leaf (inclusive) and returns a pinned ref to the leaf.
+  sim::Task<Result<PageRef>> TraverseToLeaf(uint64_t key,
+                                            std::vector<PageId>* path);
+
+  // Append `rec` to the log and apply it to `page` (stamping the LSN).
+  Status ApplyAndLog(const LogRecord& rec, PageRef* page);
+
+  // Split path[depth]; afterwards the caller must re-traverse.
+  sim::Task<Status> SplitPage(TxnId txn, const std::vector<PageId>& path,
+                              size_t depth);
+
+  // Insert (sep, child) into interior page path[depth], splitting upward
+  // as needed.
+  sim::Task<Status> InsertIntoInterior(TxnId txn,
+                                       const std::vector<PageId>& path,
+                                       size_t depth, uint64_t sep,
+                                       PageId child);
+
+  sim::Task<Status> SplitRoot(TxnId txn);
+
+  PageId AllocatePage() { return next_page_id_++; }
+
+  sim::Simulator& sim_;
+  BufferPool* pool_;
+  LogSink* sink_;
+  PageId next_page_id_ = kRootPageId + 1;
+  uint64_t traversal_retries_ = 0;
+};
+
+}  // namespace engine
+}  // namespace socrates

@@ -1,0 +1,417 @@
+#include "engine/buffer_pool.h"
+
+#include <cassert>
+
+namespace socrates {
+namespace engine {
+
+struct PageRef::Frame {
+  PageId page_id = kInvalidPageId;
+  storage::Page page;
+  int pins = 0;
+  bool dirty = false;
+  std::list<PageId>::iterator lru_it;
+};
+
+PageRef::PageRef(BufferPool* pool, Frame* frame)
+    : pool_(pool), frame_(frame) {
+  frame_->pins++;
+}
+
+PageRef::PageRef(PageRef&& o) noexcept
+    : pool_(std::exchange(o.pool_, nullptr)),
+      frame_(std::exchange(o.frame_, nullptr)) {}
+
+PageRef& PageRef::operator=(PageRef&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = std::exchange(o.pool_, nullptr);
+    frame_ = std::exchange(o.frame_, nullptr);
+  }
+  return *this;
+}
+
+PageRef::~PageRef() { Release(); }
+
+void PageRef::Release() {
+  if (frame_ != nullptr) {
+    assert(frame_->pins > 0);
+    frame_->pins--;
+    frame_ = nullptr;
+    pool_ = nullptr;
+  }
+}
+
+storage::Page* PageRef::page() const { return &frame_->page; }
+
+void PageRef::MarkDirty() { frame_->dirty = true; }
+
+BufferPool::BufferPool(sim::Simulator& sim,
+                       const BufferPoolOptions& options,
+                       PageFetcher* fetcher, uint64_t seed)
+    : sim_(sim), opts_(options), fetcher_(fetcher) {
+  if (opts_.ssd_pages > 0) {
+    ssd_ = std::make_unique<storage::SimBlockDevice>(
+        sim, opts_.ssd_profile, seed);
+  }
+}
+
+BufferPool::~BufferPool() = default;
+
+sim::Task<Result<PageRef>> BufferPool::GetPage(PageId page_id) {
+  return GetPageInternal(page_id, /*fetch_on_miss=*/true);
+}
+
+sim::Task<Result<PageRef>> BufferPool::GetIfCached(PageId page_id) {
+  return GetPageInternal(page_id, /*fetch_on_miss=*/false);
+}
+
+sim::Task<Result<PageRef>> BufferPool::GetPageInternal(PageId page_id,
+                                                       bool fetch_on_miss) {
+  while (true) {
+    auto it = frames_.find(page_id);
+    if (it != frames_.end()) {
+      stats_.mem_hits++;
+      if (it->second->page.type() == storage::PageType::kBTreeLeaf) {
+        stats_.leaf_hits++;
+      }
+      TouchMem(it->second.get());
+      PageRef ref(this, it->second.get());
+      // Eviction happens in the background: a hit on a cached page must
+      // not suspend (a mid-read suspension would let concurrent commits
+      // mutate the tree under the reader and force fence-key retries).
+      ScheduleEviction();
+      co_return std::move(ref);
+    }
+    auto inflight = inflight_.find(page_id);
+    if (inflight != inflight_.end()) {
+      // Someone is already loading this page; wait and re-check.
+      auto event = inflight->second;
+      co_await event->Wait();
+      continue;
+    }
+
+    auto meta = ssd_meta_.find(page_id);
+    if (meta != ssd_meta_.end()) {
+      // RBPEX hit: read the image from local SSD and promote to memory.
+      // Pin the slot so concurrent SSD-tier eviction cannot recycle it
+      // for another page mid-read.
+      auto event = std::make_shared<sim::Event>(sim_);
+      inflight_.emplace(page_id, event);
+      meta->second.readers++;
+      uint64_t slot = meta->second.slot;
+      std::string image;
+      Status s = co_await ssd_->Read(slot * kPageSize, kPageSize, &image);
+      auto meta2 = ssd_meta_.find(page_id);
+      if (meta2 != ssd_meta_.end()) meta2->second.readers--;
+      inflight_.erase(page_id);
+      event->Set();
+      if (!s.ok()) co_return Result<PageRef>(s);
+      storage::Page page;
+      if (Status ps = page.FromSlice(Slice(image)); !ps.ok()) {
+        co_return Result<PageRef>(ps);
+      }
+      if (Status cs = page.VerifyChecksum(); !cs.ok()) {
+        co_return Result<PageRef>(cs);
+      }
+      if (page.page_id() != page_id) {
+        co_return Result<PageRef>(Status::Corruption(
+            "SSD slot returned the wrong page (slot recycled)"));
+      }
+      stats_.ssd_hits++;
+      if (page.type() == storage::PageType::kBTreeLeaf) {
+        stats_.leaf_hits++;
+      }
+      TouchSsd(page_id);
+      // Keep the SSD copy (inclusive tiers); a newer image is spilled on
+      // the next memory eviction. The promoted frame keeps its dirty
+      // state if a checkpoint has not persisted it yet.
+      bool dirty = false;
+      auto m2 = ssd_meta_.find(page_id);
+      if (m2 != ssd_meta_.end()) dirty = m2->second.dirty;
+      co_return co_await InstallAndPin(page_id, std::move(page), dirty);
+    }
+
+    if (!fetch_on_miss) {
+      co_return Result<PageRef>(Status::NotFound("page not cached"));
+    }
+    if (fetcher_ == nullptr) {
+      co_return Result<PageRef>(
+          Status::NotFound("page miss and no fetcher"));
+    }
+
+    auto event = std::make_shared<sim::Event>(sim_);
+    inflight_.emplace(page_id, event);
+    Result<storage::Page> fetched = co_await fetcher_->FetchPage(page_id);
+    inflight_.erase(page_id);
+    event->Set();
+    if (!fetched.ok()) co_return Result<PageRef>(fetched.status());
+    stats_.misses++;
+    if (fetched->type() == storage::PageType::kBTreeLeaf) {
+      stats_.leaf_misses++;
+    }
+    co_return co_await InstallAndPin(page_id, std::move(fetched).value(),
+                                     /*dirty=*/false);
+  }
+}
+
+Result<PageRef> BufferPool::NewPage(PageId page_id) {
+  if (Contains(page_id)) {
+    return Result<PageRef>(
+        Status::InvalidArgument("page already cached"));
+  }
+  auto frame = std::make_unique<Frame>();
+  frame->page_id = page_id;
+  mem_lru_.push_front(page_id);
+  frame->lru_it = mem_lru_.begin();
+  Frame* raw = frame.get();
+  frames_.emplace(page_id, std::move(frame));
+  PageRef ref(this, raw);
+  ScheduleEviction();
+  return ref;
+}
+
+void BufferPool::InstallIfAbsent(storage::Page page) {
+  PageId page_id = page.page_id();
+  if (Contains(page_id) || inflight_.count(page_id) > 0) return;
+  auto frame = std::make_unique<Frame>();
+  frame->page_id = page_id;
+  frame->page = std::move(page);
+  mem_lru_.push_front(page_id);
+  frame->lru_it = mem_lru_.begin();
+  frames_.emplace(page_id, std::move(frame));
+  ScheduleEviction();
+}
+
+void BufferPool::Purge(PageId page_id) {
+  auto it = frames_.find(page_id);
+  if (it != frames_.end()) {
+    assert(it->second->pins == 0);
+    mem_lru_.erase(it->second->lru_it);
+    frames_.erase(it);
+  }
+  auto meta = ssd_meta_.find(page_id);
+  if (meta != ssd_meta_.end()) {
+    ssd_lru_.erase(meta->second.lru_it);
+    ssd_free_slots_.push_back(meta->second.slot);
+    ssd_meta_.erase(meta);
+  }
+}
+
+bool BufferPool::Contains(PageId page_id) const {
+  return frames_.count(page_id) > 0 || ssd_meta_.count(page_id) > 0;
+}
+
+std::vector<PageId> BufferPool::DirtyPages() const {
+  std::vector<PageId> out;
+  for (const auto& [id, f] : frames_) {
+    if (f->dirty) out.push_back(id);
+  }
+  for (const auto& [id, m] : ssd_meta_) {
+    if (m.dirty && frames_.count(id) == 0) out.push_back(id);
+  }
+  return out;
+}
+
+void BufferPool::ClearDirty(PageId page_id) {
+  auto it = frames_.find(page_id);
+  if (it != frames_.end()) it->second->dirty = false;
+  auto meta = ssd_meta_.find(page_id);
+  if (meta != ssd_meta_.end()) meta->second.dirty = false;
+}
+
+void BufferPool::Crash() {
+  // Frames still pinned by in-flight coroutines (e.g. a redo apply that
+  // was suspended mid-I/O when the process "died") must stay alive until
+  // unpinned; their contents are discarded state, but freeing them under
+  // a live PageRef would be a use-after-free. Park them as zombies.
+  for (auto& [id, frame] : frames_) {
+    if (frame->pins > 0) zombies_.push_back(std::move(frame));
+  }
+  frames_.clear();
+  mem_lru_.clear();
+  inflight_.clear();
+  // Sweep zombies from previous crashes that have since been released.
+  std::erase_if(zombies_,
+                [](const std::unique_ptr<Frame>& f) { return f->pins == 0; });
+  if (!opts_.ssd_recoverable) {
+    // Plain buffer-pool extension: the SSD index does not survive.
+    ssd_meta_.clear();
+    ssd_lru_.clear();
+    ssd_free_slots_.clear();
+    ssd_next_slot_ = 0;
+  }
+}
+
+sim::Task<Result<size_t>> BufferPool::Recover(Lsn durable_end_lsn) {
+  if (ssd_ == nullptr || ssd_meta_.empty()) co_return size_t{0};
+  // Rebuild by scanning: read every slot, verify, and drop images that
+  // reflect log which never hardened (speculative state, §4.3).
+  std::vector<PageId> drop;
+  size_t recovered = 0;
+  for (auto& [id, meta] : ssd_meta_) {
+    std::string image;
+    Status s =
+        co_await ssd_->Read(meta.slot * kPageSize, kPageSize, &image);
+    if (!s.ok()) {
+      drop.push_back(id);
+      continue;
+    }
+    storage::Page page;
+    if (!page.FromSlice(Slice(image)).ok() ||
+        !page.VerifyChecksum().ok() || page.page_lsn() > durable_end_lsn) {
+      drop.push_back(id);
+      continue;
+    }
+    meta.page_lsn = page.page_lsn();
+    recovered++;
+  }
+  for (PageId id : drop) Purge(id);
+  co_return recovered;
+}
+
+sim::Task<Result<PageRef>> BufferPool::InstallAndPin(PageId page_id,
+                                                     storage::Page page,
+                                                     bool dirty) {
+  // A concurrent installer may have won the race while we were reading.
+  auto it = frames_.find(page_id);
+  if (it == frames_.end()) {
+    auto frame = std::make_unique<Frame>();
+    frame->page_id = page_id;
+    frame->page = std::move(page);
+    frame->dirty = dirty;
+    mem_lru_.push_front(page_id);
+    frame->lru_it = mem_lru_.begin();
+    it = frames_.emplace(page_id, std::move(frame)).first;
+  }
+  PageRef ref(this, it->second.get());
+  ScheduleEviction();
+  co_return std::move(ref);
+}
+
+void BufferPool::ScheduleEviction() {
+  if (evicting_ || frames_.size() <= opts_.mem_pages) return;
+  evicting_ = true;
+  sim::Spawn(sim_, [](BufferPool* pool) -> sim::Task<> {
+    co_await pool->MaybeEvictMem();
+    pool->evicting_ = false;
+  }(this));
+}
+
+sim::Task<> BufferPool::MaybeEvictMem() {
+  while (frames_.size() > opts_.mem_pages) {
+    // Scan from the LRU tail for an unpinned victim.
+    PageId victim = kInvalidPageId;
+    for (auto rit = mem_lru_.rbegin(); rit != mem_lru_.rend(); ++rit) {
+      auto fit = frames_.find(*rit);
+      if (fit != frames_.end() && fit->second->pins == 0) {
+        victim = *rit;
+        break;
+      }
+    }
+    if (victim == kInvalidPageId) co_return;  // everything pinned: overflow
+    auto fit = frames_.find(victim);
+    std::unique_ptr<Frame> frame = std::move(fit->second);
+    mem_lru_.erase(frame->lru_it);
+    frames_.erase(fit);
+    stats_.mem_evictions++;
+    if (ssd_ != nullptr) {
+      // Block readers of this page until the spill lands: otherwise a
+      // concurrent GetPage would promote the *previous* (stale) SSD
+      // image while the fresh one is still in flight — lost updates.
+      auto event = std::make_shared<sim::Event>(sim_);
+      inflight_.emplace(victim, event);
+      co_await SpillToSsd(victim, frame->page);
+      if (frame->dirty) {
+        auto meta = ssd_meta_.find(victim);
+        if (meta != ssd_meta_.end()) meta->second.dirty = true;
+      }
+      inflight_.erase(victim);
+      event->Set();
+    } else {
+      ReportEviction(victim, frame->page.page_lsn());
+    }
+  }
+}
+
+sim::Task<> BufferPool::SpillToSsd(PageId page_id,
+                                   const storage::Page& page) {
+  uint64_t slot;
+  auto meta = ssd_meta_.find(page_id);
+  if (meta != ssd_meta_.end()) {
+    slot = meta->second.slot;
+    TouchSsd(page_id);
+  } else {
+    if (!ssd_free_slots_.empty()) {
+      slot = ssd_free_slots_.back();
+      ssd_free_slots_.pop_back();
+    } else if (ssd_next_slot_ < opts_.ssd_pages) {
+      slot = ssd_next_slot_++;
+    } else {
+      // SSD tier full: evict its LRU page — that page now leaves the
+      // node entirely, so report it for the evicted-LSN map. Skip
+      // entries with in-flight promotion reads (their slot is pinned).
+      PageId ssd_victim = kInvalidPageId;
+      for (auto rit = ssd_lru_.rbegin(); rit != ssd_lru_.rend(); ++rit) {
+        auto cand = ssd_meta_.find(*rit);
+        if (cand != ssd_meta_.end() && cand->second.readers == 0) {
+          ssd_victim = *rit;
+          break;
+        }
+      }
+      if (ssd_victim == kInvalidPageId) {
+        // Every SSD entry is being read: allow transient overflow by
+        // growing into a fresh slot.
+        slot = ssd_next_slot_++;
+        ssd_lru_.push_front(page_id);
+        SsdMeta m;
+        m.slot = slot;
+        m.page_lsn = page.page_lsn();
+        m.lru_it = ssd_lru_.begin();
+        ssd_meta_.emplace(page_id, m);
+        storage::Page copy0 = page;
+        copy0.UpdateChecksum();
+        co_await ssd_->Write(slot * kPageSize, copy0.AsSlice());
+        co_return;
+      }
+      auto vmeta = ssd_meta_.find(ssd_victim);
+      slot = vmeta->second.slot;
+      Lsn vlsn = vmeta->second.page_lsn;
+      ssd_lru_.erase(vmeta->second.lru_it);
+      ssd_meta_.erase(vmeta);
+      stats_.ssd_evictions++;
+      ReportEviction(ssd_victim, vlsn);
+    }
+    ssd_lru_.push_front(page_id);
+    SsdMeta m;
+    m.slot = slot;
+    m.page_lsn = page.page_lsn();
+    m.lru_it = ssd_lru_.begin();
+    ssd_meta_.emplace(page_id, m);
+  }
+  ssd_meta_[page_id].page_lsn = page.page_lsn();
+  storage::Page copy = page;
+  copy.UpdateChecksum();
+  co_await ssd_->Write(slot * kPageSize, copy.AsSlice());
+}
+
+void BufferPool::TouchMem(Frame* f) {
+  mem_lru_.erase(f->lru_it);
+  mem_lru_.push_front(f->page_id);
+  f->lru_it = mem_lru_.begin();
+}
+
+void BufferPool::TouchSsd(PageId page_id) {
+  auto meta = ssd_meta_.find(page_id);
+  if (meta == ssd_meta_.end()) return;
+  ssd_lru_.erase(meta->second.lru_it);
+  ssd_lru_.push_front(page_id);
+  meta->second.lru_it = ssd_lru_.begin();
+}
+
+void BufferPool::ReportEviction(PageId page_id, Lsn lsn) {
+  if (eviction_cb_) eviction_cb_(page_id, lsn);
+}
+
+}  // namespace engine
+}  // namespace socrates

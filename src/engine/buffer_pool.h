@@ -1,0 +1,228 @@
+// BufferPool: main-memory page cache with an optional SSD second tier —
+// the RBPEX resilient buffer pool extension (paper §3.3).
+//
+// Both Compute nodes and Page Servers use this class; only the *policy*
+// differs (paper §4.6): Compute nodes run it sparse (hot pages only),
+// Page Servers run it covering (ssd_pages >= partition size, so nothing
+// is ever evicted from the SSD tier).
+//
+// Key behaviours reproduced:
+//  * two-tier LRU: memory evicts to local SSD, SSD evicts to nothing
+//    (the page's home is a Page Server / XStore — Compute nodes never
+//    write pages back; the log is the only write path).
+//  * every departure from the memory tier reports (page, pageLSN) to the
+//    eviction callback — that is how the Primary maintains the
+//    evicted-LSN hash map that makes GetPage@LSN safe (§4.4).
+//  * RBPEX recoverability: after Crash(), Recover() rebuilds the SSD
+//    index by scanning slot headers (checksums verified), discarding
+//    pages newer than the durable log end — a warm cache survives short
+//    failures, which is the point of §3.3.
+//  * misses go to a PageFetcher (the owner's GetPage@LSN client); in-
+//    flight fetches are deduplicated.
+
+#pragma once
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/cpu.h"
+#include "sim/latency.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "storage/block_device.h"
+#include "storage/page.h"
+
+namespace socrates {
+namespace engine {
+
+/// Source of truth for pages this node does not have cached.
+class PageFetcher {
+ public:
+  virtual ~PageFetcher() = default;
+  virtual sim::Task<Result<storage::Page>> FetchPage(PageId page_id) = 0;
+};
+
+struct BufferPoolOptions {
+  size_t mem_pages = 1024;
+  size_t ssd_pages = 0;  // 0 disables the SSD tier
+  bool ssd_recoverable = true;  // RBPEX; false = plain BPE lost on crash
+  sim::DeviceProfile ssd_profile = sim::DeviceProfile::LocalSsd();
+};
+
+struct BufferPoolStats {
+  uint64_t mem_hits = 0;
+  uint64_t ssd_hits = 0;
+  uint64_t misses = 0;
+  uint64_t mem_evictions = 0;
+  uint64_t ssd_evictions = 0;
+  // Data-page (B-tree leaf) accesses only: upper index levels are almost
+  // always resident, so the leaf-only rate is the harsher cache metric.
+  uint64_t leaf_hits = 0;
+  uint64_t leaf_misses = 0;
+
+  uint64_t accesses() const { return mem_hits + ssd_hits + misses; }
+  /// Local hit rate (memory + SSD), over all page accesses.
+  double LocalHitRate() const {
+    uint64_t a = accesses();
+    return a == 0 ? 0.0
+                  : static_cast<double>(mem_hits + ssd_hits) / a;
+  }
+  /// Hit rate over data (leaf) pages only.
+  double LeafHitRate() const {
+    uint64_t a = leaf_hits + leaf_misses;
+    return a == 0 ? 0.0 : static_cast<double>(leaf_hits) / a;
+  }
+};
+
+class BufferPool;
+
+/// Pin handle; the frame cannot be evicted while referenced.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& o) noexcept;
+  PageRef& operator=(PageRef&& o) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef();
+
+  storage::Page* page() const;
+  storage::Page* operator->() const { return page(); }
+  bool valid() const { return frame_ != nullptr; }
+
+  /// Mark the frame dirty (checkpointing on Page Servers scans these).
+  void MarkDirty();
+
+  void Release();
+
+ private:
+  friend class BufferPool;
+  struct Frame;
+  PageRef(BufferPool* pool, Frame* frame);
+
+  BufferPool* pool_ = nullptr;
+  Frame* frame_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  using EvictionCallback = std::function<void(PageId, Lsn)>;
+
+  BufferPool(sim::Simulator& sim, const BufferPoolOptions& options,
+             PageFetcher* fetcher, uint64_t seed = 1);
+  ~BufferPool();
+
+  /// Called whenever a page leaves the memory tier (with its pageLSN at
+  /// that moment). The Primary uses this to maintain the evicted-LSN map.
+  void set_eviction_callback(EvictionCallback cb) {
+    eviction_cb_ = std::move(cb);
+  }
+
+  /// Get a page, fetching through the PageFetcher on a local miss.
+  sim::Task<Result<PageRef>> GetPage(PageId page_id);
+
+  /// Get a page only if locally cached (memory or SSD); NotFound
+  /// otherwise. Secondaries use this for their ignore-uncached-pages
+  /// log-apply policy (§4.5).
+  sim::Task<Result<PageRef>> GetIfCached(PageId page_id);
+
+  /// Create a frame for a brand-new page (formatting path). Fails with
+  /// InvalidArgument if the page is already cached.
+  Result<PageRef> NewPage(PageId page_id);
+
+  /// Install a prefetched page image if the page is not already cached
+  /// or being loaded (scan readahead via RBIO GetPageRange). No-op
+  /// otherwise.
+  void InstallIfAbsent(storage::Page page);
+
+  /// Drop a page from all tiers without reporting an eviction (PITR /
+  /// partition reassignment housekeeping).
+  void Purge(PageId page_id);
+
+  /// True if present in memory or the SSD tier.
+  bool Contains(PageId page_id) const;
+
+  /// Page ids of all dirty frames (memory tier). Checkpointing clears
+  /// dirty bits via ClearDirty once the page is safely in XStore.
+  std::vector<PageId> DirtyPages() const;
+  void ClearDirty(PageId page_id);
+
+  /// Simulate a process/VM crash: the memory tier is lost. If the SSD
+  /// tier is not recoverable, its index is lost too (plain BPE).
+  void Crash();
+
+  /// RBPEX recovery: scan SSD slots, verify checksums, rebuild the index.
+  /// Pages whose pageLSN exceeds `durable_end_lsn` are discarded (they
+  /// reflect log that never hardened). Returns number of pages recovered.
+  sim::Task<Result<size_t>> Recover(Lsn durable_end_lsn);
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+  size_t mem_resident() const { return frames_.size(); }
+  size_t ssd_resident() const { return ssd_meta_.size(); }
+
+ private:
+  friend class PageRef;
+  using Frame = PageRef::Frame;
+
+  sim::Task<Result<PageRef>> GetPageInternal(PageId page_id,
+                                             bool fetch_on_miss);
+
+  // Install a page into the memory tier (evicting as needed) and pin it.
+  sim::Task<Result<PageRef>> InstallAndPin(PageId page_id,
+                                           storage::Page page, bool dirty);
+
+  // Kick the background evictor if the memory tier is over capacity.
+  void ScheduleEviction();
+
+  // Evict memory-tier frames until within capacity.
+  sim::Task<> MaybeEvictMem();
+
+  // Write a page image into the SSD tier (allocating / recycling slots).
+  sim::Task<> SpillToSsd(PageId page_id, const storage::Page& page);
+
+  void TouchMem(Frame* f);
+  void TouchSsd(PageId page_id);
+  void ReportEviction(PageId page_id, Lsn lsn);
+
+  struct SsdMeta {
+    uint64_t slot = 0;
+    Lsn page_lsn = kInvalidLsn;
+    bool dirty = false;  // dirty when evicted from memory, not yet checkpointed
+    int readers = 0;  // in-flight promotion reads pin the slot
+    std::list<PageId>::iterator lru_it;
+  };
+
+  sim::Simulator& sim_;
+  BufferPoolOptions opts_;
+  PageFetcher* fetcher_;
+  EvictionCallback eviction_cb_;
+
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  // Pinned frames orphaned by Crash(); freed once their pins drop.
+  std::vector<std::unique_ptr<Frame>> zombies_;
+  std::list<PageId> mem_lru_;  // front = most recent
+
+  std::unique_ptr<storage::SimBlockDevice> ssd_;
+  std::unordered_map<PageId, SsdMeta> ssd_meta_;
+  std::list<PageId> ssd_lru_;
+  std::vector<uint64_t> ssd_free_slots_;
+  uint64_t ssd_next_slot_ = 0;
+
+  // In-flight fetch deduplication.
+  std::unordered_map<PageId, std::shared_ptr<sim::Event>> inflight_;
+  bool evicting_ = false;
+
+  BufferPoolStats stats_;
+};
+
+}  // namespace engine
+}  // namespace socrates

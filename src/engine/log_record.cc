@@ -1,0 +1,172 @@
+#include "engine/log_record.h"
+
+#include <functional>
+
+#include "engine/btree_page.h"
+
+namespace socrates {
+namespace engine {
+
+std::string LogRecord::Encode() const {
+  std::string out;
+  out.push_back(static_cast<char>(type));
+  PutFixed64(&out, txn_id);
+  PutFixed64(&out, page_id);
+  switch (type) {
+    case LogRecordType::kPageFormat:
+      PutFixed32(&out, page_type);
+      PutFixed32(&out, level);
+      PutFixed64(&out, low_fence);
+      PutFixed64(&out, high_fence);
+      PutFixed64(&out, right_sibling);
+      break;
+    case LogRecordType::kLeafInsert:
+    case LogRecordType::kLeafUpdate:
+      PutFixed64(&out, key);
+      PutLengthPrefixed(&out, Slice(value));
+      break;
+    case LogRecordType::kLeafDelete:
+      PutFixed64(&out, key);
+      break;
+    case LogRecordType::kInteriorInsert:
+      PutFixed64(&out, key);
+      PutFixed64(&out, child);
+      break;
+    case LogRecordType::kPageImage:
+      PutLengthPrefixed(&out, Slice(value));
+      break;
+    case LogRecordType::kTxnCommit:
+      PutFixed64(&out, commit_ts);
+      break;
+    case LogRecordType::kCheckpoint:
+      PutFixed64(&out, commit_ts);
+      PutFixed64(&out, next_page_id);
+      break;
+  }
+  return out;
+}
+
+Status LogRecord::Decode(Slice payload, LogRecord* out) {
+  *out = LogRecord();
+  if (payload.empty()) return Status::Corruption("empty log record");
+  out->type = static_cast<LogRecordType>(payload[0]);
+  payload.remove_prefix(1);
+  uint64_t txn, page;
+  if (!GetFixed64(&payload, &txn) || !GetFixed64(&payload, &page)) {
+    return Status::Corruption("truncated log record header");
+  }
+  out->txn_id = txn;
+  out->page_id = page;
+  bool ok = true;
+  switch (out->type) {
+    case LogRecordType::kPageFormat:
+      ok = GetFixed32(&payload, &out->page_type) &&
+           GetFixed32(&payload, &out->level) &&
+           GetFixed64(&payload, &out->low_fence) &&
+           GetFixed64(&payload, &out->high_fence) &&
+           GetFixed64(&payload, &out->right_sibling);
+      break;
+    case LogRecordType::kLeafInsert:
+    case LogRecordType::kLeafUpdate: {
+      Slice v;
+      ok = GetFixed64(&payload, &out->key) &&
+           GetLengthPrefixed(&payload, &v);
+      if (ok) out->value = v.ToString();
+      break;
+    }
+    case LogRecordType::kLeafDelete:
+      ok = GetFixed64(&payload, &out->key);
+      break;
+    case LogRecordType::kInteriorInsert:
+      ok = GetFixed64(&payload, &out->key) &&
+           GetFixed64(&payload, &out->child);
+      break;
+    case LogRecordType::kPageImage: {
+      Slice v;
+      ok = GetLengthPrefixed(&payload, &v);
+      if (ok) out->value = v.ToString();
+      break;
+    }
+    case LogRecordType::kTxnCommit:
+      ok = GetFixed64(&payload, &out->commit_ts);
+      break;
+    case LogRecordType::kCheckpoint:
+      ok = GetFixed64(&payload, &out->commit_ts) &&
+           GetFixed64(&payload, &out->next_page_id);
+      break;
+    default:
+      return Status::Corruption("unknown log record type");
+  }
+  if (!ok) return Status::Corruption("truncated log record body");
+  return Status::OK();
+}
+
+Status ApplyToPage(const LogRecord& rec, Lsn lsn, storage::Page* page) {
+  if (!rec.HasPage()) {
+    return Status::InvalidArgument("record has no target page");
+  }
+  // Idempotent redo: skip records already reflected in the page.
+  if (page->page_lsn() >= lsn && rec.type != LogRecordType::kPageFormat) {
+    return Status::OK();
+  }
+  switch (rec.type) {
+    case LogRecordType::kPageFormat:
+      if (page->page_lsn() >= lsn &&
+          page->type() != storage::PageType::kFree) {
+        return Status::OK();  // already formatted by this or a later record
+      }
+      BTreePage::Format(page, rec.page_id, rec.level, rec.low_fence,
+                        rec.high_fence, rec.right_sibling);
+      break;
+    case LogRecordType::kLeafInsert: {
+      BTreePage bp(page);
+      SOCRATES_RETURN_IF_ERROR(bp.LeafInsert(rec.key, Slice(rec.value)));
+      break;
+    }
+    case LogRecordType::kLeafUpdate: {
+      BTreePage bp(page);
+      SOCRATES_RETURN_IF_ERROR(bp.LeafUpdate(rec.key, Slice(rec.value)));
+      break;
+    }
+    case LogRecordType::kLeafDelete: {
+      BTreePage bp(page);
+      SOCRATES_RETURN_IF_ERROR(bp.LeafDelete(rec.key));
+      break;
+    }
+    case LogRecordType::kInteriorInsert: {
+      BTreePage bp(page);
+      SOCRATES_RETURN_IF_ERROR(bp.InteriorInsert(rec.key, rec.child));
+      break;
+    }
+    case LogRecordType::kPageImage: {
+      SOCRATES_RETURN_IF_ERROR(page->FromSlice(Slice(rec.value)));
+      break;
+    }
+    default:
+      return Status::InvalidArgument("not a page record");
+  }
+  page->set_page_lsn(lsn);
+  return Status::OK();
+}
+
+Status ForEachRecord(Slice input, Lsn stream_start_lsn,
+                     const std::function<bool(Lsn, Slice)>& visitor) {
+  Lsn lsn = stream_start_lsn;
+  while (!input.empty()) {
+    if (input.size() < 4) break;  // trailing partial frame: end of stream
+    uint32_t len = DecodeFixed32(input.data());
+    if (len == 0) break;  // zero fill past the end of the written stream
+    if (len > kMaxLogBlockSize) {
+      return Status::Corruption("implausible log record length");
+    }
+    if (input.size() < 4 + static_cast<size_t>(len)) break;  // partial
+    Slice payload(input.data() + 4, len);
+    if (!visitor(lsn, payload)) return Status::OK();
+    input.remove_prefix(4 + len);
+    lsn += 4 + len;
+  }
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace socrates

@@ -1,0 +1,122 @@
+// Log record formats (ARIES-style physiological redo).
+//
+// The engine mutates pages *by constructing a log record and applying it*
+// (engine/btree.cc calls ApplyToPage for its own writes), so the do-path
+// and the redo-path on Page Servers / Secondaries / recovery are the same
+// code by construction. Records target at most one page; multi-page
+// operations (splits) decompose into per-page records, with bulk page
+// movement expressed as full page images (splits are amortized-rare, so
+// the log-volume impact is small).
+//
+// Wire format of a record: the LogSink frames records as
+// [u32 total_len][payload]; LSNs are byte offsets of the frame start in
+// the logical log stream. The payload starts with a fixed header:
+//   [u8 type][u64 txn_id][u64 page_id] followed by type-specific fields.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace socrates {
+namespace engine {
+
+enum class LogRecordType : uint8_t {
+  kPageFormat = 1,   // format a fresh B-tree page (fences, level, sibling)
+  kLeafInsert = 2,   // insert (key, chain) into a leaf
+  kLeafUpdate = 3,   // replace the chain stored under key
+  kLeafDelete = 4,   // remove key from a leaf (version GC only)
+  kInteriorInsert = 5,  // insert (separator, child) into an interior page
+  kPageImage = 6,    // overwrite the whole page (splits)
+  kTxnCommit = 7,    // commit marker: carries commit_ts (no page)
+  kCheckpoint = 8,   // checkpoint marker: carries engine counters (no page)
+};
+
+struct LogRecord {
+  LogRecordType type = LogRecordType::kTxnCommit;
+  TxnId txn_id = kInvalidTxnId;
+  PageId page_id = kInvalidPageId;
+
+  // kLeafInsert / kLeafUpdate / kLeafDelete / kInteriorInsert.
+  uint64_t key = 0;
+  // kLeafInsert / kLeafUpdate: encoded VersionChain. kPageImage: the page
+  // image. kCheckpoint: encoded counters.
+  std::string value;
+  // kInteriorInsert.
+  PageId child = kInvalidPageId;
+  // kPageFormat.
+  uint32_t page_type = 0;
+  uint32_t level = 0;
+  uint64_t low_fence = 0;
+  uint64_t high_fence = 0;
+  PageId right_sibling = kInvalidPageId;
+  // kTxnCommit / kCheckpoint.
+  Timestamp commit_ts = kInvalidTimestamp;
+  // kCheckpoint.
+  PageId next_page_id = kInvalidPageId;
+
+  /// Serialize the record payload (without the [u32 len] frame).
+  std::string Encode() const;
+
+  /// Parse a record payload. Returns Corruption on malformed input.
+  static Status Decode(Slice payload, LogRecord* out);
+
+  /// True for record types that target a page.
+  bool HasPage() const {
+    return type != LogRecordType::kTxnCommit &&
+           type != LogRecordType::kCheckpoint;
+  }
+};
+
+/// Apply (redo) a record to its target page. Idempotent: records with
+/// lsn <= page_lsn are skipped. The caller passes the record's LSN, which
+/// becomes the new pageLSN on application.
+Status ApplyToPage(const LogRecord& rec, Lsn lsn, storage::Page* page);
+
+/// Iterate the framed records in a logical log stream segment.
+/// `stream_start_lsn` is the LSN of input's first byte. The visitor
+/// receives (lsn, payload slice). Stops early if the visitor returns
+/// false. Returns Corruption if the framing is malformed (a trailing
+/// partial frame is treated as end-of-stream, not corruption).
+Status ForEachRecord(
+    Slice input, Lsn stream_start_lsn,
+    const std::function<bool(Lsn, Slice)>& visitor);
+
+/// Frame a record payload for the logical stream: [u32 len][payload].
+inline void FrameRecord(std::string* stream, Slice payload) {
+  PutFixed32(stream, static_cast<uint32_t>(payload.size()));
+  stream->append(payload.data(), payload.size());
+}
+
+/// Bytes the framed record will occupy in the stream.
+inline uint64_t FramedSize(size_t payload_size) {
+  return 4 + payload_size;
+}
+
+/// Longest prefix of `buf` (a concatenation of whole record frames) that
+/// is at most `max_bytes` long WITHOUT splitting a frame. Always returns
+/// at least one whole frame if one exists, even if it exceeds the cap —
+/// log blocks must never cut a record in half, or consumers would parse
+/// the next block from mid-record.
+inline uint64_t FrameAlignedPrefix(Slice buf, uint64_t max_bytes) {
+  uint64_t pos = 0;
+  while (pos + 4 <= buf.size()) {
+    uint32_t len = DecodeFixed32(buf.data() + pos);
+    uint64_t next = pos + 4 + len;
+    if (next > buf.size()) break;  // trailing partial frame
+    if (next > max_bytes && pos > 0) break;
+    pos = next;
+    if (pos >= max_bytes) break;
+  }
+  return pos;
+}
+
+}  // namespace engine
+}  // namespace socrates

@@ -1,0 +1,87 @@
+// LogSink: where the engine's log records go.
+//
+// The engine is deliberately ignorant of what is behind this interface
+// (paper §4.4: "the database instance ... does not know that the log is
+// not managed in local files"). Implementations:
+//   * MemLogSink           — in-memory, hardens instantly (unit tests,
+//                            standalone engine, recovery replay source)
+//   * xlog::XLogClient     — Socrates: writes the landing zone + sends to
+//                            the XLOG process in parallel (src/xlog/)
+//   * hadr::HadrLogSink    — HADR baseline: quorum log shipping to
+//                            secondaries (src/hadr/)
+//
+// Append() is synchronous (assigns the LSN and buffers); hardening is
+// asynchronous and awaited via WaitHardened — that split is what gives
+// group commit.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/log_record.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace socrates {
+namespace engine {
+
+/// The logical log stream starts at this LSN so that kInvalidLsn (0) and
+/// freshly formatted pages (pageLSN 0) sort strictly before every record.
+inline constexpr Lsn kLogStreamStart = 16;
+
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+
+  /// Encode, frame, and buffer a record; returns its assigned LSN.
+  virtual Lsn Append(const LogRecord& rec) = 0;
+
+  /// LSN one past the last appended byte (the next record's LSN).
+  virtual Lsn end_lsn() const = 0;
+
+  /// All log up to this LSN (exclusive) is durable.
+  virtual Lsn hardened_lsn() const = 0;
+
+  /// Resume once hardened_lsn() >= lsn. Status conveys sink failure
+  /// (e.g. the landing zone is unreachable), which is fatal for a
+  /// Socrates Primary.
+  virtual sim::Task<Status> WaitHardened(Lsn lsn) = 0;
+};
+
+/// In-memory sink: records harden as soon as they are appended. Retains
+/// the whole logical stream for tests and for recovery replay.
+class MemLogSink : public LogSink {
+ public:
+  explicit MemLogSink(sim::Simulator& sim) : hardened_(sim) {
+    hardened_.Advance(kLogStreamStart);
+  }
+
+  Lsn Append(const LogRecord& rec) override {
+    std::string payload = rec.Encode();
+    Lsn lsn = kLogStreamStart + stream_.size();
+    FrameRecord(&stream_, Slice(payload));
+    hardened_.Advance(kLogStreamStart + stream_.size());
+    return lsn;
+  }
+
+  Lsn end_lsn() const override { return kLogStreamStart + stream_.size(); }
+  Lsn hardened_lsn() const override { return hardened_.value(); }
+
+  sim::Task<Status> WaitHardened(Lsn lsn) override {
+    co_await hardened_.WaitFor(lsn);
+    co_return Status::OK();
+  }
+
+  /// The complete logical stream (starts at kLogStreamStart).
+  const std::string& stream() const { return stream_; }
+
+ private:
+  std::string stream_;
+  sim::Watermark hardened_;
+};
+
+}  // namespace engine
+}  // namespace socrates

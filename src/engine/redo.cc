@@ -1,0 +1,122 @@
+#include "engine/redo.h"
+
+namespace socrates {
+namespace engine {
+
+sim::Task<Status> RedoApplier::Apply(Lsn lsn, uint64_t framed_size,
+                                     const LogRecord& rec) {
+  Status result = Status::OK();
+  if (!rec.HasPage()) {
+    if (rec.type == LogRecordType::kTxnCommit) {
+      if (rec.commit_ts > applied_commit_ts_) {
+        applied_commit_ts_ = rec.commit_ts;
+      }
+    } else if (rec.type == LogRecordType::kCheckpoint) {
+      checkpoint_commit_ts_ = rec.commit_ts;
+      checkpoint_next_page_id_ = rec.next_page_id;
+      if (rec.commit_ts > applied_commit_ts_) {
+        applied_commit_ts_ = rec.commit_ts;
+      }
+    }
+    records_applied_++;
+    applied_lsn_.Advance(lsn + framed_size);
+    co_return result;
+  }
+
+  // Page record.
+  if (rec.page_id != kInvalidPageId && rec.page_id > max_page_seen_) {
+    max_page_seen_ = rec.page_id;
+  }
+  // Outside the partition -> skip.
+  if (filter_ && !filter_(rec.page_id)) {
+    records_skipped_++;
+    applied_lsn_.Advance(lsn + framed_size);
+    co_return result;
+  }
+
+  // A fetch for this page is in flight: queue the record; it is drained
+  // into the fetched image before installation (§4.5).
+  auto pending = pending_.find(rec.page_id);
+  if (pending != pending_.end()) {
+    pending->second.push_back(PendingRecord{lsn, rec});
+    applied_lsn_.Advance(lsn + framed_size);
+    co_return result;
+  }
+
+  if (policy_ == MissPolicy::kIgnoreUncached) {
+    Result<PageRef> ref = co_await pool_->GetIfCached(rec.page_id);
+    if (!ref.ok()) {
+      if (ref.status().IsNotFound()) {
+        records_skipped_++;
+        applied_lsn_.Advance(lsn + framed_size);
+        co_return Status::OK();
+      }
+      co_return ref.status();
+    }
+    result = ApplyToPage(rec, lsn, ref->page());
+    if (result.ok()) ref.value().MarkDirty();
+  } else {
+    // kMaterialize: creation records may target brand-new pages.
+    Result<PageRef> ref = co_await pool_->GetPage(rec.page_id);
+    if (!ref.ok() && ref.status().IsNotFound()) {
+      ref = pool_->NewPage(rec.page_id);
+    }
+    if (!ref.ok()) co_return ref.status();
+    result = ApplyToPage(rec, lsn, ref->page());
+    if (result.ok()) ref.value().MarkDirty();
+  }
+  if (result.ok()) {
+    records_applied_++;
+    applied_lsn_.Advance(lsn + framed_size);
+  }
+  co_return result;
+}
+
+sim::Task<Result<Lsn>> RedoApplier::ApplyStream(Slice stream, Lsn start_lsn,
+                                                Lsn resume_from,
+                                                Lsn stop_at) {
+  // Collect the frames first (the visitor cannot co_await), then apply.
+  struct Item {
+    Lsn lsn;
+    uint64_t framed;
+    LogRecord rec;
+  };
+  std::vector<Item> items;
+  Status parse = Status::OK();
+  Lsn walked_end = start_lsn;
+  Status iter = ForEachRecord(
+      stream, start_lsn, [&](Lsn lsn, Slice payload) {
+        if (lsn >= stop_at) return false;  // PITR boundary
+        walked_end = lsn + FramedSize(payload.size());
+        if (lsn < resume_from) return true;
+        Item item;
+        item.lsn = lsn;
+        item.framed = FramedSize(payload.size());
+        parse = LogRecord::Decode(payload, &item.rec);
+        if (!parse.ok()) return false;
+        items.push_back(std::move(item));
+        return true;
+      });
+  if (!iter.ok()) co_return Result<Lsn>(iter);
+  if (!parse.ok()) co_return Result<Lsn>(parse);
+  for (auto& item : items) {
+    SOCRATES_CO_RETURN_IF_ERROR(co_await Apply(item.lsn, item.framed,
+                                               item.rec));
+  }
+  co_return walked_end;
+}
+
+Status RedoApplier::DrainPendingInto(PageId id, storage::Page* image) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return Status::OK();
+  Status s = Status::OK();
+  for (const PendingRecord& p : it->second) {
+    s = ApplyToPage(p.rec, p.lsn, image);
+    if (!s.ok()) break;
+  }
+  pending_.erase(it);
+  return s;
+}
+
+}  // namespace engine
+}  // namespace socrates

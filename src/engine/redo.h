@@ -1,0 +1,111 @@
+// RedoApplier: consumes the logical log stream and applies records to a
+// buffer pool. One class serves all three consumers in the paper:
+//
+//  * Page Servers (§4.6): MissPolicy::kMaterialize with a partition
+//    filter — every record of the partition is applied; new pages are
+//    created; after a restart, old pages come back through the pool's
+//    fetcher (XStore) and idempotent redo skips what the image already
+//    contains.
+//  * Secondaries (§4.5): MissPolicy::kIgnoreUncached — records for pages
+//    that are not locally cached are skipped. The GetPage registration
+//    protocol closes the resulting race: a fetch in flight registers its
+//    page; records for registered pages are queued and drained into the
+//    fetched image before it is installed.
+//  * Crash recovery on any node: replay of the hardened log tail over the
+//    recovered RBPEX cache.
+//
+// Applying a kTxnCommit record advances the applied-commit timestamp
+// (snapshot visibility on read-only tiers); every record advances the
+// applied-LSN watermark that GetPage@LSN waits on.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/buffer_pool.h"
+#include "engine/log_record.h"
+#include "sim/sync.h"
+
+namespace socrates {
+namespace engine {
+
+class RedoApplier {
+ public:
+  enum class MissPolicy {
+    kMaterialize,    // fetch via the pool (or create) — Page Servers
+    kIgnoreUncached  // skip records for uncached pages — Secondaries
+  };
+
+  RedoApplier(sim::Simulator& sim, BufferPool* pool, MissPolicy policy)
+      : pool_(pool), policy_(policy), applied_lsn_(sim) {}
+
+  /// Restrict page records to a subset of pages (Page Server partition).
+  void SetPageFilter(std::function<bool(PageId)> filter) {
+    filter_ = std::move(filter);
+  }
+
+  /// Apply one record (already decoded from the stream at `lsn`,
+  /// occupying `framed_size` bytes).
+  sim::Task<Status> Apply(Lsn lsn, uint64_t framed_size,
+                          const LogRecord& rec);
+
+  /// Apply every record in a framed stream segment whose first byte is
+  /// `start_lsn`. Records with lsn < resume_from are skipped (framing is
+  /// still walked); records with lsn >= stop_at are not applied (point-
+  /// in-time restore). Returns the LSN after the last record consumed.
+  sim::Task<Result<Lsn>> ApplyStream(Slice stream, Lsn start_lsn,
+                                     Lsn resume_from = 0,
+                                     Lsn stop_at = kMaxLsn);
+
+  /// §4.5 registration protocol. A reader about to fetch page `id`
+  /// remotely registers it; Apply() queues records for registered pages.
+  void RegisterPendingFetch(PageId id) { pending_[id]; }
+
+  /// Drain queued records into the fetched image (applying those newer
+  /// than the image) and unregister. Call before installing the image.
+  Status DrainPendingInto(PageId id, storage::Page* image);
+
+  /// Abandon a registration without an image (failed fetch).
+  void CancelPendingFetch(PageId id) { pending_.erase(id); }
+
+  sim::Watermark& applied_lsn() { return applied_lsn_; }
+  Timestamp applied_commit_ts() const { return applied_commit_ts_; }
+
+  /// Engine counters carried by the most recent checkpoint record seen.
+  Timestamp checkpoint_commit_ts() const { return checkpoint_commit_ts_; }
+  PageId checkpoint_next_page_id() const { return checkpoint_next_page_id_; }
+
+  uint64_t records_applied() const { return records_applied_; }
+  uint64_t records_skipped() const { return records_skipped_; }
+
+  /// Highest page id seen in any page record (even filtered/skipped
+  /// ones). A promoted Secondary restores its page-allocation counter to
+  /// max_page_seen() + 1.
+  PageId max_page_seen() const { return max_page_seen_; }
+
+ private:
+  BufferPool* pool_;
+  MissPolicy policy_;
+  std::function<bool(PageId)> filter_;
+  sim::Watermark applied_lsn_;
+  Timestamp applied_commit_ts_ = 0;
+  Timestamp checkpoint_commit_ts_ = 0;
+  PageId checkpoint_next_page_id_ = kInvalidPageId;
+  uint64_t records_applied_ = 0;
+  uint64_t records_skipped_ = 0;
+  PageId max_page_seen_ = 0;
+
+  struct PendingRecord {
+    Lsn lsn;
+    LogRecord rec;
+  };
+  std::map<PageId, std::vector<PendingRecord>> pending_;
+};
+
+}  // namespace engine
+}  // namespace socrates

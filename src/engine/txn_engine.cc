@@ -1,0 +1,205 @@
+#include "engine/txn_engine.h"
+
+#include <cassert>
+
+namespace socrates {
+namespace engine {
+
+std::unique_ptr<Transaction> Engine::Begin(bool read_only) {
+  auto txn = std::make_unique<Transaction>();
+  txn->id_ = next_txn_id_++;
+  txn->read_ts_ =
+      read_ts_provider_ ? read_ts_provider_() : last_committed_ts_;
+  txn->read_only_ = read_only;
+  active_read_ts_.insert(txn->read_ts_);
+  return txn;
+}
+
+namespace {
+
+// Remove one occurrence of the txn's read_ts from the active set.
+void Deactivate(std::multiset<Timestamp>* active, Transaction* txn) {
+  auto it = active->find(txn->read_ts());
+  assert(it != active->end());
+  active->erase(it);
+}
+
+}  // namespace
+
+sim::Task<Result<std::string>> Engine::Get(Transaction* txn, uint64_t key) {
+  stats_.reads++;
+  // Read-your-writes.
+  auto wit = txn->writes_.find(key);
+  if (wit != txn->writes_.end()) {
+    if (wit->second.is_delete) {
+      co_return Result<std::string>(Status::NotFound("deleted by self"));
+    }
+    co_return wit->second.value;
+  }
+  Result<VersionChain> chain = co_await btree_.Find(key);
+  if (!chain.ok()) co_return Result<std::string>(chain.status());
+  const RowVersion* v = chain->VisibleAt(txn->read_ts());
+  if (v == nullptr || v->tombstone) {
+    co_return Result<std::string>(Status::NotFound("invisible at snapshot"));
+  }
+  co_return v->payload;
+}
+
+Status Engine::Put(Transaction* txn, uint64_t key, Slice value) {
+  if (txn->read_only_) {
+    return Status::InvalidArgument("read-only transaction");
+  }
+  Transaction::WriteOp op;
+  op.is_delete = false;
+  op.value = value.ToString();
+  txn->writes_[key] = std::move(op);
+  return Status::OK();
+}
+
+Status Engine::Delete(Transaction* txn, uint64_t key) {
+  if (txn->read_only_) {
+    return Status::InvalidArgument("read-only transaction");
+  }
+  Transaction::WriteOp op;
+  op.is_delete = true;
+  txn->writes_[key] = std::move(op);
+  return Status::OK();
+}
+
+sim::Task<Result<std::vector<std::pair<uint64_t, std::string>>>>
+Engine::Scan(Transaction* txn, uint64_t start, size_t count) {
+  std::vector<std::pair<uint64_t, std::string>> rows;
+  Timestamp read_ts = txn->read_ts();
+  // Over-fetch by the write-set size: each buffered delete can remove one
+  // fetched row, each buffered insert can only add rows.
+  const size_t want = count + txn->writes_.size();
+  uint64_t cursor = start;
+  bool exhausted = false;
+  while (rows.size() < want && !exhausted) {
+    size_t batch = want - rows.size() + 16;
+    uint64_t last_key = cursor;
+    size_t seen = 0;
+    Result<size_t> r = co_await btree_.Scan(
+        cursor, batch,
+        [&](uint64_t key, const VersionChain& chain) {
+          last_key = key;
+          seen++;
+          const RowVersion* v = chain.VisibleAt(read_ts);
+          if (v != nullptr && !v->tombstone) {
+            rows.emplace_back(key, v->payload);
+          }
+          return rows.size() < want;
+        });
+    if (!r.ok()) {
+      co_return Result<std::vector<std::pair<uint64_t, std::string>>>(
+          r.status());
+    }
+    if (seen < batch) exhausted = true;
+    if (last_key == UINT64_MAX) exhausted = true;
+    cursor = last_key + 1;
+  }
+  // Overlay buffered writes inside the scanned window.
+  const uint64_t window_end = exhausted ? UINT64_MAX : cursor;
+  for (auto& [key, op] : txn->writes_) {
+    if (key < start || (key >= window_end && window_end != UINT64_MAX)) {
+      continue;
+    }
+    auto pos = std::lower_bound(
+        rows.begin(), rows.end(), key,
+        [](const auto& a, uint64_t k) { return a.first < k; });
+    bool present = pos != rows.end() && pos->first == key;
+    if (op.is_delete) {
+      if (present) rows.erase(pos);
+    } else if (present) {
+      pos->second = op.value;
+    } else {
+      rows.insert(pos, {key, op.value});
+    }
+  }
+  if (rows.size() > count) rows.resize(count);
+  co_return std::move(rows);
+}
+
+sim::Task<Status> Engine::Commit(Transaction* txn) {
+  assert(!txn->finished_);
+  if (txn->writes_.empty()) {
+    // Read-only commit: nothing to log.
+    txn->finished_ = true;
+    Deactivate(&active_read_ts_, txn);
+    co_return Status::OK();
+  }
+  if (sink_ == nullptr) {
+    co_return Status::InvalidArgument("engine has no log sink");
+  }
+
+  Lsn commit_lsn;
+  {
+    auto guard = co_await commit_mutex_.Acquire();
+
+    // Phase 1: validation (first-committer-wins). A key written by a
+    // transaction that committed after our snapshot aborts us.
+    for (const auto& [key, op] : txn->writes_) {
+      Result<VersionChain> chain = co_await btree_.Find(key);
+      if (chain.ok()) {
+        const RowVersion* newest = chain->Newest();
+        if (newest != nullptr && newest->commit_ts > txn->read_ts()) {
+          stats_.conflicts++;
+          stats_.aborts++;
+          txn->finished_ = true;
+          Deactivate(&active_read_ts_, txn);
+          co_return Status::Aborted("write-write conflict");
+        }
+      } else if (!chain.status().IsNotFound()) {
+        co_return chain.status();
+      }
+    }
+
+    // Phase 2: apply. Versions carry the commit timestamp; chains are
+    // trimmed against the oldest active snapshot.
+    Timestamp commit_ts = ++next_ts_;
+    Timestamp trim_ts = OldestActiveTs();
+    for (const auto& [key, op] : txn->writes_) {
+      stats_.writes++;
+      Result<VersionChain> existing = co_await btree_.Find(key);
+      VersionChain chain;
+      if (existing.ok()) chain = std::move(existing).value();
+      chain.Push(commit_ts, op.is_delete, Slice(op.value));
+      chain.Trim(trim_ts);
+      chain.Cap(kMaxChainLength);
+      SOCRATES_CO_RETURN_IF_ERROR(
+          co_await btree_.Write(txn->id_, key, chain));
+    }
+
+    // Phase 3: commit record. Visibility advances as soon as the record
+    // is appended; durability is awaited outside the mutex.
+    LogRecord rec;
+    rec.type = LogRecordType::kTxnCommit;
+    rec.txn_id = txn->id_;
+    rec.commit_ts = commit_ts;
+    sink_->Append(rec);
+    commit_lsn = sink_->end_lsn();  // harden through the commit record
+    last_committed_ts_ = commit_ts;
+  }
+
+  txn->finished_ = true;
+  Deactivate(&active_read_ts_, txn);
+  Status hs = co_await sink_->WaitHardened(commit_lsn);
+  if (!hs.ok()) co_return hs;
+  stats_.commits++;
+  co_return Status::OK();
+}
+
+void Engine::Abort(Transaction* txn) {
+  assert(!txn->finished_);
+  txn->finished_ = true;
+  stats_.aborts++;
+  Deactivate(&active_read_ts_, txn);
+}
+
+Timestamp Engine::OldestActiveTs() const {
+  if (active_read_ts_.empty()) return last_committed_ts_;
+  return *active_read_ts_.begin();
+}
+
+}  // namespace engine
+}  // namespace socrates

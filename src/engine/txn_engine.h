@@ -1,0 +1,165 @@
+// Engine: the miniature SQL-Server-like transactional engine.
+//
+// Snapshot isolation via the version chains in leaf values (§3.1):
+//  * Begin() captures read_ts = last committed timestamp.
+//  * Reads return the newest version with commit_ts <= read_ts
+//    (read-your-writes via the transaction's buffered write set).
+//  * Writes are buffered in the write set and applied at commit under a
+//    commit mutex: first-committer-wins validation (a newer committed
+//    version than read_ts aborts the transaction), then the new versions
+//    are pushed onto the chains, then the commit record is appended.
+//  * Commit acks only after the log sink hardens the commit LSN — but the
+//    mutex is released before that wait, so commits pipeline into group
+//    commits exactly as in the real system.
+//
+// Because pages never contain uncommitted data, recovery is pure redo —
+// the effect the paper gets from ADR (§3.2): restart time is bounded by
+// the checkpoint interval, never by the oldest active transaction.
+//
+// The same class serves read-only tiers (Secondaries): construct with a
+// null sink and install an external read-timestamp provider that tracks
+// the applied-commit watermark.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/btree.h"
+#include "engine/buffer_pool.h"
+#include "engine/log_sink.h"
+#include "engine/version.h"
+#include "sim/sync.h"
+
+namespace socrates {
+namespace engine {
+
+/// Compose a table id and row id into a B-tree key: table in the top
+/// 8 bits, row in the lower 56.
+inline uint64_t MakeKey(TableId table, uint64_t row) {
+  return (static_cast<uint64_t>(table) << 56) | (row & ((1ull << 56) - 1));
+}
+inline TableId KeyTable(uint64_t key) {
+  return static_cast<TableId>(key >> 56);
+}
+inline uint64_t KeyRow(uint64_t key) { return key & ((1ull << 56) - 1); }
+
+class Transaction {
+ public:
+  TxnId id() const { return id_; }
+  Timestamp read_ts() const { return read_ts_; }
+  bool read_only() const { return read_only_; }
+
+ private:
+  friend class Engine;
+  struct WriteOp {
+    bool is_delete = false;
+    std::string value;
+  };
+
+  TxnId id_ = kInvalidTxnId;
+  Timestamp read_ts_ = kInvalidTimestamp;
+  bool read_only_ = false;
+  bool finished_ = false;
+  std::map<uint64_t, WriteOp> writes_;  // ordered => deterministic commit
+};
+
+struct EngineStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t conflicts = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+};
+
+class Engine {
+ public:
+  /// `sink` may be null for read-only tiers; Commit then fails.
+  Engine(sim::Simulator& sim, BufferPool* pool, LogSink* sink)
+      : sim_(sim),
+        pool_(pool),
+        sink_(sink),
+        btree_(sim, pool, sink),
+        commit_mutex_(sim) {}
+
+  /// Create the empty database (Primary bootstrap).
+  sim::Task<Status> Bootstrap() { return btree_.Create(); }
+
+  std::unique_ptr<Transaction> Begin(bool read_only = false);
+
+  /// Snapshot read. NotFound if the key is invisible at the snapshot.
+  sim::Task<Result<std::string>> Get(Transaction* txn, uint64_t key);
+
+  /// Buffer an upsert / delete in the write set (no I/O).
+  Status Put(Transaction* txn, uint64_t key, Slice value);
+  Status Delete(Transaction* txn, uint64_t key);
+
+  /// Snapshot range scan: up to `count` visible rows with key >= start.
+  sim::Task<Result<std::vector<std::pair<uint64_t, std::string>>>> Scan(
+      Transaction* txn, uint64_t start, size_t count);
+
+  /// Validate, apply, log, and harden. Returns Aborted on write-write
+  /// conflict (first-committer-wins). The transaction is finished either
+  /// way.
+  sim::Task<Status> Commit(Transaction* txn);
+
+  void Abort(Transaction* txn);
+
+  /// Commit timestamp of the newest committed transaction.
+  Timestamp last_committed_ts() const { return last_committed_ts_; }
+
+  /// Read-only tiers: visibility follows an external watermark (the
+  /// applied-commit timestamp) instead of local commits.
+  void SetReadTsProvider(std::function<Timestamp()> fn) {
+    read_ts_provider_ = std::move(fn);
+  }
+
+  /// Attach a log sink (used when a Secondary is promoted to Primary:
+  /// the read-only engine becomes writable).
+  void SetSink(LogSink* sink) {
+    sink_ = sink;
+    btree_.SetSink(sink);
+  }
+
+  /// Restore engine counters from a checkpoint (recovery).
+  void RestoreCounters(Timestamp last_commit_ts, PageId next_page_id) {
+    last_committed_ts_ = last_commit_ts;
+    next_ts_ = last_commit_ts;
+    btree_.set_next_page_id(next_page_id);
+  }
+
+  BTree* btree() { return &btree_; }
+  BufferPool* pool() { return pool_; }
+  LogSink* sink() { return sink_; }
+  const EngineStats& stats() const { return stats_; }
+
+  /// Oldest read_ts among active transactions (version-trim watermark).
+  Timestamp OldestActiveTs() const;
+
+  /// Keep at most this much history beyond the oldest active snapshot.
+  static constexpr size_t kMaxChainLength = 8;
+
+ private:
+  sim::Simulator& sim_;
+  BufferPool* pool_;
+  LogSink* sink_;
+  BTree btree_;
+  sim::Mutex commit_mutex_;
+
+  TxnId next_txn_id_ = 1;
+  Timestamp next_ts_ = 0;
+  Timestamp last_committed_ts_ = 0;
+  std::multiset<Timestamp> active_read_ts_;
+  std::function<Timestamp()> read_ts_provider_;
+  EngineStats stats_;
+};
+
+}  // namespace engine
+}  // namespace socrates

@@ -1,0 +1,410 @@
+#include "pageserver/page_server.h"
+
+#include <algorithm>
+
+namespace socrates {
+namespace pageserver {
+
+// Fetches partition pages from the XStore checkpoint blob. Pages that
+// were never checkpointed read as zeros -> NotFound (the log-apply loop
+// materializes them from creation records instead).
+class PageServer::XStoreFetcher : public engine::PageFetcher {
+ public:
+  XStoreFetcher(PageServer* ps) : ps_(ps) {}
+
+  sim::Task<Result<storage::Page>> FetchPage(PageId page_id) override {
+    uint64_t offset =
+        (page_id - ps_->opts_.partition_map.FirstPage(ps_->opts_.partition)) *
+        kPageSize;
+    std::string image;
+    Status s = co_await ps_->xstore_->Read(ps_->data_blob_, offset,
+                                           kPageSize, &image);
+    if (s.IsNotFound()) {
+      co_return Result<storage::Page>(Status::NotFound("no blob yet"));
+    }
+    if (!s.ok()) co_return Result<storage::Page>(s);
+    bool all_zero = true;
+    for (char c : image) {
+      if (c != '\0') {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) {
+      co_return Result<storage::Page>(
+          Status::NotFound("page never checkpointed"));
+    }
+    storage::Page page;
+    if (Status ps = page.FromSlice(Slice(image)); !ps.ok()) {
+      co_return Result<storage::Page>(ps);
+    }
+    if (Status cs = page.VerifyChecksum(); !cs.ok()) {
+      co_return Result<storage::Page>(cs);
+    }
+    co_return std::move(page);
+  }
+
+ private:
+  PageServer* ps_;
+};
+
+PageServer::PageServer(sim::Simulator& sim, xlog::XLogProcess* xlog,
+                       xstore::XStore* xstore,
+                       const PageServerOptions& options)
+    : sim_(sim),
+      xlog_(xlog),
+      xstore_(xstore),
+      opts_(options),
+      data_blob_(options.blob_override.empty()
+                     ? BlobName(options.partition)
+                     : options.blob_override),
+      meta_blob_(data_blob_ + "/meta"),
+      cpu_(std::make_unique<sim::CpuResource>(sim, options.cpu_cores)) {
+  engine::BufferPoolOptions pool_opts;
+  pool_opts.mem_pages = opts_.mem_pages;
+  // Covering cache: the SSD tier holds the entire partition (§4.6), so
+  // steady-state page serving never reads XStore.
+  pool_opts.ssd_pages = opts_.ssd_pages != 0
+                            ? opts_.ssd_pages
+                            : opts_.partition_map.pages_per_partition;
+  pool_opts.ssd_recoverable = true;
+  fetcher_ = std::make_unique<XStoreFetcher>(this);
+  pool_ = std::make_unique<engine::BufferPool>(
+      sim, pool_opts, fetcher_.get(),
+      /*seed=*/0x9a9e + options.partition);
+  applier_ = std::make_unique<engine::RedoApplier>(
+      sim, pool_.get(), engine::RedoApplier::MissPolicy::kMaterialize);
+  applier_->SetPageFilter([this](PageId id) { return InPartition(id); });
+}
+
+PageServer::~PageServer() = default;
+
+sim::Task<Status> PageServer::Start() {
+  SOCRATES_CO_RETURN_IF_ERROR(co_await LoadMeta());
+  // RBPEX recovery: a warm SSD cache survives short failures (§3.3).
+  // Pages newer than the hardened log would be speculative; the Page
+  // Server only ever applies hardened log, so everything is retained up
+  // to the XLOG hardened mark.
+  (void)co_await pool_->Recover(xlog_->hardened_lsn());
+  // A fresh applier for this incarnation: its applied watermark must
+  // restart at the checkpoint replay point. (The old watermark is
+  // monotonic — reusing it would skip re-applying records whose effects
+  // died with the memory tier.) Stale waiters notice via the epoch.
+  applier_ = std::make_unique<engine::RedoApplier>(
+      sim_, pool_.get(), engine::RedoApplier::MissPolicy::kMaterialize);
+  applier_->SetPageFilter([this](PageId id) { return InPartition(id); });
+  applier_->applied_lsn().Advance(restart_lsn_);
+  xlog_consumer_id_ = xlog_->RegisterConsumer(
+      "pageserver-" + std::to_string(opts_.partition));
+  running_ = true;
+  epoch_++;
+  sim::Spawn(sim_, ApplyLoop(epoch_));
+  if (opts_.checkpointing_enabled) {
+    sim::Spawn(sim_, CheckpointLoop(epoch_));
+  }
+  co_return Status::OK();
+}
+
+void PageServer::Stop() {
+  running_ = false;
+  epoch_++;
+}
+
+void PageServer::Crash() {
+  running_ = false;
+  epoch_++;  // orphan any loop still suspended from this incarnation
+  pool_->Crash();  // memory tier lost; recoverable RBPEX survives
+}
+
+sim::Task<> PageServer::ApplyLoop(uint64_t epoch) {
+  const bool trace = getenv("SOCRATES_TRACE_APPLY") != nullptr;
+  while (Live(epoch)) {
+    Lsn from = applier_->applied_lsn().value();
+    if (from >= opts_.apply_until) break;  // PITR target reached
+    co_await xlog_->available().WaitFor(from + 1);
+    if (!Live(epoch)) break;
+    Result<std::vector<xlog::LogBlock>> blocks =
+        co_await xlog_->Pull(from, opts_.partition, opts_.pull_bytes);
+    if (!Live(epoch)) break;
+    if (!blocks.ok()) {
+      co_await sim::Delay(sim_, 10000);  // transient storage error
+      continue;
+    }
+    for (xlog::LogBlock& block : *blocks) {
+      if (!Live(epoch)) co_return;
+      if (trace && opts_.partition == 0) {
+        fprintf(stderr,
+                "[ps0] block start=%llu size=%llu filtered=%d applied=%llu\n",
+                (unsigned long long)block.start_lsn,
+                (unsigned long long)block.payload_size, block.filtered,
+                (unsigned long long)applier_->applied_lsn().value());
+      }
+      if (block.start_lsn > applier_->applied_lsn().value()) {
+        // A gap would mean silently lost log — stop loudly.
+        last_error_ = Status::Corruption("gap in pulled log stream");
+        fprintf(stderr, "[pageserver %u] FATAL: log gap %llu -> %llu\n",
+                opts_.partition,
+                (unsigned long long)applier_->applied_lsn().value(),
+                (unsigned long long)block.start_lsn);
+        running_ = false;
+        co_return;
+      }
+      if (block.filtered) {
+        // No records for our partition: just advance the watermark.
+        applier_->applied_lsn().Advance(block.start_lsn +
+                                        block.payload_size);
+        continue;
+      }
+      co_await cpu_->Consume(10 + block.payload.size() / 2000);
+      Result<Lsn> end = co_await applier_->ApplyStream(
+          Slice(block.payload), block.start_lsn,
+          /*resume_from=*/applier_->applied_lsn().value(),
+          /*stop_at=*/opts_.apply_until);
+      if (!end.ok()) {
+        if (end.status().IsUnavailable() || end.status().IsBusy() ||
+            end.status().IsTimedOut()) {
+          // XStore-outage insulation (§4.6): a fetch needed by redo hit
+          // a transient failure. Keep serving, retry this position once
+          // the storage tier recovers.
+          co_await sim::Delay(sim_, 20000);
+          break;  // re-pull from the current applied position
+        }
+        // Anything else (corruption) is fatal for this server.
+        last_error_ = end.status();
+        fprintf(stderr,
+                "[pageserver %u] FATAL log apply error at lsn %llu: %s\n",
+                opts_.partition,
+                (unsigned long long)applier_->applied_lsn().value(),
+                end.status().ToString().c_str());
+        running_ = false;
+        co_return;
+      }
+      if (!Live(epoch)) co_return;  // crashed during the apply await
+      applier_->applied_lsn().Advance(*end);
+      if (block.start_lsn + block.payload_size >= opts_.apply_until) {
+        // PITR target reached (it always lies on a record boundary, but
+        // be robust to mid-gap targets): report the watermark as caught
+        // up so GetPage@LSN waits at the target resolve.
+        applier_->applied_lsn().Advance(opts_.apply_until);
+        break;
+      }
+    }
+    xlog_->ReportProgress(xlog_consumer_id_,
+                          applier_->applied_lsn().value());
+  }
+}
+
+sim::Task<Result<storage::Page>> PageServer::GetPageAtLsn(PageId page_id,
+                                                          Lsn min_lsn) {
+  getpage_requests_++;
+  if (!InPartition(page_id)) {
+    co_return Result<storage::Page>(
+        Status::InvalidArgument("page not in this partition"));
+  }
+  // Freshness protocol (§4.4): wait until all log up to min_lsn applied.
+  SOCRATES_CO_RETURN_IF_ERROR(co_await WaitApplied(min_lsn));
+  co_await cpu_->Consume(5);
+  Result<engine::PageRef> ref = co_await pool_->GetPage(page_id);
+  if (!ref.ok()) co_return Result<storage::Page>(ref.status());
+  storage::Page copy = *ref->page();
+  copy.UpdateChecksum();
+  co_return std::move(copy);
+}
+
+// Wait until this incarnation has applied log up to `min_lsn`. If the
+// server crashes/restarts while we wait, fail Unavailable so the RBIO
+// client retries against the new incarnation (stateless protocol).
+sim::Task<Status> PageServer::WaitApplied(Lsn min_lsn) {
+  const uint64_t my_epoch = epoch_;
+  while (true) {
+    if (epoch_ != my_epoch || !running_) {
+      co_return Status::Unavailable("page server restarted");
+    }
+    if (applier_->applied_lsn().value() >= min_lsn) {
+      co_return Status::OK();
+    }
+    // Bounded wait on the current watermark; re-check epoch on wake-up
+    // or timeout (a crash swaps the applier under us).
+    (void)co_await WatermarkWaitBounded(min_lsn);
+  }
+}
+
+sim::Task<> PageServer::WatermarkWaitBounded(Lsn min_lsn) {
+  // Race-free bounded wait: poll with a short delay. GetPage waits are
+  // short in steady state (dissemination lag), so the polling cost is
+  // negligible and crash-safety is trivial.
+  if (applier_->applied_lsn().value() >= min_lsn) co_return;
+  co_await sim::Delay(sim_, 300);
+}
+
+sim::Task<Result<std::vector<storage::Page>>> PageServer::GetPageRangeAtLsn(
+    PageId first_page, uint32_t count, Lsn min_lsn) {
+  getpage_requests_++;
+  SOCRATES_CO_RETURN_IF_ERROR(co_await WaitApplied(min_lsn));
+  // One logical I/O against the covering, stride-preserving cache: the
+  // whole range costs a single CPU slice plus the (mostly local-SSD)
+  // page reads, instead of `count` round trips.
+  co_await cpu_->Consume(5 + count / 8);
+  std::vector<storage::Page> pages;
+  pages.reserve(count);
+  PageId end = first_page + count;
+  for (PageId id = first_page; id < end; id++) {
+    if (!InPartition(id)) continue;
+    Result<engine::PageRef> ref = co_await pool_->GetPage(id);
+    if (!ref.ok()) {
+      if (ref.status().IsNotFound()) continue;  // unallocated page
+      co_return Result<std::vector<storage::Page>>(ref.status());
+    }
+    storage::Page copy = *ref->page();
+    copy.UpdateChecksum();
+    pages.push_back(std::move(copy));
+  }
+  co_return std::move(pages);
+}
+
+sim::Task<Result<std::string>> PageServer::HandleRbio(std::string frame) {
+  if (inject_failures_ > 0) {
+    inject_failures_--;
+    co_return Result<std::string>(
+        Status::Unavailable("injected transient failure"));
+  }
+  rbio::PageResponse resp;
+  uint16_t version = 0;
+  rbio::GetPageRequest get;
+  rbio::GetPageRangeRequest range;
+  if (rbio::GetPageRequest::Decode(Slice(frame), &get, &version).ok()) {
+    Result<storage::Page> page =
+        co_await GetPageAtLsn(get.page_id, get.min_lsn);
+    if (page.ok()) {
+      resp.status = Status::OK();
+      resp.pages.push_back(std::move(page).value());
+    } else {
+      resp.status = page.status();
+    }
+  } else if (rbio::GetPageRangeRequest::Decode(Slice(frame), &range,
+                                               &version)
+                 .ok()) {
+    Result<std::vector<storage::Page>> pages = co_await GetPageRangeAtLsn(
+        range.first_page, range.count, range.min_lsn);
+    if (pages.ok()) {
+      resp.status = Status::OK();
+      resp.pages = std::move(pages).value();
+    } else {
+      resp.status = pages.status();
+    }
+  } else {
+    // Unknown type or unsupported version: reject in a typed way so the
+    // client can distinguish protocol errors from data errors.
+    resp.status = Status::NotSupported("rbio: unsupported request");
+  }
+  co_return resp.Encode();
+}
+
+sim::Task<Status> PageServer::Checkpoint() {
+  // The replay point must cover every record not yet reflected in
+  // XStore: everything applied after this round's dirty set was captured
+  // stays dirty for the next round.
+  Lsn candidate_restart = applier_->applied_lsn().value();
+  std::vector<PageId> dirty = pool_->DirtyPages();
+  std::sort(dirty.begin(), dirty.end());
+  PageId first_page =
+      opts_.partition_map.FirstPage(opts_.partition);
+
+  // Aggregate contiguous dirty pages into single large XStore writes.
+  size_t i = 0;
+  while (i < dirty.size()) {
+    size_t j = i + 1;
+    while (j < dirty.size() && dirty[j] == dirty[j - 1] + 1 &&
+           j - i < opts_.max_xstore_batch_pages) {
+      j++;
+    }
+    std::string batch;
+    batch.reserve((j - i) * kPageSize);
+    for (size_t k = i; k < j; k++) {
+      Result<engine::PageRef> ref = co_await pool_->GetPage(dirty[k]);
+      if (!ref.ok()) co_return ref.status();
+      storage::Page copy = *ref->page();
+      copy.UpdateChecksum();
+      batch.append(copy.data(), kPageSize);
+    }
+    Status s = co_await xstore_->Write(
+        data_blob_, (dirty[i] - first_page) * kPageSize, Slice(batch));
+    if (!s.ok()) {
+      // XStore outage insulation (§4.6): keep pages dirty, resume later.
+      checkpoint_failures_++;
+      co_return s;
+    }
+    for (size_t k = i; k < j; k++) pool_->ClearDirty(dirty[k]);
+    i = j;
+  }
+  // Materialize the data blob even if this partition has no pages yet,
+  // so backups (XStore snapshots) always have a blob to snapshot.
+  if (!xstore_->Exists(data_blob_)) {
+    SOCRATES_CO_RETURN_IF_ERROR(
+        co_await xstore_->Write(data_blob_, 0, Slice()));
+  }
+  SOCRATES_CO_RETURN_IF_ERROR(co_await StoreMeta(candidate_restart));
+  restart_lsn_ = candidate_restart;
+  checkpoints_++;
+  co_return Status::OK();
+}
+
+sim::Task<> PageServer::CheckpointLoop(uint64_t epoch) {
+  while (Live(epoch)) {
+    co_await sim::Delay(sim_, opts_.checkpoint_interval_us);
+    if (!Live(epoch)) break;
+    (void)co_await Checkpoint();  // failures retried next round
+  }
+}
+
+sim::Task<Result<xstore::SnapshotId>> PageServer::Backup() {
+  SOCRATES_CO_RETURN_IF_ERROR(co_await Checkpoint());
+  co_return co_await xstore_->Snapshot(data_blob_);
+}
+
+void PageServer::SeedAsync() {
+  seeding_done_ = false;
+  sim::Spawn(sim_, SeedLoop(epoch_));
+}
+
+sim::Task<> PageServer::SeedLoop(uint64_t epoch) {
+  // Warm the covering cache in the background; the server answers
+  // GetPage@LSN and applies log the whole time (§4.6).
+  PageId first = opts_.partition_map.FirstPage(opts_.partition);
+  PageId end = opts_.partition_map.EndPage(opts_.partition);
+  for (PageId id = first; id < end && Live(epoch); id++) {
+    if (!pool_->Contains(id)) {
+      Result<engine::PageRef> r = co_await pool_->GetPage(id);
+      if (r.ok()) seeded_pages_++;
+      // NotFound = page does not exist yet; fine.
+    } else {
+      seeded_pages_++;
+    }
+    if ((id - first) % 64 == 63) co_await sim::Yield(sim_);
+  }
+  seeding_done_ = true;
+}
+
+sim::Task<Status> PageServer::LoadMeta() {
+  std::string meta;
+  Status s = co_await xstore_->Read(meta_blob_, 0, 8, &meta);
+  if (s.IsNotFound()) {
+    restart_lsn_ = engine::kLogStreamStart;  // brand-new partition
+    co_return Status::OK();
+  }
+  if (!s.ok()) co_return s;
+  restart_lsn_ = DecodeFixed64(meta.data());
+  if (restart_lsn_ < engine::kLogStreamStart) {
+    restart_lsn_ = engine::kLogStreamStart;
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> PageServer::StoreMeta(Lsn restart_lsn) {
+  std::string meta;
+  PutFixed64(&meta, restart_lsn);
+  co_return co_await xstore_->Write(meta_blob_, 0, Slice(meta));
+}
+
+}  // namespace pageserver
+}  // namespace socrates

@@ -1,0 +1,176 @@
+// PageServer (paper §4.6): owns one partition of the database.
+//
+// Responsibilities reproduced:
+//  (i)   maintain the partition by consuming the (filtered) log stream
+//        from XLOG and applying it to local pages;
+//  (ii)  answer GetPage@LSN requests: wait until applied-LSN >= the
+//        requested LSN, then return the page — the freshness protocol of
+//        §4.4;
+//  (iii) distributed checkpointing (ship dirty pages to XStore, with
+//        write aggregation) and constant-time backups (XStore snapshots).
+//
+// Other §4.6 behaviours: the covering RBPEX cache (the pool's SSD tier is
+// sized to the whole partition, so scans never suffer read
+// amplification); insulation from XStore outages (a failed checkpoint
+// round leaves pages dirty and retries later; log apply and page serving
+// continue); asynchronous seeding (a new server serves requests while a
+// background task warms its cache).
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/buffer_pool.h"
+#include "engine/redo.h"
+#include "rbio/rbio.h"
+#include "sim/cpu.h"
+#include "sim/task.h"
+#include "xlog/log_block.h"
+#include "xlog/xlog_process.h"
+#include "xstore/xstore.h"
+
+namespace socrates {
+namespace pageserver {
+
+struct PageServerOptions {
+  PartitionId partition = 0;
+  xlog::PartitionMap partition_map;
+  size_t mem_pages = 1024;
+  /// Covering cache: defaults to the partition size at Start().
+  size_t ssd_pages = 0;
+  SimTime checkpoint_interval_us = 500 * 1000;
+  /// Aggregate contiguous dirty pages into single XStore writes up to
+  /// this many pages (§4.6 "aggregate multiple I/Os ... in a single large
+  /// write").
+  uint64_t max_xstore_batch_pages = 64;
+  /// XLOG pull chunk size.
+  uint64_t pull_bytes = 1 * MiB;
+  int cpu_cores = 4;
+  /// Stop applying log at this LSN (point-in-time restore); kMaxLsn =
+  /// follow the live tail forever.
+  Lsn apply_until = kMaxLsn;
+  /// Use this XStore blob instead of the default partition blob name
+  /// (PITR attaches restored snapshot copies under fresh names; Page
+  /// Server replicas checkpoint to their own blob).
+  std::string blob_override;
+  /// Disable the periodic checkpoint loop (hot standby replicas that
+  /// exist purely for availability can skip checkpointing, §6).
+  bool checkpointing_enabled = true;
+};
+
+class PageServer : public rbio::RbioServer {
+ public:
+  PageServer(sim::Simulator& sim, xlog::XLogProcess* xlog,
+             xstore::XStore* xstore, const PageServerOptions& options);
+  ~PageServer();
+
+  /// Bring the server online: recover RBPEX (if warm), read the
+  /// checkpoint metadata from XStore, start the log-apply and checkpoint
+  /// loops. Serving starts immediately; the cache warms asynchronously.
+  sim::Task<Status> Start();
+
+  /// Stop loops (the object remains queryable for tests).
+  void Stop();
+
+  /// GetPage@LSN (§4.4): returns a copy of the page with all updates up
+  /// to `min_lsn` (or later) applied. Blocks until log apply catches up.
+  sim::Task<Result<storage::Page>> GetPageAtLsn(PageId page_id,
+                                                Lsn min_lsn);
+
+  /// Multi-page read for scans (§4.6): pages [first, first+count) of this
+  /// partition as of min_lsn; nonexistent pages are omitted. The covering
+  /// stride-preserving cache makes this one logical I/O.
+  sim::Task<Result<std::vector<storage::Page>>> GetPageRangeAtLsn(
+      PageId first_page, uint32_t count, Lsn min_lsn);
+
+  /// rbio::RbioServer: decode a typed request frame and serve it.
+  sim::Task<Result<std::string>> HandleRbio(std::string frame) override;
+
+  /// Fault injection for RBIO resilience tests: the next `n` requests
+  /// fail with Unavailable.
+  void InjectTransientFailures(int n) { inject_failures_ = n; }
+
+  /// Run one checkpoint round now (also runs periodically).
+  sim::Task<Status> Checkpoint();
+
+  /// Constant-time backup: checkpoint, then snapshot the XStore blob.
+  /// Returns the snapshot id; its replay point is restart_lsn().
+  sim::Task<Result<xstore::SnapshotId>> Backup();
+
+  /// Background cache warm-up over the whole partition (§4.6 async
+  /// seeding). Returns immediately; track progress via seeded_pages().
+  void SeedAsync();
+
+  /// Crash the process: volatile state is lost; RBPEX survives.
+  void Crash();
+
+  PartitionId partition() const { return opts_.partition; }
+  sim::Watermark& applied_lsn() { return applier_->applied_lsn(); }
+  Lsn restart_lsn() const { return restart_lsn_; }
+  engine::BufferPool* pool() { return pool_.get(); }
+  sim::CpuResource& cpu() { return *cpu_; }
+  const std::string& data_blob() const { return data_blob_; }
+  uint64_t seeded_pages() const { return seeded_pages_; }
+  bool seeding_done() const { return seeding_done_; }
+  uint64_t checkpoints_completed() const { return checkpoints_; }
+  uint64_t checkpoint_failures() const { return checkpoint_failures_; }
+  uint64_t getpage_requests() const { return getpage_requests_; }
+
+  /// Non-OK if the apply loop died on a log-apply error.
+  const Status& last_error() const { return last_error_; }
+
+  /// Name of the XStore data blob for a partition.
+  static std::string BlobName(PartitionId p) {
+    return "db/partition-" + std::to_string(p);
+  }
+
+ private:
+  class XStoreFetcher;
+
+  sim::Task<> ApplyLoop(uint64_t epoch);
+  sim::Task<> CheckpointLoop(uint64_t epoch);
+  sim::Task<Status> LoadMeta();
+  sim::Task<Status> StoreMeta(Lsn restart_lsn);
+  sim::Task<Status> WaitApplied(Lsn min_lsn);
+  sim::Task<> WatermarkWaitBounded(Lsn min_lsn);
+  sim::Task<> SeedLoop(uint64_t epoch);
+
+  bool Live(uint64_t epoch) const { return running_ && epoch == epoch_; }
+
+  bool InPartition(PageId id) const {
+    return opts_.partition_map.PartitionOf(id) == opts_.partition;
+  }
+
+  sim::Simulator& sim_;
+  xlog::XLogProcess* xlog_;
+  xstore::XStore* xstore_;
+  PageServerOptions opts_;
+  std::string data_blob_;
+  std::string meta_blob_;
+
+  std::unique_ptr<sim::CpuResource> cpu_;
+  std::unique_ptr<XStoreFetcher> fetcher_;
+  std::unique_ptr<engine::BufferPool> pool_;
+  std::unique_ptr<engine::RedoApplier> applier_;
+
+  bool running_ = false;
+  // Restart generation: a crash+restart bumps the epoch so service loops
+  // spawned before the crash exit instead of racing the new ones.
+  uint64_t epoch_ = 0;
+  int xlog_consumer_id_ = -1;
+  Lsn restart_lsn_ = engine::kLogStreamStart;
+  uint64_t seeded_pages_ = 0;
+  bool seeding_done_ = false;
+  uint64_t checkpoints_ = 0;
+  uint64_t checkpoint_failures_ = 0;
+  uint64_t getpage_requests_ = 0;
+  int inject_failures_ = 0;
+  Status last_error_;
+};
+
+}  // namespace pageserver
+}  // namespace socrates

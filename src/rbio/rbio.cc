@@ -1,0 +1,250 @@
+#include "rbio/rbio.h"
+
+namespace socrates {
+namespace rbio {
+
+namespace {
+
+// Common frame header: [u16 version][u8 type].
+void PutHeader(std::string* out, uint16_t version, MessageType type) {
+  PutFixed16(out, version);
+  out->push_back(static_cast<char>(type));
+}
+
+Status GetHeader(Slice* in, uint16_t* version, MessageType* type) {
+  if (!GetFixed16(in, version)) {
+    return Status::Corruption("rbio: truncated header");
+  }
+  if (in->empty()) return Status::Corruption("rbio: missing type");
+  *type = static_cast<MessageType>((*in)[0]);
+  in->remove_prefix(1);
+  if (*version > kProtocolVersion || *version < kMinSupportedVersion) {
+    return Status::NotSupported("rbio: protocol version mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string GetPageRequest::Encode(uint16_t version) const {
+  std::string out;
+  PutHeader(&out, version, MessageType::kGetPage);
+  PutFixed64(&out, page_id);
+  PutFixed64(&out, min_lsn);
+  return out;
+}
+
+Status GetPageRequest::Decode(Slice wire, GetPageRequest* out,
+                              uint16_t* version) {
+  MessageType type = MessageType::kGetPage;
+  SOCRATES_RETURN_IF_ERROR(GetHeader(&wire, version, &type));
+  if (type != MessageType::kGetPage) {
+    return Status::InvalidArgument("rbio: not a GetPage request");
+  }
+  if (!GetFixed64(&wire, &out->page_id) ||
+      !GetFixed64(&wire, &out->min_lsn)) {
+    return Status::Corruption("rbio: truncated GetPage request");
+  }
+  return Status::OK();
+}
+
+std::string GetPageRangeRequest::Encode(uint16_t version) const {
+  std::string out;
+  PutHeader(&out, version, MessageType::kGetPageRange);
+  PutFixed64(&out, first_page);
+  PutFixed32(&out, count);
+  PutFixed64(&out, min_lsn);
+  return out;
+}
+
+Status GetPageRangeRequest::Decode(Slice wire, GetPageRangeRequest* out,
+                                   uint16_t* version) {
+  MessageType type = MessageType::kGetPage;
+  SOCRATES_RETURN_IF_ERROR(GetHeader(&wire, version, &type));
+  if (type != MessageType::kGetPageRange) {
+    return Status::InvalidArgument("rbio: not a GetPageRange request");
+  }
+  if (!GetFixed64(&wire, &out->first_page) ||
+      !GetFixed32(&wire, &out->count) ||
+      !GetFixed64(&wire, &out->min_lsn)) {
+    return Status::Corruption("rbio: truncated GetPageRange request");
+  }
+  return Status::OK();
+}
+
+std::string PageResponse::Encode() const {
+  std::string out;
+  PutFixed16(&out, kProtocolVersion);
+  out.push_back(static_cast<char>(status.code()));
+  PutLengthPrefixed(&out, Slice(status.message()));
+  PutFixed32(&out, static_cast<uint32_t>(pages.size()));
+  for (const storage::Page& p : pages) {
+    out.append(p.data(), kPageSize);
+  }
+  return out;
+}
+
+Status PageResponse::Decode(Slice wire, PageResponse* out) {
+  uint16_t version;
+  if (!GetFixed16(&wire, &version)) {
+    return Status::Corruption("rbio: truncated response");
+  }
+  if (wire.empty()) return Status::Corruption("rbio: missing status");
+  auto code = static_cast<Status::Code>(wire[0]);
+  wire.remove_prefix(1);
+  Slice msg;
+  if (!GetLengthPrefixed(&wire, &msg)) {
+    return Status::Corruption("rbio: truncated status message");
+  }
+  switch (code) {
+    case Status::Code::kOk: out->status = Status::OK(); break;
+    case Status::Code::kNotFound:
+      out->status = Status::NotFound(msg.ToView());
+      break;
+    case Status::Code::kInvalidArgument:
+      out->status = Status::InvalidArgument(msg.ToView());
+      break;
+    case Status::Code::kUnavailable:
+      out->status = Status::Unavailable(msg.ToView());
+      break;
+    case Status::Code::kNotSupported:
+      out->status = Status::NotSupported(msg.ToView());
+      break;
+    default:
+      out->status = Status::IOError(msg.ToView());
+      break;
+  }
+  uint32_t n;
+  if (!GetFixed32(&wire, &n)) {
+    return Status::Corruption("rbio: truncated page count");
+  }
+  out->pages.clear();
+  out->pages.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    if (wire.size() < kPageSize) {
+      return Status::Corruption("rbio: truncated page image");
+    }
+    storage::Page p;
+    SOCRATES_RETURN_IF_ERROR(
+        p.FromSlice(Slice(wire.data(), kPageSize)));
+    out->pages.push_back(std::move(p));
+    wire.remove_prefix(kPageSize);
+  }
+  return Status::OK();
+}
+
+RbioClient::RbioClient(sim::Simulator& sim, sim::CpuResource* cpu,
+                       const RbioClientOptions& options, uint64_t seed)
+    : sim_(sim), cpu_(cpu), opts_(options), rng_(seed) {}
+
+size_t RbioClient::PickReplica(const std::vector<Endpoint>& replicas,
+                               size_t attempt) const {
+  if (replicas.size() == 1) return 0;
+  // Retries rotate deterministically past the first choice.
+  size_t best = 0;
+  double best_lat = -1;
+  for (size_t i = 0; i < replicas.size(); i++) {
+    auto it = stats_.find(replicas[i].name);
+    double lat = (it == stats_.end() || !it->second.seen)
+                     ? 0.0  // unexplored endpoints get a chance
+                     : it->second.ewma_us;
+    if (best_lat < 0 || lat < best_lat) {
+      best_lat = lat;
+      best = i;
+    }
+  }
+  return (best + attempt) % replicas.size();
+}
+
+sim::Task<Result<PageResponse>> RbioClient::Roundtrip(
+    const std::vector<Endpoint>& replicas, std::string frame) {
+  Status last = Status::Unavailable("no endpoints");
+  for (int attempt = 0; attempt < opts_.max_attempts; attempt++) {
+    if (replicas.empty()) break;
+    if (attempt > 0) {
+      retries_++;
+      co_await sim::Delay(sim_, opts_.retry_backoff_us * attempt);
+    }
+    const Endpoint& ep = replicas[PickReplica(replicas, attempt)];
+    requests_++;
+    if (cpu_ != nullptr) co_await cpu_->Consume(opts_.cpu_per_request_us);
+    SimTime begin = sim_.now();
+    co_await sim::Delay(sim_, opts_.network.Sample(rng_));
+    Result<std::string> raw = co_await ep.server->HandleRbio(frame);
+    co_await sim::Delay(sim_, opts_.network.Sample(rng_));
+    double elapsed = static_cast<double>(sim_.now() - begin);
+    EndpointStats& st = stats_[ep.name];
+    st.ewma_us = st.seen
+                     ? st.ewma_us * (1 - opts_.ewma_alpha) +
+                           elapsed * opts_.ewma_alpha
+                     : elapsed;
+    st.seen = true;
+    if (!raw.ok()) {
+      last = raw.status();
+      if (last.IsUnavailable() || last.IsTimedOut() || last.IsBusy()) {
+        continue;  // transient: retry (possibly on another replica)
+      }
+      co_return Result<PageResponse>(last);
+    }
+    PageResponse resp;
+    Status ds = PageResponse::Decode(Slice(*raw), &resp);
+    if (!ds.ok()) co_return Result<PageResponse>(ds);
+    if (resp.status.IsUnavailable() || resp.status.IsBusy()) {
+      last = resp.status;
+      continue;
+    }
+    co_return std::move(resp);
+  }
+  co_return Result<PageResponse>(last);
+}
+
+sim::Task<Result<storage::Page>> RbioClient::GetPage(
+    const std::vector<Endpoint>& replicas, PageId page_id, Lsn min_lsn) {
+  GetPageRequest req;
+  req.page_id = page_id;
+  req.min_lsn = min_lsn;
+  Result<PageResponse> resp =
+      co_await Roundtrip(replicas, req.Encode());
+  if (!resp.ok()) co_return Result<storage::Page>(resp.status());
+  if (!resp->status.ok()) co_return Result<storage::Page>(resp->status);
+  if (resp->pages.size() != 1) {
+    co_return Result<storage::Page>(
+        Status::Corruption("rbio: GetPage returned wrong page count"));
+  }
+  storage::Page page = std::move(resp->pages[0]);
+  SOCRATES_CO_RETURN_IF_ERROR(page.VerifyChecksum());
+  if (page.page_id() != page_id) {
+    co_return Result<storage::Page>(
+        Status::Corruption("rbio: wrong page returned"));
+  }
+  co_return std::move(page);
+}
+
+sim::Task<Result<std::vector<storage::Page>>> RbioClient::GetPageRange(
+    const std::vector<Endpoint>& replicas, PageId first_page,
+    uint32_t count, Lsn min_lsn) {
+  GetPageRangeRequest req;
+  req.first_page = first_page;
+  req.count = count;
+  req.min_lsn = min_lsn;
+  Result<PageResponse> resp =
+      co_await Roundtrip(replicas, req.Encode());
+  if (!resp.ok()) {
+    co_return Result<std::vector<storage::Page>>(resp.status());
+  }
+  if (!resp->status.ok()) {
+    co_return Result<std::vector<storage::Page>>(resp->status);
+  }
+  for (storage::Page& p : resp->pages) {
+    SOCRATES_CO_RETURN_IF_ERROR(p.VerifyChecksum());
+  }
+  co_return std::move(resp->pages);
+}
+
+double RbioClient::EwmaLatencyUs(const std::string& endpoint_name) const {
+  auto it = stats_.find(endpoint_name);
+  return it == stats_.end() ? 0.0 : it->second.ewma_us;
+}
+
+}  // namespace rbio
+}  // namespace socrates

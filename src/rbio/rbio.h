@@ -1,0 +1,149 @@
+// RBIO — Remote Block I/O (paper §3.4): the typed request/response
+// protocol between Compute nodes and Page Servers, layered on the
+// Unified Communication Stack (here: the simulated intra-DC network).
+//
+// Properties reproduced from the paper's description:
+//  * stateless        — every request is self-contained;
+//  * strongly typed   — explicit message structs with a wire codec, not
+//                       raw byte passing;
+//  * automatic versioning — every frame carries a protocol version; a
+//                       server rejects versions it cannot serve and the
+//                       client surfaces the mismatch cleanly;
+//  * resilient to transient failures — bounded retries with backoff;
+//  * QoS support for best replica selection — the client tracks an EWMA
+//    of observed latency per endpoint and routes to the fastest healthy
+//    replica, failing over on Unavailable.
+//
+// Messages: GetPage (the §4.4 GetPage@LSN call) and GetPageRange (multi-
+// page reads — a single request for up-to-128-page scans, the access
+// pattern the Page Server's stride-preserving covering cache exists to
+// serve, §4.6).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/cpu.h"
+#include "sim/latency.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "storage/page.h"
+
+namespace socrates {
+namespace rbio {
+
+inline constexpr uint16_t kProtocolVersion = 2;
+/// Oldest protocol version a server still understands.
+inline constexpr uint16_t kMinSupportedVersion = 1;
+
+enum class MessageType : uint8_t {
+  kGetPage = 1,
+  kGetPageRange = 2,
+};
+
+struct GetPageRequest {
+  PageId page_id = kInvalidPageId;
+  Lsn min_lsn = kInvalidLsn;
+
+  std::string Encode(uint16_t version = kProtocolVersion) const;
+  static Status Decode(Slice wire, GetPageRequest* out,
+                       uint16_t* version);
+};
+
+struct GetPageRangeRequest {
+  PageId first_page = kInvalidPageId;
+  uint32_t count = 0;
+  Lsn min_lsn = kInvalidLsn;
+
+  std::string Encode(uint16_t version = kProtocolVersion) const;
+  static Status Decode(Slice wire, GetPageRangeRequest* out,
+                       uint16_t* version);
+};
+
+/// Response: status code + zero or more full page images (checksummed).
+struct PageResponse {
+  Status status;
+  std::vector<storage::Page> pages;
+
+  std::string Encode() const;
+  static Status Decode(Slice wire, PageResponse* out);
+};
+
+/// Server side of the protocol. Page Servers implement this.
+class RbioServer {
+ public:
+  virtual ~RbioServer() = default;
+  /// Handle one encoded request frame; returns the encoded response.
+  virtual sim::Task<Result<std::string>> HandleRbio(std::string frame) = 0;
+};
+
+/// One addressable replica of a partition's server.
+struct Endpoint {
+  RbioServer* server = nullptr;
+  std::string name;
+};
+
+struct RbioClientOptions {
+  sim::LatencyModel network = sim::DeviceProfile::IntraDcNetwork().read;
+  SimTime cpu_per_request_us = 8;
+  int max_attempts = 4;
+  SimTime retry_backoff_us = 2000;
+  /// EWMA smoothing for per-endpoint latency (QoS selection).
+  double ewma_alpha = 0.2;
+};
+
+/// Client side: typed calls, retries, QoS replica selection.
+class RbioClient {
+ public:
+  RbioClient(sim::Simulator& sim, sim::CpuResource* cpu,
+             const RbioClientOptions& options, uint64_t seed = 0xb10);
+
+  /// GetPage@LSN against the best replica in `replicas`.
+  sim::Task<Result<storage::Page>> GetPage(
+      const std::vector<Endpoint>& replicas, PageId page_id, Lsn min_lsn);
+
+  /// Multi-page read (scan readahead): pages [first, first+count) as of
+  /// min_lsn. Pages that do not exist are simply absent from the result.
+  sim::Task<Result<std::vector<storage::Page>>> GetPageRange(
+      const std::vector<Endpoint>& replicas, PageId first_page,
+      uint32_t count, Lsn min_lsn);
+
+  uint64_t requests_sent() const { return requests_; }
+  uint64_t retries() const { return retries_; }
+
+  /// Observed EWMA latency for an endpoint (0 if never used).
+  double EwmaLatencyUs(const std::string& endpoint_name) const;
+
+ private:
+  // Pick the healthy endpoint with the lowest EWMA latency; unknown
+  // endpoints count as fastest (explore once).
+  size_t PickReplica(const std::vector<Endpoint>& replicas,
+                     size_t attempt) const;
+
+  sim::Task<Result<PageResponse>> Roundtrip(
+      const std::vector<Endpoint>& replicas, std::string frame);
+
+  struct EndpointStats {
+    double ewma_us = 0;
+    bool seen = false;
+  };
+
+  sim::Simulator& sim_;
+  sim::CpuResource* cpu_;
+  RbioClientOptions opts_;
+  mutable Random rng_;
+  std::map<std::string, EndpointStats> stats_;
+  uint64_t requests_ = 0;
+  uint64_t retries_ = 0;
+};
+
+}  // namespace rbio
+}  // namespace socrates

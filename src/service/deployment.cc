@@ -1,0 +1,300 @@
+#include "service/deployment.h"
+
+namespace socrates {
+namespace service {
+
+Deployment::Deployment(sim::Simulator& sim,
+                       const DeploymentOptions& options)
+    : sim_(sim), opts_(options) {
+  owned_xstore_ = std::make_unique<xstore::XStore>(
+      sim, sim::DeviceProfile::XStore(), opts_.xstore_bandwidth_mb_s);
+  xstore_ = owned_xstore_.get();
+  lz_ = std::make_unique<xlog::LandingZone>(sim, opts_.lz_profile,
+                                            opts_.lz_capacity_bytes);
+  xlog::XLogOptions xopts = opts_.xlog;
+  xopts.partition_map = opts_.partition_map;
+  owned_xlog_ = std::make_unique<xlog::XLogProcess>(sim, lz_.get(),
+                                                    xstore_, xopts);
+  xlog_ = owned_xlog_.get();
+  router_ =
+      std::make_unique<compute::PageServerRouter>(opts_.partition_map);
+}
+
+// PITR constructor: share the parent's XStore and XLOG (same log
+// archive); no landing zone / client — the restored deployment is frozen
+// at its target LSN and serves reads only.
+Deployment::Deployment(sim::Simulator& sim,
+                       const DeploymentOptions& options, Deployment* parent,
+                       const std::string& blob_suffix)
+    : sim_(sim), opts_(options) {
+  xstore_ = parent->xstore_;
+  xlog_ = parent->xlog_;
+  router_ =
+      std::make_unique<compute::PageServerRouter>(opts_.partition_map);
+  blob_suffix_ = blob_suffix;
+  restored_ = true;
+}
+
+Deployment::~Deployment() = default;
+
+sim::Task<Status> Deployment::Start() {
+  xlog_->Start();
+  xlog::XLogClientOptions copts = opts_.xlog_client;
+  copts.partition_map = opts_.partition_map;
+  client_ = std::make_unique<xlog::XLogClient>(sim_, lz_.get(), xlog_,
+                                               nullptr, copts);
+  client_->Start();
+
+  SOCRATES_CO_RETURN_IF_ERROR(co_await StartPageServers());
+
+  primary_ = std::make_unique<compute::ComputeNode>(
+      sim_, compute::ComputeNode::Role::kPrimary, router_.get(), xlog_,
+      client_.get(), opts_.compute);
+  // The log writer runs inside the Primary process: its LZ I/O burns the
+  // Primary's CPU (the Table 7 effect).
+  client_->SetCpu(&primary_->cpu());
+  SOCRATES_CO_RETURN_IF_ERROR(co_await primary_->BootstrapPrimary());
+  last_checkpoint_lsn_ = engine::kLogStreamStart;
+
+  for (int i = 0; i < opts_.num_secondaries; i++) {
+    Result<compute::ComputeNode*> s = co_await AddSecondary();
+    if (!s.ok()) co_return s.status();
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> Deployment::StartPageServers() {
+  for (int p = 0; p < opts_.num_page_servers; p++) {
+    pageserver::PageServerOptions ps_opts = opts_.page_server;
+    ps_opts.partition = static_cast<PartitionId>(p);
+    ps_opts.partition_map = opts_.partition_map;
+    auto ps = std::make_unique<pageserver::PageServer>(sim_, xlog_,
+                                                       xstore_, ps_opts);
+    SOCRATES_CO_RETURN_IF_ERROR(co_await ps->Start());
+    router_->Add(static_cast<PartitionId>(p), ps.get());
+    page_servers_.push_back(std::move(ps));
+  }
+  co_return Status::OK();
+}
+
+void Deployment::Stop() {
+  for (auto& ps : page_servers_) ps->Stop();
+  if (client_ != nullptr) client_->Stop();
+  if (owned_xlog_ != nullptr) owned_xlog_->Stop();
+}
+
+sim::Task<Status> Deployment::Checkpoint() {
+  Result<Lsn> lsn = co_await primary_->LogCheckpoint();
+  if (!lsn.ok()) co_return lsn.status();
+  last_checkpoint_lsn_ = *lsn;
+  // Persist the replay point: a control plane (or a replacement one)
+  // must find it without any compute node's memory.
+  std::string state;
+  PutFixed64(&state, last_checkpoint_lsn_);
+  Status ps = co_await xstore_->Write("control/state" + blob_suffix_, 0,
+                                      Slice(state));
+  // Control-state persistence is best-effort here: if XStore is out, the
+  // in-memory value still covers this control plane's lifetime and the
+  // next checkpoint retries.
+  (void)ps;
+  co_return Status::OK();
+}
+
+sim::Task<Status> Deployment::CheckpointAll() {
+  // §5 distributed checkpointing: every Page Server flushes its
+  // partition concurrently; the control record follows once all are in.
+  struct JoinState {
+    explicit JoinState(sim::Simulator& s) : wg(s) {}
+    sim::WaitGroup wg;
+    Status first_error;
+  };
+  auto state = std::make_shared<JoinState>(sim_);
+  state->wg.Add(static_cast<int>(page_servers_.size()));
+  for (auto& ps : page_servers_) {
+    sim::Spawn(sim_, [](pageserver::PageServer* server,
+                        std::shared_ptr<JoinState> js) -> sim::Task<> {
+      Status s = co_await server->Checkpoint();
+      if (!s.ok() && js->first_error.ok()) js->first_error = s;
+      js->wg.Done();
+    }(ps.get(), state));
+  }
+  co_await state->wg.Wait();
+  SOCRATES_CO_RETURN_IF_ERROR(state->first_error);
+  co_return co_await Checkpoint();
+}
+
+sim::Task<Result<Lsn>> Deployment::LoadControlCheckpointLsn() {
+  std::string state;
+  Status s = co_await xstore_->Read("control/state" + blob_suffix_, 0, 8,
+                                    &state);
+  if (!s.ok()) co_return Result<Lsn>(s);
+  co_return DecodeFixed64(state.data());
+}
+
+sim::Task<Status> Deployment::Failover(int idx) {
+  if (idx >= num_secondaries()) {
+    co_return Status::InvalidArgument("no such secondary");
+  }
+  // The Primary dies; its state is disposable (§4.2: Compute nodes are
+  // stateless). No log can be in flight that matters: only hardened log
+  // counts, and that lives in the LZ.
+  primary_->Crash();
+  primary_.reset();
+  // Promote the chosen Secondary once it drained the hardened log.
+  std::unique_ptr<compute::ComputeNode> promoted =
+      std::move(secondaries_[idx]);
+  secondaries_.erase(secondaries_.begin() + idx);
+  SOCRATES_CO_RETURN_IF_ERROR(
+      co_await promoted->Promote(client_.get(), lz_->durable_end()));
+  primary_ = std::move(promoted);
+  client_->SetCpu(&primary_->cpu());
+  co_return Status::OK();
+}
+
+sim::Task<Status> Deployment::RestartPrimary() {
+  primary_->Crash();
+  co_return co_await primary_->RecoverPrimary(last_checkpoint_lsn_,
+                                              lz_->durable_end());
+}
+
+sim::Task<Result<compute::ComputeNode*>> Deployment::AddSecondary() {
+  co_return co_await AddSecondaryWithOptions(opts_.compute);
+}
+
+sim::Task<Result<compute::ComputeNode*>> Deployment::AddSecondaryWithOptions(
+    const compute::ComputeOptions& copts) {
+  auto node = std::make_unique<compute::ComputeNode>(
+      sim_, compute::ComputeNode::Role::kSecondary, router_.get(), xlog_,
+      nullptr, copts);
+  SOCRATES_CO_RETURN_IF_ERROR(co_await node->StartSecondary());
+  secondaries_.push_back(std::move(node));
+  co_return secondaries_.back().get();
+}
+
+sim::Task<Result<compute::ComputeNode*>> Deployment::AddGeoSecondary(
+    SimTime rtt_us) {
+  compute::ComputeOptions copts =
+      compute::ComputeOptions::GeoReplica(rtt_us);
+  copts.cpu_cores = opts_.compute.cpu_cores;
+  copts.mem_pages = opts_.compute.mem_pages;
+  copts.ssd_pages = opts_.compute.ssd_pages;
+  co_return co_await AddSecondaryWithOptions(copts);
+}
+
+sim::Task<Status> Deployment::ResizeCompute(int new_cores) {
+  compute::ComputeOptions copts = opts_.compute;
+  copts.cpu_cores = new_cores;
+  Result<compute::ComputeNode*> node =
+      co_await AddSecondaryWithOptions(copts);
+  if (!node.ok()) co_return node.status();
+  opts_.compute.cpu_cores = new_cores;
+  // The freshly added secondary is the last one; fail over to it.
+  co_return co_await Failover(num_secondaries() - 1);
+}
+
+sim::Task<Status> Deployment::AddPageServerReplica(PartitionId partition) {
+  if (partition >= page_servers_.size()) {
+    co_return Status::InvalidArgument("no such partition");
+  }
+  pageserver::PageServerOptions ps_opts = opts_.page_server;
+  ps_opts.partition = partition;
+  ps_opts.partition_map = opts_.partition_map;
+  ps_opts.blob_override =
+      pageserver::PageServer::BlobName(partition) + "-replica";
+  auto replica = std::make_unique<pageserver::PageServer>(
+      sim_, xlog_, xstore_, ps_opts);
+  SOCRATES_CO_RETURN_IF_ERROR(co_await replica->Start());
+  // Visible to the RBIO client immediately: QoS replica selection can
+  // route reads to it, and failover is a metadata flip.
+  router_->AddReplica(partition, replica.get());
+  ps_replicas_[partition] = std::move(replica);
+  co_return Status::OK();
+}
+
+sim::Task<Status> Deployment::FailoverPageServer(PartitionId partition) {
+  auto it = ps_replicas_.find(partition);
+  if (it == ps_replicas_.end()) {
+    co_return Status::InvalidArgument("partition has no replica");
+  }
+  if (partition < page_servers_.size()) {
+    page_servers_[partition]->Crash();
+  }
+  // The replica is warm (it has been applying the same filtered log all
+  // along); rerouting is a metadata operation.
+  router_->Add(partition, it->second.get());
+  co_return Status::OK();
+}
+
+sim::Task<Result<BackupHandle>> Deployment::Backup() {
+  BackupHandle handle;
+  // Make the replay point recent, then snapshot every partition. The
+  // snapshots are fuzzy relative to each other; the per-partition
+  // restart LSNs plus the shared log make restore exact.
+  SOCRATES_CO_RETURN_IF_ERROR(co_await Checkpoint());
+  handle.checkpoint_lsn = last_checkpoint_lsn_;
+  for (auto& ps : page_servers_) {
+    Result<xstore::SnapshotId> snap = co_await ps->Backup();
+    if (!snap.ok()) co_return snap.status();
+    handle.partition_snapshots.push_back(*snap);
+    handle.partition_restart_lsns.push_back(ps->restart_lsn());
+  }
+  handle.backup_lsn = lz_->durable_end();
+  co_return std::move(handle);
+}
+
+sim::Task<Result<std::unique_ptr<Deployment>>>
+Deployment::PointInTimeRestore(const BackupHandle& backup,
+                               Lsn target_lsn) {
+  if (backup.partition_snapshots.size() != page_servers_.size()) {
+    co_return Result<std::unique_ptr<Deployment>>(
+        Status::InvalidArgument("backup does not match deployment"));
+  }
+  static int restore_counter = 0;
+  std::string suffix = "/restore-" + std::to_string(restore_counter++);
+
+  auto restored = std::unique_ptr<Deployment>(
+      new Deployment(sim_, opts_, this, suffix));
+
+  // 1. Constant-time: copy each snapshot to a new blob and write its
+  //    restore metadata (replay point).
+  for (size_t p = 0; p < backup.partition_snapshots.size(); p++) {
+    std::string blob =
+        pageserver::PageServer::BlobName(static_cast<PartitionId>(p)) +
+        suffix;
+    SOCRATES_CO_RETURN_IF_ERROR(
+        co_await xstore_->Restore(backup.partition_snapshots[p], blob));
+    std::string meta;
+    PutFixed64(&meta, backup.partition_restart_lsns[p]);
+    SOCRATES_CO_RETURN_IF_ERROR(
+        co_await xstore_->Write(blob + "/meta", 0, Slice(meta)));
+  }
+
+  // 2. Attach new Page Servers to the copied blobs; they replay the log
+  //    range [restart, target) from the shared XLOG/LT and then freeze.
+  for (size_t p = 0; p < backup.partition_snapshots.size(); p++) {
+    pageserver::PageServerOptions ps_opts = opts_.page_server;
+    ps_opts.partition = static_cast<PartitionId>(p);
+    ps_opts.partition_map = opts_.partition_map;
+    ps_opts.apply_until = target_lsn;
+    ps_opts.blob_override =
+        pageserver::PageServer::BlobName(static_cast<PartitionId>(p)) +
+        suffix;
+    auto ps = std::make_unique<pageserver::PageServer>(
+        sim_, xlog_, xstore_, ps_opts);
+    SOCRATES_CO_RETURN_IF_ERROR(co_await ps->Start());
+    restored->router_->Add(static_cast<PartitionId>(p), ps.get());
+    restored->page_servers_.push_back(std::move(ps));
+  }
+
+  // 3. A read-only "primary" recovers engine state as of target_lsn.
+  compute::ComputeOptions copts = opts_.compute;
+  restored->primary_ = std::make_unique<compute::ComputeNode>(
+      sim_, compute::ComputeNode::Role::kPrimary,
+      restored->router_.get(), xlog_, nullptr, copts);
+  SOCRATES_CO_RETURN_IF_ERROR(co_await restored->primary_->RecoverPrimary(
+      backup.checkpoint_lsn, target_lsn));
+  co_return std::move(restored);
+}
+
+}  // namespace service
+}  // namespace socrates

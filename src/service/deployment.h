@@ -1,0 +1,174 @@
+// Deployment: the Socrates control plane (paper §5, §6).
+//
+// Wires the four tiers together — Compute (Primary + Secondaries), XLOG
+// (landing zone + XLOG process), Page Servers, XStore — and implements
+// the distributed workflows: bootstrap, checkpointing, primary failover,
+// adding Secondaries and Page Server replicas, constant-time backup, and
+// point-in-time restore (PITR). §6's flexibility claims map directly to
+// DeploymentOptions: any number of Secondaries, any partition count, LZ
+// on XIO or DirectDrive.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compute/compute_node.h"
+#include "hadr/hadr.h"
+#include "pageserver/page_server.h"
+#include "xlog/landing_zone.h"
+#include "xlog/xlog_client.h"
+#include "xlog/xlog_process.h"
+#include "xstore/xstore.h"
+
+namespace socrates {
+namespace service {
+
+struct DeploymentOptions {
+  /// Landing-zone storage service (XIO vs DirectDrive, Appendix A).
+  sim::DeviceProfile lz_profile = sim::DeviceProfile::DirectDrive();
+  uint64_t lz_capacity_bytes = 256 * MiB;
+  xlog::PartitionMap partition_map{/*pages_per_partition=*/16384};
+  int num_page_servers = 1;
+  int num_secondaries = 0;
+  compute::ComputeOptions compute;
+  pageserver::PageServerOptions page_server;  // partition filled per server
+  xlog::XLogOptions xlog;
+  xlog::XLogClientOptions xlog_client;
+  /// XStore bandwidth cap in MB/s (shared by checkpoints, backups, LT).
+  double xstore_bandwidth_mb_s = 200.0;
+};
+
+/// Handle returned by Backup(); the input to PITR.
+struct BackupHandle {
+  std::vector<xstore::SnapshotId> partition_snapshots;
+  std::vector<Lsn> partition_restart_lsns;
+  Lsn backup_lsn = kInvalidLsn;      // durable log end at backup time
+  Lsn checkpoint_lsn = kInvalidLsn;  // primary replay point
+};
+
+class Deployment {
+ public:
+  Deployment(sim::Simulator& sim, const DeploymentOptions& options);
+  ~Deployment();
+
+  /// Bring up all tiers and bootstrap an empty database.
+  sim::Task<Status> Start();
+  void Stop();
+
+  // ----- Accessors.
+  compute::ComputeNode* primary() { return primary_.get(); }
+  compute::ComputeNode* secondary(int i) { return secondaries_[i].get(); }
+  int num_secondaries() const {
+    return static_cast<int>(secondaries_.size());
+  }
+  pageserver::PageServer* page_server(int i) {
+    return page_servers_[i].get();
+  }
+  int num_page_servers() const {
+    return static_cast<int>(page_servers_.size());
+  }
+  xstore::XStore& xstore() { return *xstore_; }
+  xlog::XLogProcess& xlog() { return *xlog_; }
+  xlog::LandingZone& landing_zone() { return *lz_; }
+  xlog::XLogClient& log_client() { return *client_; }
+  engine::Engine* primary_engine() { return primary_->engine(); }
+  Lsn durable_end() const { return lz_->durable_end(); }
+  Lsn last_checkpoint_lsn() const { return last_checkpoint_lsn_; }
+
+  // ----- Workflows (§5).
+
+  /// Emit a checkpoint record on the primary and persist its LSN in the
+  /// control blob (the control-plane "boot page" in XStore).
+  sim::Task<Status> Checkpoint();
+
+  /// Distributed checkpoint (§5): all Page Servers checkpoint their
+  /// partitions in parallel, then the primary's checkpoint record is
+  /// logged and the control state persisted.
+  sim::Task<Status> CheckpointAll();
+
+  /// Re-read the persisted control state (a brand-new control plane
+  /// taking over the deployment would start here).
+  sim::Task<Result<Lsn>> LoadControlCheckpointLsn();
+
+  /// Kill the Primary and promote Secondary `idx` (default 0). The old
+  /// Primary object is destroyed; no data is lost (statelessness).
+  sim::Task<Status> Failover(int idx = 0);
+
+  /// Restart a crashed Primary in place (warm RBPEX restart, §3.3).
+  sim::Task<Status> RestartPrimary();
+
+  /// Spin up one more read Secondary. O(1): no data copy; the cache
+  /// fills on demand.
+  sim::Task<Result<compute::ComputeNode*>> AddSecondary();
+
+  /// Secondary with custom options (e.g. a different T-shirt size).
+  sim::Task<Result<compute::ComputeNode*>> AddSecondaryWithOptions(
+      const compute::ComputeOptions& copts);
+
+  /// Read replica in another region (§6 geo-replication): page fetches
+  /// and log shipping pay `rtt_us` of cross-region latency.
+  sim::Task<Result<compute::ComputeNode*>> AddGeoSecondary(SimTime rtt_us);
+
+  /// Serverless scale up/down (§5): bring up a Secondary with the new
+  /// core count and fail over to it — O(1) regardless of database size.
+  sim::Task<Status> ResizeCompute(int new_cores);
+
+  /// Hot-standby replica of a partition's Page Server (§6, "a second way
+  /// to add a Page Server"). It consumes the same filtered log stream
+  /// and checkpoints to its own blob.
+  sim::Task<Status> AddPageServerReplica(PartitionId partition);
+
+  /// Fail a partition over to its replica: near-zero MTTR because the
+  /// replica is already warm (§6).
+  sim::Task<Status> FailoverPageServer(PartitionId partition);
+
+  pageserver::PageServer* page_server_replica(PartitionId partition) {
+    auto it = ps_replicas_.find(partition);
+    return it == ps_replicas_.end() ? nullptr : it->second.get();
+  }
+
+  /// Constant-time backup of the whole database: checkpoint everywhere,
+  /// snapshot every partition blob (no data copied).
+  sim::Task<Result<BackupHandle>> Backup();
+
+  /// Point-in-time restore: materialize a *new* set of Page Servers (and
+  /// a new Primary) from the backup snapshots plus the log range
+  /// [backup, target_lsn). The restored deployment is returned as a new
+  /// Deployment sharing this cluster's XStore and XLOG (the log archive
+  /// is the same log). target_lsn must be within (backup_lsn,
+  /// durable_end].
+  sim::Task<Result<std::unique_ptr<Deployment>>> PointInTimeRestore(
+      const BackupHandle& backup, Lsn target_lsn);
+
+ private:
+  // Private constructor used by PITR: attach to existing storage tiers.
+  Deployment(sim::Simulator& sim, const DeploymentOptions& options,
+             Deployment* parent, const std::string& blob_suffix);
+
+  sim::Task<Status> StartPageServers();
+
+  sim::Simulator& sim_;
+  DeploymentOptions opts_;
+
+  std::unique_ptr<xstore::XStore> owned_xstore_;
+  xstore::XStore* xstore_;
+  std::unique_ptr<xlog::LandingZone> lz_;
+  std::unique_ptr<xlog::XLogProcess> owned_xlog_;
+  xlog::XLogProcess* xlog_;
+  std::unique_ptr<xlog::XLogClient> client_;
+  std::unique_ptr<compute::PageServerRouter> router_;
+  std::vector<std::unique_ptr<pageserver::PageServer>> page_servers_;
+  std::map<PartitionId, std::unique_ptr<pageserver::PageServer>>
+      ps_replicas_;
+  std::unique_ptr<compute::ComputeNode> primary_;
+  std::vector<std::unique_ptr<compute::ComputeNode>> secondaries_;
+
+  Lsn last_checkpoint_lsn_ = engine::kLogStreamStart;
+  std::string blob_suffix_;  // PITR restores use fresh blob names
+  bool restored_ = false;    // true for PITR deployments (frozen log)
+};
+
+}  // namespace service
+}  // namespace socrates

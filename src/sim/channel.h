@@ -1,0 +1,104 @@
+// Channel<T>: unbounded MPMC queue with awaitable Pop, the message-passing
+// backbone between Socrates mini-services (log dissemination, RBIO-style
+// request queues). Close() drains waiters with nullopt, which is how
+// service loops observe shutdown.
+
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "sim/simulator.h"
+
+namespace socrates {
+namespace sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueue an item. If a popper is waiting, the item is handed to it
+  /// directly (FIFO).
+  void Push(T item) {
+    if (closed_) return;  // pushes after close are dropped
+    if (!poppers_.empty()) {
+      auto w = poppers_.front();
+      poppers_.pop_front();
+      w->item.emplace(std::move(item));
+      w->done = true;
+      sim_.ScheduleAfter(0, [w]() { w->handle.resume(); });
+      return;
+    }
+    items_.push_back(std::move(item));
+  }
+
+  /// co_await ch.Pop() -> std::optional<T>; nullopt means closed and empty.
+  auto Pop() {
+    struct Awaiter {
+      Channel& ch;
+      std::shared_ptr<Waiter> w;
+      std::optional<T> immediate;
+      bool has_immediate = false;
+
+      bool await_ready() {
+        if (!ch.items_.empty()) {
+          immediate.emplace(std::move(ch.items_.front()));
+          ch.items_.pop_front();
+          has_immediate = true;
+          return true;
+        }
+        if (ch.closed_) {
+          has_immediate = true;  // immediate stays nullopt
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        w = std::make_shared<Waiter>();
+        w->handle = h;
+        ch.poppers_.push_back(w);
+      }
+      std::optional<T> await_resume() {
+        if (has_immediate) return std::move(immediate);
+        return std::move(w->item);
+      }
+    };
+    return Awaiter{*this, nullptr, std::nullopt, false};
+  }
+
+  /// Close the channel: queued items can still be popped; waiting poppers
+  /// receive nullopt.
+  void Close() {
+    closed_ = true;
+    for (auto& w : poppers_) {
+      w->done = true;  // item stays nullopt
+      auto wc = w;
+      sim_.ScheduleAfter(0, [wc]() { wc->handle.resume(); });
+    }
+    poppers_.clear();
+  }
+
+  bool closed() const { return closed_; }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T> item;
+    bool done = false;
+  };
+
+  Simulator& sim_;
+  std::deque<T> items_;
+  std::deque<std::shared_ptr<Waiter>> poppers_;
+  bool closed_ = false;
+};
+
+}  // namespace sim
+}  // namespace socrates

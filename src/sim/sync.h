@@ -1,0 +1,284 @@
+// Coroutine synchronization primitives for the simulator: Event, Mutex,
+// Semaphore, WaitGroup. All wake-ups are scheduled through the simulator
+// (never resumed inline) so primitives can be signalled from any context
+// without re-entrancy surprises, and same-time wake-ups stay FIFO.
+
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace socrates {
+namespace sim {
+
+/// Manual-reset event. Set() wakes all current waiters and leaves the event
+/// set until Reset(). Supports waits with timeout.
+class Event {
+ public:
+  explicit Event(Simulator& sim) : sim_(sim) {}
+
+  void Set() {
+    set_ = true;
+    for (auto& w : waiters_) {
+      WakeUp(w, /*fired=*/true);
+    }
+    waiters_.clear();
+  }
+
+  void Reset() { set_ = false; }
+  bool is_set() const { return set_; }
+
+  /// co_await event.Wait(): resumes once the event is set.
+  auto Wait() {
+    struct Awaiter {
+      Event& e;
+      bool await_ready() const { return e.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        auto w = std::make_shared<Waiter>();
+        w->handle = h;
+        e.waiters_.push_back(w);
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// co_await event.WaitFor(timeout): true if the event fired, false if the
+  /// timeout elapsed first.
+  auto WaitFor(SimTime timeout) {
+    struct Awaiter {
+      Event& e;
+      SimTime timeout;
+      std::shared_ptr<Waiter> w;
+      bool await_ready() const { return e.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        w = std::make_shared<Waiter>();
+        w->handle = h;
+        e.waiters_.push_back(w);
+        std::shared_ptr<Waiter> wc = w;
+        e.sim_.ScheduleAfter(timeout, [wc]() {
+          if (!wc->done) {
+            wc->done = true;
+            wc->fired = false;
+            wc->handle.resume();
+          }
+        });
+      }
+      bool await_resume() const { return w ? w->fired : true; }
+    };
+    return Awaiter{*this, timeout, nullptr};
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    bool done = false;
+    bool fired = false;
+  };
+
+  void WakeUp(const std::shared_ptr<Waiter>& w, bool fired) {
+    if (w->done) return;
+    w->done = true;
+    w->fired = fired;
+    std::shared_ptr<Waiter> wc = w;
+    sim_.ScheduleAfter(0, [wc]() { wc->handle.resume(); });
+  }
+
+  Simulator& sim_;
+  bool set_ = false;
+  std::deque<std::shared_ptr<Waiter>> waiters_;
+};
+
+/// FIFO mutex. Use via `auto guard = co_await mu.Acquire();`.
+class Mutex {
+ public:
+  explicit Mutex(Simulator& sim) : sim_(sim) {}
+
+  class [[nodiscard]] Guard {
+   public:
+    Guard() : mu_(nullptr) {}
+    explicit Guard(Mutex* mu) : mu_(mu) {}
+    Guard(Guard&& other) noexcept : mu_(std::exchange(other.mu_, nullptr)) {}
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        mu_ = std::exchange(other.mu_, nullptr);
+      }
+      return *this;
+    }
+    ~Guard() { Release(); }
+
+    void Release() {
+      if (mu_) {
+        mu_->Unlock();
+        mu_ = nullptr;
+      }
+    }
+
+   private:
+    Mutex* mu_;
+  };
+
+  auto Acquire() {
+    struct Awaiter {
+      Mutex& mu;
+      // Takes the lock in await_ready on the fast path; otherwise Unlock()
+      // hands the (still-held) lock directly to the next waiter, so no
+      // third party can steal it between hand-off and resume.
+      bool await_ready() {
+        if (!mu.locked_) {
+          mu.locked_ = true;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        mu.waiters_.push_back(h);
+      }
+      Guard await_resume() { return Guard(&mu); }
+    };
+    return Awaiter{*this};
+  }
+
+  bool locked() const { return locked_; }
+
+ private:
+  friend class Guard;
+
+  void Unlock() {
+    assert(locked_);
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      // Lock stays held; ownership transfers to the resumed waiter.
+      sim_.ScheduleAfter(0, [h]() { h.resume(); });
+    } else {
+      locked_ = false;
+    }
+  }
+
+  Simulator& sim_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO wake-up.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, int64_t permits)
+      : sim_(sim), permits_(permits) {}
+
+  auto Acquire() {
+    struct Awaiter {
+      Semaphore& s;
+      // Fast path takes a permit in await_ready; slow path receives a
+      // permit handed directly by Release(), immune to stealing.
+      bool await_ready() {
+        if (s.permits_ > 0) {
+          s.permits_--;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        s.waiters_.push_back(h);
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{*this};
+  }
+
+  void Release(int64_t n = 1) {
+    while (n > 0 && !waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      n--;  // permit handed directly to the waiter
+      sim_.ScheduleAfter(0, [h]() { h.resume(); });
+    }
+    permits_ += n;
+  }
+
+  int64_t permits() const { return permits_; }
+  size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Simulator& sim_;
+  int64_t permits_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Watermark: a monotonically increasing counter with awaitable
+/// thresholds. This is the shape of every ordering wait in Socrates:
+/// "wait until the log is hardened up to LSN", "wait until this Page
+/// Server has applied log up to LSN" (the GetPage@LSN protocol), "wait
+/// until the Secondary caught up".
+class Watermark {
+ public:
+  explicit Watermark(Simulator& sim) : sim_(sim) {}
+
+  uint64_t value() const { return value_; }
+
+  /// Raise the watermark (monotonic; lower values are ignored) and wake
+  /// every waiter whose threshold is now reached.
+  void Advance(uint64_t to) {
+    if (to <= value_) return;
+    value_ = to;
+    auto end = waiters_.upper_bound(to);
+    for (auto it = waiters_.begin(); it != end; ++it) {
+      auto h = it->second;
+      sim_.ScheduleAfter(0, [h]() { h.resume(); });
+    }
+    waiters_.erase(waiters_.begin(), end);
+  }
+
+  /// co_await wm.WaitFor(t): resumes once value() >= t.
+  auto WaitFor(uint64_t threshold) {
+    struct Awaiter {
+      Watermark& wm;
+      uint64_t threshold;
+      bool await_ready() const { return wm.value_ >= threshold; }
+      void await_suspend(std::coroutine_handle<> h) {
+        wm.waiters_.emplace(threshold, h);
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{*this, threshold};
+  }
+
+  size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Simulator& sim_;
+  uint64_t value_ = 0;
+  std::multimap<uint64_t, std::coroutine_handle<>> waiters_;
+};
+
+/// WaitGroup: await completion of N detached tasks (quorum = await subset).
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulator& sim) : event_(sim) {}
+
+  void Add(int n = 1) {
+    count_ += n;
+    if (count_ > 0) event_.Reset();
+  }
+  void Done() {
+    assert(count_ > 0);
+    if (--count_ == 0) event_.Set();
+  }
+  auto Wait() { return event_.Wait(); }
+  int count() const { return count_; }
+
+ private:
+  Event event_;
+  int count_ = 0;
+};
+
+}  // namespace sim
+}  // namespace socrates

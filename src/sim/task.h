@@ -1,0 +1,212 @@
+// Task<T>: lazy coroutine type with symmetric transfer, plus Spawn() for
+// detached fire-and-forget service loops.
+//
+// Conventions used throughout the codebase:
+//  * `Task<T> Foo()` — structured concurrency: the caller co_awaits it and
+//    the coroutine frame lives exactly as long as the await expression.
+//  * `Spawn(sim, Foo())` — a detached background process (a service loop, a
+//    replica write). The frame self-destructs when the coroutine finishes.
+//    Detached tasks must not throw; they communicate via Status, channels,
+//    and events.
+//  * Nothing is ever cancelled by destroying a suspended coroutine: node
+//    failures are modelled with epoch flags, so in-flight awaits always run
+//    to completion against the simulator. This keeps lifetimes trivially
+//    correct.
+
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace socrates {
+namespace sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+template <typename T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase<T> {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    handle_.promise().continuation = cont;
+    return handle_;  // start the child (symmetric transfer)
+  }
+  T await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+    return std::move(*handle_.promise().value);
+  }
+
+  bool done() const { return handle_ && handle_.done(); }
+
+ private:
+  template <typename U>
+  friend void Spawn(Simulator& s, Task<U> task);
+
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase<void> {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  bool done() const { return handle_ && handle_.done(); }
+
+ private:
+  template <typename U>
+  friend void Spawn(Simulator& s, Task<U> task);
+
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+// Self-destroying wrapper used by Spawn. initial_suspend = never so it
+// starts synchronously; final_suspend = never so the frame frees itself.
+struct DetachedTask {
+  struct promise_type {
+    DetachedTask get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+template <typename T>
+DetachedTask RunDetached(Task<T> task) {
+  if constexpr (std::is_void_v<T>) {
+    co_await std::move(task);
+  } else {
+    (void)co_await std::move(task);
+  }
+}
+
+}  // namespace detail
+
+/// Launch `task` as a detached background process. It begins executing
+/// immediately (synchronously until its first suspension point). The
+/// Simulator argument documents intent; detached tasks always live on the
+/// simulator that their awaited primitives reference.
+template <typename T>
+void Spawn(Simulator& s, Task<T> task) {
+  (void)s;
+  detail::RunDetached(std::move(task));
+}
+
+/// Awaitable that resumes the coroutine `delay` microseconds of virtual
+/// time later.
+class Delay {
+ public:
+  Delay(Simulator& sim, SimTime delay) : sim_(sim), delay_(delay) {}
+
+  // Always suspends, even for zero delay: Yield must push the coroutine to
+  // the back of the current-time event queue.
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim_.ScheduleAfter(delay_ > 0 ? delay_ : 0, [h]() { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator& sim_;
+  SimTime delay_;
+};
+
+/// Awaitable that reschedules the coroutine at the current time, letting
+/// other ready events run first (a cooperative yield).
+inline Delay Yield(Simulator& sim) { return Delay(sim, 0); }
+
+}  // namespace sim
+}  // namespace socrates

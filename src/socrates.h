@@ -1,0 +1,32 @@
+// Umbrella header: the public API of the Socrates reproduction.
+//
+// Most applications need only:
+//   * service::Deployment / DeploymentOptions — build and operate a full
+//     Socrates cluster (compute + XLOG + page servers + XStore) and run
+//     its workflows (failover, backup, PITR, resize, replicas);
+//   * engine::Engine — begin/commit snapshot-isolation transactions
+//     against the deployment's primary (Get/Put/Delete/Scan);
+//   * sim::Simulator — the virtual clock everything runs on: spawn your
+//     driver coroutine with sim::Spawn and pump with Step()/Run().
+//
+// See examples/quickstart.cpp for the canonical five-minute tour, and
+// the per-module headers for the deeper layers (engine internals, XLOG,
+// RBIO, HADR baseline, workloads).
+
+#pragma once
+
+#include "compute/compute_node.h"
+#include "engine/txn_engine.h"
+#include "hadr/hadr.h"
+#include "pageserver/page_server.h"
+#include "rbio/rbio.h"
+#include "service/deployment.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "workload/cdb.h"
+#include "workload/tpce_like.h"
+#include "workload/workload.h"
+#include "xlog/landing_zone.h"
+#include "xlog/xlog_client.h"
+#include "xlog/xlog_process.h"
+#include "xstore/xstore.h"

@@ -1,0 +1,221 @@
+// BlockDevice: the byte-addressable async storage abstraction under every
+// tier (the analogue of SQL Server's FCB I/O virtualization layer, §3.6).
+// SimBlockDevice models one device with a latency profile and optional
+// outage injection; ReplicatedBlockDevice adds N-way replication with
+// write quorum K — the shape of the XIO landing zone and of XStore.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/latency.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace socrates {
+namespace storage {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Read `len` bytes at `offset` into `*out` (replacing its contents).
+  /// Unwritten ranges read as zero bytes.
+  virtual sim::Task<Status> Read(uint64_t offset, uint64_t len,
+                                 std::string* out) = 0;
+
+  /// Write `data` at `offset`.
+  virtual sim::Task<Status> Write(uint64_t offset, Slice data) = 0;
+
+  /// CPU microseconds the issuing node burns per request on this device
+  /// (REST marshalling vs. cheap RDMA path; see DeviceProfile).
+  virtual SimTime cpu_per_io_us() const = 0;
+
+  virtual const CounterStats& stats() const = 0;
+};
+
+/// In-memory device with modelled latency. Storage is a sparse chunk map so
+/// multi-GiB address spaces cost only what is actually written.
+class SimBlockDevice : public BlockDevice {
+ public:
+  SimBlockDevice(sim::Simulator& sim, sim::DeviceProfile profile,
+                 uint64_t seed = 1)
+      : sim_(sim), profile_(profile), rng_(seed) {}
+
+  sim::Task<Status> Read(uint64_t offset, uint64_t len,
+                         std::string* out) override {
+    co_await sim::Delay(sim_, profile_.read.Sample(rng_));
+    if (!available_) co_return Status::Unavailable("device outage");
+    out->assign(len, '\0');
+    ReadRaw(offset, len, out->data());
+    stats_.reads++;
+    stats_.bytes_read += len;
+    co_return Status::OK();
+  }
+
+  sim::Task<Status> Write(uint64_t offset, Slice data) override {
+    co_await sim::Delay(sim_, profile_.write.Sample(rng_));
+    if (!available_) co_return Status::Unavailable("device outage");
+    WriteRaw(offset, data.data(), data.size());
+    stats_.writes++;
+    stats_.bytes_written += data.size();
+    co_return Status::OK();
+  }
+
+  SimTime cpu_per_io_us() const override { return profile_.cpu_per_io_us; }
+  const CounterStats& stats() const override { return stats_; }
+
+  /// Outage injection: while unavailable, requests fail after their
+  /// modelled latency with Status::Unavailable.
+  void SetAvailable(bool available) { available_ = available; }
+  bool available() const { return available_; }
+
+  /// Synchronous backdoor used by tests and by crash-recovery assertions
+  /// ("what is really on the media?"). Not part of the service data path.
+  void ReadRaw(uint64_t offset, uint64_t len, char* out) const {
+    uint64_t pos = 0;
+    while (pos < len) {
+      uint64_t abs = offset + pos;
+      uint64_t chunk = abs / kChunkSize;
+      uint64_t within = abs % kChunkSize;
+      uint64_t n = std::min(kChunkSize - within, len - pos);
+      auto it = chunks_.find(chunk);
+      if (it != chunks_.end()) {
+        memcpy(out + pos, it->second.data() + within, n);
+      } else {
+        memset(out + pos, 0, n);
+      }
+      pos += n;
+    }
+  }
+
+  void WriteRaw(uint64_t offset, const char* data, uint64_t len) {
+    uint64_t pos = 0;
+    while (pos < len) {
+      uint64_t abs = offset + pos;
+      uint64_t chunk = abs / kChunkSize;
+      uint64_t within = abs % kChunkSize;
+      uint64_t n = std::min(kChunkSize - within, len - pos);
+      auto it = chunks_.find(chunk);
+      if (it == chunks_.end()) {
+        it = chunks_.emplace(chunk, std::string(kChunkSize, '\0')).first;
+      }
+      memcpy(it->second.data() + within, data + pos, n);
+      pos += n;
+    }
+  }
+
+  /// Bytes of backing memory actually allocated (for size-of-data checks).
+  uint64_t allocated_bytes() const { return chunks_.size() * kChunkSize; }
+
+ private:
+  static constexpr uint64_t kChunkSize = 64 * KiB;
+
+  sim::Simulator& sim_;
+  sim::DeviceProfile profile_;
+  Random rng_;
+  bool available_ = true;
+  std::map<uint64_t, std::string> chunks_;
+  CounterStats stats_;
+};
+
+/// N replicas with write quorum K and read-one semantics. A write completes
+/// when K replicas acknowledge; the remaining replica writes continue in
+/// the background (they are not cancelled). This is the durability model of
+/// the landing zone (XIO keeps three replicas) and of XStore.
+class ReplicatedBlockDevice : public BlockDevice {
+ public:
+  ReplicatedBlockDevice(sim::Simulator& sim, sim::DeviceProfile profile,
+                        int num_replicas, int write_quorum,
+                        uint64_t seed = 1)
+      : sim_(sim), write_quorum_(write_quorum) {
+    for (int i = 0; i < num_replicas; i++) {
+      replicas_.push_back(
+          std::make_unique<SimBlockDevice>(sim, profile, seed + i * 7919));
+    }
+    cpu_per_io_us_ = profile.cpu_per_io_us;
+  }
+
+  sim::Task<Status> Read(uint64_t offset, uint64_t len,
+                         std::string* out) override {
+    // Read from the first available replica; fail over on outage.
+    for (auto& r : replicas_) {
+      Status s = co_await r->Read(offset, len, out);
+      if (!s.IsUnavailable()) {
+        stats_.reads++;
+        stats_.bytes_read += len;
+        co_return s;
+      }
+    }
+    co_return Status::Unavailable("all replicas down");
+  }
+
+  sim::Task<Status> Write(uint64_t offset, Slice data) override {
+    // Fan the write out to every replica; complete as soon as `quorum`
+    // replicas acknowledge, or fail once success becomes impossible.
+    // Shared state is heap-allocated because laggard replica writes
+    // outlive this frame.
+    auto state = std::make_shared<WriteState>(sim_);
+    state->payload.assign(data.data(), data.size());
+    state->quorum = write_quorum_;
+    state->max_failures =
+        static_cast<int>(replicas_.size()) - write_quorum_;
+    for (auto& r : replicas_) {
+      sim::Spawn(sim_, ReplicaWrite(r.get(), offset, state));
+    }
+    co_await state->decided.Wait();
+    stats_.writes++;
+    stats_.bytes_written += data.size();
+    if (state->successes >= state->quorum) co_return Status::OK();
+    co_return Status::Unavailable("write quorum not reached");
+  }
+
+  SimTime cpu_per_io_us() const override { return cpu_per_io_us_; }
+  const CounterStats& stats() const override { return stats_; }
+
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  SimBlockDevice* replica(int i) { return replicas_[i].get(); }
+
+ private:
+  struct WriteState {
+    explicit WriteState(sim::Simulator& s) : decided(s) {}
+    std::string payload;
+    sim::Event decided;
+    int quorum = 0;
+    int max_failures = 0;
+    int successes = 0;
+    int failures = 0;
+  };
+
+  sim::Task<> ReplicaWrite(SimBlockDevice* dev, uint64_t offset,
+                           std::shared_ptr<WriteState> state) {
+    Status s = co_await dev->Write(offset, Slice(state->payload));
+    if (s.ok()) {
+      state->successes++;
+      if (state->successes == state->quorum) state->decided.Set();
+    } else {
+      state->failures++;
+      if (state->failures > state->max_failures) state->decided.Set();
+    }
+  }
+
+  sim::Simulator& sim_;
+  int write_quorum_;
+  SimTime cpu_per_io_us_ = 0;
+  std::vector<std::unique_ptr<SimBlockDevice>> replicas_;
+  CounterStats stats_;
+};
+
+}  // namespace storage
+}  // namespace socrates

@@ -1,0 +1,124 @@
+// Page: the 8 KiB unit of storage shared by every tier. The header carries
+// the pageLSN that the GetPage@LSN protocol is built on, and a masked
+// CRC32-C so torn or corrupted page images are detected at every hop
+// (compute cache, page server, XStore).
+
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace socrates {
+namespace storage {
+
+/// On-page header layout (little-endian, 32 bytes):
+///   [0,4)   masked crc32c of bytes [4, kPageSize)
+///   [4,8)   page type
+///   [8,16)  page id
+///   [16,24) page LSN (LSN of the last log record applied to this page)
+///   [24,26) slot count      (used by slotted layouts)
+///   [26,28) free space offset
+///   [28,32) layout-specific (e.g. B-tree level / right-sibling low bits)
+inline constexpr uint32_t kPageHeaderSize = 32;
+inline constexpr uint32_t kPageUsableSize = kPageSize - kPageHeaderSize;
+
+enum class PageType : uint32_t {
+  kFree = 0,
+  kBTreeLeaf = 1,
+  kBTreeInterior = 2,
+  kMeta = 3,
+  kVersionStore = 4,
+};
+
+class Page {
+ public:
+  Page() : data_(new char[kPageSize]) { memset(data_.get(), 0, kPageSize); }
+
+  Page(const Page& other) : data_(new char[kPageSize]) {
+    memcpy(data_.get(), other.data_.get(), kPageSize);
+  }
+  Page& operator=(const Page& other) {
+    if (this != &other) memcpy(data_.get(), other.data_.get(), kPageSize);
+    return *this;
+  }
+  Page(Page&&) noexcept = default;
+  Page& operator=(Page&&) noexcept = default;
+
+  char* data() { return data_.get(); }
+  const char* data() const { return data_.get(); }
+  Slice AsSlice() const { return Slice(data_.get(), kPageSize); }
+
+  /// Zero the page and stamp a fresh header.
+  void Format(PageId id, PageType type) {
+    memset(data_.get(), 0, kPageSize);
+    EncodeFixed32(data_.get() + 4, static_cast<uint32_t>(type));
+    EncodeFixed64(data_.get() + 8, id);
+    EncodeFixed64(data_.get() + 16, kInvalidLsn);
+    EncodeFixed16(data_.get() + 24, 0);
+    EncodeFixed16(data_.get() + 26, static_cast<uint16_t>(kPageHeaderSize));
+  }
+
+  PageType type() const {
+    return static_cast<PageType>(DecodeFixed32(data_.get() + 4));
+  }
+  void set_type(PageType t) {
+    EncodeFixed32(data_.get() + 4, static_cast<uint32_t>(t));
+  }
+
+  PageId page_id() const { return DecodeFixed64(data_.get() + 8); }
+  void set_page_id(PageId id) { EncodeFixed64(data_.get() + 8, id); }
+
+  Lsn page_lsn() const { return DecodeFixed64(data_.get() + 16); }
+  void set_page_lsn(Lsn lsn) { EncodeFixed64(data_.get() + 16, lsn); }
+
+  uint16_t slot_count() const { return DecodeFixed16(data_.get() + 24); }
+  void set_slot_count(uint16_t n) { EncodeFixed16(data_.get() + 24, n); }
+
+  uint16_t free_offset() const { return DecodeFixed16(data_.get() + 26); }
+  void set_free_offset(uint16_t off) {
+    EncodeFixed16(data_.get() + 26, off);
+  }
+
+  uint32_t aux() const { return DecodeFixed32(data_.get() + 28); }
+  void set_aux(uint32_t v) { EncodeFixed32(data_.get() + 28, v); }
+
+  /// Recompute and store the header checksum. Call before the page image
+  /// leaves this node (device write, RPC reply).
+  void UpdateChecksum() {
+    uint32_t crc = crc32c::Value(data_.get() + 4, kPageSize - 4);
+    EncodeFixed32(data_.get(), crc32c::Mask(crc));
+  }
+
+  /// Verify the stored checksum against the page contents.
+  Status VerifyChecksum() const {
+    uint32_t stored = crc32c::Unmask(DecodeFixed32(data_.get()));
+    uint32_t actual = crc32c::Value(data_.get() + 4, kPageSize - 4);
+    if (stored != actual) {
+      return Status::Corruption("page checksum mismatch, page " +
+                                std::to_string(page_id()));
+    }
+    return Status::OK();
+  }
+
+  /// Load a page image from a full-page slice (e.g. device read).
+  Status FromSlice(Slice s) {
+    if (s.size() != kPageSize) {
+      return Status::InvalidArgument("page image has wrong size");
+    }
+    memcpy(data_.get(), s.data(), kPageSize);
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<char[]> data_;
+};
+
+}  // namespace storage
+}  // namespace socrates

@@ -1,0 +1,169 @@
+#include "workload/cdb.h"
+
+namespace socrates {
+namespace workload {
+
+using engine::Engine;
+using engine::MakeKey;
+
+namespace {
+// Per-operation CPU costs in microseconds (before cpu_scale).
+constexpr double kTxnBaseUs = 120;   // session / parse / plan
+constexpr double kPointReadUs = 60;  // b-tree descent + row copy
+constexpr double kScanRowUs = 18;    // sequential row
+constexpr double kUpdateRowUs = 90;  // row update + log record
+constexpr double kInsertRowUs = 100;
+constexpr double kLiteUpdateUs = 45;
+}  // namespace
+
+sim::Task<Status> CdbWorkload::Load(Engine* engine) {
+  Random rng(0x10ad);
+  for (int t = 0; t < 6; t++) {
+    uint64_t rows = TableRows(t);
+    uint64_t row = 0;
+    while (row < rows) {
+      auto txn = engine->Begin();
+      uint64_t chunk = std::min<uint64_t>(rows - row, 256);
+      for (uint64_t i = 0; i < chunk; i++) {
+        (void)engine->Put(txn.get(),
+                          MakeKey(static_cast<TableId>(t + 1), row + i),
+                          MakePayload(t, &rng));
+      }
+      SOCRATES_CO_RETURN_IF_ERROR(co_await engine->Commit(txn.get()));
+      row += chunk;
+    }
+  }
+  co_return Status::OK();
+}
+
+CdbTxnType CdbWorkload::PickType(Random* rng) const {
+  double r = rng->NextDouble();
+  double acc = 0;
+  for (int i = 0; i < 6; i++) {
+    acc += mix_.weights[i];
+    if (r < acc) return static_cast<CdbTxnType>(i);
+  }
+  return CdbTxnType::kPointLookup;
+}
+
+sim::Task<Status> CdbWorkload::Charge(sim::CpuResource* cpu,
+                                      double us) const {
+  if (cpu != nullptr) {
+    co_await cpu->Consume(static_cast<SimTime>(us * opts_.cpu_scale));
+  }
+  co_return Status::OK();
+}
+
+uint64_t CdbWorkload::RandomKey(int table, Random* rng) const {
+  return rng->Uniform(TableRows(table));
+}
+
+std::string CdbWorkload::MakePayload(int table, Random* rng) const {
+  std::string payload(opts_.payload_bytes[table], '\0');
+  for (auto& c : payload) {
+    c = static_cast<char>('A' + rng->Uniform(26));
+  }
+  return payload;
+}
+
+sim::Task<TxnResult> CdbWorkload::RunOne(Engine* engine,
+                                         sim::CpuResource* cpu,
+                                         Random* rng) {
+  TxnResult result;
+  CdbTxnType type = PickType(rng);
+  (void)co_await Charge(cpu, kTxnBaseUs);
+
+  switch (type) {
+    case CdbTxnType::kPointLookup: {
+      auto txn = engine->Begin(true);
+      int n = 1 + static_cast<int>(rng->Uniform(10));
+      for (int i = 0; i < n; i++) {
+        int t = static_cast<int>(rng->Uniform(6));
+        (void)co_await Charge(cpu, kPointReadUs);
+        (void)co_await engine->Get(
+            txn.get(), MakeKey(static_cast<TableId>(t + 1),
+                               RandomKey(t, rng)));
+      }
+      result.committed = (co_await engine->Commit(txn.get())).ok();
+      break;
+    }
+    case CdbTxnType::kRangeScan: {
+      auto txn = engine->Begin(true);
+      int t = static_cast<int>(rng->Uniform(6));
+      uint64_t start = RandomKey(t, rng);
+      size_t n = 16 + rng->Uniform(113);  // up to 128 rows
+      (void)co_await Charge(cpu, kScanRowUs * static_cast<double>(n));
+      (void)co_await engine->Scan(
+          txn.get(), MakeKey(static_cast<TableId>(t + 1), start), n);
+      result.committed = (co_await engine->Commit(txn.get())).ok();
+      break;
+    }
+    case CdbTxnType::kReadModifyWrite: {
+      auto txn = engine->Begin();
+      int n = 1 + static_cast<int>(rng->Uniform(4));
+      int t = static_cast<int>(rng->Uniform(6));
+      for (int i = 0; i < n; i++) {
+        uint64_t key = MakeKey(static_cast<TableId>(t + 1),
+                               RandomKey(t, rng));
+        (void)co_await Charge(cpu, kPointReadUs + kUpdateRowUs);
+        (void)co_await engine->Get(txn.get(), key);
+        (void)engine->Put(txn.get(), key, MakePayload(t, rng));
+      }
+      result.is_write = true;
+      result.committed = (co_await engine->Commit(txn.get())).ok();
+      break;
+    }
+    case CdbTxnType::kBulkUpdate: {
+      auto txn = engine->Begin();
+      int t = static_cast<int>(rng->Uniform(6));
+      uint64_t start = RandomKey(t, rng);
+      int n = 64 + static_cast<int>(rng->Uniform(64));
+      (void)co_await Charge(
+          cpu, kUpdateRowUs * static_cast<double>(n) * 0.6);
+      for (int i = 0; i < n; i++) {
+        uint64_t row = (start + i) % TableRows(t);
+        (void)engine->Put(txn.get(),
+                          MakeKey(static_cast<TableId>(t + 1), row),
+                          MakePayload(t, rng));
+      }
+      result.is_write = true;
+      result.committed = (co_await engine->Commit(txn.get())).ok();
+      break;
+    }
+    case CdbTxnType::kInsert: {
+      auto txn = engine->Begin();
+      int t = static_cast<int>(rng->Uniform(6));
+      int n = 4 + static_cast<int>(rng->Uniform(8));
+      (void)co_await Charge(cpu, kInsertRowUs * static_cast<double>(n));
+      for (int i = 0; i < n; i++) {
+        // Fresh keys above the loaded range.
+        uint64_t row = TableRows(t) + (insert_cursor_++);
+        (void)engine->Put(txn.get(),
+                          MakeKey(static_cast<TableId>(t + 1), row),
+                          MakePayload(t, rng));
+      }
+      result.is_write = true;
+      result.committed = (co_await engine->Commit(txn.get())).ok();
+      break;
+    }
+    case CdbTxnType::kUpdateLite: {
+      auto txn = engine->Begin();
+      int t = static_cast<int>(rng->Uniform(6));
+      uint64_t key = MakeKey(static_cast<TableId>(t + 1),
+                             RandomKey(t, rng));
+      (void)co_await Charge(cpu, kLiteUpdateUs);
+      std::string payload =
+          opts_.lite_payload_bytes > 0
+              ? std::string(opts_.lite_payload_bytes, 'u')
+              : MakePayload(t, rng);
+      (void)engine->Put(txn.get(), key, payload);
+      result.is_write = true;
+      result.committed = (co_await engine->Commit(txn.get())).ok();
+      break;
+    }
+  }
+  co_return result;
+}
+
+}  // namespace workload
+}  // namespace socrates

@@ -1,0 +1,64 @@
+#include "workload/tpce_like.h"
+
+namespace socrates {
+namespace workload {
+
+using engine::Engine;
+using engine::MakeKey;
+
+namespace {
+constexpr TableId kTradeTable = 9;
+constexpr double kTxnBaseUs = 150;
+constexpr double kReadUs = 55;
+constexpr double kUpdateUs = 95;
+}  // namespace
+
+sim::Task<Status> TpceLikeWorkload::Load(Engine* engine) {
+  Random rng(0x7bce);
+  uint64_t row = 0;
+  std::string payload(opts_.payload_bytes, 't');
+  while (row < opts_.customers) {
+    auto txn = engine->Begin();
+    uint64_t chunk = std::min<uint64_t>(opts_.customers - row, 256);
+    for (uint64_t i = 0; i < chunk; i++) {
+      (void)engine->Put(txn.get(), MakeKey(kTradeTable, row + i),
+                        payload);
+    }
+    SOCRATES_CO_RETURN_IF_ERROR(co_await engine->Commit(txn.get()));
+    row += chunk;
+  }
+  co_return Status::OK();
+}
+
+sim::Task<TxnResult> TpceLikeWorkload::RunOne(Engine* engine,
+                                              sim::CpuResource* cpu,
+                                              Random* rng) {
+  TxnResult result;
+  auto charge = [&](double us) -> sim::Task<> {
+    if (cpu != nullptr) {
+      co_await cpu->Consume(static_cast<SimTime>(us * opts_.cpu_scale));
+    }
+  };
+  co_await charge(kTxnBaseUs);
+  bool write = rng->Bernoulli(opts_.write_fraction);
+  auto txn = engine->Begin(!write);
+  // A "trade" touches a handful of skewed rows.
+  int reads = 2 + static_cast<int>(rng->Uniform(6));
+  uint64_t last_key = 0;
+  for (int i = 0; i < reads; i++) {
+    last_key = MakeKey(kTradeTable, SkewedRow(zipf_.Next()));
+    co_await charge(kReadUs);
+    (void)co_await engine->Get(txn.get(), last_key);
+  }
+  if (write) {
+    co_await charge(kUpdateUs);
+    std::string payload(opts_.payload_bytes, 'u');
+    (void)engine->Put(txn.get(), last_key, payload);
+    result.is_write = true;
+  }
+  result.committed = (co_await engine->Commit(txn.get())).ok();
+  co_return result;
+}
+
+}  // namespace workload
+}  // namespace socrates

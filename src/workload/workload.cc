@@ -1,0 +1,74 @@
+#include "workload/workload.h"
+
+namespace socrates {
+namespace workload {
+
+namespace {
+
+struct DriverState {
+  explicit DriverState(sim::Simulator& s) : done(s) {}
+  SimTime measure_start = 0;
+  SimTime deadline = 0;
+  bool measuring = false;
+  DriverReport report;
+  int active_clients = 0;
+  sim::Event done;
+};
+
+sim::Task<> ClientLoop(sim::Simulator& sim, engine::Engine* engine,
+                       sim::CpuResource* cpu, Workload* workload,
+                       std::shared_ptr<DriverState> state, uint64_t seed) {
+  Random rng(seed);
+  while (sim.now() < state->deadline) {
+    SimTime begin = sim.now();
+    TxnResult r = co_await workload->RunOne(engine, cpu, &rng);
+    if (state->measuring && sim.now() <= state->deadline) {
+      if (r.committed) {
+        state->report.commits++;
+        if (r.is_write) {
+          state->report.write_commits++;
+        } else {
+          state->report.read_commits++;
+        }
+        state->report.latency_us.Add(
+            static_cast<double>(sim.now() - begin));
+      } else {
+        state->report.aborts++;
+      }
+    }
+  }
+  state->active_clients--;
+  if (state->active_clients == 0) state->done.Set();
+}
+
+}  // namespace
+
+sim::Task<DriverReport> RunDriver(sim::Simulator& sim,
+                                  engine::Engine* engine,
+                                  sim::CpuResource* cpu,
+                                  Workload* workload,
+                                  const DriverOptions& options) {
+  auto state = std::make_shared<DriverState>(sim);
+  state->deadline = sim.now() + options.warmup_us + options.measure_us;
+  state->active_clients = options.clients;
+  for (int c = 0; c < options.clients; c++) {
+    sim::Spawn(sim, ClientLoop(sim, engine, cpu, workload, state,
+                               options.seed * 7919 + c));
+  }
+  co_await sim::Delay(sim, options.warmup_us);
+  state->measuring = true;
+  state->measure_start = sim.now();
+  if (cpu != nullptr) cpu->ResetAccounting();
+  co_await state->done.Wait();
+
+  DriverReport report = state->report;
+  double secs = static_cast<double>(options.measure_us) / 1e6;
+  report.total_tps = static_cast<double>(report.commits) / secs;
+  report.read_tps = static_cast<double>(report.read_commits) / secs;
+  report.write_tps = static_cast<double>(report.write_commits) / secs;
+  if (cpu != nullptr) report.cpu_utilization = cpu->Utilization();
+  co_return report;
+}
+
+}  // namespace workload
+}  // namespace socrates

@@ -1,0 +1,67 @@
+// Workload interface + client driver: N client coroutines issuing
+// transactions against an engine, with CPU cost accounting on the target
+// node and a measurement window. Produces the numbers the paper's tables
+// report: total/read/write TPS, CPU%, commit-latency distribution, log
+// throughput.
+
+#pragma once
+
+#include <memory>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "engine/txn_engine.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace socrates {
+namespace workload {
+
+struct TxnResult {
+  bool committed = false;
+  bool is_write = false;
+};
+
+/// A workload generates transactions against an engine. RunOne consumes
+/// modelled CPU on `cpu` (the compute node executing the transaction) and
+/// performs real engine operations (whose I/O waits cost simulated time).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual sim::Task<TxnResult> RunOne(engine::Engine* engine,
+                                      sim::CpuResource* cpu,
+                                      Random* rng) = 0;
+};
+
+struct DriverOptions {
+  int clients = 64;
+  SimTime warmup_us = 200 * 1000;
+  SimTime measure_us = 2 * 1000 * 1000;
+  uint64_t seed = 1;
+};
+
+struct DriverReport {
+  uint64_t commits = 0;
+  uint64_t read_commits = 0;
+  uint64_t write_commits = 0;
+  uint64_t aborts = 0;
+  Histogram latency_us;  // per-transaction latency within the window
+  double total_tps = 0;
+  double read_tps = 0;
+  double write_tps = 0;
+  double cpu_utilization = 0;  // of the target node, within the window
+};
+
+/// Run `options.clients` concurrent clients against `engine` for
+/// warmup + measure; returns statistics for the measurement window.
+/// CPU accounting on `cpu` is reset at the window start.
+sim::Task<DriverReport> RunDriver(sim::Simulator& sim,
+                                  engine::Engine* engine,
+                                  sim::CpuResource* cpu,
+                                  Workload* workload,
+                                  const DriverOptions& options);
+
+}  // namespace workload
+}  // namespace socrates

@@ -1,0 +1,150 @@
+// LandingZone: the fast, durable, *small* log store the Primary commits
+// against (paper §4.3). Implemented as a circular buffer over a replicated
+// premium-storage device (XIO keeps three replicas; writes complete at
+// quorum). The LZ holds only the recent tail of the log: space is
+// reclaimed when the destaging pipeline has moved blocks to the local
+// block cache and the long-term archive (LT) in XStore. If destaging
+// falls behind and the buffer fills, writes fail with OutOfSpace and the
+// Primary stalls — exactly the backpressure the paper describes.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/log_sink.h"
+#include "storage/block_device.h"
+
+namespace socrates {
+namespace xlog {
+
+class LandingZone {
+ public:
+  /// `profile` selects the storage service behind the LZ (XIO vs
+  /// DirectDrive — the Appendix A study). Three replicas, write quorum 2.
+  LandingZone(sim::Simulator& sim, sim::DeviceProfile profile,
+              uint64_t capacity_bytes, uint64_t seed = 1)
+      : capacity_(capacity_bytes),
+        profile_cpu_per_kb_(profile.cpu_per_kb_us),
+        device_(std::make_unique<storage::ReplicatedBlockDevice>(
+            sim, profile, /*replicas=*/3, /*quorum=*/2, seed)),
+        start_lsn_(engine::kLogStreamStart),
+        durable_end_(engine::kLogStreamStart),
+        reserved_end_(engine::kLogStreamStart) {}
+
+  /// Reserve the next byte range for a pipelined write. Synchronous:
+  /// ranges are issued strictly in order (single log writer), but many
+  /// reserved writes may be in flight at once — the real system keeps
+  /// several outstanding log-block I/Os. Fails OutOfSpace when the
+  /// circular buffer cannot hold the block until truncation.
+  Status TryReserve(Lsn lsn, uint64_t size) {
+    if (lsn != reserved_end_) {
+      return Status::InvalidArgument("non-contiguous LZ reserve");
+    }
+    if (lsn + size - start_lsn_ > capacity_) {
+      return Status::OutOfSpace("landing zone full (destaging behind)");
+    }
+    reserved_end_ = lsn + size;
+    return Status::OK();
+  }
+
+  /// Durably write a previously reserved range. The durable end advances
+  /// only over the contiguous prefix of completed writes, so hardening
+  /// order equals log order even when device completions reorder.
+  sim::Task<Status> WriteReserved(Lsn lsn, Slice data) {
+    // Map logical offsets modulo capacity; split at the wrap point.
+    uint64_t off = lsn % capacity_;
+    uint64_t first = std::min<uint64_t>(data.size(), capacity_ - off);
+    Status s = co_await device_->Write(off, Slice(data.data(), first));
+    if (s.ok() && first < data.size()) {
+      s = co_await device_->Write(
+          0, Slice(data.data() + first, data.size() - first));
+    }
+    if (!s.ok()) co_return s;
+    completed_[lsn] = lsn + data.size();
+    while (true) {
+      auto it = completed_.find(durable_end_);
+      if (it == completed_.end()) break;
+      durable_end_ = it->second;
+      completed_.erase(it);
+    }
+    if (on_durable_advance_) on_durable_advance_(durable_end_);
+    co_return Status::OK();
+  }
+
+  /// Convenience single-in-flight write (reserve + write).
+  sim::Task<Status> Write(Lsn lsn, Slice data) {
+    Status r = TryReserve(lsn, data.size());
+    if (!r.ok()) co_return r;
+    co_return co_await WriteReserved(lsn, data);
+  }
+
+  /// Invoked (synchronously) whenever the durable end advances.
+  void set_on_durable_advance(std::function<void(Lsn)> fn) {
+    on_durable_advance_ = std::move(fn);
+  }
+
+  /// Read stream bytes [from, to). The range must be inside the retained
+  /// window [start_lsn, durable_end).
+  sim::Task<Result<std::string>> Read(Lsn from, Lsn to) {
+    if (from < start_lsn_ || to > durable_end_ || from > to) {
+      co_return Result<std::string>(
+          Status::InvalidArgument("LZ read outside retained window"));
+    }
+    std::string out;
+    out.reserve(to - from);
+    uint64_t len = to - from;
+    uint64_t off = from % capacity_;
+    uint64_t first = std::min<uint64_t>(len, capacity_ - off);
+    std::string part;
+    Status s = co_await device_->Read(off, first, &part);
+    if (!s.ok()) co_return Result<std::string>(s);
+    out = std::move(part);
+    if (first < len) {
+      s = co_await device_->Read(0, len - first, &part);
+      if (!s.ok()) co_return Result<std::string>(s);
+      out += part;
+    }
+    co_return std::move(out);
+  }
+
+  /// Release space up to `lsn` (called once destaging has archived it).
+  void Truncate(Lsn lsn) {
+    if (lsn > start_lsn_) start_lsn_ = std::min(lsn, durable_end_);
+  }
+
+  Lsn start_lsn() const { return start_lsn_; }
+  Lsn durable_end() const { return durable_end_; }
+  Lsn reserved_end() const { return reserved_end_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t used_bytes() const { return reserved_end_ - start_lsn_; }
+
+  /// CPU the Primary burns per LZ write of `bytes` (REST vs RDMA path —
+  /// the per-request and per-byte costs behind Table 7).
+  SimTime WriteCpuCostUs(uint64_t bytes) const {
+    return device_->cpu_per_io_us() +
+           static_cast<SimTime>(profile_cpu_per_kb_ * bytes / 1024.0);
+  }
+
+  SimTime cpu_per_io_us() const { return device_->cpu_per_io_us(); }
+
+  storage::ReplicatedBlockDevice* device() { return device_.get(); }
+
+ private:
+  uint64_t capacity_;
+  double profile_cpu_per_kb_;
+  std::unique_ptr<storage::ReplicatedBlockDevice> device_;
+  Lsn start_lsn_;
+  Lsn durable_end_;
+  Lsn reserved_end_;
+  std::map<Lsn, Lsn> completed_;  // out-of-order completions: start -> end
+  std::function<void(Lsn)> on_durable_advance_;
+};
+
+}  // namespace xlog
+}  // namespace socrates

@@ -1,0 +1,72 @@
+// LogBlock: the physical unit of log dissemination (paper §4.3).
+//
+// The logical log stream (framed records, byte-addressed by LSN) is cut
+// into blocks by the Primary's log writer. Each block carries an
+// out-of-band annotation of the partitions its records touch, which is
+// what lets XLOG disseminate only relevant blocks to each Page Server
+// (§4.6 "block filtering").
+
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "common/types.h"
+
+namespace socrates {
+namespace xlog {
+
+struct LogBlock {
+  Lsn start_lsn = 0;
+  std::string payload;  // framed log records
+  std::set<PartitionId> partitions;  // out-of-band filtering annotation
+  bool filtered = false;  // true when the payload was dropped by filtering
+
+  Lsn end_lsn() const { return start_lsn + payload_size; }
+
+  // When `filtered`, the payload is empty but the block still advances the
+  // consumer's applied-LSN watermark by its original size.
+  uint64_t payload_size = 0;
+
+  static LogBlock Make(Lsn start, std::string data,
+                       std::set<PartitionId> parts) {
+    LogBlock b;
+    b.start_lsn = start;
+    b.payload_size = data.size();
+    b.payload = std::move(data);
+    b.partitions = std::move(parts);
+    return b;
+  }
+
+  /// A metadata-only copy whose payload was filtered out.
+  LogBlock AsFiltered() const {
+    LogBlock b;
+    b.start_lsn = start_lsn;
+    b.payload_size = payload_size;
+    b.partitions = partitions;
+    b.filtered = true;
+    return b;
+  }
+
+  bool TouchesPartition(PartitionId p) const {
+    return partitions.count(p) > 0;
+  }
+};
+
+/// Partition mapping: pages are range-partitioned across Page Servers.
+struct PartitionMap {
+  uint64_t pages_per_partition = 16384;  // 128 MiB at 8 KiB pages
+
+  PartitionId PartitionOf(PageId page) const {
+    return static_cast<PartitionId>(page / pages_per_partition);
+  }
+  PageId FirstPage(PartitionId p) const {
+    return static_cast<PageId>(p) * pages_per_partition;
+  }
+  PageId EndPage(PartitionId p) const {
+    return (static_cast<PageId>(p) + 1) * pages_per_partition;
+  }
+};
+
+}  // namespace xlog
+}  // namespace socrates

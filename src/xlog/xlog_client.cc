@@ -1,0 +1,143 @@
+#include "xlog/xlog_client.h"
+
+namespace socrates {
+namespace xlog {
+
+XLogClient::XLogClient(sim::Simulator& sim, LandingZone* lz,
+                       XLogProcess* xlog, sim::CpuResource* cpu,
+                       const XLogClientOptions& options, uint64_t seed)
+    : sim_(sim),
+      lz_(lz),
+      xlog_(xlog),
+      cpu_(cpu),
+      opts_(options),
+      rng_(seed),
+      buffer_start_(lz->durable_end()),
+      end_lsn_(lz->durable_end()),
+      hardened_(sim),
+      work_available_(sim),
+      inflight_(std::make_unique<sim::Semaphore>(
+          sim, options.max_inflight_writes)) {
+  hardened_.Advance(lz->durable_end());
+  // Hardening follows the LZ's in-order durable frontier; each advance
+  // wakes committed transactions (group commit) and tells XLOG it may
+  // move pending blocks into the LogBroker.
+  lz_->set_on_durable_advance([this](Lsn durable) {
+    hardened_.Advance(durable);
+    if (xlog_ != nullptr) sim::Spawn(sim_, NotifyAsync(durable));
+  });
+}
+
+void XLogClient::Start() {
+  running_ = true;
+  stopped_ = false;
+  sim::Spawn(sim_, FlusherLoop());
+}
+
+void XLogClient::Stop() {
+  running_ = false;
+  work_available_.Set();  // wake the flusher so it can exit
+}
+
+Lsn XLogClient::Append(const engine::LogRecord& rec) {
+  std::string payload = rec.Encode();
+  Lsn lsn = end_lsn_;
+  engine::FrameRecord(&buffer_, Slice(payload));
+  end_lsn_ = lsn + engine::FramedSize(payload.size());
+  if (rec.HasPage()) {
+    buffer_partitions_.insert(
+        opts_.partition_map.PartitionOf(rec.page_id));
+  }
+  work_available_.Set();
+  return lsn;
+}
+
+sim::Task<Status> XLogClient::WaitHardened(Lsn lsn) {
+  co_await hardened_.WaitFor(lsn);
+  co_return Status::OK();
+}
+
+sim::Task<Status> XLogClient::Flush() {
+  Lsn target = end_lsn_;
+  co_await hardened_.WaitFor(target);
+  co_return Status::OK();
+}
+
+sim::Task<> XLogClient::FlusherLoop() {
+  while (true) {
+    if (buffer_.empty()) {
+      work_available_.Reset();
+      if (!running_) break;
+      co_await work_available_.Wait();
+      if (!running_ && buffer_.empty()) break;
+      continue;
+    }
+    // Cut a block: whole record frames only, up to the block size cap
+    // (consumers parse block payloads independently, so a frame must
+    // never straddle a block boundary).
+    uint64_t take =
+        engine::FrameAlignedPrefix(Slice(buffer_), opts_.max_block_bytes);
+    if (take == 0) take = buffer_.size();  // defensive: partial frame
+    LogBlock block = LogBlock::Make(
+        buffer_start_, buffer_.substr(0, take), buffer_partitions_);
+    buffer_.erase(0, take);
+    buffer_start_ += take;
+    if (buffer_.empty()) buffer_partitions_.clear();
+
+    // Reserve the block's LZ range in log order; stall while the LZ is
+    // full (destaging behind, §4.3).
+    while (true) {
+      Status r = lz_->TryReserve(block.start_lsn, block.payload.size());
+      if (r.ok()) break;
+      lz_stalls_++;
+      co_await sim::Delay(sim_, 1000);
+    }
+
+    // Availability path: fire-and-forget to XLOG (lossy).
+    if (xlog_ != nullptr) {
+      sim::Spawn(sim_, DeliverAsync(block));
+    }
+
+    // Durability path: pipelined quorum write; bounded in-flight.
+    co_await inflight_->Acquire();
+    sim::Spawn(sim_, WriteBlockTask(std::move(block)));
+  }
+  stopped_ = true;
+}
+
+sim::Task<> XLogClient::WriteBlockTask(LogBlock block) {
+  // The per-I/O + per-byte CPU cost (REST vs RDMA path) lands on the
+  // Primary (Table 7).
+  if (cpu_ != nullptr) {
+    co_await cpu_->Consume(lz_->WriteCpuCostUs(block.payload.size()));
+  }
+  while (true) {
+    Status s = co_await lz_->WriteReserved(block.start_lsn,
+                                           Slice(block.payload));
+    if (s.ok()) break;
+    lz_stalls_++;
+    co_await sim::Delay(sim_, 1000);  // transient replica-set outage
+  }
+  blocks_written_++;
+  bytes_written_ += block.payload.size();
+  inflight_->Release();
+}
+
+sim::Task<> XLogClient::DeliverAsync(LogBlock block) {
+  co_await sim::Delay(sim_, opts_.delivery_latency.Sample(rng_));
+  if (rng_.Bernoulli(opts_.delivery_loss_prob)) {
+    deliveries_lost_++;
+    co_return;  // lost on the wire; XLOG will repair from the LZ
+  }
+  xlog_->DeliverBlock(std::move(block));
+}
+
+sim::Task<> XLogClient::NotifyAsync(Lsn hardened) {
+  // Durability notifications ride a reliable control channel (they are
+  // tiny and cumulative).
+  co_await sim::Delay(sim_, opts_.delivery_latency.Sample(rng_));
+  xlog_->NotifyHardened(hardened);
+}
+
+}  // namespace xlog
+}  // namespace socrates

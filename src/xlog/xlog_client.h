@@ -1,0 +1,113 @@
+// XLogClient: the Primary-side log writer (paper §4.3, upper-left of
+// Figure 3), implementing engine::LogSink.
+//
+// Appends buffer into the current block; a single flusher coroutine cuts
+// blocks (up to 60 KiB) and, for each block, *in parallel*:
+//   * writes it synchronously + durably to the LandingZone (commit path;
+//     quorum write; burns per-I/O CPU on the Primary — the XIO-vs-DD
+//     effect of Table 7), and
+//   * sends it asynchronously, fire-and-forget over a lossy channel, to
+//     the XLOG process (availability path; speculative logging).
+// Once the LZ write completes, the hardened watermark advances (waking
+// all commits in the block — group commit) and a durability notification
+// is sent to XLOG so it can move the block out of the pending area.
+//
+// If the LZ is full (destaging behind) the flusher stalls and retries:
+// the Primary cannot process update transactions until space frees (§4.3).
+
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "engine/log_sink.h"
+#include "sim/cpu.h"
+#include "sim/latency.h"
+#include "sim/sync.h"
+#include "xlog/landing_zone.h"
+#include "xlog/log_block.h"
+#include "xlog/xlog_process.h"
+
+namespace socrates {
+namespace xlog {
+
+struct XLogClientOptions {
+  uint64_t max_block_bytes = kMaxLogBlockSize;
+  /// Outstanding LZ block writes (the real log writer keeps several
+  /// I/Os in flight; hardening still advances in log order).
+  int max_inflight_writes = 8;
+  /// Probability that an async block delivery to XLOG is lost (the lossy
+  /// protocol). Durability notifications travel a reliable control
+  /// channel; XLOG repairs lost blocks from the LZ.
+  double delivery_loss_prob = 0.0;
+  sim::LatencyModel delivery_latency =
+      sim::DeviceProfile::IntraDcNetwork().write;
+  PartitionMap partition_map;
+};
+
+class XLogClient : public engine::LogSink {
+ public:
+  /// `cpu` (nullable) is the Primary's CPU; LZ writes charge their
+  /// per-I/O cost there. `xlog` may be null (durability-only deployments
+  /// in unit tests).
+  XLogClient(sim::Simulator& sim, LandingZone* lz, XLogProcess* xlog,
+             sim::CpuResource* cpu, const XLogClientOptions& options,
+             uint64_t seed = 0xc11e);
+
+  void Start();
+  void Stop();
+
+  /// Attach/replace the CPU that pays for LZ I/O (the current Primary's;
+  /// re-pointed on failover).
+  void SetCpu(sim::CpuResource* cpu) { cpu_ = cpu; }
+
+  // engine::LogSink:
+  Lsn Append(const engine::LogRecord& rec) override;
+  Lsn end_lsn() const override { return end_lsn_; }
+  Lsn hardened_lsn() const override { return hardened_.value(); }
+  sim::Task<Status> WaitHardened(Lsn lsn) override;
+
+  /// Wait until everything appended so far is hardened.
+  sim::Task<Status> Flush();
+
+  uint64_t blocks_written() const { return blocks_written_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t deliveries_lost() const { return deliveries_lost_; }
+  uint64_t lz_stalls() const { return lz_stalls_; }
+
+ private:
+  sim::Task<> FlusherLoop();
+  sim::Task<> WriteBlockTask(LogBlock block);
+  sim::Task<> DeliverAsync(LogBlock block);
+  sim::Task<> NotifyAsync(Lsn hardened);
+
+  sim::Simulator& sim_;
+  LandingZone* lz_;
+  XLogProcess* xlog_;
+  sim::CpuResource* cpu_;
+  XLogClientOptions opts_;
+  Random rng_;
+
+  // Current (un-cut) block buffer.
+  std::string buffer_;
+  Lsn buffer_start_;
+  std::set<PartitionId> buffer_partitions_;
+
+  Lsn end_lsn_;
+  sim::Watermark hardened_;
+  sim::Event work_available_;
+  std::unique_ptr<sim::Semaphore> inflight_;
+  bool running_ = false;
+  bool stopped_ = true;
+
+  uint64_t blocks_written_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t deliveries_lost_ = 0;
+  uint64_t lz_stalls_ = 0;
+};
+
+}  // namespace xlog
+}  // namespace socrates

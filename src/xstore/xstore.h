@@ -1,0 +1,131 @@
+// XStore: simulated Azure Standard Storage — the durable "truth" tier
+// (paper §4.7). Log-structured: every write appends a segment to a global
+// append-only log, and a blob is a metadata map from byte ranges to log
+// segments. That makes snapshots and restores **constant-time metadata
+// operations** (keep a pointer / copy an extent table), the property
+// Socrates' size-of-data-free backup/restore depends on (§3.5).
+//
+// Cheap and durable but slow: every operation pays the XStore latency
+// profile. Outage injection models transient Azure Storage failures, which
+// Page Servers must insulate against (§4.6).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/latency.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace socrates {
+namespace xstore {
+
+using SnapshotId = uint64_t;
+
+class XStore {
+ public:
+  /// `bandwidth_mb_s` caps transfer throughput (1 MB/s == 1 byte/us);
+  /// large reads/writes pay size/bandwidth on top of the base latency.
+  explicit XStore(sim::Simulator& sim,
+                  sim::DeviceProfile profile = sim::DeviceProfile::XStore(),
+                  double bandwidth_mb_s = 200.0, uint64_t seed = 1)
+      : sim_(sim),
+        profile_(profile),
+        bandwidth_mb_s_(bandwidth_mb_s),
+        rng_(seed) {}
+
+  /// Latency of constant-time metadata operations (snapshot, restore,
+  /// delete): independent of blob size by construction.
+  static constexpr SimTime kMetaOpLatencyUs = 20000;
+
+  /// Write `data` into `blob` at `offset` (creating the blob if needed).
+  /// Appends a segment to the store's log and patches the extent table.
+  sim::Task<Status> Write(const std::string& blob, uint64_t offset,
+                          Slice data);
+
+  /// Read `len` bytes at `offset`. Unwritten ranges read as zeros.
+  sim::Task<Status> Read(const std::string& blob, uint64_t offset,
+                         uint64_t len, std::string* out);
+
+  /// Constant-time snapshot of a blob: captures the extent table. No data
+  /// bytes are copied, whatever the blob size.
+  sim::Task<Result<SnapshotId>> Snapshot(const std::string& blob);
+
+  /// Constant-time restore: materialize `dst` from a snapshot's extent
+  /// table (copy-on-write against the shared log).
+  sim::Task<Status> Restore(SnapshotId snap, const std::string& dst);
+
+  sim::Task<Status> Delete(const std::string& blob);
+
+  /// True if the blob exists.
+  bool Exists(const std::string& blob) const {
+    return blobs_.count(blob) > 0;
+  }
+
+  /// Logical size (highest written offset) of a blob; 0 if missing.
+  uint64_t BlobSize(const std::string& blob) const;
+
+  /// List blob names with the given prefix (control-plane helper).
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  /// Outage injection; while down, every operation fails Unavailable.
+  void SetAvailable(bool a) { available_ = a; }
+  bool available() const { return available_; }
+
+  /// Total data bytes ever appended to the store log (storage-cost
+  /// accounting for the Table 1 "storage impact" comparison).
+  uint64_t stored_bytes() const { return stored_bytes_; }
+
+  const CounterStats& stats() const { return stats_; }
+
+  /// Synchronous metadata read used by tests: raw blob contents.
+  std::string ReadRaw(const std::string& blob, uint64_t offset,
+                      uint64_t len) const;
+
+ private:
+  // One contiguous range of a blob mapped onto a log segment.
+  struct Extent {
+    uint64_t segment;      // index into log_
+    uint64_t seg_offset;   // offset within the segment
+    uint64_t length;
+  };
+  // Extent table: key = blob offset of the extent start. Non-overlapping.
+  using ExtentMap = std::map<uint64_t, Extent>;
+
+  struct Blob {
+    ExtentMap extents;
+    uint64_t size = 0;
+  };
+
+  void ApplyWrite(Blob* b, uint64_t offset, uint64_t segment,
+                  uint64_t length);
+  void ReadInto(const Blob& b, uint64_t offset, uint64_t len,
+                char* out) const;
+
+  sim::Simulator& sim_;
+  sim::DeviceProfile profile_;
+  double bandwidth_mb_s_;
+  Random rng_;
+  bool available_ = true;
+
+  std::deque<std::string> log_;  // append-only data segments
+  std::unordered_map<std::string, Blob> blobs_;
+  std::unordered_map<SnapshotId, Blob> snapshots_;
+  SnapshotId next_snapshot_ = 1;
+  uint64_t stored_bytes_ = 0;
+  CounterStats stats_;
+};
+
+}  // namespace xstore
+}  // namespace socrates

@@ -1,0 +1,94 @@
+// Unit tests for compute-tier building blocks: the evicted-LSN map's
+// conservativeness (the §4.4 safety argument), partition routing, and
+// geo-replica option construction.
+
+#include <gtest/gtest.h>
+
+#include "compute/compute_node.h"
+
+namespace socrates {
+namespace compute {
+namespace {
+
+TEST(EvictedLsnMapTest, ConservativeUnderCollisions) {
+  // The map may overestimate (bucket max) but must never underestimate:
+  // Get(p) >= the last Update(p, lsn) for every page.
+  EvictedLsnMap map(/*buckets=*/64);  // tiny: lots of collisions
+  Random rng(5);
+  std::map<PageId, Lsn> truth;
+  for (int i = 0; i < 10000; i++) {
+    PageId page = rng.Uniform(5000);
+    Lsn lsn = rng.Uniform(1u << 30);
+    map.Update(page, lsn);
+    Lsn& t = truth[page];
+    t = std::max(t, lsn);
+  }
+  for (auto& [page, lsn] : truth) {
+    EXPECT_GE(map.Get(page), lsn) << "page " << page;
+  }
+}
+
+TEST(EvictedLsnMapTest, NeverEvictedIsInvalid) {
+  EvictedLsnMap map;
+  EXPECT_EQ(map.Get(12345), kInvalidLsn);
+  map.Update(12345, 77);
+  EXPECT_GE(map.Get(12345), 77u);
+  map.Clear();
+  EXPECT_EQ(map.Get(12345), kInvalidLsn);
+}
+
+TEST(EvictedLsnMapTest, MonotoneNonDecreasing) {
+  EvictedLsnMap map(16);
+  map.Update(1, 100);
+  map.Update(1, 50);  // older LSN must not lower the bucket
+  EXPECT_GE(map.Get(1), 100u);
+}
+
+TEST(PartitionMapTest, RangePartitioning) {
+  xlog::PartitionMap pm;
+  pm.pages_per_partition = 100;
+  EXPECT_EQ(pm.PartitionOf(0), 0u);
+  EXPECT_EQ(pm.PartitionOf(99), 0u);
+  EXPECT_EQ(pm.PartitionOf(100), 1u);
+  EXPECT_EQ(pm.PartitionOf(1234), 12u);
+  EXPECT_EQ(pm.FirstPage(3), 300u);
+  EXPECT_EQ(pm.EndPage(3), 400u);
+  for (PageId p = 0; p < 1000; p++) {
+    PartitionId part = pm.PartitionOf(p);
+    EXPECT_GE(p, pm.FirstPage(part));
+    EXPECT_LT(p, pm.EndPage(part));
+  }
+}
+
+TEST(RouterTest, EndpointsOrderMainFirst) {
+  xlog::PartitionMap pm;
+  pm.pages_per_partition = 10;
+  PageServerRouter router(pm);
+  // Page servers are only used via pointer identity here.
+  auto* fake_main = reinterpret_cast<pageserver::PageServer*>(0x1000);
+  auto* fake_replica = reinterpret_cast<pageserver::PageServer*>(0x2000);
+  router.Add(2, fake_main);
+  router.AddReplica(2, fake_replica);
+  auto eps = router.EndpointsFor(/*page=*/25);  // partition 2
+  ASSERT_EQ(eps.size(), 2u);
+  EXPECT_EQ(eps[0].name, "ps-2");
+  EXPECT_EQ(eps[1].name, "ps-2-r0");
+  EXPECT_TRUE(router.EndpointsFor(999).empty());
+  EXPECT_EQ(router.ServerFor(25), fake_main);
+}
+
+TEST(GeoReplicaOptionsTest, LatencyScalesWithRtt) {
+  Random rng(3);
+  ComputeOptions near = ComputeOptions::GeoReplica(2000);
+  ComputeOptions far = ComputeOptions::GeoReplica(120000);
+  double near_sum = 0, far_sum = 0;
+  for (int i = 0; i < 200; i++) {
+    near_sum += static_cast<double>(near.rpc_latency.Sample(rng));
+    far_sum += static_cast<double>(far.rpc_latency.Sample(rng));
+  }
+  EXPECT_GT(far_sum / 200, 20 * (near_sum / 200));
+}
+
+}  // namespace
+}  // namespace compute
+}  // namespace socrates

@@ -1,0 +1,927 @@
+// Engine tests: version chains, B-tree page layout, log record codec and
+// idempotent redo, buffer pool + RBPEX behaviour, B-tree operations with
+// splits (differential-tested against std::map), snapshot isolation,
+// conflict detection, and redo-applier replication.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "engine/btree.h"
+#include "engine/btree_page.h"
+#include "engine/buffer_pool.h"
+#include "engine/log_record.h"
+#include "engine/log_sink.h"
+#include "engine/redo.h"
+#include "engine/txn_engine.h"
+#include "engine/version.h"
+
+namespace socrates {
+namespace engine {
+namespace {
+
+using sim::Simulator;
+using sim::Spawn;
+using sim::Task;
+
+template <typename Fn>
+void RunSim(Simulator& s, Fn&& fn) {
+  Spawn(s, fn());
+  s.Run();
+}
+
+// ----------------------------------------------------------- VersionChain
+
+TEST(VersionChainTest, EncodeDecodeRoundTrip) {
+  VersionChain c;
+  c.Push(10, false, Slice("v1"));
+  c.Push(20, false, Slice("v2"));
+  c.Push(30, true, Slice(""));
+  VersionChain d;
+  ASSERT_TRUE(VersionChain::Decode(Slice(c.Encode()), &d));
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.versions()[0].commit_ts, 30u);
+  EXPECT_TRUE(d.versions()[0].tombstone);
+  EXPECT_EQ(d.versions()[2].payload, "v1");
+}
+
+TEST(VersionChainTest, VisibilityRules) {
+  VersionChain c;
+  c.Push(10, false, Slice("v1"));
+  c.Push(20, false, Slice("v2"));
+  EXPECT_EQ(c.VisibleAt(5), nullptr);        // before creation
+  EXPECT_EQ(c.VisibleAt(10)->payload, "v1");  // exactly at commit
+  EXPECT_EQ(c.VisibleAt(15)->payload, "v1");
+  EXPECT_EQ(c.VisibleAt(20)->payload, "v2");
+  EXPECT_EQ(c.VisibleAt(1000)->payload, "v2");
+}
+
+TEST(VersionChainTest, TombstoneVisibility) {
+  VersionChain c;
+  c.Push(10, false, Slice("alive"));
+  c.Push(20, true, Slice(""));
+  EXPECT_FALSE(c.VisibleAt(15)->tombstone);
+  EXPECT_TRUE(c.VisibleAt(25)->tombstone);
+}
+
+TEST(VersionChainTest, TrimKeepsNeededVersions) {
+  VersionChain c;
+  for (Timestamp ts = 10; ts <= 50; ts += 10) {
+    c.Push(ts, false, Slice("v"));
+  }
+  c.Trim(25);  // oldest active snapshot is 25: needs version at ts=20
+  ASSERT_EQ(c.size(), 4u);  // 50,40,30,20 retained; 10 dropped
+  EXPECT_EQ(c.versions().back().commit_ts, 20u);
+  c.Cap(2);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.versions()[0].commit_ts, 50u);
+}
+
+TEST(VersionChainTest, DecodeRejectsGarbage) {
+  VersionChain d;
+  EXPECT_FALSE(VersionChain::Decode(Slice("zz"), &d));
+  std::string half;
+  PutFixed16(&half, 3);  // claims 3 versions, provides none
+  EXPECT_FALSE(VersionChain::Decode(Slice(half), &d));
+}
+
+// -------------------------------------------------------------- BTreePage
+
+TEST(BTreePageTest, FormatAndFences) {
+  storage::Page page;
+  BTreePage::Format(&page, 7, 0, 100, 200, 9);
+  BTreePage bp(&page);
+  EXPECT_TRUE(bp.is_leaf());
+  EXPECT_EQ(bp.low_fence(), 100u);
+  EXPECT_EQ(bp.high_fence(), 200u);
+  EXPECT_EQ(bp.right_sibling(), 9u);
+  EXPECT_TRUE(bp.CoversKey(100));
+  EXPECT_TRUE(bp.CoversKey(199));
+  EXPECT_FALSE(bp.CoversKey(200));
+  EXPECT_FALSE(bp.CoversKey(99));
+}
+
+TEST(BTreePageTest, SortedInsertAndLookup) {
+  storage::Page page;
+  BTreePage::Format(&page, 1, 0, kMinKey, kMaxKey, kInvalidPageId);
+  BTreePage bp(&page);
+  for (uint64_t k : {50, 10, 30, 20, 40}) {
+    ASSERT_TRUE(bp.LeafInsert(k, Slice("v" + std::to_string(k))).ok());
+  }
+  ASSERT_EQ(bp.slot_count(), 5);
+  for (int i = 0; i < 5; i++) {
+    EXPECT_EQ(bp.KeyAt(i), static_cast<uint64_t>((i + 1) * 10));
+  }
+  EXPECT_EQ(bp.LeafValueAt(bp.FindSlot(30)).ToString(), "v30");
+  EXPECT_EQ(bp.FindSlot(35), -1);
+  EXPECT_TRUE(bp.LeafInsert(30, Slice("dup")).IsInvalidArgument());
+}
+
+TEST(BTreePageTest, UpdateGrowShrink) {
+  storage::Page page;
+  BTreePage::Format(&page, 1, 0, kMinKey, kMaxKey, kInvalidPageId);
+  BTreePage bp(&page);
+  ASSERT_TRUE(bp.LeafInsert(1, Slice("short")).ok());
+  ASSERT_TRUE(bp.LeafInsert(2, Slice("other")).ok());
+  ASSERT_TRUE(bp.LeafUpdate(1, Slice(std::string(500, 'x'))).ok());
+  EXPECT_EQ(bp.LeafValueAt(bp.FindSlot(1)).size(), 500u);
+  EXPECT_EQ(bp.LeafValueAt(bp.FindSlot(2)).ToString(), "other");
+  ASSERT_TRUE(bp.LeafUpdate(1, Slice("y")).ok());
+  EXPECT_EQ(bp.LeafValueAt(bp.FindSlot(1)).ToString(), "y");
+  EXPECT_TRUE(bp.LeafUpdate(99, Slice("z")).IsNotFound());
+}
+
+TEST(BTreePageTest, DeleteAndCompaction) {
+  storage::Page page;
+  BTreePage::Format(&page, 1, 0, kMinKey, kMaxKey, kInvalidPageId);
+  BTreePage bp(&page);
+  std::string value(700, 'a');
+  // Fill the page.
+  uint64_t k = 0;
+  while (bp.CanHostLeafInsert(static_cast<uint32_t>(value.size()))) {
+    ASSERT_TRUE(bp.LeafInsert(k++, Slice(value)).ok());
+  }
+  uint64_t filled = k;
+  EXPECT_GT(filled, 5u);
+  // Delete every other key; inserts must succeed again via compaction.
+  for (uint64_t d = 0; d < filled; d += 2) {
+    ASSERT_TRUE(bp.LeafDelete(d).ok());
+  }
+  EXPECT_TRUE(bp.CanHostLeafInsert(static_cast<uint32_t>(value.size())));
+  ASSERT_TRUE(bp.LeafInsert(1000, Slice(value)).ok());
+  EXPECT_EQ(bp.LeafValueAt(bp.FindSlot(1000)).ToString(), value);
+  EXPECT_EQ(bp.LeafValueAt(bp.FindSlot(1)).ToString(), value);
+}
+
+TEST(BTreePageTest, InteriorChildNavigation) {
+  storage::Page page;
+  BTreePage::Format(&page, 1, 1, kMinKey, kMaxKey, kInvalidPageId);
+  BTreePage bp(&page);
+  ASSERT_TRUE(bp.InteriorInsert(kMinKey, 10).ok());
+  ASSERT_TRUE(bp.InteriorInsert(100, 11).ok());
+  ASSERT_TRUE(bp.InteriorInsert(200, 12).ok());
+  EXPECT_FALSE(bp.is_leaf());
+  EXPECT_EQ(bp.ChildAt(bp.FindChildSlot(0)), 10u);
+  EXPECT_EQ(bp.ChildAt(bp.FindChildSlot(99)), 10u);
+  EXPECT_EQ(bp.ChildAt(bp.FindChildSlot(100)), 11u);
+  EXPECT_EQ(bp.ChildAt(bp.FindChildSlot(150)), 11u);
+  EXPECT_EQ(bp.ChildAt(bp.FindChildSlot(5000)), 12u);
+}
+
+// ------------------------------------------------------------- LogRecord
+
+TEST(LogRecordTest, CodecRoundTripAllTypes) {
+  std::vector<LogRecord> recs;
+  {
+    LogRecord r;
+    r.type = LogRecordType::kPageFormat;
+    r.page_id = 3;
+    r.page_type = 1;
+    r.level = 2;
+    r.low_fence = 5;
+    r.high_fence = 500;
+    r.right_sibling = 9;
+    recs.push_back(r);
+  }
+  {
+    LogRecord r;
+    r.type = LogRecordType::kLeafInsert;
+    r.txn_id = 77;
+    r.page_id = 4;
+    r.key = 42;
+    r.value = "chainbytes";
+    recs.push_back(r);
+  }
+  {
+    LogRecord r;
+    r.type = LogRecordType::kLeafDelete;
+    r.page_id = 4;
+    r.key = 42;
+    recs.push_back(r);
+  }
+  {
+    LogRecord r;
+    r.type = LogRecordType::kInteriorInsert;
+    r.page_id = 1;
+    r.key = 9;
+    r.child = 12;
+    recs.push_back(r);
+  }
+  {
+    LogRecord r;
+    r.type = LogRecordType::kTxnCommit;
+    r.txn_id = 5;
+    r.commit_ts = 99;
+    recs.push_back(r);
+  }
+  {
+    LogRecord r;
+    r.type = LogRecordType::kCheckpoint;
+    r.commit_ts = 100;
+    r.next_page_id = 17;
+    recs.push_back(r);
+  }
+  for (const auto& r : recs) {
+    LogRecord d;
+    ASSERT_TRUE(LogRecord::Decode(Slice(r.Encode()), &d).ok());
+    EXPECT_EQ(d.type, r.type);
+    EXPECT_EQ(d.txn_id, r.txn_id);
+    EXPECT_EQ(d.page_id, r.page_id);
+    EXPECT_EQ(d.key, r.key);
+    EXPECT_EQ(d.value, r.value);
+    EXPECT_EQ(d.child, r.child);
+    EXPECT_EQ(d.commit_ts, r.commit_ts);
+    EXPECT_EQ(d.next_page_id, r.next_page_id);
+  }
+}
+
+TEST(LogRecordTest, DecodeRejectsTruncation) {
+  LogRecord r;
+  r.type = LogRecordType::kLeafInsert;
+  r.key = 1;
+  r.value = "abcdef";
+  std::string enc = r.Encode();
+  LogRecord d;
+  EXPECT_TRUE(
+      LogRecord::Decode(Slice(enc.data(), enc.size() - 3), &d)
+          .IsCorruption());
+  EXPECT_TRUE(LogRecord::Decode(Slice(""), &d).IsCorruption());
+}
+
+TEST(LogRecordTest, RedoIsIdempotent) {
+  storage::Page page;
+  BTreePage::Format(&page, 5, 0, kMinKey, kMaxKey, kInvalidPageId);
+  page.set_page_lsn(100);
+
+  LogRecord ins;
+  ins.type = LogRecordType::kLeafInsert;
+  ins.page_id = 5;
+  ins.key = 7;
+  ins.value = "val";
+  // LSN 90 <= pageLSN 100: must be skipped.
+  ASSERT_TRUE(ApplyToPage(ins, 90, &page).ok());
+  BTreePage bp(&page);
+  EXPECT_EQ(bp.FindSlot(7), -1);
+  // LSN 110: applied, pageLSN advances.
+  ASSERT_TRUE(ApplyToPage(ins, 110, &page).ok());
+  EXPECT_GE(bp.FindSlot(7), 0);
+  EXPECT_EQ(page.page_lsn(), 110u);
+  // Re-applying the same record is a no-op, not a duplicate-key error.
+  ASSERT_TRUE(ApplyToPage(ins, 110, &page).ok());
+  EXPECT_EQ(bp.slot_count(), 1);
+}
+
+TEST(LogRecordTest, ForEachRecordWalksFrames) {
+  std::string stream;
+  for (int i = 0; i < 3; i++) {
+    LogRecord r;
+    r.type = LogRecordType::kTxnCommit;
+    r.commit_ts = i + 1;
+    FrameRecord(&stream, Slice(r.Encode()));
+  }
+  std::vector<Lsn> lsns;
+  std::vector<Timestamp> tss;
+  ASSERT_TRUE(ForEachRecord(Slice(stream), 16, [&](Lsn lsn, Slice p) {
+                lsns.push_back(lsn);
+                LogRecord d;
+                EXPECT_TRUE(LogRecord::Decode(p, &d).ok());
+                tss.push_back(d.commit_ts);
+                return true;
+              }).ok());
+  ASSERT_EQ(lsns.size(), 3u);
+  EXPECT_EQ(lsns[0], 16u);
+  EXPECT_EQ(tss, (std::vector<Timestamp>{1, 2, 3}));
+  // Partial trailing frame is end-of-stream, not corruption.
+  std::string truncated = stream.substr(0, stream.size() - 5);
+  int count = 0;
+  ASSERT_TRUE(ForEachRecord(Slice(truncated), 16, [&](Lsn, Slice) {
+                count++;
+                return true;
+              }).ok());
+  EXPECT_EQ(count, 2);
+}
+
+// ------------------------------------------------------------ BufferPool
+
+// A fetcher serving formatted pages from an in-memory "remote" map.
+class MapFetcher : public PageFetcher {
+ public:
+  explicit MapFetcher(Simulator& sim) : sim_(sim) {}
+
+  Task<Result<storage::Page>> FetchPage(PageId page_id) override {
+    co_await sim::Delay(sim_, 300);  // remote round trip
+    fetches_++;
+    auto it = pages_.find(page_id);
+    if (it == pages_.end()) {
+      co_return Result<storage::Page>(Status::NotFound("no such page"));
+    }
+    co_return it->second;
+  }
+
+  std::map<PageId, storage::Page> pages_;
+  int fetches_ = 0;
+
+ private:
+  Simulator& sim_;
+};
+
+storage::Page MakeLeafPage(PageId id, Lsn lsn) {
+  storage::Page p;
+  BTreePage::Format(&p, id, 0, kMinKey, kMaxKey, kInvalidPageId);
+  p.set_page_lsn(lsn);
+  return p;
+}
+
+TEST(BufferPoolTest, MissThenMemHit) {
+  Simulator s;
+  MapFetcher fetcher(s);
+  fetcher.pages_[7] = MakeLeafPage(7, 50);
+  BufferPoolOptions opts;
+  opts.mem_pages = 4;
+  BufferPool pool(s, opts, &fetcher);
+  RunSim(s, [&]() -> Task<> {
+    auto r1 = co_await pool.GetPage(7);
+    EXPECT_TRUE(r1.ok());
+    EXPECT_EQ(r1->page()->page_id(), 7u);
+    auto r2 = co_await pool.GetPage(7);
+    EXPECT_TRUE(r2.ok());
+  });
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().mem_hits, 1u);
+  EXPECT_EQ(fetcher.fetches_, 1);
+}
+
+TEST(BufferPoolTest, ConcurrentMissesDeduplicated) {
+  Simulator s;
+  MapFetcher fetcher(s);
+  fetcher.pages_[7] = MakeLeafPage(7, 50);
+  BufferPoolOptions opts;
+  BufferPool pool(s, opts, &fetcher);
+  int done = 0;
+  for (int i = 0; i < 5; i++) {
+    Spawn(s, [](BufferPool& p, int* d) -> Task<> {
+      auto r = co_await p.GetPage(7);
+      EXPECT_TRUE(r.ok());
+      (*d)++;
+    }(pool, &done));
+  }
+  s.Run();
+  EXPECT_EQ(done, 5);
+  EXPECT_EQ(fetcher.fetches_, 1);  // one remote fetch for five callers
+}
+
+TEST(BufferPoolTest, EvictionToSsdAndPromotion) {
+  Simulator s;
+  MapFetcher fetcher(s);
+  for (PageId id = 1; id <= 10; id++) {
+    fetcher.pages_[id] = MakeLeafPage(id, 10 * id);
+  }
+  BufferPoolOptions opts;
+  opts.mem_pages = 3;
+  opts.ssd_pages = 10;
+  BufferPool pool(s, opts, &fetcher);
+  RunSim(s, [&]() -> Task<> {
+    for (PageId id = 1; id <= 10; id++) {
+      auto r = co_await pool.GetPage(id);
+      EXPECT_TRUE(r.ok());
+    }
+    // Pages 1..7 must have spilled to SSD; re-reading one is an SSD hit.
+    auto r = co_await pool.GetPage(1);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r->page()->page_id(), 1u);
+  });
+  EXPECT_EQ(pool.stats().ssd_hits, 1u);
+  EXPECT_EQ(fetcher.fetches_, 10);  // no refetch for the SSD hit
+}
+
+TEST(BufferPoolTest, EvictionCallbackReportsDepartures) {
+  Simulator s;
+  MapFetcher fetcher(s);
+  for (PageId id = 1; id <= 6; id++) {
+    fetcher.pages_[id] = MakeLeafPage(id, 100 + id);
+  }
+  BufferPoolOptions opts;
+  opts.mem_pages = 2;
+  opts.ssd_pages = 2;
+  BufferPool pool(s, opts, &fetcher);
+  std::map<PageId, Lsn> evicted;
+  pool.set_eviction_callback(
+      [&](PageId id, Lsn lsn) { evicted[id] = lsn; });
+  RunSim(s, [&]() -> Task<> {
+    for (PageId id = 1; id <= 6; id++) {
+      auto r = co_await pool.GetPage(id);
+      EXPECT_TRUE(r.ok());
+    }
+  });
+  // 6 pages through mem(2)+ssd(2): at least two fully evicted with LSNs.
+  EXPECT_GE(evicted.size(), 2u);
+  for (auto& [id, lsn] : evicted) {
+    EXPECT_EQ(lsn, 100 + id);
+  }
+}
+
+TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  Simulator s;
+  MapFetcher fetcher(s);
+  for (PageId id = 1; id <= 5; id++) {
+    fetcher.pages_[id] = MakeLeafPage(id, id);
+  }
+  BufferPoolOptions opts;
+  opts.mem_pages = 2;
+  BufferPool pool(s, opts, &fetcher);
+  RunSim(s, [&]() -> Task<> {
+    auto pinned = co_await pool.GetPage(1);
+    EXPECT_TRUE(pinned.ok());
+    storage::Page* raw = pinned->page();
+    for (PageId id = 2; id <= 5; id++) {
+      auto r = co_await pool.GetPage(id);
+      EXPECT_TRUE(r.ok());
+    }
+    // Page 1 is still valid and identical through the pin.
+    EXPECT_EQ(raw->page_id(), 1u);
+    auto again = co_await pool.GetPage(1);
+    EXPECT_TRUE(again.ok());
+    EXPECT_EQ(again->page(), raw);  // same frame, not refetched
+  });
+  EXPECT_EQ(fetcher.fetches_, 5);
+}
+
+TEST(BufferPoolTest, RbpexSurvivesCrashAndRecovers) {
+  Simulator s;
+  MapFetcher fetcher(s);
+  for (PageId id = 1; id <= 8; id++) {
+    fetcher.pages_[id] = MakeLeafPage(id, 10 + id);
+  }
+  BufferPoolOptions opts;
+  opts.mem_pages = 2;
+  opts.ssd_pages = 8;
+  opts.ssd_recoverable = true;
+  BufferPool pool(s, opts, &fetcher);
+  RunSim(s, [&]() -> Task<> {
+    for (PageId id = 1; id <= 8; id++) {
+      (void)co_await pool.GetPage(id);
+    }
+  });
+  int fetches_before = fetcher.fetches_;
+  pool.Crash();
+  size_t recovered = 0;
+  RunSim(s, [&]() -> Task<> {
+    auto r = co_await pool.Recover(/*durable_end_lsn=*/1000);
+    EXPECT_TRUE(r.ok());
+    recovered = *r;
+    // Reading a recovered page hits SSD, not the remote fetcher.
+    auto p = co_await pool.GetPage(3);
+    EXPECT_TRUE(p.ok());
+    EXPECT_EQ(p->page()->page_lsn(), 13u);
+  });
+  EXPECT_GE(recovered, 6u);
+  EXPECT_EQ(fetcher.fetches_, fetches_before);  // warm cache: no refetch
+}
+
+TEST(BufferPoolTest, RecoverDiscardsUnhardenedPages) {
+  Simulator s;
+  MapFetcher fetcher(s);
+  fetcher.pages_[1] = MakeLeafPage(1, 100);
+  fetcher.pages_[2] = MakeLeafPage(2, 999);  // "speculative" page
+  BufferPoolOptions opts;
+  opts.mem_pages = 1;
+  opts.ssd_pages = 4;
+  BufferPool pool(s, opts, &fetcher);
+  RunSim(s, [&]() -> Task<> {
+    (void)co_await pool.GetPage(1);
+    (void)co_await pool.GetPage(2);
+    (void)co_await pool.GetPage(1);  // force 2 out of mem too
+  });
+  pool.Crash();
+  RunSim(s, [&]() -> Task<> {
+    (void)co_await pool.Recover(/*durable_end_lsn=*/500);
+  });
+  // Page 2 (LSN 999 > 500) must have been discarded.
+  EXPECT_FALSE(pool.Contains(2));
+}
+
+TEST(BufferPoolTest, NonRecoverableBpeLosesSsdOnCrash) {
+  Simulator s;
+  MapFetcher fetcher(s);
+  for (PageId id = 1; id <= 4; id++) {
+    fetcher.pages_[id] = MakeLeafPage(id, id);
+  }
+  BufferPoolOptions opts;
+  opts.mem_pages = 1;
+  opts.ssd_pages = 4;
+  opts.ssd_recoverable = false;
+  BufferPool pool(s, opts, &fetcher);
+  RunSim(s, [&]() -> Task<> {
+    for (PageId id = 1; id <= 4; id++) {
+      (void)co_await pool.GetPage(id);
+    }
+  });
+  pool.Crash();
+  EXPECT_EQ(pool.ssd_resident(), 0u);
+  RunSim(s, [&]() -> Task<> {
+    auto r = co_await pool.Recover(1000);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(*r, 0u);
+  });
+}
+
+TEST(BufferPoolTest, DirtyTracking) {
+  Simulator s;
+  MapFetcher fetcher(s);
+  fetcher.pages_[1] = MakeLeafPage(1, 5);
+  fetcher.pages_[2] = MakeLeafPage(2, 5);
+  BufferPoolOptions opts;
+  BufferPool pool(s, opts, &fetcher);
+  RunSim(s, [&]() -> Task<> {
+    auto a = co_await pool.GetPage(1);
+    auto b = co_await pool.GetPage(2);
+    a.value().MarkDirty();
+  });
+  auto dirty = pool.DirtyPages();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], 1u);
+  pool.ClearDirty(1);
+  EXPECT_TRUE(pool.DirtyPages().empty());
+}
+
+// ------------------------------------------------------- BTree end-to-end
+
+struct TreeFixture {
+  Simulator sim;
+  MemLogSink sink{sim};
+  BufferPoolOptions opts;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<BTree> tree;
+
+  explicit TreeFixture(size_t mem_pages = 4096) {
+    opts.mem_pages = mem_pages;
+    pool = std::make_unique<BufferPool>(sim, opts, nullptr);
+    tree = std::make_unique<BTree>(sim, pool.get(), &sink);
+    Spawn(sim, [](BTree* t) -> Task<> {
+      Status s = co_await t->Create();
+      EXPECT_TRUE(s.ok());
+    }(tree.get()));
+    sim.Run();
+  }
+};
+
+VersionChain OneVersion(Timestamp ts, const std::string& v) {
+  VersionChain c;
+  c.Push(ts, false, Slice(v));
+  return c;
+}
+
+TEST(BTreeTest, InsertAndFind) {
+  TreeFixture f;
+  RunSim(f.sim, [&]() -> Task<> {
+    EXPECT_TRUE(
+        (co_await f.tree->Write(1, 42, OneVersion(1, "hello"))).ok());
+    auto r = co_await f.tree->Find(42);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r->Newest()->payload, "hello");
+    auto miss = co_await f.tree->Find(43);
+    EXPECT_TRUE(miss.status().IsNotFound());
+  });
+}
+
+TEST(BTreeTest, UpdateReplacesChain) {
+  TreeFixture f;
+  RunSim(f.sim, [&]() -> Task<> {
+    (void)co_await f.tree->Write(1, 5, OneVersion(1, "a"));
+    VersionChain c2 = OneVersion(1, "a");
+    c2.Push(2, false, Slice("b"));
+    (void)co_await f.tree->Write(1, 5, c2);
+    auto r = co_await f.tree->Find(5);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), 2u);
+    EXPECT_EQ(r->Newest()->payload, "b");
+  });
+}
+
+TEST(BTreeTest, ManyInsertsForceSplitsAndStayFindable) {
+  TreeFixture f;
+  const int kN = 3000;
+  RunSim(f.sim, [&]() -> Task<> {
+    Random rng(7);
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < kN; i++) keys.push_back(i * 7919 % 100000);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    Shuffle(&keys, &rng);
+    for (uint64_t k : keys) {
+      Status s = co_await f.tree->Write(
+          1, k, OneVersion(1, "v" + std::to_string(k)));
+      EXPECT_TRUE(s.ok()) << s.ToString();
+    }
+    for (uint64_t k : keys) {
+      auto r = co_await f.tree->Find(k);
+      EXPECT_TRUE(r.ok()) << "key " << k;
+      if (r.ok()) {
+        EXPECT_EQ(r->Newest()->payload, "v" + std::to_string(k));
+      }
+    }
+  });
+  EXPECT_GT(f.tree->next_page_id(), 3u);  // splits happened
+}
+
+TEST(BTreeTest, ScanReturnsSortedRange) {
+  TreeFixture f;
+  RunSim(f.sim, [&]() -> Task<> {
+    for (uint64_t k = 0; k < 500; k++) {
+      (void)co_await f.tree->Write(1, k * 2, OneVersion(1, "v"));
+    }
+    std::vector<uint64_t> seen;
+    auto r = co_await f.tree->Scan(100, 50,
+                                   [&](uint64_t k, const VersionChain&) {
+                                     seen.push_back(k);
+                                     return true;
+                                   });
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(seen.size(), 50u);
+    if (seen.size() != 50u) co_return;
+    EXPECT_EQ(seen.front(), 100u);
+    EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+    EXPECT_EQ(seen.back(), 198u);
+  });
+}
+
+// Differential test: random upserts/erases vs std::map, with big values to
+// force frequent splits, verified by full scan.
+TEST(BTreePropertyTest, MatchesModelUnderRandomOps) {
+  TreeFixture f(8192);
+  std::map<uint64_t, std::string> model;
+  RunSim(f.sim, [&]() -> Task<> {
+    Random rng(99);
+    for (int op = 0; op < 4000; op++) {
+      uint64_t key = rng.Uniform(800);
+      if (rng.Bernoulli(0.75) || model.count(key) == 0) {
+        std::string v(64 + rng.Uniform(400), 'a' + key % 26);
+        (void)co_await f.tree->Write(1, key, OneVersion(1, v));
+        model[key] = v;
+      } else {
+        Status s = co_await f.tree->Erase(1, key);
+        EXPECT_TRUE(s.ok());
+        model.erase(key);
+      }
+      if (op % 500 == 499) {
+        std::vector<std::pair<uint64_t, std::string>> found;
+        auto r = co_await f.tree->Scan(
+            0, SIZE_MAX, [&](uint64_t k, const VersionChain& c) {
+              found.emplace_back(k, c.Newest()->payload);
+              return true;
+            });
+        EXPECT_TRUE(r.ok());
+        EXPECT_EQ(found.size(), model.size()) << "op " << op;
+        auto mit = model.begin();
+        for (size_t i = 0; i < found.size() && mit != model.end();
+             i++, ++mit) {
+          EXPECT_EQ(found[i].first, mit->first);
+          EXPECT_EQ(found[i].second, mit->second);
+        }
+      }
+    }
+  });
+}
+
+// Replay the complete log into a second pool: the replica must match.
+TEST(BTreeTest, LogReplayReproducesTree) {
+  TreeFixture f;
+  RunSim(f.sim, [&]() -> Task<> {
+    for (uint64_t k = 0; k < 1500; k++) {
+      (void)co_await f.tree->Write(
+          1, k * 3, OneVersion(1, std::string(100, 'x')));
+    }
+  });
+
+  BufferPoolOptions opts;
+  opts.mem_pages = 1 << 20;
+  BufferPool replica_pool(f.sim, opts, nullptr);
+  RedoApplier applier(f.sim, &replica_pool,
+                      RedoApplier::MissPolicy::kMaterialize);
+  BTree replica(f.sim, &replica_pool, nullptr);
+  RunSim(f.sim, [&]() -> Task<> {
+    auto r = co_await applier.ApplyStream(Slice(f.sink.stream()),
+                                          kLogStreamStart);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    for (uint64_t k = 0; k < 1500; k++) {
+      auto v = co_await replica.Find(k * 3);
+      EXPECT_TRUE(v.ok()) << "key " << k * 3;
+    }
+  });
+  EXPECT_EQ(applier.applied_lsn().value(), f.sink.end_lsn());
+}
+
+// --------------------------------------------------------------- Engine
+
+struct EngineFixture {
+  Simulator sim;
+  MemLogSink sink{sim};
+  BufferPoolOptions opts;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<Engine> engine;
+
+  EngineFixture() {
+    opts.mem_pages = 1 << 18;
+    pool = std::make_unique<BufferPool>(sim, opts, nullptr);
+    engine = std::make_unique<Engine>(sim, pool.get(), &sink);
+    Spawn(sim, [](Engine* e) -> Task<> {
+      EXPECT_TRUE((co_await e->Bootstrap()).ok());
+    }(engine.get()));
+    sim.Run();
+  }
+};
+
+TEST(EngineTest, CommitThenRead) {
+  EngineFixture f;
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin();
+    EXPECT_TRUE(f.engine->Put(txn.get(), MakeKey(1, 10), "row-a").ok());
+    EXPECT_TRUE(f.engine->Put(txn.get(), MakeKey(1, 11), "row-b").ok());
+    EXPECT_TRUE((co_await f.engine->Commit(txn.get())).ok());
+
+    auto reader = f.engine->Begin(true);
+    auto v = co_await f.engine->Get(reader.get(), MakeKey(1, 10));
+    EXPECT_TRUE(v.ok());
+    EXPECT_EQ(*v, "row-a");
+    (void)co_await f.engine->Commit(reader.get());
+  });
+  EXPECT_EQ(f.engine->stats().commits, 1u);
+}
+
+TEST(EngineTest, ReadYourWrites) {
+  EngineFixture f;
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin();
+    (void)f.engine->Put(txn.get(), 5, "mine");
+    auto v = co_await f.engine->Get(txn.get(), 5);
+    EXPECT_TRUE(v.ok());
+    EXPECT_EQ(*v, "mine");
+    (void)f.engine->Delete(txn.get(), 5);
+    auto gone = co_await f.engine->Get(txn.get(), 5);
+    EXPECT_TRUE(gone.status().IsNotFound());
+    f.engine->Abort(txn.get());
+  });
+}
+
+TEST(EngineTest, SnapshotIsolationReadersDontSeeLaterCommits) {
+  EngineFixture f;
+  RunSim(f.sim, [&]() -> Task<> {
+    auto w1 = f.engine->Begin();
+    (void)f.engine->Put(w1.get(), 100, "v1");
+    (void)co_await f.engine->Commit(w1.get());
+
+    auto reader = f.engine->Begin(true);  // snapshot at v1
+
+    auto w2 = f.engine->Begin();
+    (void)f.engine->Put(w2.get(), 100, "v2");
+    (void)co_await f.engine->Commit(w2.get());
+
+    auto v = co_await f.engine->Get(reader.get(), 100);
+    EXPECT_TRUE(v.ok());
+    EXPECT_EQ(*v, "v1");  // still the old snapshot
+    (void)co_await f.engine->Commit(reader.get());
+
+    auto fresh = f.engine->Begin(true);
+    auto v2 = co_await f.engine->Get(fresh.get(), 100);
+    EXPECT_EQ(*v2, "v2");
+    (void)co_await f.engine->Commit(fresh.get());
+  });
+}
+
+TEST(EngineTest, WriteWriteConflictAborts) {
+  EngineFixture f;
+  RunSim(f.sim, [&]() -> Task<> {
+    auto seed = f.engine->Begin();
+    (void)f.engine->Put(seed.get(), 7, "base");
+    (void)co_await f.engine->Commit(seed.get());
+
+    auto t1 = f.engine->Begin();
+    auto t2 = f.engine->Begin();
+    (void)f.engine->Put(t1.get(), 7, "from-t1");
+    (void)f.engine->Put(t2.get(), 7, "from-t2");
+    EXPECT_TRUE((co_await f.engine->Commit(t1.get())).ok());
+    EXPECT_TRUE((co_await f.engine->Commit(t2.get())).IsAborted());
+
+    auto check = f.engine->Begin(true);
+    auto v = co_await f.engine->Get(check.get(), 7);
+    EXPECT_EQ(*v, "from-t1");
+    (void)co_await f.engine->Commit(check.get());
+  });
+  EXPECT_EQ(f.engine->stats().conflicts, 1u);
+}
+
+TEST(EngineTest, DeleteBecomesTombstone) {
+  EngineFixture f;
+  RunSim(f.sim, [&]() -> Task<> {
+    auto w = f.engine->Begin();
+    (void)f.engine->Put(w.get(), 9, "short-lived");
+    (void)co_await f.engine->Commit(w.get());
+
+    auto snap = f.engine->Begin(true);  // sees the row
+
+    auto d = f.engine->Begin();
+    (void)f.engine->Delete(d.get(), 9);
+    (void)co_await f.engine->Commit(d.get());
+
+    auto after = f.engine->Begin(true);
+    auto gone = co_await f.engine->Get(after.get(), 9);
+    EXPECT_TRUE(gone.status().IsNotFound());
+    // But the older snapshot still sees it (version store at work).
+    auto old = co_await f.engine->Get(snap.get(), 9);
+    EXPECT_TRUE(old.ok());
+    EXPECT_EQ(*old, "short-lived");
+    (void)co_await f.engine->Commit(snap.get());
+    (void)co_await f.engine->Commit(after.get());
+  });
+}
+
+TEST(EngineTest, ScanVisibilityAndOverlay) {
+  EngineFixture f;
+  RunSim(f.sim, [&]() -> Task<> {
+    auto w = f.engine->Begin();
+    for (uint64_t k = 0; k < 20; k++) {
+      (void)f.engine->Put(w.get(), MakeKey(2, k), "r" + std::to_string(k));
+    }
+    (void)co_await f.engine->Commit(w.get());
+
+    auto txn = f.engine->Begin();
+    (void)f.engine->Delete(txn.get(), MakeKey(2, 3));
+    (void)f.engine->Put(txn.get(), MakeKey(2, 5), "patched");
+    auto rows = co_await f.engine->Scan(txn.get(), MakeKey(2, 0), 10);
+    EXPECT_TRUE(rows.ok());
+    EXPECT_EQ(rows->size(), 10u);
+    if (rows->size() != 10u) co_return;
+    // Key 3 deleted, key 5 patched, so first rows are 0,1,2,4,5...
+    EXPECT_EQ(KeyRow((*rows)[0].first), 0u);
+    EXPECT_EQ(KeyRow((*rows)[3].first), 4u);
+    EXPECT_EQ((*rows)[4].second, "patched");
+    f.engine->Abort(txn.get());
+  });
+}
+
+TEST(EngineTest, ManyTransactionsAccumulateCorrectState) {
+  EngineFixture f;
+  std::map<uint64_t, std::string> model;
+  RunSim(f.sim, [&]() -> Task<> {
+    Random rng(3);
+    for (int t = 0; t < 300; t++) {
+      auto txn = f.engine->Begin();
+      int ops = 1 + rng.Uniform(5);
+      std::map<uint64_t, std::string> local;
+      for (int i = 0; i < ops; i++) {
+        uint64_t key = rng.Uniform(200);
+        std::string val = "t" + std::to_string(t) + "-" + std::to_string(i);
+        (void)f.engine->Put(txn.get(), key, val);
+        local[key] = val;
+      }
+      Status s = co_await f.engine->Commit(txn.get());
+      EXPECT_TRUE(s.ok());  // sequential txns never conflict
+      for (auto& [k, v] : local) model[k] = v;
+    }
+    auto check = f.engine->Begin(true);
+    for (auto& [k, v] : model) {
+      auto r = co_await f.engine->Get(check.get(), k);
+      EXPECT_TRUE(r.ok());
+      if (r.ok()) {
+        EXPECT_EQ(*r, v);
+      }
+    }
+    (void)co_await f.engine->Commit(check.get());
+  });
+}
+
+// Secondary-style replica: replay engine log with external read timestamp.
+TEST(EngineTest, ReplicaServesSnapshotReadsViaRedo) {
+  EngineFixture f;
+  RunSim(f.sim, [&]() -> Task<> {
+    auto w = f.engine->Begin();
+    (void)f.engine->Put(w.get(), 1, "apple");
+    (void)f.engine->Put(w.get(), 2, "banana");
+    (void)co_await f.engine->Commit(w.get());
+  });
+
+  BufferPoolOptions opts;
+  opts.mem_pages = 1 << 18;
+  BufferPool replica_pool(f.sim, opts, nullptr);
+  RedoApplier applier(f.sim, &replica_pool,
+                      RedoApplier::MissPolicy::kMaterialize);
+  Engine replica(f.sim, &replica_pool, nullptr);
+  replica.SetReadTsProvider([&] { return applier.applied_commit_ts(); });
+  RunSim(f.sim, [&]() -> Task<> {
+    auto r = co_await applier.ApplyStream(Slice(f.sink.stream()),
+                                          kLogStreamStart);
+    EXPECT_TRUE(r.ok());
+    auto txn = replica.Begin(true);
+    auto v = co_await replica.Get(txn.get(), 1);
+    EXPECT_TRUE(v.ok());
+    EXPECT_EQ(*v, "apple");
+    (void)co_await replica.Commit(txn.get());
+  });
+  EXPECT_EQ(applier.applied_commit_ts(), f.engine->last_committed_ts());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace socrates

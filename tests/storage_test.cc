@@ -1,0 +1,263 @@
+// Tests for pages and simulated block devices: header round-trips,
+// checksums, sparse device storage, latency ordering, replication quorum,
+// outage behaviour.
+
+#include <gtest/gtest.h>
+
+#include "storage/block_device.h"
+#include "storage/page.h"
+
+namespace socrates {
+namespace storage {
+namespace {
+
+using sim::DeviceProfile;
+using sim::Simulator;
+using sim::Spawn;
+using sim::Task;
+
+// -------------------------------------------------------------------- Page
+
+TEST(PageTest, FormatSetsHeader) {
+  Page p;
+  p.Format(42, PageType::kBTreeLeaf);
+  EXPECT_EQ(p.page_id(), 42u);
+  EXPECT_EQ(p.type(), PageType::kBTreeLeaf);
+  EXPECT_EQ(p.page_lsn(), kInvalidLsn);
+  EXPECT_EQ(p.slot_count(), 0);
+  EXPECT_EQ(p.free_offset(), kPageHeaderSize);
+}
+
+TEST(PageTest, HeaderFieldRoundTrips) {
+  Page p;
+  p.Format(7, PageType::kMeta);
+  p.set_page_lsn(123456789ull);
+  p.set_slot_count(99);
+  p.set_free_offset(512);
+  p.set_aux(0xCAFE);
+  EXPECT_EQ(p.page_lsn(), 123456789ull);
+  EXPECT_EQ(p.slot_count(), 99);
+  EXPECT_EQ(p.free_offset(), 512);
+  EXPECT_EQ(p.aux(), 0xCAFEu);
+}
+
+TEST(PageTest, ChecksumDetectsCorruption) {
+  Page p;
+  p.Format(1, PageType::kBTreeLeaf);
+  memcpy(p.data() + 100, "hello", 5);
+  p.UpdateChecksum();
+  EXPECT_TRUE(p.VerifyChecksum().ok());
+  p.data()[200] ^= 0x01;
+  EXPECT_TRUE(p.VerifyChecksum().IsCorruption());
+}
+
+TEST(PageTest, CopyIsDeep) {
+  Page a;
+  a.Format(5, PageType::kBTreeLeaf);
+  memcpy(a.data() + 64, "payload", 7);
+  Page b = a;
+  b.data()[64] = 'X';
+  EXPECT_EQ(a.data()[64], 'p');
+  EXPECT_EQ(b.page_id(), 5u);
+}
+
+TEST(PageTest, SliceRoundTrip) {
+  Page a;
+  a.Format(9, PageType::kVersionStore);
+  a.set_page_lsn(55);
+  a.UpdateChecksum();
+  Page b;
+  ASSERT_TRUE(b.FromSlice(a.AsSlice()).ok());
+  EXPECT_TRUE(b.VerifyChecksum().ok());
+  EXPECT_EQ(b.page_id(), 9u);
+  EXPECT_EQ(b.page_lsn(), 55u);
+  EXPECT_TRUE(b.FromSlice(Slice("short")).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------- SimBlockDevice
+
+TEST(SimBlockDeviceTest, WriteReadRoundTrip) {
+  Simulator s;
+  SimBlockDevice dev(s, DeviceProfile::LocalSsd());
+  std::string got;
+  Status ws, rs;
+  Spawn(s, [](SimBlockDevice& d, std::string* out, Status* w,
+              Status* r) -> Task<> {
+    *w = co_await d.Write(1000, Slice("hello device"));
+    *r = co_await d.Read(1000, 12, out);
+  }(dev, &got, &ws, &rs));
+  s.Run();
+  EXPECT_TRUE(ws.ok());
+  EXPECT_TRUE(rs.ok());
+  EXPECT_EQ(got, "hello device");
+  EXPECT_GT(s.now(), 0);  // latency was modelled
+}
+
+TEST(SimBlockDeviceTest, UnwrittenReadsAsZero) {
+  Simulator s;
+  SimBlockDevice dev(s, DeviceProfile::LocalSsd());
+  std::string got;
+  Spawn(s, [](SimBlockDevice& d, std::string* out) -> Task<> {
+    (void)co_await d.Read(5 * GiB, 16, out);
+  }(dev, &got));
+  s.Run();
+  EXPECT_EQ(got, std::string(16, '\0'));
+}
+
+TEST(SimBlockDeviceTest, SparseAllocation) {
+  Simulator s;
+  SimBlockDevice dev(s, DeviceProfile::LocalSsd());
+  Spawn(s, [](SimBlockDevice& d) -> Task<> {
+    (void)co_await d.Write(10 * GiB, Slice("far away"));
+  }(dev));
+  s.Run();
+  // Writing 8 bytes at 10 GiB must not allocate 10 GiB.
+  EXPECT_LT(dev.allocated_bytes(), 1 * MiB);
+}
+
+TEST(SimBlockDeviceTest, CrossChunkWrite) {
+  Simulator s;
+  SimBlockDevice dev(s, DeviceProfile::LocalSsd());
+  std::string big(200 * KiB, 'z');  // spans multiple 64 KiB chunks
+  for (size_t i = 0; i < big.size(); i++) big[i] = static_cast<char>(i % 251);
+  std::string got;
+  Spawn(s, [](SimBlockDevice& d, const std::string& data,
+              std::string* out) -> Task<> {
+    (void)co_await d.Write(60 * KiB, Slice(data));
+    (void)co_await d.Read(60 * KiB, data.size(), out);
+  }(dev, big, &got));
+  s.Run();
+  EXPECT_EQ(got, big);
+}
+
+TEST(SimBlockDeviceTest, OutageFailsRequests) {
+  Simulator s;
+  SimBlockDevice dev(s, DeviceProfile::XStore());
+  dev.SetAvailable(false);
+  Status ws;
+  Spawn(s, [](SimBlockDevice& d, Status* w) -> Task<> {
+    *w = co_await d.Write(0, Slice("x"));
+  }(dev, &ws));
+  s.Run();
+  EXPECT_TRUE(ws.IsUnavailable());
+  dev.SetAvailable(true);
+  Status ws2;
+  Spawn(s, [](SimBlockDevice& d, Status* w) -> Task<> {
+    *w = co_await d.Write(0, Slice("x"));
+  }(dev, &ws2));
+  s.Run();
+  EXPECT_TRUE(ws2.ok());
+}
+
+TEST(SimBlockDeviceTest, StatsAccumulate) {
+  Simulator s;
+  SimBlockDevice dev(s, DeviceProfile::LocalSsd());
+  Spawn(s, [](SimBlockDevice& d) -> Task<> {
+    (void)co_await d.Write(0, Slice("abcd"));
+    std::string out;
+    (void)co_await d.Read(0, 4, &out);
+    (void)co_await d.Read(0, 2, &out);
+  }(dev));
+  s.Run();
+  EXPECT_EQ(dev.stats().writes, 1u);
+  EXPECT_EQ(dev.stats().reads, 2u);
+  EXPECT_EQ(dev.stats().bytes_written, 4u);
+  EXPECT_EQ(dev.stats().bytes_read, 6u);
+}
+
+// --------------------------------------------------- ReplicatedBlockDevice
+
+TEST(ReplicatedDeviceTest, WriteReachesAllReplicasEventually) {
+  Simulator s;
+  ReplicatedBlockDevice dev(s, DeviceProfile::Xio(), 3, 2);
+  Status ws;
+  Spawn(s, [](ReplicatedBlockDevice& d, Status* w) -> Task<> {
+    *w = co_await d.Write(512, Slice("quorum payload"));
+  }(dev, &ws));
+  s.Run();  // run to completion: laggard replica writes finish too
+  EXPECT_TRUE(ws.ok());
+  for (int i = 0; i < 3; i++) {
+    char buf[14];
+    dev.replica(i)->ReadRaw(512, 14, buf);
+    EXPECT_EQ(std::string(buf, 14), "quorum payload") << "replica " << i;
+  }
+}
+
+TEST(ReplicatedDeviceTest, QuorumFasterThanAllReplicas) {
+  // Commit completes at the 2nd-fastest replica, not the slowest. With a
+  // wide uniform distribution, quorum-of-2 beats waiting for all 3.
+  Simulator s;
+  sim::DeviceProfile p;
+  p.read = sim::LatencyModel::Fixed(100);
+  p.write = sim::LatencyModel::Uniform(1000, 9000);
+  ReplicatedBlockDevice quorum_dev(s, p, 3, 2, /*seed=*/99);
+  ReplicatedBlockDevice all_dev(s, p, 3, 3, /*seed=*/99);
+
+  SimTime t_quorum = 0, t_all = 0;
+  Spawn(s, [](Simulator& sm, ReplicatedBlockDevice& d,
+              SimTime* out) -> Task<> {
+    SimTime begin = sm.now();
+    for (int i = 0; i < 50; i++) {
+      (void)co_await d.Write(i * 512, Slice("x"));
+    }
+    *out = sm.now() - begin;
+  }(s, quorum_dev, &t_quorum));
+  s.Run();
+  Spawn(s, [](Simulator& sm, ReplicatedBlockDevice& d,
+              SimTime* out) -> Task<> {
+    SimTime begin = sm.now();
+    for (int i = 0; i < 50; i++) {
+      (void)co_await d.Write(i * 512, Slice("x"));
+    }
+    *out = sm.now() - begin;
+  }(s, all_dev, &t_all));
+  s.Run();
+  EXPECT_LT(t_quorum, t_all);
+}
+
+TEST(ReplicatedDeviceTest, SurvivesMinorityOutage) {
+  Simulator s;
+  ReplicatedBlockDevice dev(s, DeviceProfile::Xio(), 3, 2);
+  dev.replica(0)->SetAvailable(false);
+  Status ws;
+  std::string got;
+  Spawn(s, [](ReplicatedBlockDevice& d, Status* w, std::string* out)
+            -> Task<> {
+    *w = co_await d.Write(0, Slice("still durable"));
+    (void)co_await d.Read(0, 13, out);
+  }(dev, &ws, &got));
+  s.Run();
+  EXPECT_TRUE(ws.ok());
+  EXPECT_EQ(got, "still durable");  // read fails over past the dead replica
+}
+
+TEST(ReplicatedDeviceTest, FailsWithoutQuorum) {
+  Simulator s;
+  ReplicatedBlockDevice dev(s, DeviceProfile::Xio(), 3, 2);
+  dev.replica(0)->SetAvailable(false);
+  dev.replica(1)->SetAvailable(false);
+  Status ws;
+  Spawn(s, [](ReplicatedBlockDevice& d, Status* w) -> Task<> {
+    *w = co_await d.Write(0, Slice("lost"));
+  }(dev, &ws));
+  s.Run();
+  EXPECT_TRUE(ws.IsUnavailable());
+}
+
+TEST(ReplicatedDeviceTest, AllReplicasDownReadFails) {
+  Simulator s;
+  ReplicatedBlockDevice dev(s, DeviceProfile::Xio(), 3, 2);
+  for (int i = 0; i < 3; i++) dev.replica(i)->SetAvailable(false);
+  Status rs;
+  std::string out;
+  Spawn(s, [](ReplicatedBlockDevice& d, Status* r, std::string* o)
+            -> Task<> {
+    *r = co_await d.Read(0, 8, o);
+  }(dev, &rs, &out));
+  s.Run();
+  EXPECT_TRUE(rs.IsUnavailable());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace socrates

@@ -1,0 +1,244 @@
+// Workload-layer tests: CDB load/transaction execution, mixes, CPU
+// accounting, the TPC-E-like skew, and the client driver — driven against
+// a standalone engine (MemLogSink) and against a full Socrates deployment.
+
+#include <gtest/gtest.h>
+
+#include "service/deployment.h"
+#include "workload/cdb.h"
+#include "workload/tpce_like.h"
+#include "workload/workload.h"
+
+namespace socrates {
+namespace workload {
+namespace {
+
+using engine::Engine;
+using sim::Simulator;
+using sim::Spawn;
+using sim::Task;
+
+Task<> Wrap(Task<> inner, bool* done) {
+  co_await std::move(inner);
+  *done = true;
+}
+
+template <typename Fn>
+void RunSim(Simulator& s, Fn&& fn) {
+  bool done = false;
+  Spawn(s, Wrap(fn(), &done));
+  while (!done && s.Step()) {
+  }
+  ASSERT_TRUE(done) << "driver task did not finish";
+}
+
+struct StandaloneEngine {
+  Simulator sim;
+  engine::MemLogSink sink{sim};
+  engine::BufferPoolOptions pool_opts;
+  std::unique_ptr<engine::BufferPool> pool;
+  std::unique_ptr<Engine> eng;
+  sim::CpuResource cpu{sim, 8};
+
+  StandaloneEngine() {
+    pool_opts.mem_pages = 1 << 20;
+    pool = std::make_unique<engine::BufferPool>(sim, pool_opts, nullptr);
+    eng = std::make_unique<Engine>(sim, pool.get(), &sink);
+    Spawn(sim, [](Engine* e) -> Task<> {
+      EXPECT_TRUE((co_await e->Bootstrap()).ok());
+    }(eng.get()));
+    sim.Run();
+  }
+};
+
+TEST(CdbTest, LoadPopulatesAllTables) {
+  StandaloneEngine se;
+  CdbOptions opts;
+  opts.scale_factor = 10;
+  CdbWorkload cdb(opts, CdbMix::Default());
+  RunSim(se.sim, [&]() -> Task<> {
+    EXPECT_TRUE((co_await cdb.Load(se.eng.get())).ok());
+    // Spot-check each table: first and last row exist.
+    auto txn = se.eng->Begin(true);
+    for (int t = 0; t < 6; t++) {
+      auto first = co_await se.eng->Get(
+          txn.get(), engine::MakeKey(static_cast<TableId>(t + 1), 0));
+      EXPECT_TRUE(first.ok()) << "table " << t;
+      if (first.ok()) {
+        EXPECT_EQ(first->size(), cdb.options().payload_bytes[t]);
+      }
+      auto last = co_await se.eng->Get(
+          txn.get(), engine::MakeKey(static_cast<TableId>(t + 1),
+                                     cdb.TableRows(t) - 1));
+      EXPECT_TRUE(last.ok()) << "table " << t;
+      auto past = co_await se.eng->Get(
+          txn.get(), engine::MakeKey(static_cast<TableId>(t + 1),
+                                     cdb.TableRows(t)));
+      EXPECT_TRUE(past.status().IsNotFound()) << "table " << t;
+    }
+    (void)co_await se.eng->Commit(txn.get());
+  });
+}
+
+TEST(CdbTest, MixesProduceExpectedWriteShare) {
+  StandaloneEngine se;
+  CdbOptions opts;
+  opts.scale_factor = 5;
+  opts.cpu_scale = 0.1;  // fast test
+  auto measure = [&](CdbMix mix) {
+    CdbWorkload cdb(opts, mix);
+    int writes = 0, total = 0;
+    RunSim(se.sim, [&]() -> Task<> {
+      Random rng(7);
+      for (int i = 0; i < 300; i++) {
+        TxnResult r = co_await cdb.RunOne(se.eng.get(), nullptr, &rng);
+        EXPECT_TRUE(r.committed);
+        total++;
+        if (r.is_write) writes++;
+      }
+    });
+    return std::make_pair(writes, total);
+  };
+  // Load once.
+  CdbWorkload loader(opts, CdbMix::Default());
+  RunSim(se.sim, [&]() -> Task<> {
+    EXPECT_TRUE((co_await loader.Load(se.eng.get())).ok());
+  });
+  auto [w_default, n_default] = measure(CdbMix::Default());
+  EXPECT_GT(w_default, n_default / 8);  // ~25% writes
+  EXPECT_LT(w_default, n_default / 2);
+  auto [w_maxlog, n_maxlog] = measure(CdbMix::MaxLog());
+  EXPECT_EQ(w_maxlog, n_maxlog);  // all writes
+  auto [w_ro, n_ro] = measure(CdbMix::ReadOnly());
+  EXPECT_EQ(w_ro, 0);
+  auto [w_lite, n_lite] = measure(CdbMix::UpdateLite());
+  EXPECT_EQ(w_lite, n_lite);
+}
+
+TEST(CdbTest, MaxLogProducesFarMoreLogThanReadOnly) {
+  StandaloneEngine se;
+  CdbOptions opts;
+  opts.scale_factor = 5;
+  opts.cpu_scale = 0.1;
+  CdbWorkload loader(opts, CdbMix::Default());
+  RunSim(se.sim, [&]() -> Task<> {
+    EXPECT_TRUE((co_await loader.Load(se.eng.get())).ok());
+  });
+  auto log_for = [&](CdbMix mix) {
+    CdbWorkload cdb(opts, mix);
+    uint64_t before = se.sink.end_lsn();
+    RunSim(se.sim, [&]() -> Task<> {
+      Random rng(11);
+      for (int i = 0; i < 100; i++) {
+        (void)co_await cdb.RunOne(se.eng.get(), nullptr, &rng);
+      }
+    });
+    return se.sink.end_lsn() - before;
+  };
+  uint64_t maxlog = log_for(CdbMix::MaxLog());
+  uint64_t lite = log_for(CdbMix::UpdateLite());
+  uint64_t ro = log_for(CdbMix::ReadOnly());
+  EXPECT_GT(maxlog, 20 * lite);  // bulk updates dwarf tiny updates
+  EXPECT_EQ(ro, 0u);             // read-only writes no log
+}
+
+TEST(TpceTest, SkewConcentratesAccesses) {
+  StandaloneEngine se;
+  TpceOptions opts;
+  opts.customers = 5000;
+  opts.cpu_scale = 0.1;
+  TpceLikeWorkload tpce(opts);
+  RunSim(se.sim, [&]() -> Task<> {
+    EXPECT_TRUE((co_await tpce.Load(se.eng.get())).ok());
+    Random rng(3);
+    for (int i = 0; i < 200; i++) {
+      TxnResult r = co_await tpce.RunOne(se.eng.get(), nullptr, &rng);
+      EXPECT_TRUE(r.committed);
+    }
+  });
+  EXPECT_GT(se.eng->stats().reads, 400u);
+}
+
+TEST(DriverTest, ReportsThroughputAndCpu) {
+  StandaloneEngine se;
+  CdbOptions opts;
+  opts.scale_factor = 5;
+  opts.cpu_scale = 1.0;
+  CdbWorkload cdb(opts, CdbMix::Default());
+  DriverReport report;
+  RunSim(se.sim, [&]() -> Task<> {
+    EXPECT_TRUE((co_await cdb.Load(se.eng.get())).ok());
+    DriverOptions dopts;
+    dopts.clients = 16;
+    dopts.warmup_us = 100 * 1000;
+    dopts.measure_us = 1 * 1000 * 1000;
+    report = co_await RunDriver(se.sim, se.eng.get(), &se.cpu, &cdb,
+                                dopts);
+  });
+  EXPECT_GT(report.commits, 100u);
+  EXPECT_NEAR(report.total_tps,
+              static_cast<double>(report.commits), 1e-3 * report.commits);
+  EXPECT_GT(report.cpu_utilization, 0.3);  // 16 clients on 8 cores: busy
+  EXPECT_LE(report.cpu_utilization, 1.0);
+  EXPECT_GT(report.read_tps, report.write_tps);  // default mix is ~75% read
+  EXPECT_GT(report.latency_us.count(), 0u);
+}
+
+TEST(DriverTest, MoreClientsMoreThroughputUntilSaturation) {
+  StandaloneEngine se;
+  CdbOptions opts;
+  opts.scale_factor = 5;
+  CdbWorkload cdb(opts, CdbMix::UpdateLite());
+  RunSim(se.sim, [&]() -> Task<> {
+    EXPECT_TRUE((co_await cdb.Load(se.eng.get())).ok());
+  });
+  auto tps_with = [&](int clients) {
+    DriverReport report;
+    RunSim(se.sim, [&]() -> Task<> {
+      DriverOptions dopts;
+      dopts.clients = clients;
+      dopts.warmup_us = 50 * 1000;
+      dopts.measure_us = 500 * 1000;
+      report = co_await RunDriver(se.sim, se.eng.get(), &se.cpu, &cdb,
+                                  dopts);
+    });
+    return report.total_tps;
+  };
+  double t1 = tps_with(1);
+  double t8 = tps_with(8);
+  EXPECT_GT(t8, t1 * 2);  // scales with clients before saturation
+}
+
+// Full-stack: drive CDB against a real Socrates deployment.
+TEST(DriverTest, RunsAgainstSocratesDeployment) {
+  Simulator s;
+  service::DeploymentOptions o;
+  o.partition_map.pages_per_partition = 4096;
+  o.num_page_servers = 1;
+  o.compute.mem_pages = 2048;
+  o.compute.ssd_pages = 8192;
+  service::Deployment d(s, o);
+  CdbOptions copts;
+  copts.scale_factor = 5;
+  CdbWorkload cdb(copts, CdbMix::Default());
+  DriverReport report;
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    EXPECT_TRUE((co_await cdb.Load(d.primary_engine())).ok());
+    DriverOptions dopts;
+    dopts.clients = 8;
+    dopts.warmup_us = 50 * 1000;
+    dopts.measure_us = 500 * 1000;
+    report = co_await RunDriver(s, d.primary_engine(),
+                                &d.primary()->cpu(), &cdb, dopts);
+  });
+  EXPECT_GT(report.commits, 20u);
+  // Bulk updates on a tiny scale factor legitimately conflict sometimes
+  // (first-committer-wins), but commits must dominate.
+  EXPECT_LT(report.aborts, report.commits);
+  d.Stop();
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace socrates
