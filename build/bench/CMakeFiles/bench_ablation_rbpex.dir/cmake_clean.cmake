@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rbpex.dir/bench_ablation_rbpex.cc.o"
+  "CMakeFiles/bench_ablation_rbpex.dir/bench_ablation_rbpex.cc.o.d"
+  "bench_ablation_rbpex"
+  "bench_ablation_rbpex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rbpex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaleout_reads.dir/bench_scaleout_reads.cc.o"
+  "CMakeFiles/bench_scaleout_reads.dir/bench_scaleout_reads.cc.o.d"
+  "bench_scaleout_reads"
+  "bench_scaleout_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaleout_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_goals.dir/bench_table1_goals.cc.o"
+  "CMakeFiles/bench_table1_goals.dir/bench_table1_goals.cc.o.d"
+  "bench_table1_goals"
+  "bench_table1_goals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_goals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_cache_cdb.dir/bench_table3_cache_cdb.cc.o"
+  "CMakeFiles/bench_table3_cache_cdb.dir/bench_table3_cache_cdb.cc.o.d"
+  "bench_table3_cache_cdb"
+  "bench_table3_cache_cdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_cache_cdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

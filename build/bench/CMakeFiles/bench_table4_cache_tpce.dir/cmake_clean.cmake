@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cache_tpce.dir/bench_table4_cache_tpce.cc.o"
+  "CMakeFiles/bench_table4_cache_tpce.dir/bench_table4_cache_tpce.cc.o.d"
+  "bench_table4_cache_tpce"
+  "bench_table4_cache_tpce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cache_tpce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

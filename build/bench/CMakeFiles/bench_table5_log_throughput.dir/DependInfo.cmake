@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_log_throughput.cc" "bench/CMakeFiles/bench_table5_log_throughput.dir/bench_table5_log_throughput.cc.o" "gcc" "bench/CMakeFiles/bench_table5_log_throughput.dir/bench_table5_log_throughput.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/service/CMakeFiles/socrates_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/socrates_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/socrates_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/pageserver/CMakeFiles/socrates_pageserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbio/CMakeFiles/socrates_rbio.dir/DependInfo.cmake"
+  "/root/repo/build/src/xlog/CMakeFiles/socrates_xlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadr/CMakeFiles/socrates_hadr.dir/DependInfo.cmake"
+  "/root/repo/build/src/xstore/CMakeFiles/socrates_xstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/socrates_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/socrates_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_log_throughput.dir/bench_table5_log_throughput.cc.o"
+  "CMakeFiles/bench_table5_log_throughput.dir/bench_table5_log_throughput.cc.o.d"
+  "bench_table5_log_throughput"
+  "bench_table5_log_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_log_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_cpu_at_iso_tput.dir/bench_table7_cpu_at_iso_tput.cc.o"
+  "CMakeFiles/bench_table7_cpu_at_iso_tput.dir/bench_table7_cpu_at_iso_tput.cc.o.d"
+  "bench_table7_cpu_at_iso_tput"
+  "bench_table7_cpu_at_iso_tput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_cpu_at_iso_tput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table7_cpu_at_iso_tput.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadr_vs_socrates.dir/hadr_vs_socrates.cpp.o"
+  "CMakeFiles/hadr_vs_socrates.dir/hadr_vs_socrates.cpp.o.d"
+  "hadr_vs_socrates"
+  "hadr_vs_socrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadr_vs_socrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

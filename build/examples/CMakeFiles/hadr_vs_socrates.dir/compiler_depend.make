@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hadr_vs_socrates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hadr_vs_socrates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitr.dir/pitr.cpp.o"
+  "CMakeFiles/pitr.dir/pitr.cpp.o.d"
+  "pitr"
+  "pitr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

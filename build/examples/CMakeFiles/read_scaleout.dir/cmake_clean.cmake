@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_scaleout.dir/read_scaleout.cpp.o"
+  "CMakeFiles/read_scaleout.dir/read_scaleout.cpp.o.d"
+  "read_scaleout"
+  "read_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socrates_common.dir/crc32c.cc.o"
+  "CMakeFiles/socrates_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/socrates_common.dir/histogram.cc.o"
+  "CMakeFiles/socrates_common.dir/histogram.cc.o.d"
+  "CMakeFiles/socrates_common.dir/random.cc.o"
+  "CMakeFiles/socrates_common.dir/random.cc.o.d"
+  "CMakeFiles/socrates_common.dir/status.cc.o"
+  "CMakeFiles/socrates_common.dir/status.cc.o.d"
+  "libsocrates_common.a"
+  "libsocrates_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socrates_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

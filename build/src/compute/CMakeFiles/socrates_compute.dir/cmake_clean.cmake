@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socrates_compute.dir/compute_node.cc.o"
+  "CMakeFiles/socrates_compute.dir/compute_node.cc.o.d"
+  "libsocrates_compute.a"
+  "libsocrates_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socrates_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

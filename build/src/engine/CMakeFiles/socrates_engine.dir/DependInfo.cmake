@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/btree.cc" "src/engine/CMakeFiles/socrates_engine.dir/btree.cc.o" "gcc" "src/engine/CMakeFiles/socrates_engine.dir/btree.cc.o.d"
+  "/root/repo/src/engine/buffer_pool.cc" "src/engine/CMakeFiles/socrates_engine.dir/buffer_pool.cc.o" "gcc" "src/engine/CMakeFiles/socrates_engine.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/engine/log_record.cc" "src/engine/CMakeFiles/socrates_engine.dir/log_record.cc.o" "gcc" "src/engine/CMakeFiles/socrates_engine.dir/log_record.cc.o.d"
+  "/root/repo/src/engine/redo.cc" "src/engine/CMakeFiles/socrates_engine.dir/redo.cc.o" "gcc" "src/engine/CMakeFiles/socrates_engine.dir/redo.cc.o.d"
+  "/root/repo/src/engine/txn_engine.cc" "src/engine/CMakeFiles/socrates_engine.dir/txn_engine.cc.o" "gcc" "src/engine/CMakeFiles/socrates_engine.dir/txn_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/socrates_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

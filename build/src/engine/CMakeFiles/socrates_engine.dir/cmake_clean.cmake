@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socrates_engine.dir/btree.cc.o"
+  "CMakeFiles/socrates_engine.dir/btree.cc.o.d"
+  "CMakeFiles/socrates_engine.dir/buffer_pool.cc.o"
+  "CMakeFiles/socrates_engine.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/socrates_engine.dir/log_record.cc.o"
+  "CMakeFiles/socrates_engine.dir/log_record.cc.o.d"
+  "CMakeFiles/socrates_engine.dir/redo.cc.o"
+  "CMakeFiles/socrates_engine.dir/redo.cc.o.d"
+  "CMakeFiles/socrates_engine.dir/txn_engine.cc.o"
+  "CMakeFiles/socrates_engine.dir/txn_engine.cc.o.d"
+  "libsocrates_engine.a"
+  "libsocrates_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socrates_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

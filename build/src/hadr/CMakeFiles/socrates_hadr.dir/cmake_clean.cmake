@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socrates_hadr.dir/hadr.cc.o"
+  "CMakeFiles/socrates_hadr.dir/hadr.cc.o.d"
+  "libsocrates_hadr.a"
+  "libsocrates_hadr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socrates_hadr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for socrates_hadr.
+# This may be replaced when dependencies are built.

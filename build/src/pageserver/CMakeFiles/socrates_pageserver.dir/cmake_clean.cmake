@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socrates_pageserver.dir/page_server.cc.o"
+  "CMakeFiles/socrates_pageserver.dir/page_server.cc.o.d"
+  "libsocrates_pageserver.a"
+  "libsocrates_pageserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socrates_pageserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for socrates_pageserver.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socrates_rbio.dir/rbio.cc.o"
+  "CMakeFiles/socrates_rbio.dir/rbio.cc.o.d"
+  "libsocrates_rbio.a"
+  "libsocrates_rbio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socrates_rbio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

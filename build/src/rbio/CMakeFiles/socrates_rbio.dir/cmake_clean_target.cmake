@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsocrates_rbio.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socrates_service.dir/deployment.cc.o"
+  "CMakeFiles/socrates_service.dir/deployment.cc.o.d"
+  "libsocrates_service.a"
+  "libsocrates_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socrates_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

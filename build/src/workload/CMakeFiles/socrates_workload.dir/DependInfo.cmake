@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cdb.cc" "src/workload/CMakeFiles/socrates_workload.dir/cdb.cc.o" "gcc" "src/workload/CMakeFiles/socrates_workload.dir/cdb.cc.o.d"
+  "/root/repo/src/workload/tpce_like.cc" "src/workload/CMakeFiles/socrates_workload.dir/tpce_like.cc.o" "gcc" "src/workload/CMakeFiles/socrates_workload.dir/tpce_like.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/socrates_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/socrates_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/socrates_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/socrates_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socrates_workload.dir/cdb.cc.o"
+  "CMakeFiles/socrates_workload.dir/cdb.cc.o.d"
+  "CMakeFiles/socrates_workload.dir/tpce_like.cc.o"
+  "CMakeFiles/socrates_workload.dir/tpce_like.cc.o.d"
+  "CMakeFiles/socrates_workload.dir/workload.cc.o"
+  "CMakeFiles/socrates_workload.dir/workload.cc.o.d"
+  "libsocrates_workload.a"
+  "libsocrates_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socrates_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socrates_xlog.dir/xlog_client.cc.o"
+  "CMakeFiles/socrates_xlog.dir/xlog_client.cc.o.d"
+  "CMakeFiles/socrates_xlog.dir/xlog_process.cc.o"
+  "CMakeFiles/socrates_xlog.dir/xlog_process.cc.o.d"
+  "libsocrates_xlog.a"
+  "libsocrates_xlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socrates_xlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socrates_xstore.dir/xstore.cc.o"
+  "CMakeFiles/socrates_xstore.dir/xstore.cc.o.d"
+  "libsocrates_xstore.a"
+  "libsocrates_xstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socrates_xstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

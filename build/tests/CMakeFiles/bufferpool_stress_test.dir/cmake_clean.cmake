@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufferpool_stress_test.dir/bufferpool_stress_test.cc.o"
+  "CMakeFiles/bufferpool_stress_test.dir/bufferpool_stress_test.cc.o.d"
+  "bufferpool_stress_test"
+  "bufferpool_stress_test.pdb"
+  "bufferpool_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufferpool_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbio_test.dir/rbio_test.cc.o"
+  "CMakeFiles/rbio_test.dir/rbio_test.cc.o.d"
+  "rbio_test"
+  "rbio_test.pdb"
+  "rbio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

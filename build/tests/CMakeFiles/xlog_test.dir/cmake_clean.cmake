@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlog_test.dir/xlog_test.cc.o"
+  "CMakeFiles/xlog_test.dir/xlog_test.cc.o.d"
+  "xlog_test"
+  "xlog_test.pdb"
+  "xlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xstore_test.dir/xstore_test.cc.o"
+  "CMakeFiles/xstore_test.dir/xstore_test.cc.o.d"
+  "xstore_test"
+  "xstore_test.pdb"
+  "xstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/xstore_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/xlog_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/xlog_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/bufferpool_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/param_test[1]_include.cmake")
+include("/root/repo/build/tests/rbio_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/compute_test[1]_include.cmake")
