@@ -57,6 +57,28 @@ int main() {
   uint64_t s_log0 = soc.deployment->log_client().end_lsn();
   auto s = soc.Run(kClients, kMeasure);
   uint64_t s_log = soc.deployment->log_client().end_lsn() - s_log0;
+
+  // Apply-path counters (parallel redo lanes + pipelined XLOG pulls) for
+  // each Page Server, gathered before teardown.
+  printf("\nPage Server apply path (lanes=%d):\n",
+         soc.deployment->page_server(0)->applier().lanes());
+  printf("%-4s %10s %8s %8s %8s %10s %10s %10s %10s\n", "ps", "records",
+         "batches", "stalls", "occup", "busy us", "pull us", "pulls",
+         "pipelined");
+  for (int i = 0; i < soc.deployment->num_page_servers(); i++) {
+    pageserver::PageServer* ps = soc.deployment->page_server(i);
+    const engine::RedoApplier& ap = ps->applier();
+    printf("%-4d %10llu %8llu %8llu %8.2f %10llu %10llu %10llu %10llu\n", i,
+           (unsigned long long)ap.records_applied(),
+           (unsigned long long)ap.parallel_batches(),
+           (unsigned long long)ap.barrier_stalls(), ap.LaneOccupancy(),
+           (unsigned long long)ap.apply_busy_us(),
+           (unsigned long long)ps->pull_wait_us(),
+           (unsigned long long)ps->pulls(),
+           (unsigned long long)ps->pipelined_pull_hits());
+    printf("     freshness wait us: %s\n",
+           ps->freshness_wait_us().ToString().c_str());
+  }
   soc.deployment->Stop();
 
   double secs = kMeasure / 1e6;

@@ -1,7 +1,17 @@
 #include "compute/compute_node.h"
 
+#include <optional>
+
 namespace socrates {
 namespace compute {
+
+// One double-buffered XLOG pull in flight (mirrors the Page Server's).
+struct ComputeNode::PendingPull {
+  PendingPull(sim::Simulator& sim, Lsn from) : from(from), done(sim) {}
+  Lsn from;
+  std::optional<Result<std::vector<xlog::LogBlock>>> result;
+  sim::Event done;
+};
 
 // GetPage@LSN client over RBIO (§3.4): typed request to the best replica
 // of the owning partition, freshness LSN from the evicted-LSN map
@@ -96,7 +106,8 @@ ComputeNode::ComputeNode(sim::Simulator& sim, Role role,
       opts_(options),
       cpu_(std::make_unique<sim::CpuResource>(sim, options.cpu_cores)),
       evicted_map_(options.evicted_map_buckets),
-      rpc_rng_(0xfe7c + options.cpu_cores) {
+      rpc_rng_(0xfe7c + options.cpu_cores),
+      pull_rng_(0x9e0) {
   rbio::RbioClientOptions rbio_opts;
   rbio_opts.network = options.rpc_latency;
   rbio_opts.cpu_per_request_us = options.rpc_cpu_us;
@@ -114,6 +125,7 @@ ComputeNode::ComputeNode(sim::Simulator& sim, Role role,
       [this](PageId id, Lsn lsn) { evicted_map_.Update(id, lsn); });
   applier_ = std::make_unique<engine::RedoApplier>(
       sim, pool_.get(), engine::RedoApplier::MissPolicy::kIgnoreUncached);
+  applier_->ConfigureLanes(opts_.apply_lanes, cpu_.get());
   engine_ = std::make_unique<engine::Engine>(
       sim, pool_.get(), role == Role::kPrimary ? sink : nullptr);
   if (role == Role::kSecondary) {
@@ -155,21 +167,49 @@ sim::Task<Status> ComputeNode::StartSecondary() {
   co_return Status::OK();
 }
 
+// Resolve one pull (including the log-shipping distance) as soon as log
+// past `pull->from` is available; the apply loop overlaps this with
+// applying the previous batch.
+sim::Task<> ComputeNode::PullTask(std::shared_ptr<PendingPull> pull) {
+  co_await xlog_->available().WaitFor(pull->from + 1);
+  // Log shipping distance (zero intra-DC, real for geo-replicas, §6).
+  SimTime ship = opts_.pull_latency.Sample(pull_rng_);
+  if (ship > 0) co_await sim::Delay(sim_, ship);
+  pull->result = co_await xlog_->Pull(pull->from, std::nullopt,
+                                      opts_.pull_bytes);
+  pull->done.Set();
+}
+
 sim::Task<> ComputeNode::SecondaryApplyLoop() {
   // Secondaries consume the complete log stream (no partition filter).
-  Random pull_rng(0x9e0);
+  std::shared_ptr<PendingPull> next;
   while (consuming_) {
     Lsn from = applier_->applied_lsn().value();
-    co_await xlog_->available().WaitFor(from + 1);
+    std::optional<Result<std::vector<xlog::LogBlock>>> pulled;
+    if (next != nullptr && next->from == from) {
+      if (next->done.is_set()) pipelined_pull_hits_++;
+      SimTime wait_start = sim_.now();
+      co_await next->done.Wait();
+      pull_wait_us_ += sim_.now() - wait_start;
+      pulled = std::move(next->result);
+      next.reset();
+    } else {
+      next.reset();
+      SimTime wait_start = sim_.now();
+      auto fresh = std::make_shared<PendingPull>(sim_, from);
+      co_await PullTask(fresh);
+      pulled = std::move(fresh->result);
+      pull_wait_us_ += sim_.now() - wait_start;
+    }
     if (!consuming_) break;
-    // Log shipping distance (zero intra-DC, real for geo-replicas, §6).
-    SimTime ship = opts_.pull_latency.Sample(pull_rng);
-    if (ship > 0) co_await sim::Delay(sim_, ship);
-    Result<std::vector<xlog::LogBlock>> blocks =
-        co_await xlog_->Pull(from, std::nullopt, opts_.pull_bytes);
+    Result<std::vector<xlog::LogBlock>>& blocks = *pulled;
     if (!blocks.ok()) {
       co_await sim::Delay(sim_, 10000);
       continue;
+    }
+    if (opts_.pipelined_pulls && !blocks->empty()) {
+      next = std::make_shared<PendingPull>(sim_, blocks->back().end_lsn());
+      sim::Spawn(sim_, PullTask(next));
     }
     for (xlog::LogBlock& block : *blocks) {
       if (block.start_lsn > applier_->applied_lsn().value()) {
@@ -179,7 +219,11 @@ sim::Task<> ComputeNode::SecondaryApplyLoop() {
         consuming_ = false;
         co_return;
       }
-      co_await cpu_->Consume(10 + block.payload.size() / 2000);
+      if (applier_->lanes() <= 1) {
+        co_await cpu_->Consume(
+            engine::RedoApplier::kApplyCpuFixedUs +
+            block.payload.size() / engine::RedoApplier::kApplyCpuBytesPerUs);
+      }
       Result<Lsn> end = co_await applier_->ApplyStream(
           Slice(block.payload), block.start_lsn,
           /*resume_from=*/applier_->applied_lsn().value());

@@ -127,6 +127,12 @@ struct ComputeOptions {
   sim::LatencyModel pull_latency = sim::LatencyModel::Zero();
   SimTime rpc_cpu_us = 8;
   uint64_t pull_bytes = 1 * MiB;
+  /// Redo apply lanes for the Secondary / recovery apply path (page
+  /// records sharded by PageId across concurrent coroutines; see
+  /// engine::RedoApplier::ConfigureLanes). 1 = serial apply.
+  int apply_lanes = 4;
+  /// Issue the next XLOG pull while the current batch applies.
+  bool pipelined_pulls = true;
   /// Fetch this many pages per GetPageRange on a miss (scan readahead;
   /// 0 disables). Primary-only: a Secondary's fetches must go through
   /// the per-page registration protocol (§4.5).
@@ -188,11 +194,15 @@ class ComputeNode {
   Lsn applied_lsn() const { return applier_->applied_lsn().value(); }
   uint64_t remote_fetches() const { return remote_fetches_; }
   rbio::RbioClient& rbio_client() { return *rbio_; }
+  uint64_t pipelined_pull_hits() const { return pipelined_pull_hits_; }
+  SimTime pull_wait_us() const { return pull_wait_us_; }
 
  private:
   class RemoteFetcher;
+  struct PendingPull;
 
   sim::Task<> SecondaryApplyLoop();
+  sim::Task<> PullTask(std::shared_ptr<PendingPull> pull);
 
   sim::Simulator& sim_;
   Role role_;
@@ -210,8 +220,11 @@ class ComputeNode {
   EvictedLsnMap evicted_map_;
 
   Random rpc_rng_;
+  Random pull_rng_;
   bool consuming_ = false;
   int xlog_consumer_id_ = -1;
+  uint64_t pipelined_pull_hits_ = 0;
+  SimTime pull_wait_us_ = 0;
   // All fetches use at least this LSN; set to the durable log end after
   // a restart/promotion (the evicted-LSN map did not survive).
   Lsn recovery_floor_ = kInvalidLsn;

@@ -1,54 +1,105 @@
 #include "engine/redo.h"
 
+#include <algorithm>
+
 namespace socrates {
 namespace engine {
 
-sim::Task<Status> RedoApplier::Apply(Lsn lsn, uint64_t framed_size,
-                                     const LogRecord& rec) {
-  Status result = Status::OK();
-  if (!rec.HasPage()) {
-    if (rec.type == LogRecordType::kTxnCommit) {
-      if (rec.commit_ts > applied_commit_ts_) {
-        applied_commit_ts_ = rec.commit_ts;
-      }
-    } else if (rec.type == LogRecordType::kCheckpoint) {
-      checkpoint_commit_ts_ = rec.commit_ts;
-      checkpoint_next_page_id_ = rec.next_page_id;
-      if (rec.commit_ts > applied_commit_ts_) {
-        applied_commit_ts_ = rec.commit_ts;
-      }
+// Shared state of one ApplyItemsParallel batch: the decoded items, the
+// per-lane work lists, and the barrier positions. Heap-allocated and
+// shared_ptr-held because lanes and coordinator are detached coroutines
+// joined via sim::Gather.
+struct ParallelLane {
+  explicit ParallelLane(sim::Simulator& sim) : progress(sim) {}
+  std::vector<uint32_t> items;  // indices into state items, stream order
+  uint64_t bytes = 0;           // framed bytes of this lane's records
+  // Count of this lane's items processed; barriers wait on prefixes.
+  sim::Watermark progress;
+};
+
+struct ParallelApplyState {
+  ParallelApplyState(sim::Simulator& sim, int lanes) {
+    lane.reserve(lanes);
+    for (int i = 0; i < lanes; i++) {
+      lane.push_back(std::make_unique<ParallelLane>(sim));
     }
-    records_applied_++;
-    applied_lsn_.Advance(lsn + framed_size);
-    co_return result;
   }
 
-  // Page record.
+  std::vector<RedoApplier::StreamItem> items;
+  std::vector<std::unique_ptr<ParallelLane>> lane;
+
+  struct Barrier {
+    uint32_t item;  // index of the system record in `items`
+    // Per-lane count of lane items preceding this barrier in the stream.
+    std::vector<uint64_t> lane_prefix;
+  };
+  std::vector<Barrier> barriers;
+
+  // First (lowest stream index) failing item; lanes skip later items,
+  // the coordinator stops advancing the watermark before it.
+  uint32_t first_error_item = UINT32_MAX;
+  Status first_error;
+};
+
+void RedoApplier::ConfigureLanes(int lanes, sim::CpuResource* cpu) {
+  lanes_ = std::max(1, lanes);
+  cpu_ = cpu;
+  lane_records_.assign(static_cast<size_t>(lanes_), 0);
+}
+
+double RedoApplier::LaneOccupancy() const {
+  if (lane_records_.empty()) return 1.0;
+  uint64_t max = 0;
+  uint64_t sum = 0;
+  for (uint64_t c : lane_records_) {
+    sum += c;
+    max = std::max(max, c);
+  }
+  if (max == 0) return 1.0;
+  return (static_cast<double>(sum) / lane_records_.size()) / max;
+}
+
+void RedoApplier::ApplySystemRecord(const LogRecord& rec) {
+  if (rec.type == LogRecordType::kTxnCommit) {
+    if (rec.commit_ts > applied_commit_ts_) {
+      applied_commit_ts_ = rec.commit_ts;
+    }
+  } else if (rec.type == LogRecordType::kCheckpoint) {
+    checkpoint_commit_ts_ = rec.commit_ts;
+    checkpoint_next_page_id_ = rec.next_page_id;
+    if (rec.commit_ts > applied_commit_ts_) {
+      applied_commit_ts_ = rec.commit_ts;
+    }
+  }
+}
+
+sim::Task<Status> RedoApplier::ApplyPageRecord(Lsn lsn,
+                                               const LogRecord& rec) {
   if (rec.page_id != kInvalidPageId && rec.page_id > max_page_seen_) {
     max_page_seen_ = rec.page_id;
   }
   // Outside the partition -> skip.
   if (filter_ && !filter_(rec.page_id)) {
     records_skipped_++;
-    applied_lsn_.Advance(lsn + framed_size);
-    co_return result;
+    co_return Status::OK();
   }
 
   // A fetch for this page is in flight: queue the record; it is drained
-  // into the fetched image before installation (§4.5).
+  // into the fetched image before installation (§4.5). Correct under
+  // lanes too: a page's records all pass through its one lane, so the
+  // queue stays in per-page stream order.
   auto pending = pending_.find(rec.page_id);
   if (pending != pending_.end()) {
     pending->second.push_back(PendingRecord{lsn, rec});
-    applied_lsn_.Advance(lsn + framed_size);
-    co_return result;
+    co_return Status::OK();
   }
 
+  Status result = Status::OK();
   if (policy_ == MissPolicy::kIgnoreUncached) {
     Result<PageRef> ref = co_await pool_->GetIfCached(rec.page_id);
     if (!ref.ok()) {
       if (ref.status().IsNotFound()) {
         records_skipped_++;
-        applied_lsn_.Advance(lsn + framed_size);
         co_return Status::OK();
       }
       co_return ref.status();
@@ -65,10 +116,20 @@ sim::Task<Status> RedoApplier::Apply(Lsn lsn, uint64_t framed_size,
     result = ApplyToPage(rec, lsn, ref->page());
     if (result.ok()) ref.value().MarkDirty();
   }
-  if (result.ok()) {
+  if (result.ok()) records_applied_++;
+  co_return result;
+}
+
+sim::Task<Status> RedoApplier::Apply(Lsn lsn, uint64_t framed_size,
+                                     const LogRecord& rec) {
+  if (!rec.HasPage()) {
+    ApplySystemRecord(rec);
     records_applied_++;
     applied_lsn_.Advance(lsn + framed_size);
+    co_return Status::OK();
   }
+  Status result = co_await ApplyPageRecord(lsn, rec);
+  if (result.ok()) applied_lsn_.Advance(lsn + framed_size);
   co_return result;
 }
 
@@ -76,12 +137,7 @@ sim::Task<Result<Lsn>> RedoApplier::ApplyStream(Slice stream, Lsn start_lsn,
                                                 Lsn resume_from,
                                                 Lsn stop_at) {
   // Collect the frames first (the visitor cannot co_await), then apply.
-  struct Item {
-    Lsn lsn;
-    uint64_t framed;
-    LogRecord rec;
-  };
-  std::vector<Item> items;
+  std::vector<StreamItem> items;
   Status parse = Status::OK();
   Lsn walked_end = start_lsn;
   Status iter = ForEachRecord(
@@ -89,7 +145,7 @@ sim::Task<Result<Lsn>> RedoApplier::ApplyStream(Slice stream, Lsn start_lsn,
         if (lsn >= stop_at) return false;  // PITR boundary
         walked_end = lsn + FramedSize(payload.size());
         if (lsn < resume_from) return true;
-        Item item;
+        StreamItem item;
         item.lsn = lsn;
         item.framed = FramedSize(payload.size());
         parse = LogRecord::Decode(payload, &item.rec);
@@ -99,11 +155,100 @@ sim::Task<Result<Lsn>> RedoApplier::ApplyStream(Slice stream, Lsn start_lsn,
       });
   if (!iter.ok()) co_return Result<Lsn>(iter);
   if (!parse.ok()) co_return Result<Lsn>(parse);
+  if (lanes_ > 1 && items.size() > 1) {
+    co_return co_await ApplyItemsParallel(std::move(items), walked_end);
+  }
   for (auto& item : items) {
     SOCRATES_CO_RETURN_IF_ERROR(co_await Apply(item.lsn, item.framed,
                                                item.rec));
   }
   co_return walked_end;
+}
+
+sim::Task<Result<Lsn>> RedoApplier::ApplyItemsParallel(
+    std::vector<StreamItem> items, Lsn walked_end) {
+  auto st = std::make_shared<ParallelApplyState>(sim_, lanes_);
+  st->items = std::move(items);
+  for (uint32_t i = 0; i < st->items.size(); i++) {
+    const LogRecord& rec = st->items[i].rec;
+    if (!rec.HasPage()) {
+      ParallelApplyState::Barrier b;
+      b.item = i;
+      b.lane_prefix.reserve(lanes_);
+      for (auto& ln : st->lane) b.lane_prefix.push_back(ln->items.size());
+      st->barriers.push_back(std::move(b));
+    } else {
+      ParallelLane& ln = *st->lane[rec.page_id % lanes_];
+      ln.items.push_back(i);
+      ln.bytes += st->items[i].framed;
+    }
+  }
+  parallel_batches_++;
+  std::vector<sim::Task<>> tasks;
+  tasks.reserve(lanes_ + 1);
+  for (int l = 0; l < lanes_; l++) tasks.push_back(LaneTask(st, l));
+  tasks.push_back(BarrierTask(st));
+  co_await sim::Gather(sim_, std::move(tasks));
+  if (st->first_error_item != UINT32_MAX) {
+    co_return Result<Lsn>(st->first_error);
+  }
+  // Every lane drained and every barrier applied: safe to report the
+  // whole walked segment (trailing page records included).
+  co_return walked_end;
+}
+
+sim::Task<> RedoApplier::LaneTask(std::shared_ptr<ParallelApplyState> st,
+                                  int lane) {
+  ParallelLane& ln = *st->lane[lane];
+  if (cpu_ != nullptr && !ln.items.empty()) {
+    // This lane's share of the batch apply cost, paid against a real
+    // core. Lanes queue when the node has fewer cores than lanes.
+    SimTime cost = kApplyCpuFixedUs / lanes_ + ln.bytes / kApplyCpuBytesPerUs;
+    if (cost > 0) {
+      co_await cpu_->Consume(cost);
+      apply_busy_us_ += cost;
+    }
+  }
+  uint64_t done = 0;
+  for (uint32_t idx : ln.items) {
+    // After an earlier-in-stream error everything behind it is skipped,
+    // but progress still advances so barrier waits never hang.
+    if (idx < st->first_error_item) {
+      const StreamItem& item = st->items[idx];
+      Status s = co_await ApplyPageRecord(item.lsn, item.rec);
+      if (!s.ok() && idx < st->first_error_item) {
+        st->first_error_item = idx;
+        st->first_error = s;
+      }
+      lane_records_[lane]++;
+    }
+    ln.progress.Advance(++done);
+  }
+}
+
+sim::Task<> RedoApplier::BarrierTask(std::shared_ptr<ParallelApplyState> st) {
+  // Applies system records and advances the applied watermark in stream
+  // order: each barrier waits until every lane has drained the stream
+  // prefix before it. Page records between barriers become visible to
+  // GetPage@LSN at the next barrier (or at the batch end via the
+  // caller's final Advance) — never before every lane reached them.
+  for (const ParallelApplyState::Barrier& b : st->barriers) {
+    for (int l = 0; l < lanes_; l++) {
+      ParallelLane& ln = *st->lane[l];
+      if (ln.progress.value() < b.lane_prefix[l]) {
+        barrier_stalls_++;
+        co_await ln.progress.WaitFor(b.lane_prefix[l]);
+      }
+    }
+    // All errors at stream positions before this barrier are recorded by
+    // now (the failing lane advanced past them). Stop the watermark at
+    // the failure point; idempotent redo re-covers the tail on retry.
+    if (st->first_error_item < b.item) co_return;
+    const StreamItem& item = st->items[b.item];
+    ApplySystemRecord(item.rec);
+    records_applied_++;
+    applied_lsn_.Advance(item.lsn + item.framed);
+  }
 }
 
 Status RedoApplier::DrainPendingInto(PageId id, storage::Page* image) {

@@ -17,11 +17,23 @@
 // Applying a kTxnCommit record advances the applied-commit timestamp
 // (snapshot visibility on read-only tiers); every record advances the
 // applied-LSN watermark that GetPage@LSN waits on.
+//
+// Parallel redo (ConfigureLanes): page records are sharded by PageId into
+// K apply lanes that run as concurrent coroutines, each consuming the
+// node's CPU, so apply throughput scales with cores (the Taurus-style
+// slice-partitioned replay). Same page -> same lane preserves per-page
+// order; cross-page records (kTxnCommit, kCheckpoint) are barriers — the
+// coordinator applies them, and advances applied_commit_ts / the applied
+// watermark, only once every lane has drained the preceding stream
+// prefix. Lanes may run ahead past a barrier (their effects are invisible
+// at older MVCC snapshots until the commit timestamp advances), but the
+// watermark never moves past a record some lane has not applied.
 
 #pragma once
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -29,10 +41,13 @@
 #include "common/types.h"
 #include "engine/buffer_pool.h"
 #include "engine/log_record.h"
+#include "sim/cpu.h"
 #include "sim/sync.h"
 
 namespace socrates {
 namespace engine {
+
+struct ParallelApplyState;
 
 class RedoApplier {
  public:
@@ -41,13 +56,28 @@ class RedoApplier {
     kIgnoreUncached  // skip records for uncached pages — Secondaries
   };
 
+  /// CPU cost model for log apply, shared by every consumer: a pulled
+  /// block costs kApplyCpuFixedUs plus one microsecond per
+  /// kApplyCpuBytesPerUs of payload. Serial consumers charge it before
+  /// ApplyStream; parallel lanes split the same cost across lanes.
+  static constexpr SimTime kApplyCpuFixedUs = 10;
+  static constexpr uint64_t kApplyCpuBytesPerUs = 2000;
+
   RedoApplier(sim::Simulator& sim, BufferPool* pool, MissPolicy policy)
-      : pool_(pool), policy_(policy), applied_lsn_(sim) {}
+      : sim_(sim), pool_(pool), policy_(policy), applied_lsn_(sim) {}
 
   /// Restrict page records to a subset of pages (Page Server partition).
   void SetPageFilter(std::function<bool(PageId)> filter) {
     filter_ = std::move(filter);
   }
+
+  /// Shard page records into `lanes` PageId-affine apply lanes. `cpu`
+  /// (nullable) is the node CPU the lanes consume; with lanes > 1 the
+  /// applier charges apply cost itself (per lane) instead of the caller
+  /// charging it per block. Lane count never changes results — only how
+  /// much virtual time the apply takes.
+  void ConfigureLanes(int lanes, sim::CpuResource* cpu);
+  int lanes() const { return lanes_; }
 
   /// Apply one record (already decoded from the stream at `lsn`,
   /// occupying `framed_size` bytes).
@@ -83,12 +113,39 @@ class RedoApplier {
   uint64_t records_applied() const { return records_applied_; }
   uint64_t records_skipped() const { return records_skipped_; }
 
+  // Parallel-apply counters (the benches print these).
+  uint64_t parallel_batches() const { return parallel_batches_; }
+  uint64_t barrier_stalls() const { return barrier_stalls_; }
+  SimTime apply_busy_us() const { return apply_busy_us_; }
+  const std::vector<uint64_t>& lane_records() const { return lane_records_; }
+  /// Lane balance in (0,1]: mean over max per-lane record count; 1.0
+  /// means perfectly even sharding.
+  double LaneOccupancy() const;
+
   /// Highest page id seen in any page record (even filtered/skipped
   /// ones). A promoted Secondary restores its page-allocation counter to
   /// max_page_seen() + 1.
   PageId max_page_seen() const { return max_page_seen_; }
 
+  struct StreamItem {
+    Lsn lsn;
+    uint64_t framed;
+    LogRecord rec;
+  };
+
  private:
+  /// Cross-page (barrier) record: commit timestamps, checkpoint state.
+  void ApplySystemRecord(const LogRecord& rec);
+  /// Page record, WITHOUT advancing the applied watermark (the caller —
+  /// serial Apply or the parallel coordinator — owns ordering).
+  sim::Task<Status> ApplyPageRecord(Lsn lsn, const LogRecord& rec);
+
+  sim::Task<Result<Lsn>> ApplyItemsParallel(std::vector<StreamItem> items,
+                                            Lsn walked_end);
+  sim::Task<> LaneTask(std::shared_ptr<ParallelApplyState> st, int lane);
+  sim::Task<> BarrierTask(std::shared_ptr<ParallelApplyState> st);
+
+  sim::Simulator& sim_;
   BufferPool* pool_;
   MissPolicy policy_;
   std::function<bool(PageId)> filter_;
@@ -99,6 +156,13 @@ class RedoApplier {
   uint64_t records_applied_ = 0;
   uint64_t records_skipped_ = 0;
   PageId max_page_seen_ = 0;
+
+  int lanes_ = 1;
+  sim::CpuResource* cpu_ = nullptr;
+  uint64_t parallel_batches_ = 0;
+  uint64_t barrier_stalls_ = 0;
+  SimTime apply_busy_us_ = 0;
+  std::vector<uint64_t> lane_records_;
 
   struct PendingRecord {
     Lsn lsn;

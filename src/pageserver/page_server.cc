@@ -1,9 +1,19 @@
 #include "pageserver/page_server.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace socrates {
 namespace pageserver {
+
+// One double-buffered XLOG pull in flight: PullTask fills `result` and
+// fires `done`; the apply loop consumes it when it reaches `from`.
+struct PageServer::PendingPull {
+  PendingPull(sim::Simulator& sim, Lsn from) : from(from), done(sim) {}
+  Lsn from;
+  std::optional<Result<std::vector<xlog::LogBlock>>> result;
+  sim::Event done;
+};
 
 // Fetches partition pages from the XStore checkpoint blob. Pages that
 // were never checkpointed read as zeros -> NotFound (the log-apply loop
@@ -75,6 +85,7 @@ PageServer::PageServer(sim::Simulator& sim, xlog::XLogProcess* xlog,
   applier_ = std::make_unique<engine::RedoApplier>(
       sim, pool_.get(), engine::RedoApplier::MissPolicy::kMaterialize);
   applier_->SetPageFilter([this](PageId id) { return InPartition(id); });
+  applier_->ConfigureLanes(opts_.apply_lanes, cpu_.get());
 }
 
 PageServer::~PageServer() = default;
@@ -93,6 +104,7 @@ sim::Task<Status> PageServer::Start() {
   applier_ = std::make_unique<engine::RedoApplier>(
       sim_, pool_.get(), engine::RedoApplier::MissPolicy::kMaterialize);
   applier_->SetPageFilter([this](PageId id) { return InPartition(id); });
+  applier_->ConfigureLanes(opts_.apply_lanes, cpu_.get());
   applier_->applied_lsn().Advance(restart_lsn_);
   xlog_consumer_id_ = xlog_->RegisterConsumer(
       "pageserver-" + std::to_string(opts_.partition));
@@ -116,19 +128,58 @@ void PageServer::Crash() {
   pool_->Crash();  // memory tier lost; recoverable RBPEX survives
 }
 
+// Resolve one pull as soon as log past `pull->from` becomes available.
+// Detached: the apply loop consumes the result through the shared state
+// (or drops it if the position no longer matches after a retry).
+sim::Task<> PageServer::PullTask(std::shared_ptr<PendingPull> pull,
+                                 uint64_t epoch) {
+  co_await xlog_->available().WaitFor(pull->from + 1);
+  if (!Live(epoch)) {
+    pull->result = Result<std::vector<xlog::LogBlock>>(
+        Status::Unavailable("page server stopped"));
+  } else {
+    pull->result =
+        co_await xlog_->Pull(pull->from, opts_.partition, opts_.pull_bytes);
+  }
+  pull->done.Set();
+}
+
 sim::Task<> PageServer::ApplyLoop(uint64_t epoch) {
   const bool trace = getenv("SOCRATES_TRACE_APPLY") != nullptr;
+  std::shared_ptr<PendingPull> next;
   while (Live(epoch)) {
     Lsn from = applier_->applied_lsn().value();
     if (from >= opts_.apply_until) break;  // PITR target reached
-    co_await xlog_->available().WaitFor(from + 1);
+    std::optional<Result<std::vector<xlog::LogBlock>>> pulled;
+    if (next != nullptr && next->from == from) {
+      // Double-buffered pull issued while the previous batch applied.
+      if (next->done.is_set()) pipelined_pull_hits_++;
+      SimTime wait_start = sim_.now();
+      co_await next->done.Wait();
+      pull_wait_us_ += sim_.now() - wait_start;
+      pulled = std::move(next->result);
+      next.reset();
+    } else {
+      // No usable prefetch (startup, or a retry moved the position).
+      next.reset();
+      SimTime wait_start = sim_.now();
+      co_await xlog_->available().WaitFor(from + 1);
+      if (!Live(epoch)) break;
+      pulled = co_await xlog_->Pull(from, opts_.partition, opts_.pull_bytes);
+      pull_wait_us_ += sim_.now() - wait_start;
+    }
     if (!Live(epoch)) break;
-    Result<std::vector<xlog::LogBlock>> blocks =
-        co_await xlog_->Pull(from, opts_.partition, opts_.pull_bytes);
-    if (!Live(epoch)) break;
+    Result<std::vector<xlog::LogBlock>>& blocks = *pulled;
     if (!blocks.ok()) {
       co_await sim::Delay(sim_, 10000);  // transient storage error
       continue;
+    }
+    pulls_++;
+    if (opts_.pipelined_pulls && !blocks->empty() &&
+        blocks->back().end_lsn() < opts_.apply_until) {
+      // Overlap the next pull with applying this batch.
+      next = std::make_shared<PendingPull>(sim_, blocks->back().end_lsn());
+      sim::Spawn(sim_, PullTask(next, epoch));
     }
     for (xlog::LogBlock& block : *blocks) {
       if (!Live(epoch)) co_return;
@@ -155,7 +206,13 @@ sim::Task<> PageServer::ApplyLoop(uint64_t epoch) {
                                         block.payload_size);
         continue;
       }
-      co_await cpu_->Consume(10 + block.payload.size() / 2000);
+      if (applier_->lanes() <= 1) {
+        // Serial apply: charge the block's apply cost here. Parallel
+        // lanes charge their share of the same cost inside the applier.
+        co_await cpu_->Consume(
+            engine::RedoApplier::kApplyCpuFixedUs +
+            block.payload.size() / engine::RedoApplier::kApplyCpuBytesPerUs);
+      }
       Result<Lsn> end = co_await applier_->ApplyStream(
           Slice(block.payload), block.start_lsn,
           /*resume_from=*/applier_->applied_lsn().value(),
@@ -216,11 +273,13 @@ sim::Task<Result<storage::Page>> PageServer::GetPageAtLsn(PageId page_id,
 // client retries against the new incarnation (stateless protocol).
 sim::Task<Status> PageServer::WaitApplied(Lsn min_lsn) {
   const uint64_t my_epoch = epoch_;
+  const SimTime wait_start = sim_.now();
   while (true) {
     if (epoch_ != my_epoch || !running_) {
       co_return Status::Unavailable("page server restarted");
     }
     if (applier_->applied_lsn().value() >= min_lsn) {
+      freshness_wait_us_.Add(static_cast<double>(sim_.now() - wait_start));
       co_return Status::OK();
     }
     // Bounded wait on the current watermark; re-check epoch on wake-up

@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 
+#include "common/histogram.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -50,6 +51,14 @@ struct PageServerOptions {
   /// XLOG pull chunk size.
   uint64_t pull_bytes = 1 * MiB;
   int cpu_cores = 4;
+  /// Redo apply lanes: page records are sharded by PageId across this
+  /// many concurrent apply coroutines (same page -> same lane), so apply
+  /// throughput scales with cpu_cores. 1 = the serial applier.
+  int apply_lanes = 4;
+  /// Double-buffer the consumer side: issue the next XLogProcess::Pull
+  /// while the current batch is still being applied, overlapping
+  /// network/LZ latency with apply compute.
+  bool pipelined_pulls = true;
   /// Stop applying log at this LSN (point-in-time restore); kMaxLsn =
   /// follow the live tail forever.
   Lsn apply_until = kMaxLsn;
@@ -120,6 +129,16 @@ class PageServer : public rbio::RbioServer {
   uint64_t checkpoint_failures() const { return checkpoint_failures_; }
   uint64_t getpage_requests() const { return getpage_requests_; }
 
+  // Apply-path health (the benches print these).
+  engine::RedoApplier& applier() { return *applier_; }
+  uint64_t pulls() const { return pulls_; }
+  uint64_t pipelined_pull_hits() const { return pipelined_pull_hits_; }
+  /// Virtual micros the apply loop spent waiting for log to pull (vs the
+  /// applier's apply_busy_us, the time spent applying).
+  SimTime pull_wait_us() const { return pull_wait_us_; }
+  /// GetPage@LSN wait-for-apply latency (§4.4 freshness waits).
+  const Histogram& freshness_wait_us() const { return freshness_wait_us_; }
+
   /// Non-OK if the apply loop died on a log-apply error.
   const Status& last_error() const { return last_error_; }
 
@@ -130,8 +149,10 @@ class PageServer : public rbio::RbioServer {
 
  private:
   class XStoreFetcher;
+  struct PendingPull;
 
   sim::Task<> ApplyLoop(uint64_t epoch);
+  sim::Task<> PullTask(std::shared_ptr<PendingPull> pull, uint64_t epoch);
   sim::Task<> CheckpointLoop(uint64_t epoch);
   sim::Task<Status> LoadMeta();
   sim::Task<Status> StoreMeta(Lsn restart_lsn);
@@ -168,6 +189,10 @@ class PageServer : public rbio::RbioServer {
   uint64_t checkpoints_ = 0;
   uint64_t checkpoint_failures_ = 0;
   uint64_t getpage_requests_ = 0;
+  uint64_t pulls_ = 0;
+  uint64_t pipelined_pull_hits_ = 0;
+  SimTime pull_wait_us_ = 0;
+  Histogram freshness_wait_us_;
   int inject_failures_ = 0;
   Status last_error_;
 };

@@ -6,6 +6,10 @@ namespace service {
 Deployment::Deployment(sim::Simulator& sim,
                        const DeploymentOptions& options)
     : sim_(sim), opts_(options) {
+  if (opts_.apply_lanes > 0) {
+    opts_.page_server.apply_lanes = opts_.apply_lanes;
+    opts_.compute.apply_lanes = opts_.apply_lanes;
+  }
   owned_xstore_ = std::make_unique<xstore::XStore>(
       sim, sim::DeviceProfile::XStore(), opts_.xstore_bandwidth_mb_s);
   xstore_ = owned_xstore_.get();
@@ -27,6 +31,10 @@ Deployment::Deployment(sim::Simulator& sim,
                        const DeploymentOptions& options, Deployment* parent,
                        const std::string& blob_suffix)
     : sim_(sim), opts_(options) {
+  if (opts_.apply_lanes > 0) {
+    opts_.page_server.apply_lanes = opts_.apply_lanes;
+    opts_.compute.apply_lanes = opts_.apply_lanes;
+  }
   xstore_ = parent->xstore_;
   xlog_ = parent->xlog_;
   router_ =

@@ -38,6 +38,10 @@ struct DeploymentOptions {
   xlog::XLogClientOptions xlog_client;
   /// XStore bandwidth cap in MB/s (shared by checkpoints, backups, LT).
   double xstore_bandwidth_mb_s = 200.0;
+  /// Deployment-wide redo apply lane override: > 0 forces this lane
+  /// count on every Page Server and Compute node (0 keeps the per-tier
+  /// defaults in their own options structs).
+  int apply_lanes = 0;
 };
 
 /// Handle returned by Backup(); the input to PITR.

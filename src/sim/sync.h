@@ -10,6 +10,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "sim/simulator.h"
 #include "sim/task.h"
@@ -279,6 +280,26 @@ class WaitGroup {
   Event event_;
   int count_ = 0;
 };
+
+namespace internal {
+inline Task<> GatherOne(Task<> task, std::shared_ptr<WaitGroup> wg) {
+  co_await std::move(task);
+  wg->Done();
+}
+}  // namespace internal
+
+/// Run `tasks` concurrently (each spawned as a detached coroutine) and
+/// resume once every one of them has finished. The fork/join shape used
+/// by the parallel redo lanes in engine/redo.
+inline Task<> Gather(Simulator& sim, std::vector<Task<>> tasks) {
+  if (tasks.empty()) co_return;  // WaitGroup::Wait would hang on zero
+  auto wg = std::make_shared<WaitGroup>(sim);
+  wg->Add(static_cast<int>(tasks.size()));
+  for (Task<>& t : tasks) {
+    Spawn(sim, internal::GatherOne(std::move(t), wg));
+  }
+  co_await wg->Wait();
+}
 
 }  // namespace sim
 }  // namespace socrates

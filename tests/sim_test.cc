@@ -320,6 +320,46 @@ TEST(WaitGroupTest, QuorumStylePattern) {
   EXPECT_EQ(quorum_at, 30);  // second-fastest replica defines quorum
 }
 
+namespace gather_detail {
+Task<> Tick(Simulator& sim, SimTime delay, int* done) {
+  co_await Delay(sim, delay);
+  (*done)++;
+}
+Task<> JoinThree(Simulator& sim, int* done, SimTime* joined_at) {
+  std::vector<Task<>> tasks;
+  tasks.push_back(Tick(sim, 40, done));
+  tasks.push_back(Tick(sim, 10, done));
+  tasks.push_back(Tick(sim, 25, done));
+  co_await Gather(sim, std::move(tasks));
+  *joined_at = sim.now();
+}
+}  // namespace gather_detail
+
+TEST(GatherTest, JoinsAllTasksAtSlowestFinish) {
+  Simulator s;
+  int done = 0;
+  SimTime joined_at = -1;
+  Spawn(s, gather_detail::JoinThree(s, &done, &joined_at));
+  s.Run();
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(joined_at, 40);  // the join resumes with the slowest task
+}
+
+namespace gather_detail {
+Task<> JoinEmpty(Simulator& sim, bool* resumed) {
+  co_await Gather(sim, {});
+  *resumed = true;
+}
+}  // namespace gather_detail
+
+TEST(GatherTest, EmptyTaskListResumesImmediately) {
+  Simulator s;
+  bool resumed = false;
+  Spawn(s, gather_detail::JoinEmpty(s, &resumed));
+  s.Run();
+  EXPECT_TRUE(resumed);
+}
+
 // ---------------------------------------------------------------- Channel
 
 TEST(ChannelTest, PushThenPop) {
