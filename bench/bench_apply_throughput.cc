@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "engine/btree.h"
+#include "harness.h"
 #include "engine/buffer_pool.h"
 #include "engine/log_record.h"
 #include "engine/log_sink.h"
@@ -35,23 +36,6 @@ namespace {
 using sim::Simulator;
 using sim::Spawn;
 using sim::Task;
-
-sim::Task<> Wrap(sim::Task<> inner, bool* done) {
-  co_await std::move(inner);
-  *done = true;
-}
-
-template <typename Fn>
-void RunSim(Simulator& s, Fn&& fn) {
-  bool done = false;
-  Spawn(s, Wrap(fn(), &done));
-  while (!done && s.Step()) {
-  }
-  if (!done) {
-    fprintf(stderr, "FATAL: bench driver did not finish\n");
-    abort();
-  }
-}
 
 struct GeneratedLog {
   std::string stream;
@@ -202,10 +186,12 @@ RunResult ReplayWithLanes(const GeneratedLog& log, int lanes) {
 }  // namespace bench
 }  // namespace socrates
 
-int main() {
+int main(int argc, char** argv) {
   using socrates::bench::GenerateUpdateHeavyLog;
   using socrates::bench::ReplayWithLanes;
   using socrates::bench::RunResult;
+
+  socrates::bench::JsonOut json("apply_throughput", argc, argv);
 
   printf("\n==========================================================\n");
   printf("Apply throughput: parallel redo lanes + pipelined pulls\n");
@@ -229,24 +215,24 @@ int main() {
   }
   const RunResult& base = results[0];
   for (const RunResult& r : results) {
-    printf("{\"bench\":\"apply_throughput\",\"lanes\":%d,"
-           "\"records\":%" PRIu64 ",\"replay_us\":%lld,"
-           "\"records_per_s\":%.0f,\"log_mb_per_s\":%.2f,"
-           "\"speedup_vs_serial\":%.2f,\"cpu_util\":%.3f,"
-           "\"lane_occupancy\":%.3f,\"barrier_stalls\":%" PRIu64 ","
-           "\"pulls\":%" PRIu64 ",\"pipelined_pull_hits\":%" PRIu64 ","
-           "\"pull_wait_us\":%lld,\"apply_busy_us\":%lld,"
-           "\"freshness_p50_us\":%.0f,\"freshness_p99_us\":%.0f,"
-           "\"probes\":%" PRIu64 "}\n",
-           r.lanes, log.records, static_cast<long long>(r.replay_us),
-           r.records_per_s, r.log_mb_per_s,
-           base.replay_us > 0
-               ? static_cast<double>(base.replay_us) / r.replay_us
-               : 0.0,
-           r.cpu_util, r.lane_occupancy, r.barrier_stalls, r.pulls,
-           r.pipelined_pull_hits, static_cast<long long>(r.pull_wait_us),
-           static_cast<long long>(r.apply_busy_us), r.freshness_p50_us,
-           r.freshness_p99_us, r.probes);
+    json.Line("{\"bench\":\"apply_throughput\",\"lanes\":%d,"
+              "\"records\":%" PRIu64 ",\"replay_us\":%lld,"
+              "\"records_per_s\":%.0f,\"log_mb_per_s\":%.2f,"
+              "\"speedup_vs_serial\":%.2f,\"cpu_util\":%.3f,"
+              "\"lane_occupancy\":%.3f,\"barrier_stalls\":%" PRIu64 ","
+              "\"pulls\":%" PRIu64 ",\"pipelined_pull_hits\":%" PRIu64 ","
+              "\"pull_wait_us\":%lld,\"apply_busy_us\":%lld,"
+              "\"freshness_p50_us\":%.0f,\"freshness_p99_us\":%.0f,"
+              "\"probes\":%" PRIu64 "}",
+              r.lanes, log.records, static_cast<long long>(r.replay_us),
+              r.records_per_s, r.log_mb_per_s,
+              base.replay_us > 0
+                  ? static_cast<double>(base.replay_us) / r.replay_us
+                  : 0.0,
+              r.cpu_util, r.lane_occupancy, r.barrier_stalls, r.pulls,
+              r.pipelined_pull_hits, static_cast<long long>(r.pull_wait_us),
+              static_cast<long long>(r.apply_busy_us), r.freshness_p50_us,
+              r.freshness_p99_us, r.probes);
   }
   return 0;
 }

@@ -9,7 +9,9 @@
 
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -21,6 +23,49 @@
 
 namespace socrates {
 namespace bench {
+
+// Machine-readable results: every Line() goes to stdout, and — when the
+// bench was invoked with `--json` — is also appended to
+// BENCH_<name>.json (one JSON object per line), so the perf trajectory
+// can be tracked across PRs.
+class JsonOut {
+ public:
+  JsonOut(const std::string& name, int argc, char** argv) {
+    for (int i = 1; i < argc; i++) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        path_ = "BENCH_" + name + ".json";
+        file_ = fopen(path_.c_str(), "w");
+        if (file_ == nullptr) {
+          fprintf(stderr, "warning: cannot open %s for writing\n",
+                  path_.c_str());
+        }
+      }
+    }
+  }
+  ~JsonOut() {
+    if (file_ != nullptr) {
+      fclose(file_);
+      printf("wrote %s\n", path_.c_str());
+    }
+  }
+  JsonOut(const JsonOut&) = delete;
+  JsonOut& operator=(const JsonOut&) = delete;
+
+  /// printf-style; emits one JSON line (no trailing newline in fmt).
+  __attribute__((format(printf, 2, 3))) void Line(const char* fmt, ...) {
+    char buf[4096];
+    va_list ap;
+    va_start(ap, fmt);
+    vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    printf("%s\n", buf);
+    if (file_ != nullptr) fprintf(file_, "%s\n", buf);
+  }
+
+ private:
+  std::string path_;
+  FILE* file_ = nullptr;
+};
 
 inline void PrintHeader(const std::string& title,
                         const std::string& paper_claim) {

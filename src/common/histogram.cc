@@ -74,6 +74,19 @@ double Histogram::stddev() const {
   return variance > 0 ? std::sqrt(variance) : 0.0;
 }
 
+double Histogram::FractionBelow(double v) const {
+  if (count_ == 0) return 0.0;
+  const auto& limits = Limits();
+  uint64_t below = 0;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    // Bucket i holds samples <= limits[i]; count buckets whose upper
+    // bound lies below v.
+    if (limits[i] >= v) break;
+    below += buckets_[i];
+  }
+  return static_cast<double>(below) / static_cast<double>(count_);
+}
+
 double Histogram::Percentile(double p) const {
   if (count_ == 0) return 0.0;
   const auto& limits = Limits();

@@ -26,6 +26,9 @@ class Histogram {
   /// p in [0, 100].
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
+  /// Fraction of samples in [0, 1] that landed strictly below `v`
+  /// (bucket-granular). 0 if the histogram is empty.
+  double FractionBelow(double v) const;
 
   /// One-line summary: count/mean/p50/p95/p99/max.
   std::string ToString() const;

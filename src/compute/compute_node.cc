@@ -75,6 +75,10 @@ class ComputeNode::RemoteFetcher : public engine::PageFetcher {
         }
       }
     } else {
+      // Point miss: concurrent misses for the same partition issued this
+      // tick are multiplexed into one kGetPageBatch frame by the RBIO
+      // client (readahead stays on GetPageRange — contiguous ranges are
+      // already one frame).
       page = co_await node_->rbio_->GetPage(endpoints, page_id, min_lsn);
     }
 
@@ -111,6 +115,8 @@ ComputeNode::ComputeNode(sim::Simulator& sim, Role role,
   rbio::RbioClientOptions rbio_opts;
   rbio_opts.network = options.rpc_latency;
   rbio_opts.cpu_per_request_us = options.rpc_cpu_us;
+  rbio_opts.max_batch = options.rbio_max_batch;
+  rbio_opts.protocol_version = options.rbio_protocol_version;
   rbio_ = std::make_unique<rbio::RbioClient>(
       sim, cpu_.get(), rbio_opts, 0xb10c + options.cpu_cores);
   engine::BufferPoolOptions pool_opts;

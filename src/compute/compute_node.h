@@ -137,6 +137,13 @@ struct ComputeOptions {
   /// 0 disables). Primary-only: a Secondary's fetches must go through
   /// the per-page registration protocol (§4.5).
   uint32_t readahead_pages = 0;
+  /// RBIO GetPage batching: concurrent misses bound for the same Page
+  /// Server are multiplexed into one kGetPageBatch frame of up to this
+  /// many sub-requests (1 = per-page frames, the pre-v3 behavior).
+  uint32_t rbio_max_batch = 16;
+  /// Highest RBIO protocol version this node speaks (mixed-version
+  /// deployments: < 3 never emits batch frames).
+  uint16_t rbio_protocol_version = rbio::kProtocolVersion;
 
   /// A Secondary in another region (§6 geo-replication): page fetches
   /// and log shipping both pay the cross-region round trip.

@@ -10,6 +10,11 @@ struct PageRef::Frame {
   storage::Page page;
   int pins = 0;
   bool dirty = false;
+  // True while the in-frame checksum matches the payload. Starts false
+  // (installed images may be legitimately mutated after the client-side
+  // verify, e.g. the Secondary's pending-fetch drain) and is set only by
+  // EnsureChecksum; any MarkDirty clears it.
+  bool checksum_valid = false;
   std::list<PageId>::iterator lru_it;
 };
 
@@ -44,7 +49,20 @@ void PageRef::Release() {
 
 storage::Page* PageRef::page() const { return &frame_->page; }
 
-void PageRef::MarkDirty() { frame_->dirty = true; }
+void PageRef::MarkDirty() {
+  frame_->dirty = true;
+  frame_->checksum_valid = false;
+}
+
+void PageRef::EnsureChecksum() {
+  if (frame_->checksum_valid) {
+    pool_->stats_.checksum_skips++;
+    return;
+  }
+  frame_->page.UpdateChecksum();
+  frame_->checksum_valid = true;
+  pool_->stats_.checksum_recomputes++;
+}
 
 BufferPool::BufferPool(sim::Simulator& sim,
                        const BufferPoolOptions& options,
@@ -140,6 +158,10 @@ sim::Task<Result<PageRef>> BufferPool::GetPageInternal(PageId page_id,
           Status::NotFound("page miss and no fetcher"));
     }
 
+    // Per-page dedup composes with RBIO batching downstream: same-page
+    // concurrent misses collapse here (one FetchPage), while
+    // distinct-page misses suspend on the fetcher in the same tick and
+    // get packed into one kGetPageBatch frame by the RBIO client.
     auto event = std::make_shared<sim::Event>(sim_);
     inflight_.emplace(page_id, event);
     Result<storage::Page> fetched = co_await fetcher_->FetchPage(page_id);

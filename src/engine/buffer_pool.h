@@ -67,6 +67,10 @@ struct BufferPoolStats {
   // always resident, so the leaf-only rate is the harsher cache metric.
   uint64_t leaf_hits = 0;
   uint64_t leaf_misses = 0;
+  // PageRef::EnsureChecksum outcomes: recomputes (frame dirtied since the
+  // last checksum) vs skips (frame still clean — the CRC pass avoided).
+  uint64_t checksum_recomputes = 0;
+  uint64_t checksum_skips = 0;
 
   uint64_t accesses() const { return mem_hits + ssd_hits + misses; }
   /// Local hit rate (memory + SSD), over all page accesses.
@@ -99,7 +103,13 @@ class PageRef {
   bool valid() const { return frame_ != nullptr; }
 
   /// Mark the frame dirty (checkpointing on Page Servers scans these).
+  /// Also invalidates the frame's cached checksum.
   void MarkDirty();
+
+  /// Bring the in-frame checksum up to date, recomputing only if the
+  /// frame was dirtied since the last recompute. Serving a clean frame
+  /// repeatedly (the GetPage@LSN hot path) skips the CRC pass.
+  void EnsureChecksum();
 
   void Release();
 

@@ -1,6 +1,7 @@
 #include "pageserver/page_server.h"
 
 #include <algorithm>
+#include <map>
 #include <optional>
 
 namespace socrates {
@@ -86,6 +87,7 @@ PageServer::PageServer(sim::Simulator& sim, xlog::XLogProcess* xlog,
       sim, pool_.get(), engine::RedoApplier::MissPolicy::kMaterialize);
   applier_->SetPageFilter([this](PageId id) { return InPartition(id); });
   applier_->ConfigureLanes(opts_.apply_lanes, cpu_.get());
+  AttachWaiterWake();
 }
 
 PageServer::~PageServer() = default;
@@ -105,6 +107,7 @@ sim::Task<Status> PageServer::Start() {
       sim_, pool_.get(), engine::RedoApplier::MissPolicy::kMaterialize);
   applier_->SetPageFilter([this](PageId id) { return InPartition(id); });
   applier_->ConfigureLanes(opts_.apply_lanes, cpu_.get());
+  AttachWaiterWake();
   applier_->applied_lsn().Advance(restart_lsn_);
   xlog_consumer_id_ = xlog_->RegisterConsumer(
       "pageserver-" + std::to_string(opts_.partition));
@@ -120,12 +123,51 @@ sim::Task<Status> PageServer::Start() {
 void PageServer::Stop() {
   running_ = false;
   epoch_++;
+  WakeAllWaiters();
 }
 
 void PageServer::Crash() {
   running_ = false;
   epoch_++;  // orphan any loop still suspended from this incarnation
+  WakeAllWaiters();  // parked freshness waits fail Unavailable
   pool_->Crash();  // memory tier lost; recoverable RBPEX survives
+}
+
+// ----- Event-driven freshness waits (§4.4).
+//
+// The applied-LSN watermark wakes waiters exactly when their threshold is
+// crossed — including the applier's internal mid-stream advances — via
+// the on_advance hook. The waiter heap lives on the server (it survives
+// the applier swap on restart); Stop/Crash wake everything so parked
+// coroutines resume, observe the epoch bump, and fail Unavailable.
+
+void PageServer::AttachWaiterWake() {
+  applier_->applied_lsn().set_on_advance(
+      [this](uint64_t applied) { WakeWaiters(applied); });
+}
+
+void PageServer::WakeWaiters(uint64_t applied) {
+  auto after = [](const std::shared_ptr<FreshnessWaiter>& a,
+                  const std::shared_ptr<FreshnessWaiter>& b) {
+    return a->lsn > b->lsn;
+  };
+  while (!waiters_.empty() && waiters_.front()->lsn <= applied) {
+    std::pop_heap(waiters_.begin(), waiters_.end(), after);
+    std::shared_ptr<FreshnessWaiter> w = std::move(waiters_.back());
+    waiters_.pop_back();
+    w->woken_at = sim_.now();
+    waiter_wakes_++;
+    w->event.Set();
+  }
+}
+
+void PageServer::WakeAllWaiters() {
+  for (auto& w : waiters_) {
+    w->woken_at = sim_.now();
+    waiter_wakes_++;
+    w->event.Set();
+  }
+  waiters_.clear();
 }
 
 // Resolve one pull as soon as log past `pull->from` becomes available.
@@ -261,10 +303,20 @@ sim::Task<Result<storage::Page>> PageServer::GetPageAtLsn(PageId page_id,
   // Freshness protocol (§4.4): wait until all log up to min_lsn applied.
   SOCRATES_CO_RETURN_IF_ERROR(co_await WaitApplied(min_lsn));
   co_await cpu_->Consume(5);
+  co_return co_await ServeLocal(page_id);
+}
+
+sim::Task<Result<storage::Page>> PageServer::ServeLocal(PageId page_id) {
+  if (!InPartition(page_id)) {
+    co_return Result<storage::Page>(
+        Status::InvalidArgument("page not in this partition"));
+  }
   Result<engine::PageRef> ref = co_await pool_->GetPage(page_id);
   if (!ref.ok()) co_return Result<storage::Page>(ref.status());
+  // Checksum the cached frame in place (recomputed only when dirtied
+  // since the last serve), then ship a copy.
+  ref->EnsureChecksum();
   storage::Page copy = *ref->page();
-  copy.UpdateChecksum();
   co_return std::move(copy);
 }
 
@@ -274,6 +326,10 @@ sim::Task<Result<storage::Page>> PageServer::GetPageAtLsn(PageId page_id,
 sim::Task<Status> PageServer::WaitApplied(Lsn min_lsn) {
   const uint64_t my_epoch = epoch_;
   const SimTime wait_start = sim_.now();
+  auto after = [](const std::shared_ptr<FreshnessWaiter>& a,
+                  const std::shared_ptr<FreshnessWaiter>& b) {
+    return a->lsn > b->lsn;
+  };
   while (true) {
     if (epoch_ != my_epoch || !running_) {
       co_return Status::Unavailable("page server restarted");
@@ -282,18 +338,15 @@ sim::Task<Status> PageServer::WaitApplied(Lsn min_lsn) {
       freshness_wait_us_.Add(static_cast<double>(sim_.now() - wait_start));
       co_return Status::OK();
     }
-    // Bounded wait on the current watermark; re-check epoch on wake-up
-    // or timeout (a crash swaps the applier under us).
-    (void)co_await WatermarkWaitBounded(min_lsn);
+    // Park on the waiter heap; the watermark's on_advance hook (or
+    // Stop/Crash) wakes us exactly when the threshold is crossed. Loop to
+    // re-check the epoch — a crash swaps the applier under us.
+    auto w = std::make_shared<FreshnessWaiter>(sim_, min_lsn);
+    waiters_.push_back(w);
+    std::push_heap(waiters_.begin(), waiters_.end(), after);
+    co_await w->event.Wait();
+    waiter_wake_lag_us_.Add(static_cast<double>(sim_.now() - w->woken_at));
   }
-}
-
-sim::Task<> PageServer::WatermarkWaitBounded(Lsn min_lsn) {
-  // Race-free bounded wait: poll with a short delay. GetPage waits are
-  // short in steady state (dissemination lag), so the polling cost is
-  // negligible and crash-safety is trivial.
-  if (applier_->applied_lsn().value() >= min_lsn) co_return;
-  co_await sim::Delay(sim_, 300);
 }
 
 sim::Task<Result<std::vector<storage::Page>>> PageServer::GetPageRangeAtLsn(
@@ -314,9 +367,8 @@ sim::Task<Result<std::vector<storage::Page>>> PageServer::GetPageRangeAtLsn(
       if (ref.status().IsNotFound()) continue;  // unallocated page
       co_return Result<std::vector<storage::Page>>(ref.status());
     }
-    storage::Page copy = *ref->page();
-    copy.UpdateChecksum();
-    pages.push_back(std::move(copy));
+    ref->EnsureChecksum();
+    pages.push_back(*ref->page());
   }
   co_return std::move(pages);
 }
@@ -331,7 +383,15 @@ sim::Task<Result<std::string>> PageServer::HandleRbio(std::string frame) {
   uint16_t version = 0;
   rbio::GetPageRequest get;
   rbio::GetPageRangeRequest range;
-  if (rbio::GetPageRequest::Decode(Slice(frame), &get, &version).ok()) {
+  rbio::GetPageBatchRequest batch;
+  if (rbio::GetPageBatchRequest::Decode(Slice(frame), &batch, &version,
+                                        opts_.rbio_max_version)
+          .ok()) {
+    co_return co_await ServeBatch(std::move(batch));
+  }
+  if (rbio::GetPageRequest::Decode(Slice(frame), &get, &version,
+                                   opts_.rbio_max_version)
+          .ok()) {
     Result<storage::Page> page =
         co_await GetPageAtLsn(get.page_id, get.min_lsn);
     if (page.ok()) {
@@ -341,7 +401,8 @@ sim::Task<Result<std::string>> PageServer::HandleRbio(std::string frame) {
       resp.status = page.status();
     }
   } else if (rbio::GetPageRangeRequest::Decode(Slice(frame), &range,
-                                               &version)
+                                               &version,
+                                               opts_.rbio_max_version)
                  .ok()) {
     Result<std::vector<storage::Page>> pages = co_await GetPageRangeAtLsn(
         range.first_page, range.count, range.min_lsn);
@@ -355,6 +416,57 @@ sim::Task<Result<std::string>> PageServer::HandleRbio(std::string frame) {
     // Unknown type or unsupported version: reject in a typed way so the
     // client can distinguish protocol errors from data errors.
     resp.status = Status::NotSupported("rbio: unsupported request");
+  }
+  co_return resp.Encode();
+}
+
+// Serve one kGetPageBatch frame: sub-requests grouped by min_lsn and
+// served in ascending freshness order, so low-LSN groups' page reads
+// overlap the apply progress the high-LSN groups are still waiting on.
+// One amortized CPU slice for the frame plus a small per-page share.
+sim::Task<Result<std::string>> PageServer::ServeBatch(
+    rbio::GetPageBatchRequest req) {
+  batch_requests_++;
+  batch_subrequests_ += req.entries.size();
+  getpage_requests_ += req.entries.size();
+  rbio::GetPageBatchResponse resp;
+  resp.status = Status::OK();
+  resp.entries.resize(req.entries.size());
+  std::map<Lsn, std::vector<size_t>> groups;
+  for (size_t i = 0; i < req.entries.size(); i++) {
+    groups[req.entries[i].min_lsn].push_back(i);
+  }
+  co_await cpu_->Consume(5 + req.entries.size() / 2);
+  for (auto& [min_lsn, idxs] : groups) {
+    Status ws = co_await WaitApplied(min_lsn);
+    for (size_t i : idxs) {
+      if (!ws.ok()) {
+        resp.entries[i].status = ws;
+        continue;
+      }
+      co_await cpu_->Consume(1);
+      Result<storage::Page> page =
+          co_await ServeLocal(req.entries[i].page_id);
+      if (page.ok()) {
+        resp.entries[i].page = std::move(page).value();
+        resp.entries[i].status = Status::OK();
+      } else {
+        resp.entries[i].status = page.status();
+      }
+    }
+  }
+  // Crash-during-wait: if every sub-request died Unavailable, report it
+  // as the overall status so the client's retry loop treats the whole
+  // frame as transient (mirrors the single-page path).
+  if (!resp.entries.empty()) {
+    bool all_unavailable = true;
+    for (const auto& e : resp.entries) {
+      if (!e.status.IsUnavailable()) {
+        all_unavailable = false;
+        break;
+      }
+    }
+    if (all_unavailable) resp.status = resp.entries[0].status;
   }
   co_return resp.Encode();
 }
@@ -382,9 +494,8 @@ sim::Task<Status> PageServer::Checkpoint() {
     for (size_t k = i; k < j; k++) {
       Result<engine::PageRef> ref = co_await pool_->GetPage(dirty[k]);
       if (!ref.ok()) co_return ref.status();
-      storage::Page copy = *ref->page();
-      copy.UpdateChecksum();
-      batch.append(copy.data(), kPageSize);
+      ref->EnsureChecksum();
+      batch.append(ref->page()->data(), kPageSize);
     }
     Status s = co_await xstore_->Write(
         data_blob_, (dirty[i] - first_page) * kPageSize, Slice(batch));

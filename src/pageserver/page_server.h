@@ -69,6 +69,11 @@ struct PageServerOptions {
   /// Disable the periodic checkpoint loop (hot standby replicas that
   /// exist purely for availability can skip checkpointing, §6).
   bool checkpointing_enabled = true;
+  /// Highest RBIO protocol version this server accepts. Lowering it to 2
+  /// models a not-yet-upgraded server in a mixed-version deployment: v3
+  /// batch frames are rejected with NotSupported (§3.4 automatic
+  /// versioning) and clients degrade to per-page singles.
+  uint16_t rbio_max_version = rbio::kProtocolVersion;
 };
 
 class PageServer : public rbio::RbioServer {
@@ -128,6 +133,16 @@ class PageServer : public rbio::RbioServer {
   uint64_t checkpoints_completed() const { return checkpoints_; }
   uint64_t checkpoint_failures() const { return checkpoint_failures_; }
   uint64_t getpage_requests() const { return getpage_requests_; }
+  /// kGetPageBatch frames served / sub-requests carried in them.
+  uint64_t batch_requests() const { return batch_requests_; }
+  uint64_t batch_subrequests() const { return batch_subrequests_; }
+  /// Freshness waiters woken by the event-driven watermark hook (as
+  /// opposed to requests that found the LSN already applied).
+  uint64_t waiter_wakes() const { return waiter_wakes_; }
+  /// Lag between the applied watermark crossing a waiter's threshold and
+  /// the waiter resuming. Event-driven wakes make this 0 in virtual time
+  /// (the old 300 µs poll quantized it).
+  const Histogram& waiter_wake_lag_us() const { return waiter_wake_lag_us_; }
 
   // Apply-path health (the benches print these).
   engine::RedoApplier& applier() { return *applier_; }
@@ -151,14 +166,36 @@ class PageServer : public rbio::RbioServer {
   class XStoreFetcher;
   struct PendingPull;
 
+  // One GetPage@LSN freshness wait parked until the applied watermark
+  // crosses `lsn` (or the incarnation dies). Heap-ordered by lsn.
+  struct FreshnessWaiter {
+    FreshnessWaiter(sim::Simulator& sim, Lsn lsn) : lsn(lsn), event(sim) {}
+    Lsn lsn;
+    SimTime woken_at = 0;
+    sim::Event event;
+  };
+
   sim::Task<> ApplyLoop(uint64_t epoch);
   sim::Task<> PullTask(std::shared_ptr<PendingPull> pull, uint64_t epoch);
   sim::Task<> CheckpointLoop(uint64_t epoch);
   sim::Task<Status> LoadMeta();
   sim::Task<Status> StoreMeta(Lsn restart_lsn);
   sim::Task<Status> WaitApplied(Lsn min_lsn);
-  sim::Task<> WatermarkWaitBounded(Lsn min_lsn);
   sim::Task<> SeedLoop(uint64_t epoch);
+
+  // Serve one page from the local pool (no freshness wait — the caller
+  // has already waited). Shared by the single and batch paths.
+  sim::Task<Result<storage::Page>> ServeLocal(PageId page_id);
+  sim::Task<Result<std::string>> ServeBatch(rbio::GetPageBatchRequest req);
+
+  // Hook the current applier's watermark so every Advance wakes exactly
+  // the waiters whose threshold was crossed.
+  void AttachWaiterWake();
+  void WakeWaiters(uint64_t applied);
+  // Stop/Crash: wake everything; waiters observe the epoch bump and fail
+  // Unavailable (coroutines must resume to clean up — never destroyed
+  // while suspended).
+  void WakeAllWaiters();
 
   bool Live(uint64_t epoch) const { return running_ && epoch == epoch_; }
 
@@ -189,10 +226,18 @@ class PageServer : public rbio::RbioServer {
   uint64_t checkpoints_ = 0;
   uint64_t checkpoint_failures_ = 0;
   uint64_t getpage_requests_ = 0;
+  uint64_t batch_requests_ = 0;
+  uint64_t batch_subrequests_ = 0;
   uint64_t pulls_ = 0;
   uint64_t pipelined_pull_hits_ = 0;
   SimTime pull_wait_us_ = 0;
   Histogram freshness_wait_us_;
+  // Min-heap of parked freshness waiters, ordered by lsn (front = lowest
+  // threshold). Owned by the server, not the applier, so it survives the
+  // applier swap on restart.
+  std::vector<std::shared_ptr<FreshnessWaiter>> waiters_;
+  uint64_t waiter_wakes_ = 0;
+  Histogram waiter_wake_lag_us_;
   int inject_failures_ = 0;
   Status last_error_;
 };

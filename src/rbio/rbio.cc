@@ -1,5 +1,7 @@
 #include "rbio/rbio.h"
 
+#include <algorithm>
+
 namespace socrates {
 namespace rbio {
 
@@ -11,16 +13,77 @@ void PutHeader(std::string* out, uint16_t version, MessageType type) {
   out->push_back(static_cast<char>(type));
 }
 
-Status GetHeader(Slice* in, uint16_t* version, MessageType* type) {
+Status GetHeader(Slice* in, uint16_t* version, MessageType* type,
+                 uint16_t max_version) {
   if (!GetFixed16(in, version)) {
     return Status::Corruption("rbio: truncated header");
   }
   if (in->empty()) return Status::Corruption("rbio: missing type");
   *type = static_cast<MessageType>((*in)[0]);
   in->remove_prefix(1);
-  if (*version > kProtocolVersion || *version < kMinSupportedVersion) {
+  if (*version > max_version || *version > kProtocolVersion ||
+      *version < kMinSupportedVersion) {
     return Status::NotSupported("rbio: protocol version mismatch");
   }
+  return Status::OK();
+}
+
+// Status wire codec shared by every response format: [u8 code][msg].
+void PutStatus(std::string* out, const Status& status) {
+  out->push_back(static_cast<char>(status.code()));
+  PutLengthPrefixed(out, Slice(status.message()));
+}
+
+Status GetStatus(Slice* in, Status* out) {
+  if (in->empty()) return Status::Corruption("rbio: missing status");
+  auto code = static_cast<Status::Code>((*in)[0]);
+  in->remove_prefix(1);
+  Slice msg;
+  if (!GetLengthPrefixed(in, &msg)) {
+    return Status::Corruption("rbio: truncated status message");
+  }
+  switch (code) {
+    case Status::Code::kOk: *out = Status::OK(); break;
+    case Status::Code::kNotFound:
+      *out = Status::NotFound(msg.ToView());
+      break;
+    case Status::Code::kInvalidArgument:
+      *out = Status::InvalidArgument(msg.ToView());
+      break;
+    case Status::Code::kUnavailable:
+      *out = Status::Unavailable(msg.ToView());
+      break;
+    case Status::Code::kNotSupported:
+      *out = Status::NotSupported(msg.ToView());
+      break;
+    default:
+      *out = Status::IOError(msg.ToView());
+      break;
+  }
+  return Status::OK();
+}
+
+// Every response format starts [u16 version][status]; the retry loop
+// peeks this shared prefix to classify transient failures without
+// knowing which response format the frame carries.
+Status PeekResponseStatus(Slice wire, Status* out) {
+  uint16_t version;
+  if (!GetFixed16(&wire, &version)) {
+    return Status::Corruption("rbio: truncated response");
+  }
+  return GetStatus(&wire, out);
+}
+
+void PutPageImage(std::string* out, const storage::Page& page) {
+  out->append(page.data(), kPageSize);
+}
+
+Status GetPageImage(Slice* in, storage::Page* out) {
+  if (in->size() < kPageSize) {
+    return Status::Corruption("rbio: truncated page image");
+  }
+  SOCRATES_RETURN_IF_ERROR(out->FromSlice(Slice(in->data(), kPageSize)));
+  in->remove_prefix(kPageSize);
   return Status::OK();
 }
 
@@ -35,9 +98,9 @@ std::string GetPageRequest::Encode(uint16_t version) const {
 }
 
 Status GetPageRequest::Decode(Slice wire, GetPageRequest* out,
-                              uint16_t* version) {
+                              uint16_t* version, uint16_t max_version) {
   MessageType type = MessageType::kGetPage;
-  SOCRATES_RETURN_IF_ERROR(GetHeader(&wire, version, &type));
+  SOCRATES_RETURN_IF_ERROR(GetHeader(&wire, version, &type, max_version));
   if (type != MessageType::kGetPage) {
     return Status::InvalidArgument("rbio: not a GetPage request");
   }
@@ -58,9 +121,10 @@ std::string GetPageRangeRequest::Encode(uint16_t version) const {
 }
 
 Status GetPageRangeRequest::Decode(Slice wire, GetPageRangeRequest* out,
-                                   uint16_t* version) {
+                                   uint16_t* version,
+                                   uint16_t max_version) {
   MessageType type = MessageType::kGetPage;
-  SOCRATES_RETURN_IF_ERROR(GetHeader(&wire, version, &type));
+  SOCRATES_RETURN_IF_ERROR(GetHeader(&wire, version, &type, max_version));
   if (type != MessageType::kGetPageRange) {
     return Status::InvalidArgument("rbio: not a GetPageRange request");
   }
@@ -72,15 +136,50 @@ Status GetPageRangeRequest::Decode(Slice wire, GetPageRangeRequest* out,
   return Status::OK();
 }
 
+std::string GetPageBatchRequest::Encode(uint16_t version) const {
+  std::string out;
+  PutHeader(&out, version, MessageType::kGetPageBatch);
+  PutFixed32(&out, static_cast<uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    PutFixed64(&out, e.page_id);
+    PutFixed64(&out, e.min_lsn);
+  }
+  return out;
+}
+
+Status GetPageBatchRequest::Decode(Slice wire, GetPageBatchRequest* out,
+                                   uint16_t* version,
+                                   uint16_t max_version) {
+  MessageType type = MessageType::kGetPage;
+  SOCRATES_RETURN_IF_ERROR(GetHeader(&wire, version, &type, max_version));
+  if (type != MessageType::kGetPageBatch) {
+    return Status::InvalidArgument("rbio: not a GetPageBatch request");
+  }
+  if (*version < kBatchMinVersion) {
+    return Status::NotSupported("rbio: batch frame below v3");
+  }
+  uint32_t n;
+  if (!GetFixed32(&wire, &n)) {
+    return Status::Corruption("rbio: truncated batch count");
+  }
+  out->entries.clear();
+  out->entries.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    Entry e;
+    if (!GetFixed64(&wire, &e.page_id) || !GetFixed64(&wire, &e.min_lsn)) {
+      return Status::Corruption("rbio: truncated batch entry");
+    }
+    out->entries.push_back(e);
+  }
+  return Status::OK();
+}
+
 std::string PageResponse::Encode() const {
   std::string out;
   PutFixed16(&out, kProtocolVersion);
-  out.push_back(static_cast<char>(status.code()));
-  PutLengthPrefixed(&out, Slice(status.message()));
+  PutStatus(&out, status);
   PutFixed32(&out, static_cast<uint32_t>(pages.size()));
-  for (const storage::Page& p : pages) {
-    out.append(p.data(), kPageSize);
-  }
+  for (const storage::Page& p : pages) PutPageImage(&out, p);
   return out;
 }
 
@@ -89,31 +188,7 @@ Status PageResponse::Decode(Slice wire, PageResponse* out) {
   if (!GetFixed16(&wire, &version)) {
     return Status::Corruption("rbio: truncated response");
   }
-  if (wire.empty()) return Status::Corruption("rbio: missing status");
-  auto code = static_cast<Status::Code>(wire[0]);
-  wire.remove_prefix(1);
-  Slice msg;
-  if (!GetLengthPrefixed(&wire, &msg)) {
-    return Status::Corruption("rbio: truncated status message");
-  }
-  switch (code) {
-    case Status::Code::kOk: out->status = Status::OK(); break;
-    case Status::Code::kNotFound:
-      out->status = Status::NotFound(msg.ToView());
-      break;
-    case Status::Code::kInvalidArgument:
-      out->status = Status::InvalidArgument(msg.ToView());
-      break;
-    case Status::Code::kUnavailable:
-      out->status = Status::Unavailable(msg.ToView());
-      break;
-    case Status::Code::kNotSupported:
-      out->status = Status::NotSupported(msg.ToView());
-      break;
-    default:
-      out->status = Status::IOError(msg.ToView());
-      break;
-  }
+  SOCRATES_RETURN_IF_ERROR(GetStatus(&wire, &out->status));
   uint32_t n;
   if (!GetFixed32(&wire, &n)) {
     return Status::Corruption("rbio: truncated page count");
@@ -121,14 +196,48 @@ Status PageResponse::Decode(Slice wire, PageResponse* out) {
   out->pages.clear();
   out->pages.reserve(n);
   for (uint32_t i = 0; i < n; i++) {
-    if (wire.size() < kPageSize) {
-      return Status::Corruption("rbio: truncated page image");
-    }
     storage::Page p;
-    SOCRATES_RETURN_IF_ERROR(
-        p.FromSlice(Slice(wire.data(), kPageSize)));
+    SOCRATES_RETURN_IF_ERROR(GetPageImage(&wire, &p));
     out->pages.push_back(std::move(p));
-    wire.remove_prefix(kPageSize);
+  }
+  return Status::OK();
+}
+
+std::string GetPageBatchResponse::Encode() const {
+  std::string out;
+  PutFixed16(&out, kProtocolVersion);
+  PutStatus(&out, status);
+  PutFixed32(&out, static_cast<uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    PutStatus(&out, e.status);
+    out.push_back(e.status.ok() ? 1 : 0);
+    if (e.status.ok()) PutPageImage(&out, e.page);
+  }
+  return out;
+}
+
+Status GetPageBatchResponse::Decode(Slice wire, GetPageBatchResponse* out) {
+  uint16_t version;
+  if (!GetFixed16(&wire, &version)) {
+    return Status::Corruption("rbio: truncated batch response");
+  }
+  SOCRATES_RETURN_IF_ERROR(GetStatus(&wire, &out->status));
+  uint32_t n;
+  if (!GetFixed32(&wire, &n)) {
+    return Status::Corruption("rbio: truncated batch entry count");
+  }
+  out->entries.clear();
+  out->entries.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    Entry e;
+    SOCRATES_RETURN_IF_ERROR(GetStatus(&wire, &e.status));
+    if (wire.empty()) {
+      return Status::Corruption("rbio: truncated batch entry");
+    }
+    bool has_page = wire[0] != 0;
+    wire.remove_prefix(1);
+    if (has_page) SOCRATES_RETURN_IF_ERROR(GetPageImage(&wire, &e.page));
+    out->entries.push_back(std::move(e));
   }
   return Status::OK();
 }
@@ -156,8 +265,9 @@ size_t RbioClient::PickReplica(const std::vector<Endpoint>& replicas,
   return (best + attempt) % replicas.size();
 }
 
-sim::Task<Result<PageResponse>> RbioClient::Roundtrip(
-    const std::vector<Endpoint>& replicas, std::string frame) {
+sim::Task<Result<std::string>> RbioClient::RoundtripRaw(
+    const std::vector<Endpoint>& replicas, std::string frame,
+    SimTime cpu_us) {
   Status last = Status::Unavailable("no endpoints");
   for (int attempt = 0; attempt < opts_.max_attempts; attempt++) {
     if (replicas.empty()) break;
@@ -167,7 +277,7 @@ sim::Task<Result<PageResponse>> RbioClient::Roundtrip(
     }
     const Endpoint& ep = replicas[PickReplica(replicas, attempt)];
     requests_++;
-    if (cpu_ != nullptr) co_await cpu_->Consume(opts_.cpu_per_request_us);
+    if (cpu_ != nullptr) co_await cpu_->Consume(cpu_us);
     SimTime begin = sim_.now();
     co_await sim::Delay(sim_, opts_.network.Sample(rng_));
     Result<std::string> raw = co_await ep.server->HandleRbio(frame);
@@ -184,27 +294,44 @@ sim::Task<Result<PageResponse>> RbioClient::Roundtrip(
       if (last.IsUnavailable() || last.IsTimedOut() || last.IsBusy()) {
         continue;  // transient: retry (possibly on another replica)
       }
-      co_return Result<PageResponse>(last);
+      co_return Result<std::string>(last);
     }
-    PageResponse resp;
-    Status ds = PageResponse::Decode(Slice(*raw), &resp);
-    if (!ds.ok()) co_return Result<PageResponse>(ds);
-    if (resp.status.IsUnavailable() || resp.status.IsBusy()) {
-      last = resp.status;
+    Status resp_status;
+    Status ps = PeekResponseStatus(Slice(*raw), &resp_status);
+    if (!ps.ok()) co_return Result<std::string>(ps);
+    if (resp_status.IsUnavailable() || resp_status.IsBusy()) {
+      last = resp_status;
       continue;
     }
-    co_return std::move(resp);
+    co_return std::move(*raw);
   }
-  co_return Result<PageResponse>(last);
+  co_return Result<std::string>(last);
 }
 
-sim::Task<Result<storage::Page>> RbioClient::GetPage(
+sim::Task<Result<PageResponse>> RbioClient::Roundtrip(
+    const std::vector<Endpoint>& replicas, std::string frame) {
+  Result<std::string> raw = co_await RoundtripRaw(
+      replicas, std::move(frame), opts_.cpu_per_request_us);
+  if (!raw.ok()) co_return Result<PageResponse>(raw.status());
+  PageResponse resp;
+  Status ds = PageResponse::Decode(Slice(*raw), &resp);
+  if (!ds.ok()) co_return Result<PageResponse>(ds);
+  co_return std::move(resp);
+}
+
+sim::Task<Result<storage::Page>> RbioClient::GetPageSingle(
     const std::vector<Endpoint>& replicas, PageId page_id, Lsn min_lsn) {
   GetPageRequest req;
   req.page_id = page_id;
   req.min_lsn = min_lsn;
+  singles_sent_++;
+  // Per-page frames carry the oldest version whose semantics match
+  // (GetPage is unchanged since v2), so a v3 client interoperates with
+  // v2 servers without negotiation.
+  uint16_t version =
+      std::min<uint16_t>(opts_.protocol_version, kGetPageFrameVersion);
   Result<PageResponse> resp =
-      co_await Roundtrip(replicas, req.Encode());
+      co_await Roundtrip(replicas, req.Encode(version));
   if (!resp.ok()) co_return Result<storage::Page>(resp.status());
   if (!resp->status.ok()) co_return Result<storage::Page>(resp->status);
   if (resp->pages.size() != 1) {
@@ -220,6 +347,142 @@ sim::Task<Result<storage::Page>> RbioClient::GetPage(
   co_return std::move(page);
 }
 
+sim::Task<Result<storage::Page>> RbioClient::GetPage(
+    const std::vector<Endpoint>& replicas, PageId page_id, Lsn min_lsn) {
+  if (!BatchingEnabled() || replicas.empty()) {
+    co_return co_await GetPageSingle(replicas, page_id, min_lsn);
+  }
+  std::string key;
+  for (const Endpoint& ep : replicas) {
+    key += ep.name;
+    key += '|';
+  }
+  BatchQueue& q = batch_queues_[key];
+  if (q.support_known && !q.supported) {
+    // This endpoint set rejected a v3 batch frame before: stay on
+    // per-page singles.
+    co_return co_await GetPageSingle(replicas, page_id, min_lsn);
+  }
+  // Batch-aware dedup: a request for a page already queued this window
+  // rides along (at the max of both freshness LSNs) instead of adding a
+  // duplicate sub-request.
+  std::shared_ptr<PendingGet> entry;
+  for (auto& e : q.pending) {
+    if (e->page_id == page_id) {
+      if (min_lsn > e->min_lsn) e->min_lsn = min_lsn;
+      entry = e;
+      batch_dedup_hits_++;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    entry = std::make_shared<PendingGet>(sim_, page_id, min_lsn);
+    q.replicas = replicas;  // refresh to the callers' latest view
+    q.pending.push_back(entry);
+    if (!q.flusher_active) {
+      q.flusher_active = true;
+      sim::Spawn(sim_, BatchFlusher(key));
+    }
+  }
+  co_await entry->done.Wait();
+  co_return entry->result;
+}
+
+sim::Task<> RbioClient::BatchFlusher(std::string key) {
+  // Adaptive window: give misses issued at the same virtual instant one
+  // simulator tick to pile up, then flush. The tick is zero virtual
+  // time, so a lone miss pays no extra latency over the unbatched path.
+  co_await sim::Yield(sim_);
+  BatchQueue& q = batch_queues_[key];
+  while (!q.pending.empty()) {
+    size_t n = std::min<size_t>(q.pending.size(), opts_.max_batch);
+    std::vector<std::shared_ptr<PendingGet>> batch(
+        q.pending.begin(), q.pending.begin() + n);
+    q.pending.erase(q.pending.begin(), q.pending.begin() + n);
+    // Detached: bursts above max_batch go out as several concurrent
+    // frames rather than serializing round trips.
+    sim::Spawn(sim_, FlushBatch(q.replicas, key, std::move(batch)));
+  }
+  q.flusher_active = false;
+}
+
+sim::Task<> RbioClient::ResolveSingle(std::vector<Endpoint> replicas,
+                                      std::shared_ptr<PendingGet> entry) {
+  entry->result =
+      co_await GetPageSingle(replicas, entry->page_id, entry->min_lsn);
+  entry->done.Set();
+}
+
+sim::Task<> RbioClient::FlushBatch(
+    std::vector<Endpoint> replicas, std::string key,
+    std::vector<std::shared_ptr<PendingGet>> batch) {
+  if (batch.size() == 1) {
+    // Nothing to multiplex: identical wire behavior to the unbatched
+    // path.
+    co_await ResolveSingle(std::move(replicas), batch[0]);
+    co_return;
+  }
+  GetPageBatchRequest req;
+  req.entries.reserve(batch.size());
+  for (const auto& e : batch) {
+    req.entries.push_back({e->page_id, e->min_lsn});
+  }
+  batches_sent_++;
+  batched_pages_ += batch.size();
+  batch_occupancy_.Add(static_cast<double>(batch.size()));
+  // One round trip pays the fixed per-request CPU once; each extra
+  // sub-request costs only the amortized marshalling share.
+  SimTime cpu_us =
+      opts_.cpu_per_request_us +
+      (batch.size() - 1) * opts_.cpu_per_batched_page_us;
+  Result<std::string> raw = co_await RoundtripRaw(
+      replicas, req.Encode(opts_.protocol_version), cpu_us);
+  GetPageBatchResponse resp;
+  Status ds = raw.ok() ? GetPageBatchResponse::Decode(Slice(*raw), &resp)
+                       : raw.status();
+  BatchQueue& q = batch_queues_[key];
+  if (ds.ok() && resp.status.IsNotSupported() && resp.entries.empty()) {
+    // Automatic versioning (§3.4): a pre-v3 server rejected the batch
+    // frame. Degrade this endpoint set to per-page singles for good and
+    // resolve the stranded sub-requests individually.
+    q.support_known = true;
+    q.supported = false;
+    batch_fallbacks_ += batch.size();
+    for (auto& e : batch) {
+      sim::Spawn(sim_, ResolveSingle(replicas, e));
+    }
+    co_return;
+  }
+  if (ds.ok() && resp.status.ok() &&
+      resp.entries.size() != batch.size()) {
+    ds = Status::Corruption("rbio: batch response entry count mismatch");
+  }
+  for (size_t i = 0; i < batch.size(); i++) {
+    if (!ds.ok()) {
+      batch[i]->result = Result<storage::Page>(ds);
+    } else if (!resp.status.ok()) {
+      batch[i]->result = Result<storage::Page>(resp.status);
+    } else {
+      GetPageBatchResponse::Entry& re = resp.entries[i];
+      if (!re.status.ok()) {
+        batch[i]->result = Result<storage::Page>(re.status);
+      } else if (Status cs = re.page.VerifyChecksum(); !cs.ok()) {
+        batch[i]->result = Result<storage::Page>(cs);
+      } else if (re.page.page_id() != batch[i]->page_id) {
+        batch[i]->result = Result<storage::Page>(
+            Status::Corruption("rbio: wrong page in batch response"));
+      } else {
+        batch[i]->result = Result<storage::Page>(std::move(re.page));
+      }
+    }
+    batch[i]->done.Set();
+  }
+  if (ds.ok() && resp.status.ok()) {
+    q.support_known = true;
+    q.supported = true;
+  }
+}
+
 sim::Task<Result<std::vector<storage::Page>>> RbioClient::GetPageRange(
     const std::vector<Endpoint>& replicas, PageId first_page,
     uint32_t count, Lsn min_lsn) {
@@ -227,8 +490,10 @@ sim::Task<Result<std::vector<storage::Page>>> RbioClient::GetPageRange(
   req.first_page = first_page;
   req.count = count;
   req.min_lsn = min_lsn;
+  uint16_t version =
+      std::min<uint16_t>(opts_.protocol_version, kGetPageFrameVersion);
   Result<PageResponse> resp =
-      co_await Roundtrip(replicas, req.Encode());
+      co_await Roundtrip(replicas, req.Encode(version));
   if (!resp.ok()) {
     co_return Result<std::vector<storage::Page>>(resp.status());
   }

@@ -8,16 +8,28 @@
 //                       raw byte passing;
 //  * automatic versioning — every frame carries a protocol version; a
 //                       server rejects versions it cannot serve and the
-//                       client surfaces the mismatch cleanly;
+//                       client surfaces the mismatch cleanly (and, for
+//                       batch frames, degrades to per-page singles);
 //  * resilient to transient failures — bounded retries with backoff;
 //  * QoS support for best replica selection — the client tracks an EWMA
 //    of observed latency per endpoint and routes to the fastest healthy
 //    replica, failing over on Unavailable.
 //
-// Messages: GetPage (the §4.4 GetPage@LSN call) and GetPageRange (multi-
+// Messages: GetPage (the §4.4 GetPage@LSN call), GetPageRange (multi-
 // page reads — a single request for up-to-128-page scans, the access
 // pattern the Page Server's stride-preserving covering cache exists to
-// serve, §4.6).
+// serve, §4.6), and GetPageBatch (protocol v3: many unrelated GetPage
+// sub-requests multiplexed into one frame).
+//
+// Batched multiplexing: GetPage@LSN is the hottest cross-tier path, and
+// per-page frames pay one full network round trip plus fixed per-request
+// CPU each. The client therefore runs a per-endpoint-set batcher:
+// concurrent misses destined for the same Page Server are queued and
+// packed into a single kGetPageBatch frame (flushed when max_batch
+// sub-requests are queued, or at the next simulator tick when no further
+// miss arrives — so a lone miss pays zero extra latency). A server that
+// does not speak v3 rejects the frame with NotSupported and the client
+// degrades that endpoint set to per-page v2 singles permanently.
 
 #pragma once
 
@@ -27,6 +39,7 @@
 #include <vector>
 
 #include "common/coding.h"
+#include "common/histogram.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -34,19 +47,27 @@
 #include "sim/cpu.h"
 #include "sim/latency.h"
 #include "sim/simulator.h"
+#include "sim/sync.h"
 #include "sim/task.h"
 #include "storage/page.h"
 
 namespace socrates {
 namespace rbio {
 
-inline constexpr uint16_t kProtocolVersion = 2;
+inline constexpr uint16_t kProtocolVersion = 3;
 /// Oldest protocol version a server still understands.
 inline constexpr uint16_t kMinSupportedVersion = 1;
+/// First version that understands kGetPageBatch frames.
+inline constexpr uint16_t kBatchMinVersion = 3;
+/// Wire version per-page frames are encoded at: the oldest version whose
+/// GetPage/GetPageRange semantics match (unchanged since v2), so a v3
+/// client's singles interoperate with v2 servers without negotiation.
+inline constexpr uint16_t kGetPageFrameVersion = 2;
 
 enum class MessageType : uint8_t {
   kGetPage = 1,
   kGetPageRange = 2,
+  kGetPageBatch = 3,
 };
 
 struct GetPageRequest {
@@ -54,8 +75,8 @@ struct GetPageRequest {
   Lsn min_lsn = kInvalidLsn;
 
   std::string Encode(uint16_t version = kProtocolVersion) const;
-  static Status Decode(Slice wire, GetPageRequest* out,
-                       uint16_t* version);
+  static Status Decode(Slice wire, GetPageRequest* out, uint16_t* version,
+                       uint16_t max_version = kProtocolVersion);
 };
 
 struct GetPageRangeRequest {
@@ -65,7 +86,23 @@ struct GetPageRangeRequest {
 
   std::string Encode(uint16_t version = kProtocolVersion) const;
   static Status Decode(Slice wire, GetPageRangeRequest* out,
-                       uint16_t* version);
+                       uint16_t* version,
+                       uint16_t max_version = kProtocolVersion);
+};
+
+/// Protocol v3: many independent GetPage@LSN sub-requests multiplexed
+/// into one frame — one network round trip for the whole batch.
+struct GetPageBatchRequest {
+  struct Entry {
+    PageId page_id = kInvalidPageId;
+    Lsn min_lsn = kInvalidLsn;
+  };
+  std::vector<Entry> entries;
+
+  std::string Encode(uint16_t version = kProtocolVersion) const;
+  static Status Decode(Slice wire, GetPageBatchRequest* out,
+                       uint16_t* version,
+                       uint16_t max_version = kProtocolVersion);
 };
 
 /// Response: status code + zero or more full page images (checksummed).
@@ -75,6 +112,23 @@ struct PageResponse {
 
   std::string Encode() const;
   static Status Decode(Slice wire, PageResponse* out);
+};
+
+/// Response to a kGetPageBatch frame: per-sub-request status + page, in
+/// request order. The wire prefix (version, overall status) is identical
+/// to PageResponse with zero pages, so a pre-v3 server's NotSupported
+/// PageResponse decodes cleanly as an empty batch response — that is the
+/// negotiation fallback signal.
+struct GetPageBatchResponse {
+  struct Entry {
+    Status status;
+    storage::Page page;  // valid iff status.ok()
+  };
+  Status status;  // overall (transport/protocol-level) status
+  std::vector<Entry> entries;
+
+  std::string Encode() const;
+  static Status Decode(Slice wire, GetPageBatchResponse* out);
 };
 
 /// Server side of the protocol. Page Servers implement this.
@@ -94,19 +148,33 @@ struct Endpoint {
 struct RbioClientOptions {
   sim::LatencyModel network = sim::DeviceProfile::IntraDcNetwork().read;
   SimTime cpu_per_request_us = 8;
+  /// Amortized CPU for each batched sub-request beyond the first (the
+  /// frame itself pays cpu_per_request_us once).
+  SimTime cpu_per_batched_page_us = 1;
   int max_attempts = 4;
   SimTime retry_backoff_us = 2000;
   /// EWMA smoothing for per-endpoint latency (QoS selection).
   double ewma_alpha = 0.2;
+  /// Pack up to this many concurrent GetPage misses per endpoint set
+  /// into one kGetPageBatch frame. 1 disables batching entirely: every
+  /// miss goes out as a per-page frame, byte-identical to protocol v2.
+  uint32_t max_batch = 16;
+  /// Highest protocol version this client speaks. A < v3 client never
+  /// emits batch frames (mixed-version deployments, §3.4 automatic
+  /// versioning).
+  uint16_t protocol_version = kProtocolVersion;
 };
 
-/// Client side: typed calls, retries, QoS replica selection.
+/// Client side: typed calls, retries, QoS replica selection, batched
+/// GetPage multiplexing.
 class RbioClient {
  public:
   RbioClient(sim::Simulator& sim, sim::CpuResource* cpu,
              const RbioClientOptions& options, uint64_t seed = 0xb10);
 
-  /// GetPage@LSN against the best replica in `replicas`.
+  /// GetPage@LSN against the best replica in `replicas`. Concurrent
+  /// calls for the same endpoint set may be coalesced into one
+  /// kGetPageBatch frame (see RbioClientOptions::max_batch).
   sim::Task<Result<storage::Page>> GetPage(
       const std::vector<Endpoint>& replicas, PageId page_id, Lsn min_lsn);
 
@@ -119,17 +187,82 @@ class RbioClient {
   uint64_t requests_sent() const { return requests_; }
   uint64_t retries() const { return retries_; }
 
+  // ----- Batching counters.
+  /// kGetPageBatch frames sent (each is one round trip).
+  uint64_t batches_sent() const { return batches_sent_; }
+  /// GetPage sub-requests carried inside batch frames.
+  uint64_t batched_pages() const { return batched_pages_; }
+  /// Per-page frames sent for plain (unbatched / batch-of-one) GetPage.
+  uint64_t singles_sent() const { return singles_sent_; }
+  /// Sub-requests resolved as singles after a server rejected a batch
+  /// frame (version fallback).
+  uint64_t batch_fallbacks() const { return batch_fallbacks_; }
+  /// Duplicate page requests coalesced into an already-queued entry.
+  uint64_t batch_dedup_hits() const { return batch_dedup_hits_; }
+  /// Network round trips avoided by multiplexing: each batch of k pages
+  /// costs 1 frame instead of k.
+  uint64_t round_trips_saved() const {
+    return batched_pages_ - batches_sent_;
+  }
+  /// Sub-requests per batch frame.
+  const Histogram& batch_occupancy() const { return batch_occupancy_; }
+
   /// Observed EWMA latency for an endpoint (0 if never used).
   double EwmaLatencyUs(const std::string& endpoint_name) const;
 
  private:
+  // One queued GetPage awaiting a batch flush (or fallback single).
+  struct PendingGet {
+    PendingGet(sim::Simulator& sim, PageId page_id, Lsn min_lsn)
+        : page_id(page_id), min_lsn(min_lsn), done(sim) {}
+    PageId page_id;
+    Lsn min_lsn;
+    Result<storage::Page> result{Status::Unavailable("pending")};
+    sim::Event done;
+  };
+
+  // Per endpoint-set batch state. Endpoint sets are few (one per
+  // partition), so entries live for the client's lifetime.
+  struct BatchQueue {
+    std::vector<Endpoint> replicas;
+    std::vector<std::shared_ptr<PendingGet>> pending;
+    bool flusher_active = false;
+    // Tri-state batch support: unknown (try) / true / false (a server
+    // rejected a v3 frame; stay on singles).
+    bool support_known = false;
+    bool supported = true;
+  };
+
+  bool BatchingEnabled() const {
+    return opts_.max_batch > 1 && opts_.protocol_version >= kBatchMinVersion;
+  }
+
   // Pick the healthy endpoint with the lowest EWMA latency; unknown
   // endpoints count as fastest (explore once).
   size_t PickReplica(const std::vector<Endpoint>& replicas,
                      size_t attempt) const;
 
+  // One frame out / one frame back, with retries, backoff and QoS
+  // replica selection. Retries on transport errors and on responses
+  // whose (format-shared) status prefix is Unavailable/Busy.
+  sim::Task<Result<std::string>> RoundtripRaw(
+      const std::vector<Endpoint>& replicas, std::string frame,
+      SimTime cpu_us);
+
   sim::Task<Result<PageResponse>> Roundtrip(
       const std::vector<Endpoint>& replicas, std::string frame);
+
+  // The unbatched GetPage path (also the fallback for rejected batches).
+  sim::Task<Result<storage::Page>> GetPageSingle(
+      const std::vector<Endpoint>& replicas, PageId page_id, Lsn min_lsn);
+
+  // Drains a queue: flushes full batches this tick, one frame per
+  // max_batch sub-requests, each as a detached round trip.
+  sim::Task<> BatchFlusher(std::string key);
+  sim::Task<> FlushBatch(std::vector<Endpoint> replicas, std::string key,
+                         std::vector<std::shared_ptr<PendingGet>> batch);
+  sim::Task<> ResolveSingle(std::vector<Endpoint> replicas,
+                            std::shared_ptr<PendingGet> entry);
 
   struct EndpointStats {
     double ewma_us = 0;
@@ -141,8 +274,15 @@ class RbioClient {
   RbioClientOptions opts_;
   mutable Random rng_;
   std::map<std::string, EndpointStats> stats_;
+  std::map<std::string, BatchQueue> batch_queues_;
   uint64_t requests_ = 0;
   uint64_t retries_ = 0;
+  uint64_t batches_sent_ = 0;
+  uint64_t batched_pages_ = 0;
+  uint64_t singles_sent_ = 0;
+  uint64_t batch_fallbacks_ = 0;
+  uint64_t batch_dedup_hits_ = 0;
+  Histogram batch_occupancy_;
 };
 
 }  // namespace rbio

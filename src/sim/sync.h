@@ -8,6 +8,7 @@
 #include <cassert>
 #include <coroutine>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -236,6 +237,15 @@ class Watermark {
       sim_.ScheduleAfter(0, [h]() { h.resume(); });
     }
     waiters_.erase(waiters_.begin(), end);
+    if (on_advance_) on_advance_(value_);
+  }
+
+  /// Observer invoked synchronously on every effective Advance with the
+  /// new value. Lets an owner that outlives this watermark (e.g. a Page
+  /// Server whose applier — and watermark — is replaced across restarts)
+  /// keep its own waiter structures in step without polling.
+  void set_on_advance(std::function<void(uint64_t)> fn) {
+    on_advance_ = std::move(fn);
   }
 
   /// co_await wm.WaitFor(t): resumes once value() >= t.
@@ -258,6 +268,7 @@ class Watermark {
   Simulator& sim_;
   uint64_t value_ = 0;
   std::multimap<uint64_t, std::coroutine_handle<>> waiters_;
+  std::function<void(uint64_t)> on_advance_;
 };
 
 /// WaitGroup: await completion of N detached tasks (quorum = await subset).

@@ -482,6 +482,133 @@ TEST(ClusterTest, DistributedCheckpointPersistsControlState) {
 
 // ------------------------------------------------------------------ HADR
 
+// One snapshot-read transaction over a strided key slice; concurrent
+// instances produce overlapping page misses for the RBIO batcher.
+Task<> ReadSlice(Engine* e, uint64_t start, uint64_t n,
+                 sim::WaitGroup* wg) {
+  auto txn = e->Begin(true);
+  for (uint64_t k = start; k < start + n; k++) {
+    auto v = co_await e->Get(txn.get(), MakeKey(1, k));
+    EXPECT_TRUE(v.ok()) << "key " << k << ": " << v.status().ToString();
+  }
+  (void)co_await e->Commit(txn.get());
+  wg->Done();
+}
+
+TEST(ClusterTest, BatchAndWaiterCountersConsistent) {
+  Simulator s;
+  DeploymentOptions o = SmallDeployment(/*page_servers=*/1,
+                                        /*secondaries=*/0);
+  o.compute.mem_pages = 8;
+  o.compute.ssd_pages = 0;  // no RBPEX: every capacity miss goes remote
+  Deployment d(s, o);
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await LoadRows(d.primary_engine(), 0, 1200, "v");
+    // Eight concurrent readers over disjoint slices: their misses
+    // overlap in time and get multiplexed into batch frames.
+    sim::WaitGroup wg(s);
+    for (uint64_t r = 0; r < 8; r++) {
+      wg.Add();
+      Spawn(s, ReadSlice(d.primary_engine(), r * 150, 150, &wg));
+    }
+    co_await wg.Wait();
+  });
+  rbio::RbioClient& client = d.primary()->rbio_client();
+  pageserver::PageServer* ps = d.page_server(0);
+  // The concurrent miss streams actually multiplexed.
+  EXPECT_GT(client.batches_sent(), 0u);
+  EXPECT_GT(client.round_trips_saved(), 0u);
+  EXPECT_EQ(client.batch_fallbacks(), 0u);
+  // Counter consistency, client side: every wire request is either a
+  // batch frame or a per-page single (no retries in this run).
+  EXPECT_EQ(client.retries(), 0u);
+  EXPECT_EQ(client.requests_sent(),
+            client.batches_sent() + client.singles_sent());
+  EXPECT_EQ(client.round_trips_saved(),
+            client.batched_pages() - client.batches_sent());
+  // Server side: GetPage@LSN requests == batch sub-requests + singles,
+  // and the two tiers agree about what crossed the wire.
+  EXPECT_EQ(ps->batch_requests(), client.batches_sent());
+  EXPECT_EQ(ps->batch_subrequests(), client.batched_pages());
+  EXPECT_EQ(ps->getpage_requests(),
+            client.batched_pages() + client.singles_sent());
+  // Freshness waits were recorded (one per single + one per batch LSN
+  // group), and event-driven wakes carry no poll-quantization lag.
+  EXPECT_GT(ps->freshness_wait_us().count(), 0u);
+  EXPECT_LE(ps->freshness_wait_us().count(), ps->getpage_requests());
+  EXPECT_EQ(ps->waiter_wake_lag_us().max(), 0.0);
+  d.Stop();
+}
+
+TEST(ClusterTest, FreshnessWaitWakesExactlyOnApply) {
+  Simulator s;
+  Deployment d(s, SmallDeployment(/*page_servers=*/1, /*secondaries=*/0));
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await LoadRows(d.primary_engine(), 0, 100, "v");
+    pageserver::PageServer* ps = d.page_server(0);
+    co_await ps->applied_lsn().WaitFor(d.log_client().end_lsn());
+    // Park a GetPage@LSN probe beyond the applied watermark, then
+    // advance the watermark at an instant that is NOT a multiple of the
+    // old 300 µs poll quantum. The probe must complete at that instant.
+    Lsn target = ps->applied_lsn().value() + 64;
+    SimTime probe_done_at = 0;
+    Status probe_status;
+    Spawn(s, [](pageserver::PageServer* p, Simulator* sm, Lsn t,
+                SimTime* at, Status* st) -> Task<> {
+      auto r = co_await p->GetPageAtLsn(engine::kRootPageId, t);
+      *at = sm->now();
+      *st = r.status();
+    }(ps, &s, target, &probe_done_at, &probe_status));
+    co_await sim::Delay(s, 137);
+    SimTime advanced_at = s.now();
+    ps->applied_lsn().Advance(target);
+    co_await sim::Delay(s, 1000);
+    EXPECT_TRUE(probe_status.ok()) << probe_status.ToString();
+    // Event-driven wake: the probe finished within CPU-cost distance of
+    // the advance — far inside the old 300 µs poll floor.
+    EXPECT_GE(probe_done_at, advanced_at);
+    EXPECT_LT(probe_done_at - advanced_at, 50);
+    EXPECT_GE(ps->waiter_wakes(), 1u);
+    EXPECT_EQ(ps->waiter_wake_lag_us().max(), 0.0);
+  });
+  d.Stop();
+}
+
+TEST(ClusterTest, CrashDuringFreshnessWaitReturnsUnavailable) {
+  Simulator s;
+  Deployment d(s, SmallDeployment(/*page_servers=*/1, /*secondaries=*/0));
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await LoadRows(d.primary_engine(), 0, 100, "v");
+    pageserver::PageServer* ps = d.page_server(0);
+    co_await ps->applied_lsn().WaitFor(d.log_client().end_lsn());
+    // A probe waiting for log that will never arrive in this
+    // incarnation...
+    Lsn target = ps->applied_lsn().value() + 1000000;
+    bool done = false;
+    Status probe_status;
+    Spawn(s, [](pageserver::PageServer* p, Lsn t, Status* st,
+                bool* dn) -> Task<> {
+      auto r = co_await p->GetPageAtLsn(engine::kRootPageId, t);
+      *st = r.status();
+      *dn = true;
+    }(ps, target, &probe_status, &done));
+    co_await sim::Delay(s, 500);
+    EXPECT_FALSE(done);  // parked on the waiter heap
+    // ...fails Unavailable the moment the server dies, instead of
+    // leaking a suspended coroutine.
+    ps->Crash();
+    co_await sim::Delay(s, 10);
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(probe_status.IsUnavailable())
+        << probe_status.ToString();
+    EXPECT_TRUE((co_await ps->Start()).ok());  // server restarts cleanly
+  });
+  d.Stop();
+}
+
 TEST(HadrTest, CommitAndReadBack) {
   Simulator s;
   xstore::XStore xs(s);

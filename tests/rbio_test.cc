@@ -127,31 +127,128 @@ TEST(RbioCodecTest, TruncatedFramesRejected) {
   }
 }
 
+TEST(RbioCodecTest, BatchRequestRoundTrip) {
+  GetPageBatchRequest req;
+  req.entries.push_back({11, 100});
+  req.entries.push_back({22, 0});
+  req.entries.push_back({33, 999999});
+  std::string wire = req.Encode();
+  GetPageBatchRequest out;
+  uint16_t v = 0;
+  ASSERT_TRUE(GetPageBatchRequest::Decode(Slice(wire), &out, &v).ok());
+  EXPECT_EQ(v, kProtocolVersion);
+  ASSERT_EQ(out.entries.size(), 3u);
+  EXPECT_EQ(out.entries[0].page_id, 11u);
+  EXPECT_EQ(out.entries[0].min_lsn, 100u);
+  EXPECT_EQ(out.entries[2].min_lsn, 999999u);
+  // Truncations anywhere are rejected, never mis-read.
+  for (size_t cut = 0; cut < wire.size(); cut++) {
+    EXPECT_FALSE(
+        GetPageBatchRequest::Decode(Slice(wire.data(), cut), &out, &v)
+            .ok());
+  }
+}
+
+TEST(RbioCodecTest, BatchRequestVersionGate) {
+  GetPageBatchRequest req;
+  req.entries.push_back({1, 1});
+  GetPageBatchRequest out;
+  uint16_t v;
+  // A server capped below v3 (not yet upgraded) rejects batch frames.
+  EXPECT_TRUE(GetPageBatchRequest::Decode(Slice(req.Encode()), &out, &v,
+                                          /*max_version=*/2)
+                  .IsNotSupported());
+  // A batch frame mislabeled with a pre-batch version is also rejected.
+  EXPECT_TRUE(GetPageBatchRequest::Decode(
+                  Slice(req.Encode(/*version=*/2)), &out, &v)
+                  .IsNotSupported());
+}
+
+TEST(RbioCodecTest, BatchResponseRoundTripMixedStatuses) {
+  GetPageBatchResponse resp;
+  resp.status = Status::OK();
+  GetPageBatchResponse::Entry ok_entry;
+  ok_entry.status = Status::OK();
+  ok_entry.page.Format(77, storage::PageType::kBTreeLeaf);
+  ok_entry.page.UpdateChecksum();
+  resp.entries.push_back(std::move(ok_entry));
+  GetPageBatchResponse::Entry missing;
+  missing.status = Status::NotFound("no such page");
+  resp.entries.push_back(std::move(missing));
+  GetPageBatchResponse out;
+  ASSERT_TRUE(
+      GetPageBatchResponse::Decode(Slice(resp.Encode()), &out).ok());
+  EXPECT_TRUE(out.status.ok());
+  ASSERT_EQ(out.entries.size(), 2u);
+  EXPECT_TRUE(out.entries[0].status.ok());
+  EXPECT_EQ(out.entries[0].page.page_id(), 77u);
+  EXPECT_TRUE(out.entries[0].page.VerifyChecksum().ok());
+  EXPECT_TRUE(out.entries[1].status.IsNotFound());
+  EXPECT_EQ(out.entries[1].status.message(), "no such page");
+}
+
+TEST(RbioCodecTest, V2NotSupportedReplyDecodesAsBatchFallbackSignal) {
+  // The negotiation fallback hinges on this: a pre-v3 server answers an
+  // unknown frame with PageResponse{NotSupported, 0 pages}, whose wire
+  // prefix is identical to an empty batch response.
+  PageResponse v2_reject;
+  v2_reject.status = Status::NotSupported("rbio: unsupported request");
+  GetPageBatchResponse out;
+  ASSERT_TRUE(
+      GetPageBatchResponse::Decode(Slice(v2_reject.Encode()), &out).ok());
+  EXPECT_TRUE(out.status.IsNotSupported());
+  EXPECT_TRUE(out.entries.empty());
+}
+
 // ------------------------------------------------------------ mock server
 
 class MockServer : public RbioServer {
  public:
-  MockServer(Simulator& sim, SimTime service_us)
-      : sim_(sim), service_us_(service_us) {}
+  MockServer(Simulator& sim, SimTime service_us,
+             uint16_t max_version = kProtocolVersion)
+      : sim_(sim), service_us_(service_us), max_version_(max_version) {}
+
+  static storage::Page MakePage(PageId id, Lsn lsn) {
+    storage::Page p;
+    p.Format(id, storage::PageType::kBTreeLeaf);
+    p.set_page_lsn(lsn);
+    p.UpdateChecksum();
+    return p;
+  }
 
   Task<Result<std::string>> HandleRbio(std::string frame) override {
     handled_++;
+    last_frame_ = frame;
     co_await sim::Delay(sim_, service_us_);
     if (fail_next_ > 0) {
       fail_next_--;
       co_return Result<std::string>(Status::Unavailable("mock outage"));
     }
     GetPageRequest req;
+    GetPageBatchRequest batch;
     uint16_t version;
+    if (GetPageBatchRequest::Decode(Slice(frame), &batch, &version,
+                                    max_version_)
+            .ok()) {
+      batch_frames_++;
+      GetPageBatchResponse bresp;
+      bresp.status = Status::OK();
+      for (const auto& e : batch.entries) {
+        GetPageBatchResponse::Entry out;
+        out.status = Status::OK();
+        out.page = MakePage(e.page_id, e.min_lsn + 1);
+        bresp.entries.push_back(std::move(out));
+      }
+      co_return bresp.Encode();
+    }
     PageResponse resp;
-    if (GetPageRequest::Decode(Slice(frame), &req, &version).ok()) {
-      storage::Page p;
-      p.Format(req.page_id, storage::PageType::kBTreeLeaf);
-      p.set_page_lsn(req.min_lsn + 1);
-      p.UpdateChecksum();
+    if (GetPageRequest::Decode(Slice(frame), &req, &version, max_version_)
+            .ok()) {
+      single_frames_++;
       resp.status = Status::OK();
-      resp.pages.push_back(std::move(p));
+      resp.pages.push_back(MakePage(req.page_id, req.min_lsn + 1));
     } else {
+      // What a real pre-v3 server does with a frame it cannot decode.
       resp.status = Status::NotSupported("mock: unknown request");
     }
     co_return resp.Encode();
@@ -159,11 +256,32 @@ class MockServer : public RbioServer {
 
   int handled_ = 0;
   int fail_next_ = 0;
+  int batch_frames_ = 0;
+  int single_frames_ = 0;
+  std::string last_frame_;
 
  private:
   Simulator& sim_;
   SimTime service_us_;
+  uint16_t max_version_;
 };
+
+// Issue `n` concurrent GetPage calls for distinct pages and wait for all.
+Task<> ConcurrentGets(Simulator& s, RbioClient& client,
+                      std::vector<Endpoint> eps, PageId first, int n,
+                      int* ok_count) {
+  sim::WaitGroup wg(s);
+  for (int i = 0; i < n; i++) {
+    wg.Add();
+    Spawn(s, [](RbioClient* c, std::vector<Endpoint> e, PageId id,
+                sim::WaitGroup* w, int* ok) -> Task<> {
+      auto r = co_await c->GetPage(e, id, 10);
+      if (r.ok() && r->page_id() == id) (*ok)++;
+      w->Done();
+    }(&client, eps, first + i, &wg, ok_count));
+  }
+  co_await wg.Wait();
+}
 
 TEST(RbioClientTest, RetriesTransientFailures) {
   Simulator s;
@@ -233,6 +351,160 @@ TEST(RbioClientTest, FailsOverToOtherReplicaOnOutage) {
   EXPECT_GE(b.handled_, 20);
 }
 
+// --------------------------------------------------------------- batching
+
+TEST(RbioBatchTest, ConcurrentMissesPackIntoOneFrame) {
+  Simulator s;
+  MockServer server(s, 100);
+  RbioClientOptions opts;
+  opts.max_batch = 16;
+  RbioClient client(s, nullptr, opts);
+  std::vector<Endpoint> eps{{&server, "m"}};
+  int ok = 0;
+  RunSim(s, [&]() -> Task<> {
+    co_await ConcurrentGets(s, client, eps, 100, 8, &ok);
+  });
+  EXPECT_EQ(ok, 8);
+  // All eight misses were issued in the same tick: one frame, one round
+  // trip, seven saved.
+  EXPECT_EQ(server.handled_, 1);
+  EXPECT_EQ(server.batch_frames_, 1);
+  EXPECT_EQ(client.batches_sent(), 1u);
+  EXPECT_EQ(client.batched_pages(), 8u);
+  EXPECT_EQ(client.round_trips_saved(), 7u);
+  EXPECT_EQ(client.singles_sent(), 0u);
+  EXPECT_EQ(client.batch_occupancy().max(), 8.0);
+}
+
+TEST(RbioBatchTest, BurstsAboveMaxBatchSplitIntoConcurrentFrames) {
+  Simulator s;
+  MockServer server(s, 100);
+  RbioClientOptions opts;
+  opts.max_batch = 16;
+  RbioClient client(s, nullptr, opts);
+  std::vector<Endpoint> eps{{&server, "m"}};
+  int ok = 0;
+  RunSim(s, [&]() -> Task<> {
+    co_await ConcurrentGets(s, client, eps, 100, 40, &ok);
+  });
+  EXPECT_EQ(ok, 40);
+  // 40 misses -> ceil(40/16) = 3 frames, all in flight concurrently.
+  EXPECT_EQ(server.handled_, 3);
+  EXPECT_EQ(client.batches_sent(), 3u);
+  EXPECT_EQ(client.batched_pages(), 40u);
+  EXPECT_EQ(client.round_trips_saved(), 37u);
+}
+
+TEST(RbioBatchTest, SamePageConcurrentMissesDeduped) {
+  Simulator s;
+  MockServer server(s, 100);
+  RbioClient client(s, nullptr, {});
+  std::vector<Endpoint> eps{{&server, "m"}};
+  int ok = 0;
+  RunSim(s, [&]() -> Task<> {
+    sim::WaitGroup wg(s);
+    for (int i = 0; i < 5; i++) {
+      wg.Add();
+      Spawn(s, [](RbioClient* c, std::vector<Endpoint> e,
+                  sim::WaitGroup* w, int* okp) -> Task<> {
+        auto r = co_await c->GetPage(e, 55, 10);
+        if (r.ok() && r->page_id() == 55) (*okp)++;
+        w->Done();
+      }(&client, eps, &wg, &ok));
+    }
+    co_await wg.Wait();
+  });
+  EXPECT_EQ(ok, 5);
+  // One wire request total: four callers shared the first one's entry.
+  EXPECT_EQ(server.handled_, 1);
+  EXPECT_EQ(client.batch_dedup_hits(), 4u);
+  EXPECT_EQ(client.requests_sent(), 1u);
+}
+
+TEST(RbioBatchTest, LoneMissPaysNoBatchingLatency) {
+  // A single miss must behave exactly like the unbatched client: same
+  // frame on the wire (a per-page v2 single), same completion time.
+  auto run_one = [](uint32_t max_batch, SimTime* finished,
+                    std::string* frame) {
+    Simulator s;
+    MockServer server(s, 100);
+    RbioClientOptions opts;
+    opts.max_batch = max_batch;
+    opts.network = sim::LatencyModel::Fixed(30);
+    RbioClient client(s, nullptr, opts);
+    std::vector<Endpoint> eps{{&server, "m"}};
+    bool done = false;
+    Spawn(s, Wrap([](RbioClient* c, std::vector<Endpoint> e) -> Task<> {
+            auto r = co_await c->GetPage(e, 9, 10);
+            EXPECT_TRUE(r.ok());
+          }(&client, eps),
+          &done));
+    while (!done && s.Step()) {
+    }
+    *finished = s.now();
+    *frame = server.last_frame_;
+  };
+  SimTime batched_t, unbatched_t;
+  std::string batched_frame, unbatched_frame;
+  run_one(16, &batched_t, &batched_frame);
+  run_one(1, &unbatched_t, &unbatched_frame);
+  EXPECT_EQ(batched_t, unbatched_t);
+  // Byte-for-byte identical wire behavior.
+  EXPECT_EQ(batched_frame, unbatched_frame);
+  GetPageRequest expect;
+  expect.page_id = 9;
+  expect.min_lsn = 10;
+  EXPECT_EQ(unbatched_frame, expect.Encode(kGetPageFrameVersion));
+}
+
+// ---------------------------------------------------------- mixed version
+
+TEST(RbioMixedVersionTest, V3ClientFallsBackOnV2Server) {
+  Simulator s;
+  // A server still on protocol v2: batch frames are NotSupported.
+  MockServer server(s, 100, /*max_version=*/2);
+  RbioClient client(s, nullptr, {});
+  std::vector<Endpoint> eps{{&server, "m"}};
+  int ok = 0;
+  RunSim(s, [&]() -> Task<> {
+    co_await ConcurrentGets(s, client, eps, 100, 6, &ok);
+  });
+  EXPECT_EQ(ok, 6);  // negotiation is invisible to callers
+  EXPECT_EQ(server.batch_frames_, 0);
+  EXPECT_EQ(server.single_frames_, 6);
+  EXPECT_EQ(client.batch_fallbacks(), 6u);
+  EXPECT_EQ(client.batches_sent(), 1u);  // the one rejected probe
+
+  // The rejection is memoized: the next burst goes straight to singles.
+  int ok2 = 0;
+  RunSim(s, [&]() -> Task<> {
+    co_await ConcurrentGets(s, client, eps, 200, 6, &ok2);
+  });
+  EXPECT_EQ(ok2, 6);
+  EXPECT_EQ(client.batches_sent(), 1u);  // unchanged
+  EXPECT_EQ(server.single_frames_, 12);
+}
+
+TEST(RbioMixedVersionTest, V2ClientWorksAgainstV3Server) {
+  Simulator s;
+  MockServer server(s, 100);  // fully v3-capable
+  RbioClientOptions opts;
+  opts.protocol_version = 2;  // an old client
+  RbioClient client(s, nullptr, opts);
+  std::vector<Endpoint> eps{{&server, "m"}};
+  int ok = 0;
+  RunSim(s, [&]() -> Task<> {
+    co_await ConcurrentGets(s, client, eps, 100, 6, &ok);
+  });
+  EXPECT_EQ(ok, 6);
+  // A v2 client never emits batch frames, and the v3 server still
+  // understands its v2 singles (kMinSupportedVersion <= 2).
+  EXPECT_EQ(server.batch_frames_, 0);
+  EXPECT_EQ(server.single_frames_, 6);
+  EXPECT_EQ(client.batches_sent(), 0u);
+  EXPECT_EQ(client.singles_sent(), 6u);
+}
+
 // --------------------------------------------- end-to-end via Page Server
 
 service::DeploymentOptions SmallDeployment() {
@@ -276,6 +548,48 @@ TEST(RbioEndToEndTest, PageServerServesTypedRequests) {
       EXPECT_TRUE(p.VerifyChecksum().ok());
     }
   });
+  d.Stop();
+}
+
+TEST(RbioEndToEndTest, BatchedGetsAgainstRealPageServer) {
+  Simulator s;
+  service::Deployment d(s, SmallDeployment());
+  RbioClient client(s, nullptr, RbioClientOptions{});
+  int ok = 0;
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 2000);
+    co_await d.page_server(0)->applied_lsn().WaitFor(
+        d.log_client().end_lsn());
+    std::vector<Endpoint> eps{{d.page_server(0), "ps0"}};
+    co_await ConcurrentGets(s, client, eps, engine::kRootPageId, 8, &ok);
+  });
+  EXPECT_EQ(ok, 8);
+  EXPECT_GE(client.batches_sent(), 1u);
+  EXPECT_EQ(client.batch_fallbacks(), 0u);
+  EXPECT_EQ(d.page_server(0)->batch_requests(), client.batches_sent());
+  EXPECT_EQ(d.page_server(0)->batch_subrequests(), client.batched_pages());
+  d.Stop();
+}
+
+TEST(RbioEndToEndTest, V3ClientDegradesAgainstV2PageServer) {
+  Simulator s;
+  service::DeploymentOptions o = SmallDeployment();
+  o.page_server.rbio_max_version = 2;  // a not-yet-upgraded server
+  service::Deployment d(s, o);
+  RbioClient client(s, nullptr, RbioClientOptions{});
+  int ok = 0;
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 2000);
+    co_await d.page_server(0)->applied_lsn().WaitFor(
+        d.log_client().end_lsn());
+    std::vector<Endpoint> eps{{d.page_server(0), "ps0"}};
+    co_await ConcurrentGets(s, client, eps, engine::kRootPageId, 8, &ok);
+  });
+  EXPECT_EQ(ok, 8);  // served correctly despite the version mismatch
+  EXPECT_EQ(d.page_server(0)->batch_requests(), 0u);
+  EXPECT_EQ(client.batch_fallbacks(), 8u);
   d.Stop();
 }
 
