@@ -70,7 +70,8 @@ RestartCost Measure(bool recoverable) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOut json("ablation_rbpex", argc, argv);
   PrintHeader("Ablation: RBPEX recoverable cache vs plain BPE (§3.3)",
               "recoverable cache => short failures do not refetch the "
               "cache from remote servers");
@@ -91,5 +92,12 @@ int main() {
                    rbpex.remote_fetches
              : static_cast<double>(bpe.remote_fetches),
          (bpe.rewarm_us - rbpex.rewarm_us) / 1e3);
+  json.Line("{\"bench\":\"ablation_rbpex\",\"config\":\"rbpex\","
+            "\"remote_fetches\":%llu,\"rewarm_ms\":%.1f}",
+            (unsigned long long)rbpex.remote_fetches,
+            rbpex.rewarm_us / 1e3);
+  json.Line("{\"bench\":\"ablation_rbpex\",\"config\":\"plain_bpe\","
+            "\"remote_fetches\":%llu,\"rewarm_ms\":%.1f}",
+            (unsigned long long)bpe.remote_fetches, bpe.rewarm_us / 1e3);
   return 0;
 }

@@ -90,7 +90,8 @@ double AggregateReadTps(int secondaries) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOut json("scaleout_reads", argc, argv);
   PrintHeader("Read scale-out: aggregate read TPS vs replicas (§4.1.3)",
               "Socrates read replicas are O(1) caches; HADR is capped by "
               "per-node storage");
@@ -102,6 +103,9 @@ int main() {
     if (secondaries == 0) base = tps;
     printf("1 primary + %-10d %16.0f %9.2fx\n", secondaries, tps,
            base > 0 ? tps / base : 0.0);
+    json.Line("{\"bench\":\"scaleout_reads\",\"secondaries\":%d,"
+              "\"aggregate_tps\":%.0f,\"scaling\":%.2f}",
+              secondaries, tps, base > 0 ? tps / base : 0.0);
   }
   printf("\nHADR tops out at its fixed 3 secondaries (each storing the\n"
          "full database); Socrates keeps scaling by attaching cache-only\n"

@@ -1,0 +1,250 @@
+// Cross-tier prefetch pipeline: B+-tree scan readahead sweep.
+//
+// Measures a sequential range scan over a database much larger than the
+// compute memory tier, sweeping the readahead window (0 = the pre-Socrates
+// demand-paged baseline) against three cache states:
+//
+//   cold      both compute tiers empty (non-recoverable RBPEX + restart):
+//             every leaf is a remote GetPage@LSN, so the window directly
+//             controls how many leaves share one RBIO round trip;
+//   warm_ssd  RBPEX survived the restart, memory is empty: readahead
+//             overlaps SSD promotions instead of network round trips;
+//   hot       no restart, second scan over whatever the small memory
+//             tier + RBPEX retained.
+//
+// Reported per config: remote round trips, round trips saved by frame
+// batching, mean GetPageBatch occupancy, prefetch issue/hit/waste
+// counters, and per-stride scan latency (p50/p99). A final phase compares
+// warmup_after_recovery on/off at a fixed instant after restart.
+
+#include <cinttypes>
+#include <cstring>
+
+#include "harness.h"
+
+using namespace socrates;
+using namespace socrates::bench;
+
+namespace {
+
+struct Params {
+  uint64_t rows = 20000;       // ~2 MiB of rows => hundreds of leaves
+  uint64_t stride = 100;       // keys per timed Engine::Scan call
+  bool smoke = false;
+};
+
+struct ScanResult {
+  uint32_t window = 0;
+  const char* state = "";
+  uint64_t round_trips = 0;
+  uint64_t round_trips_saved = 0;
+  uint64_t retries = 0;
+  double occupancy = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_wasted = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double scan_ms = 0;
+};
+
+sim::Task<> LoadRows(engine::Engine* e, uint64_t n) {
+  for (uint64_t i = 0; i < n; i += 8) {
+    auto txn = e->Begin();
+    for (uint64_t k = i; k < std::min(n, i + 8); k++) {
+      (void)e->Put(txn.get(), engine::MakeKey(1, k),
+                   "v" + std::to_string(k));
+    }
+    Status s = co_await e->Commit(txn.get());
+    if (!s.ok()) abort();
+  }
+}
+
+// Timed sequential scan in `stride`-key chunks; one latency sample per
+// chunk (the per-stride tail is where a blocking leaf fetch shows up).
+sim::Task<> TimedScan(sim::Simulator* sim, engine::Engine* e,
+                      const Params* p, Histogram* lat) {
+  auto txn = e->Begin(true);
+  for (uint64_t k = 0; k < p->rows; k += p->stride) {
+    SimTime t0 = sim->now();
+    auto rows = co_await e->Scan(txn.get(), engine::MakeKey(1, k),
+                                 p->stride);
+    if (!rows.ok()) abort();
+    lat->Add(static_cast<double>(sim->now() - t0));
+  }
+  (void)co_await e->Commit(txn.get());
+}
+
+// One full deployment lifecycle per (window, state) config so every
+// measurement starts from an identical, independent history.
+ScanResult Measure(const Params& p, uint32_t window, const char* state) {
+  sim::Simulator sim;
+  service::DeploymentOptions o;
+  o.partition_map.pages_per_partition = 8192;
+  o.num_page_servers = 1;
+  o.compute.mem_pages = 64;    // scan length >> memory tier
+  o.compute.ssd_pages = 4096;  // RBPEX can hold the whole database
+  o.compute.scan_readahead = window;
+  o.compute.warmup_after_recovery = false;  // isolate the readahead effect
+  o.compute.rbpex_recoverable = std::strcmp(state, "cold") != 0;
+  o.page_server.mem_pages = 1024;
+  service::Deployment d(sim, o);
+
+  ScanResult r;
+  r.window = window;
+  r.state = state;
+  RunSim(sim, [&]() -> sim::Task<> {
+    if (!(co_await d.Start()).ok()) abort();
+    co_await LoadRows(d.primary_engine(), p.rows);
+    (void)co_await d.Checkpoint();
+    engine::Engine* e = d.primary_engine();
+
+    if (std::strcmp(state, "hot") == 0) {
+      // Populate both local tiers with an untimed pass.
+      Histogram scratch;
+      co_await TimedScan(&sim, e, &p, &scratch);
+    } else {
+      // cold: non-recoverable RBPEX, so the restart empties both tiers.
+      // warm_ssd: RBPEX survives, memory does not.
+      if (!(co_await d.RestartPrimary()).ok()) abort();
+    }
+
+    d.primary()->rbio_client().ResetStats();
+    engine::BufferPoolStats s0 = d.primary()->pool()->stats();
+    Histogram lat;
+    SimTime t0 = sim.now();
+    co_await TimedScan(&sim, e, &p, &lat);
+    r.scan_ms = static_cast<double>(sim.now() - t0) / 1e3;
+    engine::BufferPoolStats s1 = d.primary()->pool()->stats();
+    rbio::RbioClient& c = d.primary()->rbio_client();
+    r.round_trips = c.requests_sent();
+    r.round_trips_saved = c.round_trips_saved();
+    r.retries = c.retries();
+    r.occupancy = c.batch_occupancy().count() > 0
+                      ? c.batch_occupancy().mean()
+                      : 0.0;
+    r.prefetch_issued = s1.prefetch_issued - s0.prefetch_issued;
+    r.prefetch_hits = s1.prefetch_hits - s0.prefetch_hits;
+    r.prefetch_wasted = s1.prefetch_wasted - s0.prefetch_wasted;
+    r.p50_us = lat.Percentile(50.0);
+    r.p99_us = lat.Percentile(99.0);
+  });
+  d.Stop();
+  return r;
+}
+
+struct WarmupResult {
+  bool warmup = false;
+  uint64_t promoted = 0;
+  double probe_ms = 0;       // hot-prefix re-scan at the settle instant
+  uint64_t remote_fetches = 0;
+};
+
+// Fixed settle budget after restart, then re-scan the hot prefix: with
+// warmup the RBPEX MRU prefix is already back in memory.
+WarmupResult MeasureWarmup(const Params& p, bool warmup) {
+  sim::Simulator sim;
+  service::DeploymentOptions o;
+  o.partition_map.pages_per_partition = 8192;
+  o.num_page_servers = 1;
+  o.compute.mem_pages = 64;
+  o.compute.ssd_pages = 4096;
+  o.compute.scan_readahead = 16;
+  o.compute.warmup_after_recovery = warmup;
+  o.page_server.mem_pages = 1024;
+  service::Deployment d(sim, o);
+
+  WarmupResult r;
+  r.warmup = warmup;
+  const uint64_t hot_rows = p.rows / 8;  // prefix that fits in memory
+  RunSim(sim, [&]() -> sim::Task<> {
+    if (!(co_await d.Start()).ok()) abort();
+    co_await LoadRows(d.primary_engine(), p.rows);
+    (void)co_await d.Checkpoint();
+    engine::Engine* e = d.primary_engine();
+    // Stamp the SSD MRU order with the hot prefix.
+    for (int pass = 0; pass < 2; pass++) {
+      auto txn = e->Begin(true);
+      (void)co_await e->Scan(txn.get(), engine::MakeKey(1, 0), hot_rows);
+      (void)co_await e->Commit(txn.get());
+    }
+    if (!(co_await d.RestartPrimary()).ok()) abort();
+    co_await sim::Delay(sim, 200 * 1000);  // identical settle budget
+    r.promoted = d.primary()->pool()->warmup_promoted();
+    uint64_t f0 = d.primary()->remote_fetches();
+    SimTime t0 = sim.now();
+    auto txn = e->Begin(true);
+    (void)co_await e->Scan(txn.get(), engine::MakeKey(1, 0), hot_rows);
+    (void)co_await e->Commit(txn.get());
+    r.probe_ms = static_cast<double>(sim.now() - t0) / 1e3;
+    r.remote_fetches = d.primary()->remote_fetches() - f0;
+  });
+  d.Stop();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Params p;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) p.smoke = true;
+  }
+  if (p.smoke) p.rows = 3000;
+
+  JsonOut json("scan_readahead", argc, argv);
+  PrintHeader("B+-tree scan readahead x cache state (prefetch pipeline)",
+              "remote I/O off the scan critical path: ramped readahead "
+              "batches leaf fetches into GetPageBatch round trips");
+
+  std::vector<uint32_t> windows = p.smoke
+                                      ? std::vector<uint32_t>{0, 16}
+                                      : std::vector<uint32_t>{0, 2, 8, 16,
+                                                              32};
+  std::vector<const char*> states =
+      p.smoke ? std::vector<const char*>{"cold"}
+              : std::vector<const char*>{"cold", "warm_ssd", "hot"};
+
+  printf("\n%-9s %-7s %10s %8s %7s %9s %8s %8s %10s %10s %9s\n", "state",
+         "window", "roundtrip", "saved", "occup", "issued", "hits",
+         "wasted", "p50 us", "p99 us", "scan ms");
+  for (const char* state : states) {
+    for (uint32_t w : windows) {
+      ScanResult r = Measure(p, w, state);
+      printf("%-9s %-7u %10" PRIu64 " %8" PRIu64 " %7.2f %9" PRIu64
+             " %8" PRIu64 " %8" PRIu64 " %10.1f %10.1f %9.2f\n",
+             r.state, r.window, r.round_trips, r.round_trips_saved,
+             r.occupancy, r.prefetch_issued, r.prefetch_hits,
+             r.prefetch_wasted, r.p50_us, r.p99_us, r.scan_ms);
+      json.Line(
+          "{\"bench\":\"scan_readahead\",\"phase\":\"sweep\","
+          "\"state\":\"%s\",\"window\":%u,\"round_trips\":%" PRIu64
+          ",\"round_trips_saved\":%" PRIu64 ",\"retries\":%" PRIu64
+          ",\"batch_occupancy\":%.3f,"
+          "\"prefetch_issued\":%" PRIu64 ",\"prefetch_hits\":%" PRIu64
+          ",\"prefetch_wasted\":%" PRIu64 ",\"p50_us\":%.1f,"
+          "\"p99_us\":%.1f,\"scan_ms\":%.2f}",
+          r.state, r.window, r.round_trips, r.round_trips_saved,
+          r.retries, r.occupancy, r.prefetch_issued, r.prefetch_hits,
+          r.prefetch_wasted, r.p50_us, r.p99_us, r.scan_ms);
+    }
+  }
+
+  if (!p.smoke) {
+    printf("\n-- warmup after recovery (window 16, fixed 200ms settle)\n");
+    printf("%-12s %10s %12s %14s\n", "warmup", "promoted", "probe ms",
+           "remote fetch");
+    for (bool warm : {true, false}) {
+      WarmupResult r = MeasureWarmup(p, warm);
+      printf("%-12s %10" PRIu64 " %12.2f %14" PRIu64 "\n",
+             r.warmup ? "on" : "off", r.promoted, r.probe_ms,
+             r.remote_fetches);
+      json.Line("{\"bench\":\"scan_readahead\",\"phase\":\"warmup\","
+                "\"warmup\":%s,\"promoted\":%" PRIu64
+                ",\"probe_ms\":%.2f,\"remote_fetches\":%" PRIu64 "}",
+                r.warmup ? "true" : "false", r.promoted, r.probe_ms,
+                r.remote_fetches);
+    }
+  }
+  return 0;
+}

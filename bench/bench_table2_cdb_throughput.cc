@@ -14,7 +14,8 @@
 using namespace socrates;
 using namespace socrates::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOut json("table2_cdb_throughput", argc, argv);
   PrintHeader("Table 2: CDB default mix throughput (HADR vs Socrates)",
               "HADR 1402 TPS @99.1% CPU; Socrates 1335 TPS @96.4% CPU "
               "(~5% lower)");
@@ -55,5 +56,16 @@ int main() {
   printf("\nSocrates deficit vs HADR: %.1f%%  (paper: ~5%%)\n", deficit);
   printf("Socrates local cache hit rate: %.0f%%\n",
          100 * soc.deployment->primary()->pool()->stats().LocalHitRate());
+  json.Line("{\"bench\":\"table2_cdb_throughput\",\"system\":\"hadr\","
+            "\"cpu_pct\":%.1f,\"write_tps\":%.0f,\"read_tps\":%.0f,"
+            "\"total_tps\":%.0f}",
+            100 * h.cpu_utilization, h.write_tps, h.read_tps, h.total_tps);
+  json.Line("{\"bench\":\"table2_cdb_throughput\",\"system\":\"socrates\","
+            "\"cpu_pct\":%.1f,\"write_tps\":%.0f,\"read_tps\":%.0f,"
+            "\"total_tps\":%.0f,\"deficit_pct\":%.1f,"
+            "\"local_hit_rate\":%.3f}",
+            100 * s.cpu_utilization, s.write_tps, s.read_tps, s.total_tps,
+            deficit,
+            soc.deployment->primary()->pool()->stats().LocalHitRate());
   return 0;
 }

@@ -134,6 +134,9 @@ ComputeNode::ComputeNode(sim::Simulator& sim, Role role,
   applier_->ConfigureLanes(opts_.apply_lanes, cpu_.get());
   engine_ = std::make_unique<engine::Engine>(
       sim, pool_.get(), role == Role::kPrimary ? sink : nullptr);
+  // Scan readahead is safe on both roles: prefetch misses go through
+  // RemoteFetcher::FetchPage and therefore the §4.5 registration.
+  engine_->btree()->set_scan_readahead(opts_.scan_readahead);
   if (role == Role::kSecondary) {
     engine_->SetReadTsProvider(
         [this] { return applier_->applied_commit_ts(); });
@@ -279,6 +282,12 @@ sim::Task<Status> ComputeNode::RecoverPrimary(Lsn replay_from,
   //    satisfied at least at the durable log end.
   recovery_floor_ = durable_end;
   evicted_map_.Clear();
+  // 5. Warm-cache promotion (§3.3): pull the recovered RBPEX MRU prefix
+  //    back into memory in the background so the node reaches warm-cache
+  //    throughput without waiting for demand misses.
+  if (opts_.warmup_after_recovery) {
+    pool_->StartWarmup(opts_.warmup_pages);
+  }
   co_return Status::OK();
 }
 
@@ -298,6 +307,12 @@ sim::Task<Status> ComputeNode::Promote(engine::LogSink* sink,
                                       applier_->max_page_seen() + 1);
   engine_->RestoreCounters(applier_->applied_commit_ts(), next_page);
   recovery_floor_ = durable_end;
+  // The new Primary inherits a mostly-cold memory tier if the Secondary
+  // was serving a different read set; promote the RBPEX MRU prefix so
+  // failover reaches warm-cache throughput quickly (§5 + §3.3).
+  if (opts_.warmup_after_recovery) {
+    pool_->StartWarmup(opts_.warmup_pages);
+  }
   co_return Status::OK();
 }
 

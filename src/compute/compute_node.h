@@ -141,6 +141,18 @@ struct ComputeOptions {
   /// Server are multiplexed into one kGetPageBatch frame of up to this
   /// many sub-requests (1 = per-page frames, the pre-v3 behavior).
   uint32_t rbio_max_batch = 16;
+  /// B+-tree sequential-scan readahead: max prefetch window in leaves
+  /// (ramps 2 → this on confirmed sequential access, collapses on a
+  /// break; 0 disables and reproduces the serial scan exactly). Safe on
+  /// Secondaries too — prefetch misses go through RemoteFetcher and thus
+  /// the §4.5 pending-fetch registration, unlike readahead_pages.
+  uint32_t scan_readahead = 32;
+  /// After RecoverPrimary / Promote, promote the recovered RBPEX tier's
+  /// MRU prefix into memory in the background (§3.3: failover resumes at
+  /// warm-cache speed without waiting for demand misses).
+  bool warmup_after_recovery = true;
+  /// Cap on warmup promotions (0 = memory capacity).
+  size_t warmup_pages = 0;
   /// Highest RBIO protocol version this node speaks (mixed-version
   /// deployments: < 3 never emits batch frames).
   uint16_t rbio_protocol_version = rbio::kProtocolVersion;

@@ -1,5 +1,6 @@
 #include "engine/btree.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "sim/task.h"
@@ -130,6 +131,9 @@ sim::Task<Result<size_t>> BTree::Scan(
     Result<PageRef> leaf = co_await TraverseToLeaf(key, &path);
     if (!leaf.ok()) co_return Result<size_t>(leaf.status());
     BTreePage bp(leaf->page());
+    if (scan_readahead_ > 0) {
+      MaybeReadahead(path.back(), bp.right_sibling());
+    }
     int slot = bp.LowerBound(key);
     for (; slot < bp.slot_count() && visited < count; slot++) {
       VersionChain chain;
@@ -149,6 +153,41 @@ sim::Task<Result<size_t>> BTree::Scan(
     key = high;
   }
   co_return visited;
+}
+
+void BTree::MaybeReadahead(PageId leaf, PageId sibling) {
+  // Strided scans revisit the same leaf across calls; that is neither
+  // confirmation nor a break of sequentiality.
+  if (leaf == ra_last_leaf_) return;
+  ra_last_leaf_ = leaf;
+  if (leaf == ra_expected_) {
+    ra_window_ = ra_window_ == 0
+                     ? 2
+                     : std::min(ra_window_ * 2, scan_readahead_);
+  } else {
+    ra_window_ = 0;  // pattern broke: collapse the window
+    ra_frontier_ = kInvalidPageId;
+  }
+  ra_expected_ = sibling;
+  if (ra_window_ == 0 || sibling == kInvalidPageId) return;
+  // Leaf ids are allocated in key order for sequentially built trees, so
+  // [sibling, sibling + window) approximates the upcoming leaf chain;
+  // wrong guesses install unused pages and surface as prefetch_wasted.
+  PageId lo = sibling;
+  PageId hi = sibling + ra_window_;
+  if (ra_frontier_ != kInvalidPageId && ra_frontier_ > lo) {
+    // Hysteresis: while at least half a window of issued-but-unvisited
+    // runway remains, do not trickle out single-page prefetches — wait
+    // and issue the next half-window chunk so it batches on the wire.
+    if (ra_frontier_ >= lo + (ra_window_ + 1) / 2) return;
+    lo = ra_frontier_;
+  }
+  if (lo >= hi) return;
+  std::vector<PageId> ids;
+  ids.reserve(hi - lo);
+  for (PageId id = lo; id < hi; id++) ids.push_back(id);
+  pool_->Prefetch(ids);
+  ra_frontier_ = hi;
 }
 
 Status BTree::ApplyAndLog(const LogRecord& rec, PageRef* page) {

@@ -71,6 +71,16 @@ class BTree {
   /// Number of fence-key traversal retries observed (the §4.5 race).
   uint64_t traversal_retries() const { return traversal_retries_; }
 
+  /// Enable sequential-scan readahead: when Scan confirms sequential
+  /// leaf access via sibling pointers, prefetch a window of upcoming
+  /// leaves that ramps 2 → `max_window` and collapses when the access
+  /// pattern breaks. 0 (the default) disables readahead entirely — the
+  /// scan path is then byte-for-byte the old serial behaviour.
+  void set_scan_readahead(uint32_t max_window) {
+    scan_readahead_ = max_window;
+  }
+  uint32_t scan_readahead() const { return scan_readahead_; }
+
   /// Pause before retrying a traversal that hit a future page; gives the
   /// log-apply thread time to catch up (§4.5).
   static constexpr SimTime kRetryPauseUs = 200;
@@ -97,6 +107,14 @@ class BTree {
 
   sim::Task<Status> SplitRoot(TxnId txn);
 
+  // Scan readahead: called once per distinct leaf Scan lands on. Ramps
+  // the prefetch window while consecutive leaves match the predicted
+  // sibling chain, and issues BufferPool::Prefetch for the id range
+  // ahead of the scan cursor (with hysteresis: re-issue only once the
+  // unconsumed runway drops below half a window, so prefetches go out
+  // in half-window chunks that batch well on the wire).
+  void MaybeReadahead(PageId leaf, PageId sibling);
+
   PageId AllocatePage() { return next_page_id_++; }
 
   sim::Simulator& sim_;
@@ -104,6 +122,16 @@ class BTree {
   LogSink* sink_;
   PageId next_page_id_ = kRootPageId + 1;
   uint64_t traversal_retries_ = 0;
+
+  // Readahead state persists across Scan calls so stride-driven scans
+  // (many small Scan calls walking forward) still ramp. Concurrent
+  // interleaved scans merely perturb the heuristic — worst case the
+  // window collapses and re-ramps; correctness is unaffected.
+  uint32_t scan_readahead_ = 0;  // max window in leaves; 0 = off
+  PageId ra_last_leaf_ = kInvalidPageId;
+  PageId ra_expected_ = kInvalidPageId;  // predicted next leaf id
+  PageId ra_frontier_ = kInvalidPageId;  // exclusive end of issued ids
+  uint32_t ra_window_ = 0;
 };
 
 }  // namespace engine

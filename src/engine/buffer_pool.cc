@@ -1,5 +1,6 @@
 #include "engine/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace socrates {
@@ -15,6 +16,12 @@ struct PageRef::Frame {
   // verify, e.g. the Secondary's pending-fetch drain) and is set only by
   // EnsureChecksum; any MarkDirty clears it.
   bool checksum_valid = false;
+  // Cold (probationary) LRU segment membership; prefetched frames start
+  // cold and are promoted to the hot segment on their second demand
+  // touch. `prefetched` is cleared by the first demand touch — a frame
+  // evicted with it still set was speculation that never paid off.
+  bool cold = false;
+  bool prefetched = false;
   std::list<PageId>::iterator lru_it;
 };
 
@@ -67,14 +74,18 @@ void PageRef::EnsureChecksum() {
 BufferPool::BufferPool(sim::Simulator& sim,
                        const BufferPoolOptions& options,
                        PageFetcher* fetcher, uint64_t seed)
-    : sim_(sim), opts_(options), fetcher_(fetcher) {
+    : sim_(sim),
+      opts_(options),
+      fetcher_(fetcher),
+      life_(std::make_shared<LifeToken>()) {
   if (opts_.ssd_pages > 0) {
-    ssd_ = std::make_unique<storage::SimBlockDevice>(
+    ssd_ = std::make_shared<storage::SimBlockDevice>(
         sim, opts_.ssd_profile, seed);
   }
+  if (opts_.spill_batch_pages == 0) opts_.spill_batch_pages = 1;
 }
 
-BufferPool::~BufferPool() = default;
+BufferPool::~BufferPool() { life_->alive = false; }
 
 sim::Task<Result<PageRef>> BufferPool::GetPage(PageId page_id) {
   return GetPageInternal(page_id, /*fetch_on_miss=*/true);
@@ -194,6 +205,10 @@ Result<PageRef> BufferPool::NewPage(PageId page_id) {
 }
 
 void BufferPool::InstallIfAbsent(storage::Page page) {
+  // Hot-front install, unlike Prefetch(): the image already arrived
+  // (piggybacked on a demand GetPageRange), and the range is typically
+  // consumed within the next few accesses — a cold insert would let a
+  // tight pool evict the range right before the scan cursor reaches it.
   PageId page_id = page.page_id();
   if (Contains(page_id) || inflight_.count(page_id) > 0) return;
   auto frame = std::make_unique<Frame>();
@@ -205,11 +220,135 @@ void BufferPool::InstallIfAbsent(storage::Page page) {
   ScheduleEviction();
 }
 
+void BufferPool::InstallCold(storage::Page page, bool dirty) {
+  PageId page_id = page.page_id();
+  auto frame = std::make_unique<Frame>();
+  frame->page_id = page_id;
+  frame->page = std::move(page);
+  frame->dirty = dirty;
+  frame->cold = true;
+  frame->prefetched = true;
+  mem_cold_.push_front(page_id);
+  frame->lru_it = mem_cold_.begin();
+  frames_.emplace(page_id, std::move(frame));
+}
+
+void BufferPool::Prefetch(const std::vector<PageId>& pages) {
+  for (PageId id : pages) {
+    if (id == kInvalidPageId) continue;
+    if (frames_.count(id) > 0 || inflight_.count(id) > 0) continue;
+    if (ssd_meta_.count(id) == 0 && fetcher_ == nullptr) continue;
+    stats_.prefetch_issued++;
+    // Register the in-flight barrier synchronously: later ids in this
+    // call and concurrent demand fetches dedup against it immediately.
+    auto barrier = std::make_shared<sim::Event>(sim_);
+    inflight_.emplace(id, barrier);
+    sim::Spawn(sim_,
+               PrefetchOne(id, std::move(barrier), life_, life_->epoch,
+                           ssd_));
+  }
+}
+
+sim::Task<> BufferPool::PrefetchOne(PageId page_id,
+                                    std::shared_ptr<sim::Event> barrier,
+                                    LifePtr life, uint64_t epoch,
+                                    SsdPtr ssd) {
+  auto meta = ssd_meta_.find(page_id);
+  if (meta != ssd_meta_.end() && ssd != nullptr) {
+    // SSD promotion, installed cold without a pin.
+    meta->second.readers++;
+    uint64_t slot = meta->second.slot;
+    std::string image;
+    Status s = co_await ssd->Read(slot * kPageSize, kPageSize, &image);
+    if (!life->alive) {
+      barrier->Set();
+      co_return;
+    }
+    auto m2 = ssd_meta_.find(page_id);
+    if (m2 != ssd_meta_.end() && m2->second.slot == slot) {
+      m2->second.readers--;
+    }
+    if (life->epoch == epoch && s.ok()) {
+      storage::Page page;
+      if (page.FromSlice(Slice(image)).ok() &&
+          page.VerifyChecksum().ok() && page.page_id() == page_id &&
+          frames_.count(page_id) == 0) {
+        bool dirty =
+            m2 != ssd_meta_.end() ? m2->second.dirty : false;
+        TouchSsd(page_id);
+        InstallCold(std::move(page), dirty);
+      }
+    }
+  } else if (fetcher_ != nullptr) {
+    Result<storage::Page> fetched = co_await fetcher_->FetchPage(page_id);
+    if (!life->alive) {
+      barrier->Set();
+      co_return;
+    }
+    if (life->epoch == epoch && fetched.ok() &&
+        frames_.count(page_id) == 0) {
+      InstallCold(std::move(fetched).value(), /*dirty=*/false);
+    }
+  }
+  if (life->alive && life->epoch == epoch) {
+    auto inf = inflight_.find(page_id);
+    if (inf != inflight_.end() && inf->second == barrier) {
+      inflight_.erase(inf);
+    }
+    ScheduleEviction();
+  }
+  barrier->Set();
+}
+
+void BufferPool::StartWarmup(size_t max_pages) {
+  if (ssd_ == nullptr || ssd_meta_.empty()) {
+    warmup_done_ = true;
+    return;
+  }
+  if (max_pages == 0) max_pages = opts_.mem_pages;
+  max_pages = std::min(max_pages, opts_.mem_pages);
+  // Snapshot the MRU prefix now; the order reflects pre-crash heat.
+  std::vector<PageId> ids;
+  ids.reserve(std::min(max_pages, ssd_lru_.size()));
+  for (PageId id : ssd_lru_) {
+    if (ids.size() >= max_pages) break;
+    ids.push_back(id);
+  }
+  warmup_done_ = false;
+  warmup_promoted_ = 0;
+  sim::Spawn(sim_, WarmupTask(std::move(ids), life_, life_->epoch));
+}
+
+sim::Task<> BufferPool::WarmupTask(std::vector<PageId> ids, LifePtr life,
+                                   uint64_t epoch) {
+  // Promote in small windows so warmup shares the SSD with demand
+  // traffic instead of monopolizing it.
+  constexpr size_t kWindow = 16;
+  for (size_t i = 0; i < ids.size(); i += kWindow) {
+    if (!life->alive || life->epoch != epoch) co_return;
+    if (frames_.size() + kWindow > opts_.mem_pages) break;
+    size_t end = std::min(i + kWindow, ids.size());
+    std::vector<PageId> win(ids.begin() + i, ids.begin() + end);
+    Prefetch(win);
+    for (PageId id : win) {
+      auto it = inflight_.find(id);
+      if (it == inflight_.end()) continue;
+      auto event = it->second;
+      co_await event->Wait();
+      if (!life->alive || life->epoch != epoch) co_return;
+    }
+    for (PageId id : win) {
+      if (frames_.count(id) > 0) warmup_promoted_++;
+    }
+  }
+  warmup_done_ = true;
+}
+
 void BufferPool::Purge(PageId page_id) {
   auto it = frames_.find(page_id);
   if (it != frames_.end()) {
     assert(it->second->pins == 0);
-    mem_lru_.erase(it->second->lru_it);
+    (it->second->cold ? mem_cold_ : mem_lru_).erase(it->second->lru_it);
     frames_.erase(it);
   }
   auto meta = ssd_meta_.find(page_id);
@@ -252,7 +391,14 @@ void BufferPool::Crash() {
   }
   frames_.clear();
   mem_lru_.clear();
+  mem_cold_.clear();
   inflight_.clear();
+  // Fence detached background tasks (eviction spills, prefetches,
+  // warmup): they observe the epoch change at their next suspension
+  // point and stop touching pool state.
+  life_->epoch++;
+  evicting_ = false;
+  warmup_done_ = true;
   // Sweep zombies from previous crashes that have since been released.
   std::erase_if(zombies_,
                 [](const std::unique_ptr<Frame>& f) { return f->pins == 0; });
@@ -314,50 +460,93 @@ sim::Task<Result<PageRef>> BufferPool::InstallAndPin(PageId page_id,
 void BufferPool::ScheduleEviction() {
   if (evicting_ || frames_.size() <= opts_.mem_pages) return;
   evicting_ = true;
-  sim::Spawn(sim_, [](BufferPool* pool) -> sim::Task<> {
-    co_await pool->MaybeEvictMem();
-    pool->evicting_ = false;
-  }(this));
+  sim::Spawn(sim_, EvictionLoop(life_, life_->epoch, ssd_));
 }
 
-sim::Task<> BufferPool::MaybeEvictMem() {
-  while (frames_.size() > opts_.mem_pages) {
-    // Scan from the LRU tail for an unpinned victim.
-    PageId victim = kInvalidPageId;
-    for (auto rit = mem_lru_.rbegin(); rit != mem_lru_.rend(); ++rit) {
-      auto fit = frames_.find(*rit);
-      if (fit != frames_.end() && fit->second->pins == 0) {
-        victim = *rit;
-        break;
+auto BufferPool::CollectVictims(size_t want)
+    -> std::vector<std::unique_ptr<Frame>> {
+  std::vector<std::unique_ptr<Frame>> out;
+  for (std::list<PageId>* seg : {&mem_cold_, &mem_lru_}) {
+    // Each tail element is examined at most once per pass: extracted as
+    // a victim, or rotated to the segment front if pinned.
+    size_t scanned = 0;
+    const size_t limit = seg->size();
+    while (out.size() < want && scanned < limit && !seg->empty()) {
+      scanned++;
+      PageId id = seg->back();
+      auto fit = frames_.find(id);
+      assert(fit != frames_.end());
+      Frame* f = fit->second.get();
+      if (f->pins > 0) {
+        seg->splice(seg->begin(), *seg, std::prev(seg->end()));
+        continue;
       }
+      seg->pop_back();
+      out.push_back(std::move(fit->second));
+      frames_.erase(fit);
     }
-    if (victim == kInvalidPageId) co_return;  // everything pinned: overflow
-    auto fit = frames_.find(victim);
-    std::unique_ptr<Frame> frame = std::move(fit->second);
-    mem_lru_.erase(frame->lru_it);
-    frames_.erase(fit);
-    stats_.mem_evictions++;
-    if (ssd_ != nullptr) {
-      // Block readers of this page until the spill lands: otherwise a
-      // concurrent GetPage would promote the *previous* (stale) SSD
-      // image while the fresh one is still in flight — lost updates.
-      auto event = std::make_shared<sim::Event>(sim_);
-      inflight_.emplace(victim, event);
-      co_await SpillToSsd(victim, frame->page);
-      if (frame->dirty) {
-        auto meta = ssd_meta_.find(victim);
-        if (meta != ssd_meta_.end()) meta->second.dirty = true;
+    if (out.size() >= want) break;
+  }
+  return out;
+}
+
+sim::Task<> BufferPool::EvictionLoop(LifePtr life, uint64_t epoch,
+                                     SsdPtr ssd) {
+  while (life->alive && life->epoch == epoch &&
+         frames_.size() > opts_.mem_pages) {
+    size_t want = std::min(opts_.spill_batch_pages,
+                           frames_.size() - opts_.mem_pages);
+    std::vector<std::unique_ptr<Frame>> victims = CollectVictims(want);
+    if (victims.empty()) break;  // everything pinned: transient overflow
+    stats_.mem_evictions += victims.size();
+    for (const auto& f : victims) {
+      if (f->prefetched) stats_.prefetch_wasted++;
+    }
+    if (ssd == nullptr) {
+      for (const auto& f : victims) {
+        ReportEviction(f->page_id, f->page.page_lsn());
       }
-      inflight_.erase(victim);
-      event->Set();
-    } else {
-      ReportEviction(victim, frame->page.page_lsn());
+      continue;
+    }
+    if (victims.size() > 1) stats_.spill_batches++;
+    // Block readers of each victim until its spill lands: otherwise a
+    // concurrent GetPage would promote the *previous* (stale) SSD image
+    // while the fresh one is still in flight — lost updates. The writes
+    // themselves overlap across the batch.
+    std::vector<sim::Task<>> spills;
+    spills.reserve(victims.size());
+    for (auto& f : victims) {
+      auto barrier = std::make_shared<sim::Event>(sim_);
+      inflight_.emplace(f->page_id, barrier);
+      spills.push_back(
+          SpillOne(std::move(f), std::move(barrier), life, epoch, ssd));
+    }
+    co_await sim::Gather(sim_, std::move(spills));
+  }
+  if (life->alive && life->epoch == epoch) evicting_ = false;
+}
+
+sim::Task<> BufferPool::SpillOne(std::unique_ptr<Frame> frame,
+                                 std::shared_ptr<sim::Event> barrier,
+                                 LifePtr life, uint64_t epoch, SsdPtr ssd) {
+  PageId page_id = frame->page_id;
+  co_await SpillToSsd(page_id, frame->page, life, ssd);
+  if (life->alive && life->epoch == epoch) {
+    if (frame->dirty) {
+      auto meta = ssd_meta_.find(page_id);
+      if (meta != ssd_meta_.end()) meta->second.dirty = true;
+    }
+    auto inf = inflight_.find(page_id);
+    if (inf != inflight_.end() && inf->second == barrier) {
+      inflight_.erase(inf);
     }
   }
+  barrier->Set();
 }
 
 sim::Task<> BufferPool::SpillToSsd(PageId page_id,
-                                   const storage::Page& page) {
+                                   const storage::Page& page, LifePtr life,
+                                   SsdPtr ssd) {
   uint64_t slot;
   auto meta = ssd_meta_.find(page_id);
   if (meta != ssd_meta_.end()) {
@@ -372,37 +561,30 @@ sim::Task<> BufferPool::SpillToSsd(PageId page_id,
     } else {
       // SSD tier full: evict its LRU page — that page now leaves the
       // node entirely, so report it for the evicted-LSN map. Skip
-      // entries with in-flight promotion reads (their slot is pinned).
+      // entries with in-flight promotion reads or spill writes (their
+      // slot is pinned; recycling it mid-I/O would corrupt the image).
       PageId ssd_victim = kInvalidPageId;
       for (auto rit = ssd_lru_.rbegin(); rit != ssd_lru_.rend(); ++rit) {
         auto cand = ssd_meta_.find(*rit);
-        if (cand != ssd_meta_.end() && cand->second.readers == 0) {
+        if (cand != ssd_meta_.end() && cand->second.readers == 0 &&
+            cand->second.writers == 0) {
           ssd_victim = *rit;
           break;
         }
       }
       if (ssd_victim == kInvalidPageId) {
-        // Every SSD entry is being read: allow transient overflow by
-        // growing into a fresh slot.
+        // Every SSD entry is being read or written: allow transient
+        // overflow by growing into a fresh slot.
         slot = ssd_next_slot_++;
-        ssd_lru_.push_front(page_id);
-        SsdMeta m;
-        m.slot = slot;
-        m.page_lsn = page.page_lsn();
-        m.lru_it = ssd_lru_.begin();
-        ssd_meta_.emplace(page_id, m);
-        storage::Page copy0 = page;
-        copy0.UpdateChecksum();
-        co_await ssd_->Write(slot * kPageSize, copy0.AsSlice());
-        co_return;
+      } else {
+        auto vmeta = ssd_meta_.find(ssd_victim);
+        slot = vmeta->second.slot;
+        Lsn vlsn = vmeta->second.page_lsn;
+        ssd_lru_.erase(vmeta->second.lru_it);
+        ssd_meta_.erase(vmeta);
+        stats_.ssd_evictions++;
+        ReportEviction(ssd_victim, vlsn);
       }
-      auto vmeta = ssd_meta_.find(ssd_victim);
-      slot = vmeta->second.slot;
-      Lsn vlsn = vmeta->second.page_lsn;
-      ssd_lru_.erase(vmeta->second.lru_it);
-      ssd_meta_.erase(vmeta);
-      stats_.ssd_evictions++;
-      ReportEviction(ssd_victim, vlsn);
     }
     ssd_lru_.push_front(page_id);
     SsdMeta m;
@@ -411,14 +593,44 @@ sim::Task<> BufferPool::SpillToSsd(PageId page_id,
     m.lru_it = ssd_lru_.begin();
     ssd_meta_.emplace(page_id, m);
   }
+  // Pin the slot for the duration of the write so concurrent batched
+  // spills cannot recycle it out from under this I/O.
   ssd_meta_[page_id].page_lsn = page.page_lsn();
+  ssd_meta_[page_id].writers++;
   storage::Page copy = page;
   copy.UpdateChecksum();
-  co_await ssd_->Write(slot * kPageSize, copy.AsSlice());
+  co_await ssd->Write(slot * kPageSize, copy.AsSlice());
+  // The SSD index survives Crash() (RBPEX), so release the slot pin as
+  // long as the pool object itself is alive — even across an epoch bump.
+  if (life->alive) {
+    auto m2 = ssd_meta_.find(page_id);
+    if (m2 != ssd_meta_.end() && m2->second.slot == slot) {
+      m2->second.writers--;
+    }
+  }
 }
 
 void BufferPool::TouchMem(Frame* f) {
-  mem_lru_.erase(f->lru_it);
+  if (!f->cold) {
+    mem_lru_.erase(f->lru_it);
+    mem_lru_.push_front(f->page_id);
+    f->lru_it = mem_lru_.begin();
+    return;
+  }
+  if (f->prefetched) {
+    // First demand touch of a prefetched frame: the speculation paid
+    // off, but the frame stays probationary so a one-pass scan stream
+    // can only displace itself, never the hot set.
+    f->prefetched = false;
+    stats_.prefetch_hits++;
+    mem_cold_.erase(f->lru_it);
+    mem_cold_.push_front(f->page_id);
+    f->lru_it = mem_cold_.begin();
+    return;
+  }
+  // Second demand touch: genuine reuse, promote to the hot segment.
+  mem_cold_.erase(f->lru_it);
+  f->cold = false;
   mem_lru_.push_front(f->page_id);
   f->lru_it = mem_lru_.begin();
 }

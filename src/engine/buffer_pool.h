@@ -19,6 +19,11 @@
 //    failures, which is the point of §3.3.
 //  * misses go to a PageFetcher (the owner's GetPage@LSN client); in-
 //    flight fetches are deduplicated.
+//  * prefetch pipeline: Prefetch() issues fire-and-forget fetches that
+//    install into a probationary *cold* LRU segment, so scan readahead
+//    can never flush the hot working set; StartWarmup() promotes the
+//    recovered SSD tier's MRU prefix back into memory after a failover
+//    (§3.3's warm-cache-survives-restart claim, made operational).
 
 #pragma once
 
@@ -55,6 +60,9 @@ struct BufferPoolOptions {
   size_t ssd_pages = 0;  // 0 disables the SSD tier
   bool ssd_recoverable = true;  // RBPEX; false = plain BPE lost on crash
   sim::DeviceProfile ssd_profile = sim::DeviceProfile::LocalSsd();
+  // Max victims spilled per eviction pass; their SSD writes overlap.
+  // 1 reproduces the old one-victim-at-a-time drain.
+  size_t spill_batch_pages = 8;
 };
 
 struct BufferPoolStats {
@@ -71,6 +79,17 @@ struct BufferPoolStats {
   // last checksum) vs skips (frame still clean — the CRC pass avoided).
   uint64_t checksum_recomputes = 0;
   uint64_t checksum_skips = 0;
+  // Prefetch pipeline. `issued` counts speculative loads started (and
+  // range-readahead installs); `hits` counts the first demand access that
+  // found a prefetched frame; `wasted` counts prefetched frames evicted
+  // before any demand access touched them. Prefetch promotions do NOT
+  // count toward mem_hits/ssd_hits/misses — those track demand accesses.
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_wasted = 0;
+  // Eviction passes that spilled more than one victim with overlapped
+  // SSD writes.
+  uint64_t spill_batches = 0;
 
   uint64_t accesses() const { return mem_hits + ssd_hits + misses; }
   /// Local hit rate (memory + SSD), over all page accesses.
@@ -153,12 +172,30 @@ class BufferPool {
   /// otherwise.
   void InstallIfAbsent(storage::Page page);
 
+  /// Fire-and-forget readahead: start loading each page that is not
+  /// already resident or in flight (SSD promotion or remote fetch),
+  /// installing it unpinned into the *cold* LRU segment. Demand fetches
+  /// of the same page dedup against these via the in-flight map, and
+  /// concurrent remote prefetches coalesce into RBIO batch frames
+  /// downstream. Failures are dropped — prefetch is best-effort.
+  void Prefetch(const std::vector<PageId>& pages);
+
+  /// Background warm-cache promotion (§3.3): walk the SSD tier's MRU
+  /// prefix and promote up to `max_pages` (0 = mem capacity) into memory
+  /// via the prefetch machinery, in small windows so demand traffic is
+  /// not starved. Stops early if memory fills with demand-loaded pages.
+  void StartWarmup(size_t max_pages = 0);
+  bool warmup_done() const { return warmup_done_; }
+  uint64_t warmup_promoted() const { return warmup_promoted_; }
+
   /// Drop a page from all tiers without reporting an eviction (PITR /
   /// partition reassignment housekeeping).
   void Purge(PageId page_id);
 
   /// True if present in memory or the SSD tier.
   bool Contains(PageId page_id) const;
+  /// True if resident in the memory tier (either LRU segment).
+  bool InMemory(PageId page_id) const { return frames_.count(page_id) > 0; }
 
   /// Page ids of all dirty frames (memory tier). Checkpointing clears
   /// dirty bits via ClearDirty once the page is safely in XStore.
@@ -166,7 +203,10 @@ class BufferPool {
   void ClearDirty(PageId page_id);
 
   /// Simulate a process/VM crash: the memory tier is lost. If the SSD
-  /// tier is not recoverable, its index is lost too (plain BPE).
+  /// tier is not recoverable, its index is lost too (plain BPE). In-
+  /// flight background tasks (eviction spills, prefetches, warmup) are
+  /// fenced by an epoch bump: they complete their device I/O but stop
+  /// touching pool state.
   void Crash();
 
   /// RBPEX recovery: scan SSD slots, verify checksums, rebuild the index.
@@ -177,11 +217,24 @@ class BufferPool {
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats(); }
   size_t mem_resident() const { return frames_.size(); }
+  size_t mem_cold_resident() const { return mem_cold_.size(); }
   size_t ssd_resident() const { return ssd_meta_.size(); }
 
  private:
   friend class PageRef;
   using Frame = PageRef::Frame;
+
+  // Detached background tasks (eviction, prefetch, warmup) hold this
+  // token instead of trusting a raw BufferPool*: destruction clears
+  // `alive`, Crash() bumps `epoch`, and every task re-checks after each
+  // suspension point before touching pool state. The SSD device is held
+  // by shared_ptr so a spill suspended in a Write outlives the pool.
+  struct LifeToken {
+    bool alive = true;
+    uint64_t epoch = 0;
+  };
+  using LifePtr = std::shared_ptr<LifeToken>;
+  using SsdPtr = std::shared_ptr<storage::SimBlockDevice>;
 
   sim::Task<Result<PageRef>> GetPageInternal(PageId page_id,
                                              bool fetch_on_miss);
@@ -190,14 +243,39 @@ class BufferPool {
   sim::Task<Result<PageRef>> InstallAndPin(PageId page_id,
                                            storage::Page page, bool dirty);
 
+  // Install an unpinned frame into the cold LRU segment (prefetch path).
+  void InstallCold(storage::Page page, bool dirty);
+
   // Kick the background evictor if the memory tier is over capacity.
   void ScheduleEviction();
 
-  // Evict memory-tier frames until within capacity.
-  sim::Task<> MaybeEvictMem();
+  // Background drain: evict victim batches until within capacity.
+  sim::Task<> EvictionLoop(LifePtr life, uint64_t epoch, SsdPtr ssd);
+
+  // Pop up to `want` unpinned frames off the LRU tails (cold segment
+  // first). Pinned frames encountered rotate to the segment front —
+  // pinned means in active use — which keeps the tail unpinned-dense so
+  // repeated passes never re-walk a pinned prefix (the old reverse scan
+  // was O(tail) per victim under a pinned-heavy pool).
+  std::vector<std::unique_ptr<Frame>> CollectVictims(size_t want);
+
+  // Spill one evicted frame to SSD under its in-flight barrier.
+  sim::Task<> SpillOne(std::unique_ptr<Frame> frame,
+                       std::shared_ptr<sim::Event> barrier, LifePtr life,
+                       uint64_t epoch, SsdPtr ssd);
 
   // Write a page image into the SSD tier (allocating / recycling slots).
-  sim::Task<> SpillToSsd(PageId page_id, const storage::Page& page);
+  sim::Task<> SpillToSsd(PageId page_id, const storage::Page& page,
+                         LifePtr life, SsdPtr ssd);
+
+  // Load one prefetched page (SSD promotion or remote fetch) and install
+  // it cold; `barrier` is this page's in-flight event.
+  sim::Task<> PrefetchOne(PageId page_id,
+                          std::shared_ptr<sim::Event> barrier, LifePtr life,
+                          uint64_t epoch, SsdPtr ssd);
+
+  sim::Task<> WarmupTask(std::vector<PageId> ids, LifePtr life,
+                         uint64_t epoch);
 
   void TouchMem(Frame* f);
   void TouchSsd(PageId page_id);
@@ -208,6 +286,7 @@ class BufferPool {
     Lsn page_lsn = kInvalidLsn;
     bool dirty = false;  // dirty when evicted from memory, not yet checkpointed
     int readers = 0;  // in-flight promotion reads pin the slot
+    int writers = 0;  // in-flight spill writes pin the slot
     std::list<PageId>::iterator lru_it;
   };
 
@@ -219,9 +298,14 @@ class BufferPool {
   std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
   // Pinned frames orphaned by Crash(); freed once their pins drop.
   std::vector<std::unique_ptr<Frame>> zombies_;
-  std::list<PageId> mem_lru_;  // front = most recent
+  // Two-segment LRU: demand-loaded frames live in the hot segment;
+  // prefetched frames start in the cold segment and are promoted only on
+  // their second demand touch. Eviction drains the cold tail first, so a
+  // scan's readahead stream can only displace itself, never the hot set.
+  std::list<PageId> mem_lru_;   // hot segment, front = most recent
+  std::list<PageId> mem_cold_;  // cold (probationary) segment
 
-  std::unique_ptr<storage::SimBlockDevice> ssd_;
+  SsdPtr ssd_;
   std::unordered_map<PageId, SsdMeta> ssd_meta_;
   std::list<PageId> ssd_lru_;
   std::vector<uint64_t> ssd_free_slots_;
@@ -230,7 +314,10 @@ class BufferPool {
   // In-flight fetch deduplication.
   std::unordered_map<PageId, std::shared_ptr<sim::Event>> inflight_;
   bool evicting_ = false;
+  bool warmup_done_ = true;
+  uint64_t warmup_promoted_ = 0;
 
+  LifePtr life_;
   BufferPoolStats stats_;
 };
 

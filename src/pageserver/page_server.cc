@@ -27,6 +27,17 @@ class PageServer::XStoreFetcher : public engine::PageFetcher {
     uint64_t offset =
         (page_id - ps_->opts_.partition_map.FirstPage(ps_->opts_.partition)) *
         kPageSize;
+    // Fail fast past the checkpointed extent: the read would spend a
+    // full XStore round trip to return zeros (= never checkpointed).
+    // Scan readahead overshooting the end of a table hits this on every
+    // window, and a batch frame serializes those misses server-side.
+    if (!ps_->xstore_->Exists(ps_->data_blob_)) {
+      co_return Result<storage::Page>(Status::NotFound("no blob yet"));
+    }
+    if (offset + kPageSize > ps_->xstore_->BlobSize(ps_->data_blob_)) {
+      co_return Result<storage::Page>(
+          Status::NotFound("page never checkpointed"));
+    }
     std::string image;
     Status s = co_await ps_->xstore_->Read(ps_->data_blob_, offset,
                                            kPageSize, &image);
@@ -360,6 +371,14 @@ sim::Task<Result<std::vector<storage::Page>>> PageServer::GetPageRangeAtLsn(
   std::vector<storage::Page> pages;
   pages.reserve(count);
   PageId end = first_page + count;
+  // Overlap the SSD promotions: start the whole range loading before the
+  // serial collection loop below pins page by page.
+  std::vector<PageId> range_ids;
+  range_ids.reserve(count);
+  for (PageId id = first_page; id < end; id++) {
+    if (InPartition(id)) range_ids.push_back(id);
+  }
+  pool_->Prefetch(range_ids);
   for (PageId id = first_page; id < end; id++) {
     if (!InPartition(id)) continue;
     Result<engine::PageRef> ref = co_await pool_->GetPage(id);
@@ -542,9 +561,20 @@ sim::Task<> PageServer::SeedLoop(uint64_t epoch) {
   // GetPage@LSN and applies log the whole time (§4.6).
   PageId first = opts_.partition_map.FirstPage(opts_.partition);
   PageId end = opts_.partition_map.EndPage(opts_.partition);
+  constexpr PageId kSeedWindow = 32;
   for (PageId id = first; id < end && Live(epoch); id++) {
+    // Issue a window of prefetches ahead of the serial walk so the
+    // XStore fetches overlap instead of paying one RTT per page.
+    if ((id - first) % kSeedWindow == 0) {
+      std::vector<PageId> window;
+      for (PageId p = id; p < std::min(id + kSeedWindow, end); p++) {
+        if (!pool_->Contains(p)) window.push_back(p);
+      }
+      pool_->Prefetch(window);
+    }
     if (!pool_->Contains(id)) {
       Result<engine::PageRef> r = co_await pool_->GetPage(id);
+      if (!Live(epoch)) co_return;
       if (r.ok()) seeded_pages_++;
       // NotFound = page does not exist yet; fine.
     } else {

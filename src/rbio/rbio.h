@@ -207,6 +207,20 @@ class RbioClient {
   /// Sub-requests per batch frame.
   const Histogram& batch_occupancy() const { return batch_occupancy_; }
 
+  /// Zero all request/batching counters and the occupancy histogram so a
+  /// bench can measure per-phase deltas on a live client. Does not touch
+  /// connection state, EWMA latencies, or queued requests.
+  void ResetStats() {
+    requests_ = 0;
+    retries_ = 0;
+    batches_sent_ = 0;
+    batched_pages_ = 0;
+    singles_sent_ = 0;
+    batch_fallbacks_ = 0;
+    batch_dedup_hits_ = 0;
+    batch_occupancy_.Clear();
+  }
+
   /// Observed EWMA latency for an endpoint (0 if never used).
   double EwmaLatencyUs(const std::string& endpoint_name) const;
 

@@ -629,6 +629,9 @@ TEST(RbioEndToEndTest, ReadaheadCutsRoundTrips) {
     o.compute.mem_pages = 8;
     o.compute.ssd_pages = 0;  // no RBPEX: rely on remote fetches
     o.compute.readahead_pages = readahead;
+    // Isolate the GetPageRange effect: B+-tree scan readahead would cut
+    // the readahead=0 baseline's round trips on its own.
+    o.compute.scan_readahead = 0;
     service::Deployment d(s, o);
     uint64_t requests = 0;
     bool done = false;
