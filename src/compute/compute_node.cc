@@ -22,6 +22,15 @@ class ComputeNode::RemoteFetcher : public engine::PageFetcher {
   explicit RemoteFetcher(ComputeNode* node) : node_(node) {}
 
   sim::Task<Result<storage::Page>> FetchPage(PageId page_id) override {
+    const SimTime start = node_->sim_.now();
+    Result<storage::Page> page = co_await FetchPageInner(page_id);
+    node_->remote_fetch_us_.Add(
+        static_cast<double>(node_->sim_.now() - start));
+    co_return page;
+  }
+
+ private:
+  sim::Task<Result<storage::Page>> FetchPageInner(PageId page_id) {
     std::vector<rbio::Endpoint> endpoints =
         node_->router_->EndpointsFor(page_id);
     if (endpoints.empty()) {
@@ -94,7 +103,6 @@ class ComputeNode::RemoteFetcher : public engine::PageFetcher {
     co_return page;
   }
 
- private:
   ComputeNode* node_;
 };
 

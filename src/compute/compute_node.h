@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -212,6 +213,10 @@ class ComputeNode {
   engine::RedoApplier* applier() { return applier_.get(); }
   Lsn applied_lsn() const { return applier_->applied_lsn().value(); }
   uint64_t remote_fetches() const { return remote_fetches_; }
+  /// End-to-end GetPage@LSN latency seen by this node, including any
+  /// WaitApplied stall on the serving Page Server — the foreground
+  /// metric checkpoint pacing protects.
+  const Histogram& remote_fetch_us() const { return remote_fetch_us_; }
   rbio::RbioClient& rbio_client() { return *rbio_; }
   uint64_t pipelined_pull_hits() const { return pipelined_pull_hits_; }
   SimTime pull_wait_us() const { return pull_wait_us_; }
@@ -248,6 +253,7 @@ class ComputeNode {
   // a restart/promotion (the evicted-LSN map did not survive).
   Lsn recovery_floor_ = kInvalidLsn;
   uint64_t remote_fetches_ = 0;
+  Histogram remote_fetch_us_;
 };
 
 }  // namespace compute

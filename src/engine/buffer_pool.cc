@@ -11,6 +11,9 @@ struct PageRef::Frame {
   storage::Page page;
   int pins = 0;
   bool dirty = false;
+  // Capture generation of the most recent MarkDirty (checkpoint
+  // lost-update guard; see BufferPool::DirtyGen).
+  uint64_t dirty_gen = 0;
   // True while the in-frame checksum matches the payload. Starts false
   // (installed images may be legitimately mutated after the client-side
   // verify, e.g. the Secondary's pending-fetch drain) and is set only by
@@ -58,6 +61,8 @@ storage::Page* PageRef::page() const { return &frame_->page; }
 
 void PageRef::MarkDirty() {
   frame_->dirty = true;
+  frame_->dirty_gen = ++pool_->dirty_gen_counter_;
+  pool_->dirty_index_.insert(frame_->page_id);
   frame_->checksum_valid = false;
 }
 
@@ -154,11 +159,17 @@ sim::Task<Result<PageRef>> BufferPool::GetPageInternal(PageId page_id,
       TouchSsd(page_id);
       // Keep the SSD copy (inclusive tiers); a newer image is spilled on
       // the next memory eviction. The promoted frame keeps its dirty
-      // state if a checkpoint has not persisted it yet.
+      // state (and capture generation) if a checkpoint has not persisted
+      // it yet.
       bool dirty = false;
+      uint64_t gen = 0;
       auto m2 = ssd_meta_.find(page_id);
-      if (m2 != ssd_meta_.end()) dirty = m2->second.dirty;
-      co_return co_await InstallAndPin(page_id, std::move(page), dirty);
+      if (m2 != ssd_meta_.end()) {
+        dirty = m2->second.dirty;
+        gen = m2->second.dirty_gen;
+      }
+      co_return co_await InstallAndPin(page_id, std::move(page), dirty,
+                                       gen);
     }
 
     if (!fetch_on_miss) {
@@ -184,7 +195,7 @@ sim::Task<Result<PageRef>> BufferPool::GetPageInternal(PageId page_id,
       stats_.leaf_misses++;
     }
     co_return co_await InstallAndPin(page_id, std::move(fetched).value(),
-                                     /*dirty=*/false);
+                                     /*dirty=*/false, /*dirty_gen=*/0);
   }
 }
 
@@ -220,14 +231,17 @@ void BufferPool::InstallIfAbsent(storage::Page page) {
   ScheduleEviction();
 }
 
-void BufferPool::InstallCold(storage::Page page, bool dirty) {
+void BufferPool::InstallCold(storage::Page page, bool dirty,
+                             uint64_t dirty_gen) {
   PageId page_id = page.page_id();
   auto frame = std::make_unique<Frame>();
   frame->page_id = page_id;
   frame->page = std::move(page);
   frame->dirty = dirty;
+  frame->dirty_gen = dirty_gen;
   frame->cold = true;
   frame->prefetched = true;
+  if (dirty) dirty_index_.insert(page_id);
   mem_cold_.push_front(page_id);
   frame->lru_it = mem_cold_.begin();
   frames_.emplace(page_id, std::move(frame));
@@ -273,10 +287,10 @@ sim::Task<> BufferPool::PrefetchOne(PageId page_id,
       if (page.FromSlice(Slice(image)).ok() &&
           page.VerifyChecksum().ok() && page.page_id() == page_id &&
           frames_.count(page_id) == 0) {
-        bool dirty =
-            m2 != ssd_meta_.end() ? m2->second.dirty : false;
+        bool dirty = m2 != ssd_meta_.end() ? m2->second.dirty : false;
+        uint64_t gen = m2 != ssd_meta_.end() ? m2->second.dirty_gen : 0;
         TouchSsd(page_id);
-        InstallCold(std::move(page), dirty);
+        InstallCold(std::move(page), dirty, gen);
       }
     }
   } else if (fetcher_ != nullptr) {
@@ -287,7 +301,8 @@ sim::Task<> BufferPool::PrefetchOne(PageId page_id,
     }
     if (life->epoch == epoch && fetched.ok() &&
         frames_.count(page_id) == 0) {
-      InstallCold(std::move(fetched).value(), /*dirty=*/false);
+      InstallCold(std::move(fetched).value(), /*dirty=*/false,
+                  /*dirty_gen=*/0);
     }
   }
   if (life->alive && life->epoch == epoch) {
@@ -357,6 +372,7 @@ void BufferPool::Purge(PageId page_id) {
     ssd_free_slots_.push_back(meta->second.slot);
     ssd_meta_.erase(meta);
   }
+  dirty_index_.erase(page_id);
 }
 
 bool BufferPool::Contains(PageId page_id) const {
@@ -364,6 +380,33 @@ bool BufferPool::Contains(PageId page_id) const {
 }
 
 std::vector<PageId> BufferPool::DirtyPages() const {
+  // Walk the maintained index (O(dirty set)) instead of every resident
+  // frame. Entries that turned out clean are pruned lazily — except
+  // pages with an in-flight barrier (a dirty frame mid-spill is in
+  // neither tier yet; its entry must survive until the spill lands and
+  // re-marks the SSD image dirty).
+  std::vector<PageId> out;
+  out.reserve(dirty_index_.size());
+  std::vector<PageId> prune;
+  for (PageId id : dirty_index_) {
+    auto fit = frames_.find(id);
+    bool frame_dirty = fit != frames_.end() && fit->second->dirty;
+    auto mit = ssd_meta_.find(id);
+    bool meta_dirty = mit != ssd_meta_.end() && mit->second.dirty;
+    if (frame_dirty || (meta_dirty && fit == frames_.end())) {
+      out.push_back(id);
+      continue;
+    }
+    // A resident-but-clean frame over a dirty SSD image stays tracked
+    // (not reported — the memory image is the newer truth — but the
+    // dirtiness re-surfaces if the clean frame is evicted first).
+    if (!meta_dirty && inflight_.count(id) == 0) prune.push_back(id);
+  }
+  for (PageId id : prune) dirty_index_.erase(id);
+  return out;
+}
+
+std::vector<PageId> BufferPool::DirtyPagesByScan() const {
   std::vector<PageId> out;
   for (const auto& [id, f] : frames_) {
     if (f->dirty) out.push_back(id);
@@ -374,11 +417,40 @@ std::vector<PageId> BufferPool::DirtyPages() const {
   return out;
 }
 
+uint64_t BufferPool::DirtyGen(PageId page_id) const {
+  uint64_t gen = 0;
+  auto fit = frames_.find(page_id);
+  if (fit != frames_.end() && fit->second->dirty) {
+    gen = std::max(gen, fit->second->dirty_gen);
+  }
+  auto mit = ssd_meta_.find(page_id);
+  if (mit != ssd_meta_.end() && mit->second.dirty) {
+    gen = std::max(gen, mit->second.dirty_gen);
+  }
+  return gen;
+}
+
 void BufferPool::ClearDirty(PageId page_id) {
-  auto it = frames_.find(page_id);
-  if (it != frames_.end()) it->second->dirty = false;
-  auto meta = ssd_meta_.find(page_id);
-  if (meta != ssd_meta_.end()) meta->second.dirty = false;
+  ClearDirtyIfUnchanged(page_id, UINT64_MAX);
+}
+
+void BufferPool::ClearDirtyIfUnchanged(PageId page_id,
+                                       uint64_t capture_gen) {
+  auto fit = frames_.find(page_id);
+  if (fit != frames_.end() && fit->second->dirty &&
+      fit->second->dirty_gen <= capture_gen) {
+    fit->second->dirty = false;
+  }
+  auto mit = ssd_meta_.find(page_id);
+  if (mit != ssd_meta_.end() && mit->second.dirty &&
+      mit->second.dirty_gen <= capture_gen) {
+    mit->second.dirty = false;
+  }
+  bool still_dirty = (fit != frames_.end() && fit->second->dirty) ||
+                     (mit != ssd_meta_.end() && mit->second.dirty);
+  if (!still_dirty && inflight_.count(page_id) == 0) {
+    dirty_index_.erase(page_id);
+  }
 }
 
 void BufferPool::Crash() {
@@ -408,6 +480,13 @@ void BufferPool::Crash() {
     ssd_lru_.clear();
     ssd_free_slots_.clear();
     ssd_next_slot_ = 0;
+  }
+  // Rebuild the dirty index: memory-tier dirtiness died with the
+  // frames (log replay from the restart LSN re-creates it); what
+  // survives is the recoverable SSD tier's dirty bits.
+  dirty_index_.clear();
+  for (const auto& [id, m] : ssd_meta_) {
+    if (m.dirty) dirty_index_.insert(id);
   }
 }
 
@@ -440,7 +519,8 @@ sim::Task<Result<size_t>> BufferPool::Recover(Lsn durable_end_lsn) {
 
 sim::Task<Result<PageRef>> BufferPool::InstallAndPin(PageId page_id,
                                                      storage::Page page,
-                                                     bool dirty) {
+                                                     bool dirty,
+                                                     uint64_t dirty_gen) {
   // A concurrent installer may have won the race while we were reading.
   auto it = frames_.find(page_id);
   if (it == frames_.end()) {
@@ -448,6 +528,8 @@ sim::Task<Result<PageRef>> BufferPool::InstallAndPin(PageId page_id,
     frame->page_id = page_id;
     frame->page = std::move(page);
     frame->dirty = dirty;
+    frame->dirty_gen = dirty_gen;
+    if (dirty) dirty_index_.insert(page_id);
     mem_lru_.push_front(page_id);
     frame->lru_it = mem_lru_.begin();
     it = frames_.emplace(page_id, std::move(frame)).first;
@@ -534,7 +616,18 @@ sim::Task<> BufferPool::SpillOne(std::unique_ptr<Frame> frame,
   if (life->alive && life->epoch == epoch) {
     if (frame->dirty) {
       auto meta = ssd_meta_.find(page_id);
-      if (meta != ssd_meta_.end()) meta->second.dirty = true;
+      if (meta != ssd_meta_.end()) {
+        meta->second.dirty = true;
+        meta->second.dirty_gen =
+            std::max(meta->second.dirty_gen, frame->dirty_gen);
+      }
+    }
+    // The page has left memory: if its SSD image is dirty (from this
+    // spill or an earlier one masked by a clean resident frame), keep
+    // it visible to the checkpointer.
+    auto meta2 = ssd_meta_.find(page_id);
+    if (meta2 != ssd_meta_.end() && meta2->second.dirty) {
+      dirty_index_.insert(page_id);
     }
     auto inf = inflight_.find(page_id);
     if (inf != inflight_.end() && inf->second == barrier) {
@@ -582,6 +675,12 @@ sim::Task<> BufferPool::SpillToSsd(PageId page_id,
         Lsn vlsn = vmeta->second.page_lsn;
         ssd_lru_.erase(vmeta->second.lru_it);
         ssd_meta_.erase(vmeta);
+        // The victim left the node entirely; drop its dirty-index entry
+        // unless a dirty frame for it is (still) resident.
+        auto vfit = frames_.find(ssd_victim);
+        if (vfit == frames_.end() || !vfit->second->dirty) {
+          dirty_index_.erase(ssd_victim);
+        }
         stats_.ssd_evictions++;
         ReportEviction(ssd_victim, vlsn);
       }

@@ -31,6 +31,7 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/histogram.h"
@@ -197,10 +198,41 @@ class BufferPool {
   /// True if resident in the memory tier (either LRU segment).
   bool InMemory(PageId page_id) const { return frames_.count(page_id) > 0; }
 
-  /// Page ids of all dirty frames (memory tier). Checkpointing clears
-  /// dirty bits via ClearDirty once the page is safely in XStore.
+  /// Page ids of all dirty pages (memory-tier dirty frames plus SSD-tier
+  /// images evicted dirty and not currently resident). Served from a
+  /// maintained dirty index — O(dirty set), not O(resident frames) — so
+  /// a checkpoint round's scan cost no longer grows with pool size.
+  /// Checkpointing clears dirty bits via ClearDirtyIfUnchanged once the
+  /// page is safely in XStore.
   std::vector<PageId> DirtyPages() const;
+
+  /// Brute-force recomputation of DirtyPages() by scanning both tiers
+  /// (the pre-index implementation). Kept as a crosscheck: tests assert
+  /// the incremental index and the full scan always agree.
+  std::vector<PageId> DirtyPagesByScan() const;
+
+  /// Size of the maintained dirty index. May transiently over-count by
+  /// pages whose dirty frame is mid-spill (extracted from memory, SSD
+  /// write still in flight) — good enough for pacing decisions and
+  /// metrics; DirtyPages() filters exactly.
+  size_t dirty_count() const { return dirty_index_.size(); }
+  uint64_t dirty_bytes() const { return dirty_index_.size() * kPageSize; }
+
+  /// Monotonic capture generation for checkpointing: the generation
+  /// stamped by the page's most recent MarkDirty (across both tiers);
+  /// 0 if clean. A checkpointer captures the page image and its
+  /// generation in the same synchronous stretch, then clears with
+  /// ClearDirtyIfUnchanged — a page re-dirtied by concurrent log apply
+  /// after the capture keeps its dirty bit (no lost update).
+  uint64_t DirtyGen(PageId page_id) const;
+
+  /// Unconditional clear (both tiers).
   void ClearDirty(PageId page_id);
+
+  /// Clear the dirty bit only where the page was not re-dirtied after
+  /// `capture_gen` (per tier: a bit stamped with a newer generation is
+  /// left set).
+  void ClearDirtyIfUnchanged(PageId page_id, uint64_t capture_gen);
 
   /// Simulate a process/VM crash: the memory tier is lost. If the SSD
   /// tier is not recoverable, its index is lost too (plain BPE). In-
@@ -241,10 +273,11 @@ class BufferPool {
 
   // Install a page into the memory tier (evicting as needed) and pin it.
   sim::Task<Result<PageRef>> InstallAndPin(PageId page_id,
-                                           storage::Page page, bool dirty);
+                                           storage::Page page, bool dirty,
+                                           uint64_t dirty_gen);
 
   // Install an unpinned frame into the cold LRU segment (prefetch path).
-  void InstallCold(storage::Page page, bool dirty);
+  void InstallCold(storage::Page page, bool dirty, uint64_t dirty_gen);
 
   // Kick the background evictor if the memory tier is over capacity.
   void ScheduleEviction();
@@ -285,6 +318,7 @@ class BufferPool {
     uint64_t slot = 0;
     Lsn page_lsn = kInvalidLsn;
     bool dirty = false;  // dirty when evicted from memory, not yet checkpointed
+    uint64_t dirty_gen = 0;  // capture generation carried from the frame
     int readers = 0;  // in-flight promotion reads pin the slot
     int writers = 0;  // in-flight spill writes pin the slot
     std::list<PageId>::iterator lru_it;
@@ -313,6 +347,13 @@ class BufferPool {
 
   // In-flight fetch deduplication.
   std::unordered_map<PageId, std::shared_ptr<sim::Event>> inflight_;
+  // Incremental dirty index: superset of the ids DirtyPages() returns
+  // (a page mid-spill, or resident clean over a dirty SSD image, stays
+  // tracked until it is definitively clean). Mutable: DirtyPages()
+  // lazily prunes entries that became clean. kInvalidPageId never enters.
+  mutable std::unordered_set<PageId> dirty_index_;
+  // Generation source for MarkDirty capture stamps.
+  uint64_t dirty_gen_counter_ = 0;
   bool evicting_ = false;
   bool warmup_done_ = true;
   uint64_t warmup_promoted_ = 0;

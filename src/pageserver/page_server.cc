@@ -7,6 +7,29 @@
 namespace socrates {
 namespace pageserver {
 
+// Foreground-request depth tracking for the checkpoint pacer: counts a
+// request from entry until its coroutine frame unwinds (including all
+// co_return paths).
+namespace {
+struct ScopedInflight {
+  explicit ScopedInflight(uint64_t* counter) : counter(counter) {
+    (*counter)++;
+  }
+  ~ScopedInflight() { (*counter)--; }
+  ScopedInflight(const ScopedInflight&) = delete;
+  ScopedInflight& operator=(const ScopedInflight&) = delete;
+  uint64_t* counter;
+};
+}  // namespace
+
+// Fan-out state shared by one checkpoint round's batch writers.
+struct PageServer::CheckpointJoin {
+  explicit CheckpointJoin(sim::Simulator& sim) : drained(sim) {}
+  int inflight = 0;
+  Status first_error;
+  sim::Event drained;  // pulsed on every batch completion
+};
+
 // One double-buffered XLOG pull in flight: PullTask fills `result` and
 // fires `done`; the apply loop consumes it when it reaches `from`.
 struct PageServer::PendingPull {
@@ -81,7 +104,9 @@ PageServer::PageServer(sim::Simulator& sim, xlog::XLogProcess* xlog,
                      ? BlobName(options.partition)
                      : options.blob_override),
       meta_blob_(data_blob_ + "/meta"),
-      cpu_(std::make_unique<sim::CpuResource>(sim, options.cpu_cores)) {
+      cpu_(std::make_unique<sim::CpuResource>(sim, options.cpu_cores)),
+      checkpoint_mu_(std::make_unique<sim::Mutex>(sim)),
+      checkpoint_rng_(std::hash<std::string>{}(data_blob_) ^ 0xc4e9) {
   engine::BufferPoolOptions pool_opts;
   pool_opts.mem_pages = opts_.mem_pages;
   // Covering cache: the SSD tier holds the entire partition (§4.6), so
@@ -307,6 +332,7 @@ sim::Task<> PageServer::ApplyLoop(uint64_t epoch) {
 sim::Task<Result<storage::Page>> PageServer::GetPageAtLsn(PageId page_id,
                                                           Lsn min_lsn) {
   getpage_requests_++;
+  ScopedInflight inflight(&getpage_inflight_);
   if (!InPartition(page_id)) {
     co_return Result<storage::Page>(
         Status::InvalidArgument("page not in this partition"));
@@ -363,6 +389,7 @@ sim::Task<Status> PageServer::WaitApplied(Lsn min_lsn) {
 sim::Task<Result<std::vector<storage::Page>>> PageServer::GetPageRangeAtLsn(
     PageId first_page, uint32_t count, Lsn min_lsn) {
   getpage_requests_++;
+  ScopedInflight inflight(&getpage_inflight_);
   SOCRATES_CO_RETURN_IF_ERROR(co_await WaitApplied(min_lsn));
   // One logical I/O against the covering, stride-preserving cache: the
   // whole range costs a single CPU slice plus the (mostly local-SSD)
@@ -448,6 +475,7 @@ sim::Task<Result<std::string>> PageServer::ServeBatch(
   batch_requests_++;
   batch_subrequests_ += req.entries.size();
   getpage_requests_ += req.entries.size();
+  ScopedInflight inflight(&getpage_inflight_);
   rbio::GetPageBatchResponse resp;
   resp.status = Status::OK();
   resp.entries.resize(req.entries.size());
@@ -490,17 +518,101 @@ sim::Task<Result<std::string>> PageServer::ServeBatch(
   co_return resp.Encode();
 }
 
+bool PageServer::PaceCheckpoint() const {
+  if (opts_.checkpoint_pace_getpage_depth > 0 &&
+      getpage_inflight_ >= opts_.checkpoint_pace_getpage_depth) {
+    return true;
+  }
+  if (opts_.checkpoint_pace_apply_lag_bytes > 0) {
+    uint64_t available = xlog_->available().value();
+    uint64_t applied = applier_->applied_lsn().value();
+    if (available > applied &&
+        available - applied > opts_.checkpoint_pace_apply_lag_bytes) {
+      return true;
+    }
+  }
+  return false;
+}
+
+sim::Task<> PageServer::CheckpointWriteBatch(
+    std::vector<PageId> run, std::shared_ptr<CheckpointJoin> join,
+    sim::Semaphore* sem, uint64_t epoch) {
+  PageId first_page = opts_.partition_map.FirstPage(opts_.partition);
+  std::string batch;
+  batch.reserve(run.size() * kPageSize);
+  // Capture images up front, each copied under its ref in one
+  // synchronous stretch together with the page's dirty generation. No
+  // frame stays pinned across the write await below, so concurrent log
+  // apply is free to keep mutating these pages — the generation check
+  // in ClearDirtyIfUnchanged keeps any such page dirty for the next
+  // round (the XStore image is stale for it).
+  std::vector<std::pair<PageId, uint64_t>> captured;
+  captured.reserve(run.size());
+  Status status;
+  for (PageId id : run) {
+    if (epoch_ != epoch) {
+      status = Status::Unavailable("page server restarted");
+      break;
+    }
+    Result<engine::PageRef> ref = co_await pool_->GetPage(id);
+    if (!ref.ok()) {
+      status = ref.status();
+      break;
+    }
+    ref->EnsureChecksum();
+    batch.append(ref->page()->data(), kPageSize);
+    captured.emplace_back(id, pool_->DirtyGen(id));
+  }
+  if (status.ok() && epoch_ == epoch) {
+    status = co_await xstore_->Write(
+        data_blob_, (run.front() - first_page) * kPageSize, Slice(batch));
+  }
+  if (epoch_ == epoch) {
+    if (status.ok()) {
+      for (auto [id, gen] : captured) {
+        pool_->ClearDirtyIfUnchanged(id, gen);
+      }
+      checkpoint_batches_++;
+      checkpoint_pages_written_ += run.size();
+    } else {
+      // XStore outage insulation (§4.6): this batch's pages stay dirty
+      // and the round reports the failure; the next round retries.
+      checkpoint_failed_batches_++;
+      if (join->first_error.ok()) join->first_error = status;
+    }
+  } else if (join->first_error.ok()) {
+    join->first_error = Status::Unavailable("page server restarted");
+  }
+  sem->Release();
+  join->inflight--;
+  join->drained.Set();
+}
+
 sim::Task<Status> PageServer::Checkpoint() {
+  // Rounds are serialized: the periodic loop, manual calls, and
+  // Backup() must not interleave extent writes of two rounds.
+  sim::Mutex::Guard round = co_await checkpoint_mu_->Acquire();
+  const uint64_t epoch = epoch_;
+  const SimTime round_start = sim_.now();
   // The replay point must cover every record not yet reflected in
   // XStore: everything applied after this round's dirty set was captured
   // stays dirty for the next round.
   Lsn candidate_restart = applier_->applied_lsn().value();
+  if (candidate_restart >= restart_lsn_) {
+    restart_lag_bytes_.Add(
+        static_cast<double>(candidate_restart - restart_lsn_));
+  }
   std::vector<PageId> dirty = pool_->DirtyPages();
   std::sort(dirty.begin(), dirty.end());
-  PageId first_page =
-      opts_.partition_map.FirstPage(opts_.partition);
 
-  // Aggregate contiguous dirty pages into single large XStore writes.
+  // Aggregate contiguous dirty pages into single large XStore writes,
+  // overlapped up to checkpoint_inflight_writes at a time. The
+  // semaphore is acquired before a batch captures its images, so
+  // permits=1 degenerates to the exact serial capture→write→clear
+  // order (and permit-bounded capture also bounds copied-image memory).
+  const int permits = std::max(1, opts_.checkpoint_inflight_writes);
+  sim::Semaphore sem(sim_, permits);
+  auto join = std::make_shared<CheckpointJoin>(sim_);
   size_t i = 0;
   while (i < dirty.size()) {
     size_t j = i + 1;
@@ -508,23 +620,37 @@ sim::Task<Status> PageServer::Checkpoint() {
            j - i < opts_.max_xstore_batch_pages) {
       j++;
     }
-    std::string batch;
-    batch.reserve((j - i) * kPageSize);
-    for (size_t k = i; k < j; k++) {
-      Result<engine::PageRef> ref = co_await pool_->GetPage(dirty[k]);
-      if (!ref.ok()) co_return ref.status();
-      ref->EnsureChecksum();
-      batch.append(ref->page()->data(), kPageSize);
+    co_await sem.Acquire();
+    // Adaptive pacing: while the foreground is busy, drain to a single
+    // in-flight write instead of launching the full window — serving
+    // p99 and apply progress outrank checkpoint throughput.
+    while (PaceCheckpoint() && join->inflight > 0 &&
+           join->first_error.ok() && epoch_ == epoch) {
+      checkpoint_pace_stalls_++;
+      join->drained.Reset();
+      co_await join->drained.Wait();
     }
-    Status s = co_await xstore_->Write(
-        data_blob_, (dirty[i] - first_page) * kPageSize, Slice(batch));
-    if (!s.ok()) {
-      // XStore outage insulation (§4.6): keep pages dirty, resume later.
-      checkpoint_failures_++;
-      co_return s;
+    if (!join->first_error.ok() || epoch_ != epoch) {
+      sem.Release();
+      break;
     }
-    for (size_t k = i; k < j; k++) pool_->ClearDirty(dirty[k]);
+    join->inflight++;
+    sim::Spawn(sim_, CheckpointWriteBatch(
+                         std::vector<PageId>(dirty.begin() + i,
+                                             dirty.begin() + j),
+                         join, &sem, epoch));
     i = j;
+  }
+  while (join->inflight > 0) {
+    join->drained.Reset();
+    co_await join->drained.Wait();
+  }
+  if (epoch_ != epoch) {
+    co_return Status::Unavailable("page server restarted mid-checkpoint");
+  }
+  if (!join->first_error.ok()) {
+    checkpoint_failures_++;
+    co_return join->first_error;
   }
   // Materialize the data blob even if this partition has no pages yet,
   // so backups (XStore snapshots) always have a blob to snapshot.
@@ -532,23 +658,50 @@ sim::Task<Status> PageServer::Checkpoint() {
     SOCRATES_CO_RETURN_IF_ERROR(
         co_await xstore_->Write(data_blob_, 0, Slice()));
   }
-  SOCRATES_CO_RETURN_IF_ERROR(co_await StoreMeta(candidate_restart));
+  Status meta = co_await StoreMeta(candidate_restart);
+  if (epoch_ != epoch) {
+    co_return Status::Unavailable("page server restarted mid-checkpoint");
+  }
+  if (!meta.ok()) {
+    checkpoint_failures_++;
+    co_return meta;
+  }
   restart_lsn_ = candidate_restart;
   checkpoints_++;
+  checkpoint_duration_us_.Add(static_cast<double>(sim_.now() - round_start));
   co_return Status::OK();
 }
 
 sim::Task<> PageServer::CheckpointLoop(uint64_t epoch) {
   while (Live(epoch)) {
-    co_await sim::Delay(sim_, opts_.checkpoint_interval_us);
+    SimTime delay = opts_.checkpoint_interval_us;
+    if (opts_.checkpoint_jitter_frac > 0 && delay > 0) {
+      // interval * (1 ± jitter), deterministic per server: replicas'
+      // rounds drift apart instead of herding XStore together.
+      SimTime span = static_cast<SimTime>(
+          static_cast<double>(delay) * opts_.checkpoint_jitter_frac);
+      if (span > 0) {
+        delay += checkpoint_rng_.Uniform(2 * span + 1);
+        delay -= span;
+      }
+    }
+    co_await sim::Delay(sim_, std::max<SimTime>(delay, 1));
     if (!Live(epoch)) break;
+    if (checkpoint_starts_.size() < 16) {
+      checkpoint_starts_.push_back(sim_.now());
+    }
     (void)co_await Checkpoint();  // failures retried next round
   }
 }
 
 sim::Task<Result<xstore::SnapshotId>> PageServer::Backup() {
+  const SimTime t0 = sim_.now();
   SOCRATES_CO_RETURN_IF_ERROR(co_await Checkpoint());
-  co_return co_await xstore_->Snapshot(data_blob_);
+  const SimTime t1 = sim_.now();
+  Result<xstore::SnapshotId> snap = co_await xstore_->Snapshot(data_blob_);
+  last_backup_checkpoint_us_ = t1 - t0;
+  last_backup_snapshot_us_ = sim_.now() - t1;
+  co_return snap;
 }
 
 void PageServer::SeedAsync() {

@@ -245,6 +245,8 @@ sim::Task<Result<BackupHandle>> Deployment::Backup() {
     if (!snap.ok()) co_return snap.status();
     handle.partition_snapshots.push_back(*snap);
     handle.partition_restart_lsns.push_back(ps->restart_lsn());
+    handle.checkpoint_us += ps->last_backup_checkpoint_us();
+    handle.snapshot_us += ps->last_backup_snapshot_us();
   }
   handle.backup_lsn = lz_->durable_end();
   co_return std::move(handle);

@@ -50,6 +50,10 @@ struct BackupHandle {
   std::vector<Lsn> partition_restart_lsns;
   Lsn backup_lsn = kInvalidLsn;      // durable log end at backup time
   Lsn checkpoint_lsn = kInvalidLsn;  // primary replay point
+  // Latency split across all partitions: the forced checkpoints are the
+  // variable part, the snapshots are the paper's constant-time part.
+  SimTime checkpoint_us = 0;
+  SimTime snapshot_us = 0;
 };
 
 class Deployment {
