@@ -30,7 +30,8 @@ double LogMbPerSec(uint64_t lag_bytes, double xstore_mb_s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOut json("ablation_backup", argc, argv);
   PrintHeader("Ablation: backup coupling on the log path (§3.5 / §7.4)",
               "backup egress throttles HADR log production; snapshots "
               "remove the coupling");
@@ -45,5 +46,8 @@ int main() {
   printf("\nDecoupling speedup: %.2fx — this is the headroom Socrates "
          "recovers\nby pushing backup down into XStore snapshots.\n",
          throttled > 0 ? uncoupled / throttled : 0.0);
+  json.Line("{\"bench\":\"ablation_backup\",\"throttled_mb_s\":%.1f,"
+            "\"uncoupled_mb_s\":%.1f}",
+            throttled, uncoupled);
   return 0;
 }

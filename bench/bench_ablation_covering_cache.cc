@@ -72,7 +72,8 @@ double MeanScanUs(double ps_cache_frac) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOut json("ablation_covering_cache", argc, argv);
   PrintHeader("Ablation: covering vs sparse Page Server cache (§4.6)",
               "a covering RBPEX serves 128-page scans without touching "
               "XStore");
@@ -84,5 +85,8 @@ int main() {
   printf("\nSparse slowdown: %.1fx (XStore reads on page-server "
          "misses)\n",
          covering > 0 ? sparse / covering : 0.0);
+  json.Line("{\"bench\":\"ablation_covering_cache\","
+            "\"covering_scan_us\":%.0f,\"sparse_scan_us\":%.0f}",
+            covering, sparse);
   return 0;
 }

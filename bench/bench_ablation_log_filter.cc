@@ -14,7 +14,8 @@
 using namespace socrates;
 using namespace socrates::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOut json("ablation_log_filter", argc, argv);
   PrintHeader("Ablation: XLOG per-partition block filtering (§4.6)",
               "page servers receive only blocks touching their "
               "partition");
@@ -77,6 +78,11 @@ int main() {
   printf("\nNote: blocks batch many transactions, so a block often "
          "touches several\npartitions; finer blocks or per-record "
          "shipping would filter more.\n");
+  json.Line("{\"bench\":\"ablation_log_filter\","
+            "\"unfiltered_bytes_per_server\":%llu,"
+            "\"filtered_total_bytes\":%llu,\"servers\":8}",
+            (unsigned long long)unfiltered_bytes,
+            (unsigned long long)filtered_total);
   d.Stop();
   return 0;
 }

@@ -74,7 +74,8 @@ SeedResult Measure(uint64_t pages_per_partition) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOut json("ablation_partition_size", argc, argv);
   PrintHeader("Ablation: Page Server partition size (§6)",
               "smaller partitions seed faster -> lower MTTR -> higher "
               "availability");
@@ -85,6 +86,11 @@ int main() {
     SeedResult r = Measure(pages);
     printf("%-18llu %12d %18.2f %20.1f\n", (unsigned long long)pages,
            r.partitions, r.first_page_us / 1e3, r.full_seed_us / 1e3);
+    json.Line("{\"bench\":\"ablation_partition_size\","
+              "\"pages_per_partition\":%llu,\"servers\":%d,"
+              "\"first_page_ms\":%.2f,\"full_seed_ms\":%.1f}",
+              (unsigned long long)pages, r.partitions,
+              r.first_page_us / 1e3, r.full_seed_us / 1e3);
   }
   printf("\nExpected shape: 'first page' is ~constant (the server is "
          "available\nimmediately — async seeding), while the full-seed "

@@ -6,6 +6,8 @@
 // under-utilized; the gap narrows as both approach CPU saturation at
 // high client counts.
 
+#include <vector>
+
 #include "harness.h"
 
 using namespace socrates;
@@ -24,17 +26,28 @@ double MeasureTps(sim::DeviceProfile lz, int clients) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  JsonOut json("fig4_threads", argc, argv);
   PrintHeader("Figure 4: UpdateLite throughput vs client threads",
               "DD beats XIO at every thread count until CPU saturates");
 
+  std::vector<int> counts = smoke ? std::vector<int>{1, 8, 64}
+                                  : std::vector<int>{1, 2, 4, 8, 16, 32,
+                                                     64, 128, 256};
   printf("\n%8s %14s %14s %10s\n", "Threads", "XIO TPS", "DD TPS",
          "DD/XIO");
-  for (int clients : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+  for (int clients : counts) {
     double xio = MeasureTps(sim::DeviceProfile::Xio(), clients);
     double dd = MeasureTps(sim::DeviceProfile::DirectDrive(), clients);
     printf("%8d %14.0f %14.0f %9.1fx\n", clients, xio, dd,
            xio > 0 ? dd / xio : 0.0);
+    json.Line("{\"bench\":\"fig4_threads\",\"threads\":%d,"
+              "\"xio_tps\":%.0f,\"dd_tps\":%.0f}",
+              clients, xio, dd);
   }
   printf("\nExpected shape: DD/XIO ratio ~3-4x at low thread counts,\n"
          "shrinking toward 1x as the CPU saturates.\n");

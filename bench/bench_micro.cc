@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "common/crc32c.h"
 #include "common/random.h"
 #include "engine/btree_page.h"
@@ -151,4 +154,25 @@ BENCHMARK(BM_CoroutineSwitch);
 }  // namespace
 }  // namespace socrates
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but the repo-wide `--json` flag is translated
+// into google-benchmark's own JSON reporter writing BENCH_micro.json.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char out_flag[] = "--benchmark_out=BENCH_micro.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (std::strcmp(*it, "--json") == 0) {
+      *it = out_flag;
+      args.insert(it + 1, fmt_flag);
+      break;
+    }
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

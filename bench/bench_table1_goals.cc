@@ -90,7 +90,8 @@ SimTime SocratesRecovery(uint64_t scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOut json("table1_goals", argc, argv);
   PrintHeader("Table 1: Socrates goals (scalability / availability / "
               "cost / performance)",
               "see column comparison in the paper");
@@ -135,6 +136,17 @@ int main() {
   printf("  HADR:     %8.0f us   (paper: ~3 ms)\n", hadr_lat);
   printf("  Socrates: %8.0f us   (paper: <0.5 ms on DirectDrive)\n",
          soc_lat);
+
+  json.Line("{\"bench\":\"table1_goals\",\"metric\":\"upsize_ms\","
+            "\"hadr_small\":%.1f,\"hadr_big\":%.1f,"
+            "\"socrates_small\":%.1f,\"socrates_big\":%.1f}",
+            h_small / 1e3, h_big / 1e3, s_small / 1e3, s_big / 1e3);
+  json.Line("{\"bench\":\"table1_goals\",\"metric\":\"recovery_ms\","
+            "\"socrates_small\":%.1f,\"socrates_big\":%.1f}",
+            rec_small / 1e3, rec_big / 1e3);
+  json.Line("{\"bench\":\"table1_goals\",\"metric\":\"commit_latency_us\","
+            "\"hadr\":%.0f,\"socrates\":%.0f}",
+            hadr_lat, soc_lat);
 
   printf("\nLog throughput: see bench_table5_log_throughput "
          "(paper: 50 MB/s vs 100+ MB/s).\n");

@@ -13,7 +13,8 @@
 using namespace socrates;
 using namespace socrates::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOut json("table3_cache_cdb", argc, argv);
   PrintHeader(
       "Table 3: Socrates cache hit rate, CDB default mix",
       "1TB DB, 56GB memory + 168GB RBPEX -> 52% local cache hit rate");
@@ -43,5 +44,11 @@ int main() {
   printf("Data-page (leaf) hit rate: %.1f%% — the harsher metric; upper\n"
          "index levels are always resident and inflate the overall rate.\n",
          100 * st.LeafHitRate());
+  json.Line("{\"bench\":\"table3_cache_cdb\",\"db_pages\":%llu,"
+            "\"cache_frac\":%.3f,\"local_hit_rate\":%.3f,"
+            "\"leaf_hit_rate\":%.3f}",
+            (unsigned long long)db_pages,
+            static_cast<double>(mem_pages + ssd_pages) / db_pages,
+            st.LocalHitRate(), st.LeafHitRate());
   return 0;
 }

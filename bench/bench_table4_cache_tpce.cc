@@ -13,7 +13,8 @@
 using namespace socrates;
 using namespace socrates::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOut json("table4_cache_tpce", argc, argv);
   PrintHeader(
       "Table 4: Socrates cache hit rate, TPC-E-like skewed workload",
       "30TB DB, 88GB mem + 320GB RBPEX (~1.3% of data) -> 32% hit rate");
@@ -77,6 +78,15 @@ int main() {
          (unsigned long long)st.misses,
          (unsigned long long)report.commits);
   printf("Data-page (leaf) hit rate: %.1f%%\n", 100 * st.LeafHitRate());
+  json.Line("{\"bench\":\"table4_cache_tpce\",\"db_pages\":%llu,"
+            "\"cache_frac\":%.4f,\"local_hit_rate\":%.3f,"
+            "\"leaf_hit_rate\":%.3f,\"commits\":%llu}",
+            (unsigned long long)db_pages,
+            static_cast<double>(dopts.compute.mem_pages +
+                                dopts.compute.ssd_pages) /
+                db_pages,
+            st.LocalHitRate(), st.LeafHitRate(),
+            (unsigned long long)report.commits);
   d.Stop();
   return 0;
 }

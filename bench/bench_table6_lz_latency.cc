@@ -38,7 +38,8 @@ Histogram MeasureCommitLatency(sim::DeviceProfile lz_profile) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOut json("table6_lz_latency", argc, argv);
   PrintHeader("Table 6: UpdateLite commit latency, XIO vs DirectDrive",
               "XIO min/median 2518/3300 us; DD min/median 484/800 us");
 
@@ -55,5 +56,13 @@ int main() {
          "DD", dd.stddev(), dd.min(), dd.Median(), dd.max());
   printf("\nXIO/DD median ratio: %.1fx  (paper: 4.1x)\n",
          xio.Median() / dd.Median());
+  json.Line("{\"bench\":\"table6_lz_latency\",\"lz\":\"xio\","
+            "\"stddev_us\":%.0f,\"min_us\":%.0f,\"median_us\":%.0f,"
+            "\"max_us\":%.0f}",
+            xio.stddev(), xio.min(), xio.Median(), xio.max());
+  json.Line("{\"bench\":\"table6_lz_latency\",\"lz\":\"dd\","
+            "\"stddev_us\":%.0f,\"min_us\":%.0f,\"median_us\":%.0f,"
+            "\"max_us\":%.0f}",
+            dd.stddev(), dd.min(), dd.Median(), dd.max());
   return 0;
 }

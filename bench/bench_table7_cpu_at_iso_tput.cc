@@ -49,7 +49,8 @@ IsoResult Measure(sim::DeviceProfile lz, int clients) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOut json("table7_cpu_at_iso_tput", argc, argv);
   PrintHeader("Table 7: CPU at iso log throughput (XIO vs DD)",
               "XIO: 128 threads, 69 MB/s, 30% CPU; DD: 16 threads, "
               "70 MB/s, 9% CPU");
@@ -74,5 +75,11 @@ int main() {
          static_cast<double>(xio.threads) / dd.threads);
   printf("CPU ratio XIO/DD at iso rate:     %.1fx (paper: ~3.3x)\n",
          dd.cpu_pct > 0 ? xio.cpu_pct / dd.cpu_pct : 0.0);
+  json.Line("{\"bench\":\"table7_cpu_at_iso_tput\",\"lz\":\"xio\","
+            "\"threads\":%d,\"log_mb_s\":%.2f,\"cpu_pct\":%.1f}",
+            xio.threads, xio.log_mb_s, xio.cpu_pct);
+  json.Line("{\"bench\":\"table7_cpu_at_iso_tput\",\"lz\":\"dd\","
+            "\"threads\":%d,\"log_mb_s\":%.2f,\"cpu_pct\":%.1f}",
+            dd.threads, dd.log_mb_s, dd.cpu_pct);
   return 0;
 }

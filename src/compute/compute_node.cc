@@ -125,6 +125,8 @@ ComputeNode::ComputeNode(sim::Simulator& sim, Role role,
   rbio_opts.cpu_per_request_us = options.rpc_cpu_us;
   rbio_opts.max_batch = options.rbio_max_batch;
   rbio_opts.protocol_version = options.rbio_protocol_version;
+  rbio_opts.injector = options.chaos_injector;
+  rbio_opts.site = options.chaos_site;
   rbio_ = std::make_unique<rbio::RbioClient>(
       sim, cpu_.get(), rbio_opts, 0xb10c + options.cpu_cores);
   engine::BufferPoolOptions pool_opts;
@@ -262,6 +264,7 @@ sim::Task<Status> ComputeNode::RecoverPrimary(Lsn replay_from,
   if (role_ != Role::kPrimary || xlog_ == nullptr) {
     co_return Status::InvalidArgument("not a primary");
   }
+  alive_ = true;
   // 1. RBPEX: keep the warm cache, discard anything speculative.
   (void)co_await pool_->Recover(durable_end);
   // 2. Redo the hardened tail over cached pages. Uncached pages will be
@@ -306,6 +309,7 @@ sim::Task<Status> ComputeNode::Promote(engine::LogSink* sink,
   }
   // Apply every hardened byte before taking writes.
   co_await applier_->applied_lsn().WaitFor(durable_end);
+  alive_ = true;
   consuming_ = false;
   role_ = Role::kPrimary;
   sink_ = sink;
@@ -325,6 +329,7 @@ sim::Task<Status> ComputeNode::Promote(engine::LogSink* sink,
 }
 
 void ComputeNode::Crash() {
+  alive_ = false;
   consuming_ = false;
   pool_->Crash();
 }

@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "common/histogram.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -157,6 +158,11 @@ struct ComputeOptions {
   /// Highest RBIO protocol version this node speaks (mixed-version
   /// deployments: < 3 never emits batch frames).
   uint16_t rbio_protocol_version = rbio::kProtocolVersion;
+  /// Chaos injection: the node's network site name (unique per node,
+  /// stable across role changes) and the deployment's fault hub. The
+  /// RBIO client keys link faults on (chaos_site, endpoint name).
+  chaos::Injector* chaos_injector = nullptr;
+  std::string chaos_site;
 
   /// A Secondary in another region (§6 geo-replication): page fetches
   /// and log shipping both pay the cross-region round trip.
@@ -206,6 +212,13 @@ class ComputeNode {
   /// Process/VM crash: memory state lost; recoverable RBPEX survives.
   void Crash();
 
+  /// False between Crash() and the next successful recovery/promotion —
+  /// the liveness bit the cluster monitor's heartbeats read. The dead
+  /// object stays in the deployment until reconfiguration replaces it,
+  /// exactly like a dead VM keeps its slot until the fabric acts.
+  bool alive() const { return alive_; }
+  const std::string& chaos_site() const { return opts_.chaos_site; }
+
   Role role() const { return role_; }
   engine::Engine* engine() { return engine_.get(); }
   engine::BufferPool* pool() { return pool_.get(); }
@@ -245,6 +258,7 @@ class ComputeNode {
 
   Random rpc_rng_;
   Random pull_rng_;
+  bool alive_ = true;
   bool consuming_ = false;
   int xlog_consumer_id_ = -1;
   uint64_t pipelined_pull_hits_ = 0;

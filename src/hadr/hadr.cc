@@ -291,13 +291,26 @@ sim::Task<Status> HadrCluster::Failover() {
   // drain the shipped log, then rewire the engine.
   HadrSecondary* next = secondary_ptrs_[0];
   co_await next->applier()->applied_lsn().WaitFor(sink_->hardened_lsn());
+  // The promoted node leaves the shipping/quorum set: the sink must not
+  // re-apply the new Primary's own log into its now-active engine.
+  secondary_ptrs_.erase(secondary_ptrs_.begin());
   engine::Engine* e = next->engine();
   e->SetSink(sink_.get());
   e->SetReadTsProvider(nullptr);
   e->RestoreCounters(next->applier()->applied_commit_ts(),
                      next->applier()->max_page_seen() + 1);
   active_engine_ = e;
+  primary_alive_ = true;
   co_return Status::OK();
+}
+
+void HadrCluster::CrashPrimary() { primary_alive_ = false; }
+
+void HadrCluster::CrashSecondary(int i) {
+  if (i < 0 || i >= static_cast<int>(secondary_ptrs_.size())) return;
+  // The dead node drops out of the shipping/quorum set; its storage is
+  // gone (full local copy — rebuilding means reseeding from scratch).
+  secondary_ptrs_.erase(secondary_ptrs_.begin() + i);
 }
 
 }  // namespace hadr

@@ -139,9 +139,12 @@ class HadrCluster {
   /// The engine currently accepting read/write transactions (switches on
   /// failover).
   engine::Engine* primary_engine() { return active_engine_; }
-  HadrSecondary* secondary(int i) { return secondaries_[i].get(); }
+  /// The active replication set — nodes currently receiving shipped log.
+  /// A crashed Secondary and a promoted (now-Primary) node drop out even
+  /// though their objects stay alive for the engines they own.
+  HadrSecondary* secondary(int i) { return secondary_ptrs_[i]; }
   int num_secondaries() const {
-    return static_cast<int>(secondaries_.size());
+    return static_cast<int>(secondary_ptrs_.size());
   }
   HadrLogSink* sink() { return sink_.get(); }
   sim::CpuResource& primary_cpu() { return *cpu_; }
@@ -154,6 +157,15 @@ class HadrCluster {
   /// but requires full local copy to exist.
   sim::Task<Status> Failover();
 
+  /// Primary VM death: stop serving transactions until Failover() rewires
+  /// the cluster. Log shipping to Secondaries also stops.
+  void CrashPrimary();
+  bool primary_alive() const { return primary_alive_; }
+
+  /// Secondary VM death: removed from the shipping/quorum set. Replacing
+  /// it requires SeedNewSecondary() — the O(size-of-data) operation.
+  void CrashSecondary(int i);
+
  private:
   sim::Simulator& sim_;
   xstore::XStore* xstore_;
@@ -165,6 +177,7 @@ class HadrCluster {
   std::unique_ptr<engine::BufferPool> pool_;
   std::unique_ptr<engine::Engine> engine_;
   engine::Engine* active_engine_ = nullptr;
+  bool primary_alive_ = true;
 };
 
 }  // namespace hadr

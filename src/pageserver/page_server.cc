@@ -215,6 +215,9 @@ sim::Task<> PageServer::PullTask(std::shared_ptr<PendingPull> pull,
   if (!Live(epoch)) {
     pull->result = Result<std::vector<xlog::LogBlock>>(
         Status::Unavailable("page server stopped"));
+  } else if (XlogPartitioned()) {
+    pull->result = Result<std::vector<xlog::LogBlock>>(
+        Status::Unavailable("xlog partitioned"));
   } else {
     pull->result =
         co_await xlog_->Pull(pull->from, opts_.partition, opts_.pull_bytes);
@@ -243,7 +246,13 @@ sim::Task<> PageServer::ApplyLoop(uint64_t epoch) {
       SimTime wait_start = sim_.now();
       co_await xlog_->available().WaitFor(from + 1);
       if (!Live(epoch)) break;
-      pulled = co_await xlog_->Pull(from, opts_.partition, opts_.pull_bytes);
+      if (XlogPartitioned()) {
+        pulled = Result<std::vector<xlog::LogBlock>>(
+            Status::Unavailable("xlog partitioned"));
+      } else {
+        pulled =
+            co_await xlog_->Pull(from, opts_.partition, opts_.pull_bytes);
+      }
       pull_wait_us_ += sim_.now() - wait_start;
     }
     if (!Live(epoch)) break;
@@ -420,8 +429,9 @@ sim::Task<Result<std::vector<storage::Page>>> PageServer::GetPageRangeAtLsn(
 }
 
 sim::Task<Result<std::string>> PageServer::HandleRbio(std::string frame) {
-  if (inject_failures_ > 0) {
-    inject_failures_--;
+  SimTime gray = chaos_port_.GrayDelayUs();
+  if (gray > 0) co_await sim::Delay(sim_, gray);
+  if (chaos_port_.Out() || chaos_port_.ConsumeFailure()) {
     co_return Result<std::string>(
         Status::Unavailable("injected transient failure"));
   }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -128,8 +129,18 @@ class PageServer : public rbio::RbioServer {
   sim::Task<Result<std::string>> HandleRbio(std::string frame) override;
 
   /// Fault injection for RBIO resilience tests: the next `n` requests
-  /// fail with Unavailable.
-  void InjectTransientFailures(int n) { inject_failures_ = n; }
+  /// fail with Unavailable. (Shim over the chaos port's local
+  /// transient-failure credits; deployment-wide faults arrive through
+  /// AttachChaos.)
+  void InjectTransientFailures(int n) { chaos_port_.InjectFailures(n); }
+
+  /// Join a deployment-wide fault hub under `site` (the RBIO endpoint
+  /// name, e.g. "ps-0", so client-side link faults and server-side site
+  /// faults key on the same string).
+  void AttachChaos(chaos::Injector* hub, const std::string& site) {
+    chaos_port_.Attach(hub, site);
+  }
+  const std::string& chaos_site() const { return chaos_port_.site(); }
 
   /// Run one checkpoint round now (also runs periodically). Rounds are
   /// serialized by an internal mutex; within a round, contiguous dirty
@@ -151,6 +162,12 @@ class PageServer : public rbio::RbioServer {
   void Crash();
 
   PartitionId partition() const { return opts_.partition; }
+  /// True between a successful Start() and the next Stop()/Crash() —
+  /// the liveness bit the cluster monitor's heartbeats read.
+  bool running() const { return running_; }
+  /// Restart generation (bumped by every Start and Crash/Stop); the
+  /// monitor stamps its ledger with it to tell incarnations apart.
+  uint64_t epoch() const { return epoch_; }
   sim::Watermark& applied_lsn() { return applier_->applied_lsn(); }
   Lsn restart_lsn() const { return restart_lsn_; }
   engine::BufferPool* pool() { return pool_.get(); }
@@ -274,6 +291,14 @@ class PageServer : public rbio::RbioServer {
 
   bool Live(uint64_t epoch) const { return running_ && epoch == epoch_; }
 
+  // True while a chaos partition separates this server from XLOG: pulls
+  // fail Unavailable and the apply loop retries (same path as a real
+  // transient pull error).
+  bool XlogPartitioned() const {
+    return chaos_port_.hub() != nullptr &&
+           chaos_port_.hub()->Partitioned(chaos_port_.site(), "xlog");
+  }
+
   bool InPartition(PageId id) const {
     return opts_.partition_map.PartitionOf(id) == opts_.partition;
   }
@@ -328,7 +353,7 @@ class PageServer : public rbio::RbioServer {
   std::vector<std::shared_ptr<FreshnessWaiter>> waiters_;
   uint64_t waiter_wakes_ = 0;
   Histogram waiter_wake_lag_us_;
-  int inject_failures_ = 0;
+  chaos::SitePort chaos_port_;
   Status last_error_;
 };
 

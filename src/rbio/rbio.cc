@@ -279,9 +279,21 @@ sim::Task<Result<std::string>> RbioClient::RoundtripRaw(
     requests_++;
     if (cpu_ != nullptr) co_await cpu_->Consume(cpu_us);
     SimTime begin = sim_.now();
-    co_await sim::Delay(sim_, opts_.network.Sample(rng_));
+    SimTime link_delay = 0;
+    if (opts_.injector != nullptr) {
+      if (opts_.injector->DropMessage(opts_.site, ep.name)) {
+        // Request or response lost on the wire (partition / lossy
+        // link): the call times out and the retry loop takes over.
+        co_await sim::Delay(
+            sim_, opts_.network.Sample(rng_) + opts_.drop_timeout_us);
+        last = Status::TimedOut("rbio: frame lost");
+        continue;
+      }
+      link_delay = opts_.injector->LinkDelayUs(opts_.site, ep.name);
+    }
+    co_await sim::Delay(sim_, opts_.network.Sample(rng_) + link_delay);
     Result<std::string> raw = co_await ep.server->HandleRbio(frame);
-    co_await sim::Delay(sim_, opts_.network.Sample(rng_));
+    co_await sim::Delay(sim_, opts_.network.Sample(rng_) + link_delay);
     double elapsed = static_cast<double>(sim_.now() - begin);
     EndpointStats& st = stats_[ep.name];
     st.ewma_us = st.seen

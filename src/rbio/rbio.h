@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "common/coding.h"
 #include "common/histogram.h"
 #include "common/random.h"
@@ -163,6 +164,14 @@ struct RbioClientOptions {
   /// emits batch frames (mixed-version deployments, §3.4 automatic
   /// versioning).
   uint16_t protocol_version = kProtocolVersion;
+  /// Chaos injection: when set, every frame consults the hub for a
+  /// partition / lossy-link verdict between `site` (this node) and the
+  /// target endpoint's name, and pays any configured link delay. A
+  /// dropped frame surfaces as TimedOut after `drop_timeout_us` — the
+  /// normal retry/backoff/QoS machinery does the rest.
+  chaos::Injector* injector = nullptr;
+  std::string site;
+  SimTime drop_timeout_us = 5000;
 };
 
 /// Client side: typed calls, retries, QoS replica selection, batched

@@ -1,5 +1,7 @@
 #include "service/deployment.h"
 
+#include "service/cluster_monitor.h"
+
 namespace socrates {
 namespace service {
 
@@ -10,11 +12,16 @@ Deployment::Deployment(sim::Simulator& sim,
     opts_.page_server.apply_lanes = opts_.apply_lanes;
     opts_.compute.apply_lanes = opts_.apply_lanes;
   }
+  owned_chaos_ = std::make_unique<chaos::Injector>();
+  chaos_ = owned_chaos_.get();
+  reconfig_mu_ = std::make_unique<sim::Mutex>(sim);
   owned_xstore_ = std::make_unique<xstore::XStore>(
       sim, sim::DeviceProfile::XStore(), opts_.xstore_bandwidth_mb_s);
   xstore_ = owned_xstore_.get();
+  owned_xstore_->AttachChaos(chaos_, "xstore");
   lz_ = std::make_unique<xlog::LandingZone>(sim, opts_.lz_profile,
                                             opts_.lz_capacity_bytes);
+  lz_->device()->AttachChaos(chaos_, "lz");
   xlog::XLogOptions xopts = opts_.xlog;
   xopts.partition_map = opts_.partition_map;
   owned_xlog_ = std::make_unique<xlog::XLogProcess>(sim, lz_.get(),
@@ -37,6 +44,8 @@ Deployment::Deployment(sim::Simulator& sim,
   }
   xstore_ = parent->xstore_;
   xlog_ = parent->xlog_;
+  chaos_ = parent->chaos_;  // shared fault hub, same site namespace
+  reconfig_mu_ = std::make_unique<sim::Mutex>(sim);
   router_ =
       std::make_unique<compute::PageServerRouter>(opts_.partition_map);
   blob_suffix_ = blob_suffix;
@@ -49,15 +58,19 @@ sim::Task<Status> Deployment::Start() {
   xlog_->Start();
   xlog::XLogClientOptions copts = opts_.xlog_client;
   copts.partition_map = opts_.partition_map;
+  copts.injector = chaos_;
   client_ = std::make_unique<xlog::XLogClient>(sim_, lz_.get(), xlog_,
                                                nullptr, copts);
   client_->Start();
 
   SOCRATES_CO_RETURN_IF_ERROR(co_await StartPageServers());
 
+  compute::ComputeOptions primary_opts = opts_.compute;
+  primary_opts.chaos_injector = chaos_;
+  primary_opts.chaos_site = NextComputeSite();
   primary_ = std::make_unique<compute::ComputeNode>(
       sim_, compute::ComputeNode::Role::kPrimary, router_.get(), xlog_,
-      client_.get(), opts_.compute);
+      client_.get(), primary_opts);
   // The log writer runs inside the Primary process: its LZ I/O burns the
   // Primary's CPU (the Table 7 effect).
   client_->SetCpu(&primary_->cpu());
@@ -78,6 +91,7 @@ sim::Task<Status> Deployment::StartPageServers() {
     ps_opts.partition_map = opts_.partition_map;
     auto ps = std::make_unique<pageserver::PageServer>(sim_, xlog_,
                                                        xstore_, ps_opts);
+    ps->AttachChaos(chaos_, "ps-" + std::to_string(p));
     SOCRATES_CO_RETURN_IF_ERROR(co_await ps->Start());
     router_->Add(static_cast<PartitionId>(p), ps.get());
     page_servers_.push_back(std::move(ps));
@@ -86,6 +100,9 @@ sim::Task<Status> Deployment::StartPageServers() {
 }
 
 void Deployment::Stop() {
+  if (stopping_) return;  // idempotent: Stop during Stop is a no-op
+  stopping_ = true;
+  if (monitor_ != nullptr) monitor_->Stop();
   for (auto& ps : page_servers_) ps->Stop();
   if (client_ != nullptr) client_->Stop();
   if (owned_xlog_ != nullptr) owned_xlog_->Stop();
@@ -140,14 +157,27 @@ sim::Task<Result<Lsn>> Deployment::LoadControlCheckpointLsn() {
 }
 
 sim::Task<Status> Deployment::Failover(int idx) {
-  if (idx >= num_secondaries()) {
+  sim::Mutex::Guard g = co_await reconfig_mu_->Acquire();
+  co_return co_await FailoverLocked(idx);
+}
+
+sim::Task<Status> Deployment::FailoverLocked(int idx) {
+  // All checks run under the reconfiguration lock: a concurrent failover
+  // may have consumed the secondary this caller picked (the bounds check
+  // used to run before any serialization — see the regression test).
+  if (stopping_) co_return Status::Unavailable("deployment stopping");
+  if (idx < 0 || idx >= num_secondaries()) {
     co_return Status::InvalidArgument("no such secondary");
   }
   // The Primary dies; its state is disposable (§4.2: Compute nodes are
   // stateless). No log can be in flight that matters: only hardened log
-  // counts, and that lives in the LZ.
-  primary_->Crash();
-  primary_.reset();
+  // counts, and that lives in the LZ. A monitor-initiated failover finds
+  // the primary already crashed (never re-crash a dead node: Crash()
+  // bumps the epoch fence a second time for nothing).
+  if (primary_ != nullptr) {
+    if (primary_->alive()) primary_->Crash();
+    graveyard_.push_back(std::move(primary_));
+  }
   // Promote the chosen Secondary once it drained the hardened log.
   std::unique_ptr<compute::ComputeNode> promoted =
       std::move(secondaries_[idx]);
@@ -156,13 +186,25 @@ sim::Task<Status> Deployment::Failover(int idx) {
       co_await promoted->Promote(client_.get(), lz_->durable_end()));
   primary_ = std::move(promoted);
   client_->SetCpu(&primary_->cpu());
+  config_epoch_++;
   co_return Status::OK();
 }
 
 sim::Task<Status> Deployment::RestartPrimary() {
-  primary_->Crash();
-  co_return co_await primary_->RecoverPrimary(last_checkpoint_lsn_,
-                                              lz_->durable_end());
+  sim::Mutex::Guard g = co_await reconfig_mu_->Acquire();
+  if (primary_ != nullptr && primary_->alive()) primary_->Crash();
+  co_return co_await RestartPrimaryLocked();
+}
+
+sim::Task<Status> Deployment::RestartPrimaryLocked() {
+  if (stopping_) co_return Status::Unavailable("deployment stopping");
+  if (primary_ == nullptr) {
+    co_return Status::InvalidArgument("no primary to restart");
+  }
+  Status s = co_await primary_->RecoverPrimary(last_checkpoint_lsn_,
+                                               lz_->durable_end());
+  if (s.ok()) config_epoch_++;
+  co_return s;
 }
 
 sim::Task<Result<compute::ComputeNode*>> Deployment::AddSecondary() {
@@ -171,9 +213,12 @@ sim::Task<Result<compute::ComputeNode*>> Deployment::AddSecondary() {
 
 sim::Task<Result<compute::ComputeNode*>> Deployment::AddSecondaryWithOptions(
     const compute::ComputeOptions& copts) {
+  compute::ComputeOptions node_opts = copts;
+  node_opts.chaos_injector = chaos_;
+  node_opts.chaos_site = NextComputeSite();
   auto node = std::make_unique<compute::ComputeNode>(
       sim_, compute::ComputeNode::Role::kSecondary, router_.get(), xlog_,
-      nullptr, copts);
+      nullptr, node_opts);
   SOCRATES_CO_RETURN_IF_ERROR(co_await node->StartSecondary());
   secondaries_.push_back(std::move(node));
   co_return secondaries_.back().get();
@@ -211,6 +256,7 @@ sim::Task<Status> Deployment::AddPageServerReplica(PartitionId partition) {
       pageserver::PageServer::BlobName(partition) + "-replica";
   auto replica = std::make_unique<pageserver::PageServer>(
       sim_, xlog_, xstore_, ps_opts);
+  replica->AttachChaos(chaos_, "ps-" + std::to_string(partition) + "-r0");
   SOCRATES_CO_RETURN_IF_ERROR(co_await replica->Start());
   // Visible to the RBIO client immediately: QoS replica selection can
   // route reads to it, and failover is a metadata flip.
@@ -231,6 +277,71 @@ sim::Task<Status> Deployment::FailoverPageServer(PartitionId partition) {
   // along); rerouting is a metadata operation.
   router_->Add(partition, it->second.get());
   co_return Status::OK();
+}
+
+ClusterMonitor* Deployment::EnableMonitor(const MonitorOptions& mopts) {
+  if (monitor_ == nullptr) {
+    monitor_ = std::make_unique<ClusterMonitor>(sim_, this, mopts);
+    monitor_->Start();
+  }
+  return monitor_.get();
+}
+
+void Deployment::CrashPrimary() {
+  if (primary_ != nullptr && primary_->alive()) primary_->Crash();
+}
+
+void Deployment::CrashSecondary(int idx) {
+  if (idx < 0 || idx >= num_secondaries()) return;
+  if (secondaries_[idx]->alive()) secondaries_[idx]->Crash();
+}
+
+void Deployment::CrashPageServer(int p) {
+  if (p < 0 || p >= num_page_servers()) return;
+  if (page_servers_[p]->running()) page_servers_[p]->Crash();
+}
+
+chaos::FaultTargets Deployment::ChaosTargets() {
+  chaos::FaultTargets t;
+  t.injector = chaos_;
+  t.primary_site = [this]() -> std::string {
+    return primary_ != nullptr ? primary_->chaos_site() : std::string();
+  };
+  t.page_server_site = [](int p) { return "ps-" + std::to_string(p); };
+  t.crash_primary = [this] { CrashPrimary(); };
+  t.crash_secondary = [this](int i) { CrashSecondary(i); };
+  t.crash_page_server = [this](int p) { CrashPageServer(p); };
+  t.inject_transient = [this](int p, int n) {
+    if (p >= 0 && p < num_page_servers()) {
+      page_servers_[p]->InjectTransientFailures(n);
+    }
+  };
+  return t;
+}
+
+pageserver::PageServer* Deployment::ServingPageServer(PartitionId p) {
+  return router_->ServerFor(opts_.partition_map.FirstPage(p));
+}
+
+sim::Task<Status> Deployment::RecoverPageServer(PartitionId p) {
+  if (p >= page_servers_.size()) {
+    co_return Status::InvalidArgument("no such partition");
+  }
+  pageserver::PageServer* ps = page_servers_[p].get();
+  // Start() on a crashed server reseeds from the XStore checkpoint and
+  // replays the log tail — the §4.3 restart path, no data copied from
+  // any compute node.
+  SOCRATES_CO_RETURN_IF_ERROR(co_await ps->Start());
+  router_->Add(p, ps);  // re-point (a replica may have been serving)
+  config_epoch_++;
+  co_return Status::OK();
+}
+
+void Deployment::RemoveSecondary(int idx) {
+  if (idx < 0 || idx >= num_secondaries()) return;
+  graveyard_.push_back(std::move(secondaries_[idx]));
+  secondaries_.erase(secondaries_.begin() + idx);
+  config_epoch_++;
 }
 
 sim::Task<Result<BackupHandle>> Deployment::Backup() {

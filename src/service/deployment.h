@@ -14,9 +14,11 @@
 #include <string>
 #include <vector>
 
+#include "chaos/fault_plan.h"
 #include "compute/compute_node.h"
 #include "hadr/hadr.h"
 #include "pageserver/page_server.h"
+#include "sim/sync.h"
 #include "xlog/landing_zone.h"
 #include "xlog/xlog_client.h"
 #include "xlog/xlog_process.h"
@@ -24,6 +26,9 @@
 
 namespace socrates {
 namespace service {
+
+class ClusterMonitor;
+struct MonitorOptions;
 
 struct DeploymentOptions {
   /// Landing-zone storage service (XIO vs DirectDrive, Appendix A).
@@ -84,6 +89,60 @@ class Deployment {
   engine::Engine* primary_engine() { return primary_->engine(); }
   Lsn durable_end() const { return lz_->durable_end(); }
   Lsn last_checkpoint_lsn() const { return last_checkpoint_lsn_; }
+  const xlog::PartitionMap& partition_map() const {
+    return opts_.partition_map;
+  }
+
+  // ----- Control plane & chaos.
+
+  /// The deployment-wide fault hub. Every tier is attached under a
+  /// stable site name: "compute-<serial>" (role-agnostic — a node keeps
+  /// its site through promotion), "ps-<p>" / "ps-<p>-r<i>", "xstore",
+  /// "lz", "logwriter".
+  chaos::Injector& chaos() { return *chaos_; }
+
+  /// Serializes every reconfiguration (failover, restart, monitor
+  /// auto-recovery). Public so the monitor and tests can hold it across
+  /// multi-step reconfigurations.
+  sim::Mutex& reconfig_mutex() { return *reconfig_mu_; }
+
+  /// Bumped after every completed reconfiguration; stale actors compare
+  /// epochs to detect that the topology moved under them.
+  uint64_t config_epoch() const { return config_epoch_; }
+  bool stopping() const { return stopping_; }
+
+  /// Attach and start the Service-Fabric-style failure detector +
+  /// auto-recovery loop. Call after Start(); returns the monitor.
+  ClusterMonitor* EnableMonitor(const MonitorOptions& mopts);
+  ClusterMonitor* monitor() { return monitor_.get(); }
+
+  /// Fault-plan hooks: kill a tier (VM death). The dead object keeps its
+  /// slot until a reconfiguration (Failover / monitor) replaces it.
+  void CrashPrimary();
+  void CrashSecondary(int idx);
+  void CrashPageServer(int p);
+
+  /// Callback bundle wiring chaos::SchedulePlan to this deployment.
+  chaos::FaultTargets ChaosTargets();
+
+  /// The server currently serving partition `p` (main or promoted
+  /// replica), as the RBIO router sees it.
+  pageserver::PageServer* ServingPageServer(PartitionId p);
+
+  /// Restart a crashed Page Server in place: reseed caches from its
+  /// XStore checkpoint + log replay, then re-point the router at it.
+  sim::Task<Status> RecoverPageServer(PartitionId p);
+
+  /// Drop a dead Secondary from the deployment (monitor replace path).
+  /// The object is parked, not destroyed — in-flight coroutines of the
+  /// dead incarnation must be allowed to observe their epoch fence.
+  void RemoveSecondary(int idx);
+
+  /// Failover/RestartPrimary bodies for callers that already hold
+  /// reconfig_mutex() (the monitor's recovery path composes these with
+  /// election under one critical section).
+  sim::Task<Status> FailoverLocked(int idx);
+  sim::Task<Status> RestartPrimaryLocked();
 
   // ----- Workflows (§5).
 
@@ -156,6 +215,9 @@ class Deployment {
              Deployment* parent, const std::string& blob_suffix);
 
   sim::Task<Status> StartPageServers();
+  std::string NextComputeSite() {
+    return "compute-" + std::to_string(compute_serial_++);
+  }
 
   sim::Simulator& sim_;
   DeploymentOptions opts_;
@@ -172,6 +234,18 @@ class Deployment {
       ps_replicas_;
   std::unique_ptr<compute::ComputeNode> primary_;
   std::vector<std::unique_ptr<compute::ComputeNode>> secondaries_;
+  // Dead nodes removed from the topology but kept alive: their crashed
+  // incarnations' coroutines unwind against the epoch fence, never a
+  // destroyed object.
+  std::vector<std::unique_ptr<compute::ComputeNode>> graveyard_;
+
+  std::unique_ptr<chaos::Injector> owned_chaos_;
+  chaos::Injector* chaos_ = nullptr;
+  std::unique_ptr<sim::Mutex> reconfig_mu_;
+  std::unique_ptr<ClusterMonitor> monitor_;
+  uint64_t config_epoch_ = 0;
+  int compute_serial_ = 0;
+  bool stopping_ = false;
 
   Lsn last_checkpoint_lsn_ = engine::kLogStreamStart;
   std::string blob_suffix_;  // PITR restores use fresh blob names

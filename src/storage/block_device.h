@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -55,8 +56,9 @@ class SimBlockDevice : public BlockDevice {
 
   sim::Task<Status> Read(uint64_t offset, uint64_t len,
                          std::string* out) override {
-    co_await sim::Delay(sim_, profile_.read.Sample(rng_));
-    if (!available_) co_return Status::Unavailable("device outage");
+    co_await sim::Delay(sim_, profile_.read.Sample(rng_) +
+                                  chaos_port_.GrayDelayUs());
+    if (chaos_port_.Out()) co_return Status::Unavailable("device outage");
     out->assign(len, '\0');
     ReadRaw(offset, len, out->data());
     stats_.reads++;
@@ -65,8 +67,9 @@ class SimBlockDevice : public BlockDevice {
   }
 
   sim::Task<Status> Write(uint64_t offset, Slice data) override {
-    co_await sim::Delay(sim_, profile_.write.Sample(rng_));
-    if (!available_) co_return Status::Unavailable("device outage");
+    co_await sim::Delay(sim_, profile_.write.Sample(rng_) +
+                                  chaos_port_.GrayDelayUs());
+    if (chaos_port_.Out()) co_return Status::Unavailable("device outage");
     WriteRaw(offset, data.data(), data.size());
     stats_.writes++;
     stats_.bytes_written += data.size();
@@ -77,9 +80,18 @@ class SimBlockDevice : public BlockDevice {
   const CounterStats& stats() const override { return stats_; }
 
   /// Outage injection: while unavailable, requests fail after their
-  /// modelled latency with Status::Unavailable.
-  void SetAvailable(bool available) { available_ = available; }
-  bool available() const { return available_; }
+  /// modelled latency with Status::Unavailable. (Shim over the chaos
+  /// port's local state; deployment-wide outage windows arrive through
+  /// AttachChaos instead.)
+  void SetAvailable(bool available) { chaos_port_.SetOutage(!available); }
+  bool available() const { return !chaos_port_.Out(); }
+
+  /// Join a deployment-wide fault hub under `site` (e.g. every replica
+  /// of the landing zone attaches as "lz", so one injector call opens a
+  /// whole-service outage window).
+  void AttachChaos(chaos::Injector* hub, const std::string& site) {
+    chaos_port_.Attach(hub, site);
+  }
 
   /// Synchronous backdoor used by tests and by crash-recovery assertions
   /// ("what is really on the media?"). Not part of the service data path.
@@ -125,7 +137,7 @@ class SimBlockDevice : public BlockDevice {
   sim::Simulator& sim_;
   sim::DeviceProfile profile_;
   Random rng_;
-  bool available_ = true;
+  chaos::SitePort chaos_port_;
   std::map<uint64_t, std::string> chunks_;
   CounterStats stats_;
 };
@@ -186,6 +198,13 @@ class ReplicatedBlockDevice : public BlockDevice {
 
   int num_replicas() const { return static_cast<int>(replicas_.size()); }
   SimBlockDevice* replica(int i) { return replicas_[i].get(); }
+
+  /// Attach every replica to the fault hub under one shared site: a
+  /// site outage then takes the whole replica set (no quorum), while
+  /// per-replica SetAvailable still works for partial failures.
+  void AttachChaos(chaos::Injector* hub, const std::string& site) {
+    for (auto& r : replicas_) r->AttachChaos(hub, site);
+  }
 
  private:
   struct WriteState {

@@ -124,8 +124,16 @@ sim::Task<> XLogClient::WriteBlockTask(LogBlock block) {
 }
 
 sim::Task<> XLogClient::DeliverAsync(LogBlock block) {
-  co_await sim::Delay(sim_, opts_.delivery_latency.Sample(rng_));
-  if (rng_.Bernoulli(opts_.delivery_loss_prob)) {
+  SimTime link_delay =
+      opts_.injector != nullptr
+          ? opts_.injector->LinkDelayUs(opts_.site, opts_.xlog_site)
+          : 0;
+  co_await sim::Delay(sim_, opts_.delivery_latency.Sample(rng_) +
+                                link_delay);
+  bool chaos_drop =
+      opts_.injector != nullptr &&
+      opts_.injector->DropMessage(opts_.site, opts_.xlog_site);
+  if (rng_.Bernoulli(opts_.delivery_loss_prob) || chaos_drop) {
     deliveries_lost_++;
     co_return;  // lost on the wire; XLOG will repair from the LZ
   }

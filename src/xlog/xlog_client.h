@@ -21,6 +21,7 @@
 #include <set>
 #include <string>
 
+#include "chaos/chaos.h"
 #include "common/random.h"
 #include "common/types.h"
 #include "engine/log_sink.h"
@@ -46,6 +47,14 @@ struct XLogClientOptions {
   sim::LatencyModel delivery_latency =
       sim::DeviceProfile::IntraDcNetwork().write;
   PartitionMap partition_map;
+  /// Chaos injection: async block deliveries consult the hub for a
+  /// partition / lossy-link verdict on site -> xlog_site and pay any
+  /// configured link delay. Durability notifications stay on the
+  /// reliable control channel (they are cumulative; XLOG repairs lost
+  /// blocks from the LZ — §4.3 liveness does not depend on delivery).
+  chaos::Injector* injector = nullptr;
+  std::string site = "logwriter";
+  std::string xlog_site = "xlog";
 };
 
 class XLogClient : public engine::LogSink {

@@ -87,8 +87,18 @@ void XLogProcess::TryAdmit() {
 sim::Task<> XLogProcess::RepairGap(Lsn from, Lsn to) {
   Result<std::string> bytes = co_await lz_->Read(from, to);
   repairs_++;
+  if (!bytes.ok()) {
+    // A failed read (LZ outage window, or a hardened mark that ran ahead
+    // of the LZ's durable end) can complete without ever suspending; a
+    // synchronous retry would recurse TryAdmit -> RepairGap on the C++
+    // stack. Back off on the simulator clock instead.
+    co_await sim::Delay(sim_, kRepairDelayUs);
+    repairing_ = false;
+    TryAdmit();
+    co_return;
+  }
   repairing_ = false;
-  if (bytes.ok() && available_.value() == from) {
+  if (available_.value() == from) {
     std::string payload = std::move(bytes).value();
     std::set<PartitionId> parts = AnnotatePayload(Slice(payload));
     Admit(LogBlock::Make(from, std::move(payload), std::move(parts)));

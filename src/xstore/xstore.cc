@@ -14,7 +14,7 @@ sim::Task<Status> XStore::Write(const std::string& blob, uint64_t offset,
   co_await sim::Delay(
       sim_, static_cast<SimTime>(static_cast<double>(data.size()) /
                                  bandwidth_mb_s_));
-  if (!available_) co_return Status::Unavailable("xstore outage");
+  if (!available()) co_return Status::Unavailable("xstore outage");
   log_.emplace_back(data.data(), data.size());
   stored_bytes_ += data.size();
   Blob& b = blobs_[blob];
@@ -29,7 +29,7 @@ sim::Task<Status> XStore::Read(const std::string& blob, uint64_t offset,
   co_await sim::Delay(sim_, profile_.read.Sample(rng_));
   co_await sim::Delay(sim_, static_cast<SimTime>(static_cast<double>(len) /
                                                  bandwidth_mb_s_));
-  if (!available_) co_return Status::Unavailable("xstore outage");
+  if (!available()) co_return Status::Unavailable("xstore outage");
   auto it = blobs_.find(blob);
   if (it == blobs_.end()) co_return Status::NotFound("blob " + blob);
   out->assign(len, '\0');
@@ -42,7 +42,7 @@ sim::Task<Status> XStore::Read(const std::string& blob, uint64_t offset,
 sim::Task<Result<SnapshotId>> XStore::Snapshot(const std::string& blob) {
   // Constant-time: metadata only, no dependence on blob size.
   co_await sim::Delay(sim_, kMetaOpLatencyUs);
-  if (!available_) {
+  if (!available()) {
     co_return Result<SnapshotId>(Status::Unavailable("xstore outage"));
   }
   auto it = blobs_.find(blob);
@@ -56,7 +56,7 @@ sim::Task<Result<SnapshotId>> XStore::Snapshot(const std::string& blob) {
 
 sim::Task<Status> XStore::Restore(SnapshotId snap, const std::string& dst) {
   co_await sim::Delay(sim_, kMetaOpLatencyUs);
-  if (!available_) co_return Status::Unavailable("xstore outage");
+  if (!available()) co_return Status::Unavailable("xstore outage");
   auto it = snapshots_.find(snap);
   if (it == snapshots_.end()) {
     co_return Status::NotFound("snapshot " + std::to_string(snap));
@@ -67,7 +67,7 @@ sim::Task<Status> XStore::Restore(SnapshotId snap, const std::string& dst) {
 
 sim::Task<Status> XStore::Delete(const std::string& blob) {
   co_await sim::Delay(sim_, kMetaOpLatencyUs);
-  if (!available_) co_return Status::Unavailable("xstore outage");
+  if (!available()) co_return Status::Unavailable("xstore outage");
   blobs_.erase(blob);
   co_return Status::OK();
 }

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -80,8 +81,14 @@ class XStore {
   std::vector<std::string> List(const std::string& prefix) const;
 
   /// Outage injection; while down, every operation fails Unavailable.
-  void SetAvailable(bool a) { available_ = a; }
-  bool available() const { return available_; }
+  /// (Shim over the chaos port; deployment-wide outage windows come in
+  /// through AttachChaos under site "xstore".)
+  void SetAvailable(bool a) { chaos_port_.SetOutage(!a); }
+  bool available() const { return !chaos_port_.Out(); }
+
+  void AttachChaos(chaos::Injector* hub, const std::string& site) {
+    chaos_port_.Attach(hub, site);
+  }
 
   /// Total data bytes ever appended to the store log (storage-cost
   /// accounting for the Table 1 "storage impact" comparison).
@@ -117,7 +124,7 @@ class XStore {
   sim::DeviceProfile profile_;
   double bandwidth_mb_s_;
   Random rng_;
-  bool available_ = true;
+  chaos::SitePort chaos_port_;
 
   std::deque<std::string> log_;  // append-only data segments
   std::unordered_map<std::string, Blob> blobs_;
