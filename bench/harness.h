@@ -101,6 +101,9 @@ struct SocratesBed {
   std::unique_ptr<workload::CdbWorkload> cdb;
   /// Optional hook to tweak workload options before Build constructs it.
   std::function<void(workload::CdbOptions*)> tweak_copts;
+  /// Optional hook to tweak deployment options (e.g. the log-block
+  /// sizing policy or compression) after the defaults are filled in.
+  std::function<void(service::DeploymentOptions*)> tweak_dopts;
 
   // `cache_mem_frac` / `cache_ssd_frac` size the compute cache relative
   // to the loaded database.
@@ -128,6 +131,7 @@ struct SocratesBed {
         32, static_cast<uint64_t>(db_pages * cache_ssd_frac));
     dopts.page_server.mem_pages = 512;
     dopts.xlog_client.max_inflight_writes = lz_max_inflight;
+    if (tweak_dopts) tweak_dopts(&dopts);
     deployment = std::make_unique<service::Deployment>(sim, dopts);
 
     RunSim(sim, [&]() -> sim::Task<> {

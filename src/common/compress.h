@@ -1,0 +1,35 @@
+// Block compressor for the log path (LZ4-block-style byte-oriented LZ77).
+//
+// Log payloads are small (a few KiB to a few hundred KiB), written once on
+// the commit critical path and decompressed on repair/pull paths, so the
+// codec favors cheap, deterministic, dependency-free encode over ratio.
+// Format (all little-endian):
+//   sequence*: [u8 token] [literal-len ext]* [literals]
+//              [u16 match-offset] [match-len ext]*
+// where token = (lit_len<<4 | match_len-kMinMatch), nibble 15 means
+// "extended with 255-run bytes". The final sequence has no match part
+// (offset 0 terminates). Same input always yields the same output — block
+// boundaries derived from compressed sizes stay reproducible across runs.
+
+#pragma once
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace socrates {
+namespace compress {
+
+/// Append the compressed form of `input` to `*out`. Returns the number of
+/// bytes appended. Never fails; incompressible input expands by at most
+/// ~0.5% + 12 bytes (callers keep the raw form when that happens).
+size_t Compress(Slice input, std::string* out);
+
+/// Decompress exactly `raw_len` bytes into `*out` (replacing its
+/// contents). Returns Corruption if `input` is malformed or does not
+/// decode to exactly `raw_len` bytes.
+Status Decompress(Slice input, size_t raw_len, std::string* out);
+
+}  // namespace compress
+}  // namespace socrates

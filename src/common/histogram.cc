@@ -37,6 +37,10 @@ void Histogram::Clear() {
   sum_ = 0;
   sum_squares_ = 0;
   buckets_.assign(Limits().size(), 0);
+  exact_ = true;
+  samples_sorted_ = true;
+  samples_.clear();
+  samples_.shrink_to_fit();
 }
 
 void Histogram::Add(double value) {
@@ -50,6 +54,16 @@ void Histogram::Add(double value) {
   count_++;
   sum_ += value;
   sum_squares_ += value * value;
+  if (exact_) {
+    if (samples_.size() < kExactSampleCap) {
+      samples_.push_back(value);
+      samples_sorted_ = false;
+    } else {
+      exact_ = false;
+      samples_.clear();
+      samples_.shrink_to_fit();
+    }
+  }
 }
 
 void Histogram::Merge(const Histogram& other) {
@@ -60,6 +74,16 @@ void Histogram::Merge(const Histogram& other) {
   sum_squares_ += other.sum_squares_;
   for (size_t i = 0; i < buckets_.size(); i++) {
     buckets_[i] += other.buckets_[i];
+  }
+  if (exact_ && other.exact_ &&
+      samples_.size() + other.samples_.size() <= kExactSampleCap) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    samples_sorted_ = false;
+  } else {
+    exact_ = false;
+    samples_.clear();
+    samples_.shrink_to_fit();
   }
 }
 
@@ -89,6 +113,19 @@ double Histogram::FractionBelow(double v) const {
 
 double Histogram::Percentile(double p) const {
   if (count_ == 0) return 0.0;
+  if (exact_ && !samples_.empty()) {
+    if (!samples_sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      samples_sorted_ = true;
+    }
+    // Linear interpolation between order statistics.
+    double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    if (rank <= 0) return samples_.front();
+    size_t lo = static_cast<size_t>(rank);
+    if (lo + 1 >= samples_.size()) return samples_.back();
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] + (samples_[lo + 1] - samples_[lo]) * frac;
+  }
   const auto& limits = Limits();
   double threshold = static_cast<double>(count_) * (p / 100.0);
   double cumulative = 0;

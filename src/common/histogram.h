@@ -18,6 +18,11 @@ class Histogram {
   void Merge(const Histogram& other);
   void Clear();
 
+  /// Raw samples kept for exact percentiles until this many have been
+  /// added (or merged); past the cap, Percentile falls back to
+  /// exponential-bucket interpolation (~15% granularity).
+  static constexpr size_t kExactSampleCap = 1u << 18;
+
   uint64_t count() const { return count_; }
   double min() const { return count_ ? min_ : 0; }
   double max() const { return max_; }
@@ -40,6 +45,11 @@ class Histogram {
   double sum_;
   double sum_squares_;
   std::vector<uint64_t> buckets_;
+  // Exact-percentile reservoir; dropped (exact_ = false) once the cap is
+  // exceeded. Sorted lazily inside Percentile.
+  bool exact_;
+  mutable bool samples_sorted_;
+  mutable std::vector<double> samples_;
 };
 
 /// Simple monotonically increasing counter bundle keyed by name; cheap

@@ -92,6 +92,18 @@ struct DeviceProfile {
   LatencyModel write;
   SimTime cpu_per_io_us = 0;
   double cpu_per_kb_us = 0;
+  /// Wire bandwidth to the device in MB/s; each request pays an extra
+  /// size/bandwidth transfer term on top of the sampled base latency.
+  /// 0 disables the term (base latency already includes transfer for
+  /// the request sizes the profile was calibrated at). 1 MB/s == 1
+  /// byte/us, so the delay is simply bytes / wire_mb_per_s.
+  double wire_mb_per_s = 0;
+
+  SimTime TransferUs(uint64_t bytes) const {
+    if (wire_mb_per_s <= 0) return 0;
+    return static_cast<SimTime>(static_cast<double>(bytes) /
+                                wire_mb_per_s);
+  }
 
   /// Locally attached NVMe SSD (RBPEX backing, XLOG block cache).
   static DeviceProfile LocalSsd() {
@@ -111,6 +123,7 @@ struct DeviceProfile {
     p.write = LatencyModel::LogNormal(3250, 0.14, 2450, 36000);
     p.cpu_per_io_us = 320;  // expensive REST call
     p.cpu_per_kb_us = 45;   // HTTPS/REST serializes every byte
+    p.wire_mb_per_s = 250;  // REST front end caps per-stream bandwidth
     return p;
   }
 
@@ -120,8 +133,9 @@ struct DeviceProfile {
     DeviceProfile p;
     p.read = LatencyModel::LogNormal(700, 0.2, 440, 39000);
     p.write = LatencyModel::LogNormal(790, 0.2, 470, 39000);
-    p.cpu_per_io_us = 40;  // cheap Win32 path
-    p.cpu_per_kb_us = 6;   // RDMA: minimal per-byte CPU
+    p.cpu_per_io_us = 40;     // cheap Win32 path
+    p.cpu_per_kb_us = 6;      // RDMA: minimal per-byte CPU
+    p.wire_mb_per_s = 2000;   // RDMA line rate
     return p;
   }
 

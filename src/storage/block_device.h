@@ -57,6 +57,7 @@ class SimBlockDevice : public BlockDevice {
   sim::Task<Status> Read(uint64_t offset, uint64_t len,
                          std::string* out) override {
     co_await sim::Delay(sim_, profile_.read.Sample(rng_) +
+                                  profile_.TransferUs(len) +
                                   chaos_port_.GrayDelayUs());
     if (chaos_port_.Out()) co_return Status::Unavailable("device outage");
     out->assign(len, '\0');
@@ -68,6 +69,7 @@ class SimBlockDevice : public BlockDevice {
 
   sim::Task<Status> Write(uint64_t offset, Slice data) override {
     co_await sim::Delay(sim_, profile_.write.Sample(rng_) +
+                                  profile_.TransferUs(data.size()) +
                                   chaos_port_.GrayDelayUs());
     if (chaos_port_.Out()) co_return Status::Unavailable("device outage");
     WriteRaw(offset, data.data(), data.size());

@@ -6,6 +6,13 @@
 // block cache and the long-term archive (LT) in XStore. If destaging
 // falls behind and the buffer fills, writes fail with OutOfSpace and the
 // Primary stalls — exactly the backpressure the paper describes.
+//
+// Blocks are variable-size and may be stored compressed, so the LZ keeps
+// two coordinate systems: the *logical* log stream (LSNs, what consumers
+// read) and the *physical* circular buffer (stored bytes, what space
+// accounting is charged against). An extent index maps each reserved
+// block from one to the other. When every block is stored raw the two
+// streams coincide byte-for-byte with the original fixed layout.
 
 #pragma once
 
@@ -35,94 +42,89 @@ class LandingZone {
             sim, profile, /*replicas=*/3, /*quorum=*/2, seed)),
         start_lsn_(engine::kLogStreamStart),
         durable_end_(engine::kLogStreamStart),
-        reserved_end_(engine::kLogStreamStart) {}
+        reserved_end_(engine::kLogStreamStart),
+        phys_start_(engine::kLogStreamStart),
+        phys_reserved_end_(engine::kLogStreamStart) {}
 
-  /// Reserve the next byte range for a pipelined write. Synchronous:
-  /// ranges are issued strictly in order (single log writer), but many
-  /// reserved writes may be in flight at once — the real system keeps
-  /// several outstanding log-block I/Os. Fails OutOfSpace when the
-  /// circular buffer cannot hold the block until truncation.
-  Status TryReserve(Lsn lsn, uint64_t size) {
-    if (lsn != reserved_end_) {
+  /// Reserve the next logical range for a pipelined write, occupying
+  /// `stored_size` physical bytes (the compressed form when `compressed`).
+  /// Synchronous: ranges are issued strictly in order (single log
+  /// writer), but many reserved writes may be in flight at once — the
+  /// real system keeps several outstanding log-block I/Os. Fails
+  /// OutOfSpace when the circular buffer cannot hold the stored bytes
+  /// until truncation; accounting is exact, so a reserve fails iff the
+  /// physical bytes genuinely do not fit.
+  Status TryReserve(Lsn lsn, uint64_t logical_size, uint64_t stored_size,
+                    bool compressed) {
+    if (lsn != reserved_end_ || logical_size == 0 || stored_size == 0) {
       return Status::InvalidArgument("non-contiguous LZ reserve");
     }
-    if (lsn + size - start_lsn_ > capacity_) {
+    if (phys_reserved_end_ + stored_size - phys_start_ > capacity_) {
       return Status::OutOfSpace("landing zone full (destaging behind)");
     }
-    reserved_end_ = lsn + size;
+    extents_[lsn] =
+        Extent{logical_size, stored_size, phys_reserved_end_, compressed};
+    reserved_end_ = lsn + logical_size;
+    phys_reserved_end_ += stored_size;
     return Status::OK();
   }
 
-  /// Durably write a previously reserved range. The durable end advances
-  /// only over the contiguous prefix of completed writes, so hardening
-  /// order equals log order even when device completions reorder.
-  sim::Task<Status> WriteReserved(Lsn lsn, Slice data) {
-    // Map logical offsets modulo capacity; split at the wrap point.
-    uint64_t off = lsn % capacity_;
-    uint64_t first = std::min<uint64_t>(data.size(), capacity_ - off);
-    Status s = co_await device_->Write(off, Slice(data.data(), first));
-    if (s.ok() && first < data.size()) {
-      s = co_await device_->Write(
-          0, Slice(data.data() + first, data.size() - first));
-    }
-    if (!s.ok()) co_return s;
-    completed_[lsn] = lsn + data.size();
-    while (true) {
-      auto it = completed_.find(durable_end_);
-      if (it == completed_.end()) break;
-      durable_end_ = it->second;
-      completed_.erase(it);
-    }
-    if (on_durable_advance_) on_durable_advance_(durable_end_);
-    co_return Status::OK();
+  /// Raw-block reservation (stored == logical); the degenerate layout.
+  Status TryReserve(Lsn lsn, uint64_t size) {
+    return TryReserve(lsn, size, size, /*compressed=*/false);
   }
 
-  /// Convenience single-in-flight write (reserve + write).
-  sim::Task<Status> Write(Lsn lsn, Slice data) {
-    Status r = TryReserve(lsn, data.size());
-    if (!r.ok()) co_return r;
-    co_return co_await WriteReserved(lsn, data);
-  }
+  /// Durably write a previously reserved range. `data` is the *stored*
+  /// form and must match the reservation's stored size. The durable end
+  /// advances only over the contiguous prefix of completed writes, so
+  /// hardening order equals log order even when device completions
+  /// reorder.
+  sim::Task<Status> WriteReserved(Lsn lsn, Slice data);
+
+  /// Convenience single-in-flight raw write (reserve + write).
+  sim::Task<Status> Write(Lsn lsn, Slice data);
 
   /// Invoked (synchronously) whenever the durable end advances.
   void set_on_durable_advance(std::function<void(Lsn)> fn) {
     on_durable_advance_ = std::move(fn);
   }
 
-  /// Read stream bytes [from, to). The range must be inside the retained
-  /// window [start_lsn, durable_end).
-  sim::Task<Result<std::string>> Read(Lsn from, Lsn to) {
-    if (from < start_lsn_ || to > durable_end_ || from > to) {
-      co_return Result<std::string>(
-          Status::InvalidArgument("LZ read outside retained window"));
-    }
-    std::string out;
-    out.reserve(to - from);
-    uint64_t len = to - from;
-    uint64_t off = from % capacity_;
-    uint64_t first = std::min<uint64_t>(len, capacity_ - off);
-    std::string part;
-    Status s = co_await device_->Read(off, first, &part);
-    if (!s.ok()) co_return Result<std::string>(s);
-    out = std::move(part);
-    if (first < len) {
-      s = co_await device_->Read(0, len - first, &part);
-      if (!s.ok()) co_return Result<std::string>(s);
-      out += part;
-    }
-    co_return std::move(out);
-  }
+  /// Read stream bytes [from, to), decompressing stored blocks as
+  /// needed. The range must be inside the retained window
+  /// [start_lsn, durable_end). Issues one coalesced device read for the
+  /// covering physical span (split only at the buffer wrap), the same
+  /// request count as the fixed layout.
+  sim::Task<Result<std::string>> Read(Lsn from, Lsn to);
 
   /// Release space up to `lsn` (called once destaging has archived it).
+  /// The logical window may start mid-block; physical bytes are freed
+  /// only when a whole stored block falls below the window.
   void Truncate(Lsn lsn) {
     if (lsn > start_lsn_) start_lsn_ = std::min(lsn, durable_end_);
+    while (!extents_.empty()) {
+      auto it = extents_.begin();
+      if (it->first + it->second.logical_len > start_lsn_) break;
+      phys_start_ = it->second.phys_pos + it->second.stored_len;
+      extents_.erase(it);
+    }
   }
 
   Lsn start_lsn() const { return start_lsn_; }
   Lsn durable_end() const { return durable_end_; }
   Lsn reserved_end() const { return reserved_end_; }
   uint64_t capacity() const { return capacity_; }
+  /// Logical window size (consumer-visible stream bytes retained).
   uint64_t used_bytes() const { return reserved_end_ - start_lsn_; }
+  /// Physical occupancy: stored bytes reserved and not yet freed. This
+  /// is what OutOfSpace is charged against.
+  uint64_t stored_bytes() const { return phys_reserved_end_ - phys_start_; }
+  uint64_t peak_stored_bytes() const { return peak_stored_bytes_; }
+  /// Cumulative write-side counters (compression effectiveness).
+  uint64_t logical_bytes_written() const { return logical_bytes_written_; }
+  uint64_t stored_bytes_written() const { return stored_bytes_written_; }
+  uint64_t compressed_blocks_written() const {
+    return compressed_blocks_written_;
+  }
 
   /// CPU the Primary burns per LZ write of `bytes` (REST vs RDMA path —
   /// the per-request and per-byte costs behind Table 7).
@@ -136,13 +138,35 @@ class LandingZone {
   storage::ReplicatedBlockDevice* device() { return device_.get(); }
 
  private:
+  struct Extent {
+    uint64_t logical_len = 0;
+    uint64_t stored_len = 0;
+    uint64_t phys_pos = 0;  // monotonic physical stream position
+    bool compressed = false;
+  };
+
+  // Write [pos, pos + data.size()) of the monotonic physical stream,
+  // splitting at the circular-buffer wrap.
+  sim::Task<Status> WritePhysical(uint64_t pos, Slice data);
+
   uint64_t capacity_;
   double profile_cpu_per_kb_;
   std::unique_ptr<storage::ReplicatedBlockDevice> device_;
   Lsn start_lsn_;
   Lsn durable_end_;
   Lsn reserved_end_;
-  std::map<Lsn, Lsn> completed_;  // out-of-order completions: start -> end
+  // Physical stream: monotonically growing byte positions, mapped onto
+  // the device modulo capacity. Occupancy = reserved_end - start. Starts
+  // at kLogStreamStart so the all-raw layout is byte-identical to the
+  // original lsn-addressed circular buffer.
+  uint64_t phys_start_;
+  uint64_t phys_reserved_end_;
+  uint64_t peak_stored_bytes_ = 0;
+  uint64_t logical_bytes_written_ = 0;
+  uint64_t stored_bytes_written_ = 0;
+  uint64_t compressed_blocks_written_ = 0;
+  std::map<Lsn, Extent> extents_;     // start lsn -> stored extent
+  std::map<Lsn, Lsn> completed_;      // out-of-order completions
   std::function<void(Lsn)> on_durable_advance_;
 };
 

@@ -1,5 +1,9 @@
 #include "xlog/xlog_client.h"
 
+#include <algorithm>
+
+#include "common/compress.h"
+
 namespace socrates {
 namespace xlog {
 
@@ -17,7 +21,9 @@ XLogClient::XLogClient(sim::Simulator& sim, LandingZone* lz,
       hardened_(sim),
       work_available_(sim),
       inflight_(std::make_unique<sim::Semaphore>(
-          sim, options.max_inflight_writes)) {
+          sim, options.max_inflight_writes)),
+      wire_version_(std::min(options.frame_version, kBlockFrameVersionMax)) {
+  if (wire_version_ < kBlockFrameV1) wire_version_ = kBlockFrameV1;
   hardened_.Advance(lz->durable_end());
   // Hardening follows the LZ's in-order durable frontier; each advance
   // wakes committed transactions (group commit) and tells XLOG it may
@@ -42,6 +48,20 @@ void XLogClient::Stop() {
 Lsn XLogClient::Append(const engine::LogRecord& rec) {
   std::string payload = rec.Encode();
   Lsn lsn = end_lsn_;
+  SimTime now = sim_.now();
+  if (buffer_.empty()) {
+    buffer_first_append_us_ = now;
+    // Gap between buffer refills, not between raw appends: a multi-record
+    // transaction appends in a burst, and counting intra-burst gaps would
+    // make a lone committer look like a steady arrival stream.
+    if (have_last_append_) {
+      double gap = static_cast<double>(now - last_append_us_);
+      ewma_gap_us_ = opts_.adaptive_ewma_alpha * gap +
+                     (1 - opts_.adaptive_ewma_alpha) * ewma_gap_us_;
+    }
+    have_last_append_ = true;
+    last_append_us_ = now;
+  }
   engine::FrameRecord(&buffer_, Slice(payload));
   end_lsn_ = lsn + engine::FramedSize(payload.size());
   if (rec.HasPage()) {
@@ -63,6 +83,16 @@ sim::Task<Status> XLogClient::Flush() {
   co_return Status::OK();
 }
 
+uint64_t XLogClient::TargetBlockBytes() const {
+  // The bytes that arrive during one quorum write: batching to this size
+  // keeps the device pipeline busy without queueing. At low load the
+  // product collapses below one record and the flusher cuts immediately.
+  double target = ewma_arrival_bpu_ * ewma_write_lat_us_;
+  if (target < 0) target = 0;
+  return std::min<uint64_t>(opts_.max_block_bytes,
+                            static_cast<uint64_t>(target));
+}
+
 sim::Task<> XLogClient::FlusherLoop() {
   while (true) {
     if (buffer_.empty()) {
@@ -71,6 +101,40 @@ sim::Task<> XLogClient::FlusherLoop() {
       co_await work_available_.Wait();
       if (!running_ && buffer_.empty()) break;
       continue;
+    }
+    // Adaptive sizing: hold the cut (bounded) while the buffer is below
+    // the controller's target, letting concurrent appends coalesce.
+    if (opts_.block_sizing == BlockSizing::kAdaptive && running_) {
+      uint64_t target = TargetBlockBytes();
+      // Hold only when the next append is expected well inside the hold
+      // budget. A lone committer's next record arrives only after *this*
+      // commit completes, so holding for it can never fill the block —
+      // it would just burn the cap and inflate the latency EWMA into a
+      // feedback loop.
+      bool arrivals_expected =
+          ewma_gap_us_ > 0 &&
+          ewma_gap_us_ * 2 <=
+              static_cast<double>(opts_.adaptive_hold_cap_us);
+      if (buffer_.size() < target && arrivals_expected) {
+        adaptive_holds_++;
+        SimTime deadline = sim_.now() + opts_.adaptive_hold_cap_us;
+        SimTime last_growth_us = sim_.now();
+        uint64_t last_size = buffer_.size();
+        double stall_budget =
+            std::max(ewma_gap_us_ * 2,
+                     static_cast<double>(opts_.adaptive_hold_quantum_us));
+        while (running_ && buffer_.size() < target &&
+               sim_.now() < deadline) {
+          co_await sim::Delay(sim_, opts_.adaptive_hold_quantum_us);
+          if (buffer_.size() > last_size) {
+            last_size = buffer_.size();
+            last_growth_us = sim_.now();
+          } else if (static_cast<double>(sim_.now() - last_growth_us) >
+                     stall_budget) {
+            break;  // arrivals ceased mid-hold: cut what we have
+          }
+        }
+      }
     }
     // Cut a block: whole record frames only, up to the block size cap
     // (consumers parse block payloads independently, so a frame must
@@ -84,10 +148,41 @@ sim::Task<> XLogClient::FlusherLoop() {
     buffer_start_ += take;
     if (buffer_.empty()) buffer_partitions_.clear();
 
+    SimTime now = sim_.now();
+    hist_enqueue_us_.Add(static_cast<double>(now - buffer_first_append_us_));
+    if (!buffer_.empty()) buffer_first_append_us_ = now;
+    hist_flush_bytes_.Add(static_cast<double>(take));
+    // Arrival-rate EWMA, measured block-to-block on the sim clock.
+    if (have_last_cut_ && now > last_cut_us_) {
+      double rate = static_cast<double>(take) /
+                    static_cast<double>(now - last_cut_us_);
+      ewma_arrival_bpu_ = opts_.adaptive_ewma_alpha * rate +
+                          (1 - opts_.adaptive_ewma_alpha) *
+                              ewma_arrival_bpu_;
+    }
+    have_last_cut_ = true;
+    last_cut_us_ = now;
+
+    // Compress the stored form when enabled; incompressible blocks stay
+    // raw so the LZ's accounting (and the frame flag) never lies.
+    std::string stored;
+    bool compressed = false;
+    if (opts_.compress_blocks) {
+      compress::Compress(Slice(block.payload), &stored);
+      if (stored.size() < block.payload.size()) {
+        compressed = true;
+      } else {
+        stored.clear();
+      }
+    }
+    uint64_t stored_size =
+        compressed ? stored.size() : block.payload.size();
+
     // Reserve the block's LZ range in log order; stall while the LZ is
     // full (destaging behind, §4.3).
     while (true) {
-      Status r = lz_->TryReserve(block.start_lsn, block.payload.size());
+      Status r = lz_->TryReserve(block.start_lsn, block.payload.size(),
+                                 stored_size, compressed);
       if (r.ok()) break;
       lz_stalls_++;
       co_await sim::Delay(sim_, 1000);
@@ -100,30 +195,58 @@ sim::Task<> XLogClient::FlusherLoop() {
 
     // Durability path: pipelined quorum write; bounded in-flight.
     co_await inflight_->Acquire();
-    sim::Spawn(sim_, WriteBlockTask(std::move(block)));
+    sim::Spawn(sim_, WriteBlockTask(std::move(block), std::move(stored),
+                                    compressed, sim_.now()));
   }
   stopped_ = true;
 }
 
-sim::Task<> XLogClient::WriteBlockTask(LogBlock block) {
+sim::Task<> XLogClient::WriteBlockTask(LogBlock block, std::string stored,
+                                       bool compressed,
+                                       SimTime cut_at_us) {
+  Slice data = compressed ? Slice(stored) : Slice(block.payload);
   // The per-I/O + per-byte CPU cost (REST vs RDMA path) lands on the
-  // Primary (Table 7).
+  // Primary (Table 7); compression trades a cheap per-KB encode for the
+  // much larger per-KB wire cost of the stored bytes.
   if (cpu_ != nullptr) {
-    co_await cpu_->Consume(lz_->WriteCpuCostUs(block.payload.size()));
+    SimTime cost = lz_->WriteCpuCostUs(data.size());
+    if (opts_.compress_blocks) {
+      cost += static_cast<SimTime>(kCompressCpuUsPerKb *
+                                   block.payload.size() / 1024.0);
+    }
+    co_await cpu_->Consume(cost);
   }
   while (true) {
-    Status s = co_await lz_->WriteReserved(block.start_lsn,
-                                           Slice(block.payload));
+    Status s = co_await lz_->WriteReserved(block.start_lsn, data);
     if (s.ok()) break;
     lz_stalls_++;
     co_await sim::Delay(sim_, 1000);  // transient replica-set outage
   }
+  SimTime done = sim_.now();
+  hist_quorum_us_.Add(static_cast<double>(done - cut_at_us));
+  ewma_write_lat_us_ =
+      opts_.adaptive_ewma_alpha * static_cast<double>(done - cut_at_us) +
+      (1 - opts_.adaptive_ewma_alpha) * ewma_write_lat_us_;
   blocks_written_++;
   bytes_written_ += block.payload.size();
+  stored_bytes_written_ += data.size();
+  if (compressed) compressed_blocks_++;
+  if (xlog_ != nullptr) {
+    sim::Spawn(sim_, VisibleWatch(block.end_lsn(), done));
+  }
   inflight_->Release();
 }
 
+sim::Task<> XLogClient::VisibleWatch(Lsn end, SimTime hardened_at_us) {
+  co_await xlog_->available().WaitFor(end);
+  hist_visible_us_.Add(static_cast<double>(sim_.now() - hardened_at_us));
+}
+
 sim::Task<> XLogClient::DeliverAsync(LogBlock block) {
+  std::string frame = EncodeBlockFrame(
+      block, wire_version_,
+      opts_.compress_blocks && wire_version_ >= kBlockFrameV2);
+  wire_bytes_sent_ += frame.size();
   SimTime link_delay =
       opts_.injector != nullptr
           ? opts_.injector->LinkDelayUs(opts_.site, opts_.xlog_site)
@@ -137,7 +260,16 @@ sim::Task<> XLogClient::DeliverAsync(LogBlock block) {
     deliveries_lost_++;
     co_return;  // lost on the wire; XLOG will repair from the LZ
   }
-  xlog_->DeliverBlock(std::move(block));
+  Status s = xlog_->DeliverFrame(Slice(frame));
+  if (s.IsNotSupported() && wire_version_ > kBlockFrameV1) {
+    // Version negotiation miss: the receiver is older than us. Downgrade
+    // for all future sends and re-encode this block at the floor.
+    wire_version_ = kBlockFrameV1;
+    frame_downgrades_++;
+    frame = EncodeBlockFrame(block, wire_version_, false);
+    wire_bytes_sent_ += frame.size();
+    (void)xlog_->DeliverFrame(Slice(frame));
+  }
 }
 
 sim::Task<> XLogClient::NotifyAsync(Lsn hardened) {

@@ -12,6 +12,22 @@
 // all commits in the block — group commit) and a durability notification
 // is sent to XLOG so it can move the block out of the pending area.
 //
+// Block sizing is a policy. kFixed cuts greedily up to the cap (the
+// original behavior; implicit batching only through the in-flight write
+// limit). kAdaptive runs a BtrLog-style controller: the target block size
+// is the EWMA arrival rate times the EWMA quorum-write latency — the
+// bytes that would arrive while one write is in flight — clamped to the
+// cap. A hold is only taken when the EWMA inter-append gap fits well
+// inside the hold budget: a lone committer's next record arrives only
+// after its current commit completes, so at low load the flusher cuts
+// immediately (no added latency); under fan-in it holds the buffer
+// (bounded) to amortize per-I/O cost over bigger blocks.
+//
+// Blocks may be stored compressed in the LZ and travel the async wire as
+// versioned frames; when the XLOG process answers NotSupported the client
+// downgrades the frame version and re-encodes (kGetPageBatch-style
+// negotiation).
+//
 // If the LZ is full (destaging behind) the flusher stalls and retries:
 // the Primary cannot process update transactions until space frees (§4.3).
 
@@ -22,6 +38,7 @@
 #include <string>
 
 #include "chaos/chaos.h"
+#include "common/histogram.h"
 #include "common/random.h"
 #include "common/types.h"
 #include "engine/log_sink.h"
@@ -34,6 +51,11 @@
 
 namespace socrates {
 namespace xlog {
+
+enum class BlockSizing {
+  kFixed,     // greedy cut up to max_block_bytes (degenerate baseline)
+  kAdaptive,  // rate x latency controller, bounded hold
+};
 
 struct XLogClientOptions {
   uint64_t max_block_bytes = kMaxLogBlockSize;
@@ -55,6 +77,24 @@ struct XLogClientOptions {
   chaos::Injector* injector = nullptr;
   std::string site = "logwriter";
   std::string xlog_site = "xlog";
+
+  /// Group-commit block sizing policy. kFixed reproduces the original
+  /// behavior byte-for-byte.
+  BlockSizing block_sizing = BlockSizing::kFixed;
+  /// Adaptive controller: hold-poll quantum and the hard cap on how long
+  /// a cut may be delayed waiting for the target to fill.
+  SimTime adaptive_hold_quantum_us = 50;
+  /// Roughly half a quorum-write latency on the slow (XIO) path: holding
+  /// longer than the per-I/O cost it amortizes away is a bad trade.
+  SimTime adaptive_hold_cap_us = 2000;
+  double adaptive_ewma_alpha = 0.2;
+
+  /// Compress block payloads (LZ storage and the v2 wire frame). Blocks
+  /// that do not shrink are kept raw.
+  bool compress_blocks = false;
+  /// Highest frame version to attempt on the async wire; downgraded at
+  /// runtime when the receiver answers NotSupported.
+  uint16_t frame_version = kBlockFrameVersionMax;
 };
 
 class XLogClient : public engine::LogSink {
@@ -82,16 +122,43 @@ class XLogClient : public engine::LogSink {
   /// Wait until everything appended so far is hardened.
   sim::Task<Status> Flush();
 
+  /// CPU cost of compressing one block of `bytes` (charged on the
+  /// Primary when compression is enabled).
+  static constexpr double kCompressCpuUsPerKb = 0.4;
+
   uint64_t blocks_written() const { return blocks_written_; }
   uint64_t bytes_written() const { return bytes_written_; }
+  /// Physical bytes handed to the LZ (== bytes_written when raw).
+  uint64_t stored_bytes_written() const { return stored_bytes_written_; }
+  uint64_t compressed_blocks() const { return compressed_blocks_; }
   uint64_t deliveries_lost() const { return deliveries_lost_; }
   uint64_t lz_stalls() const { return lz_stalls_; }
+  uint64_t adaptive_holds() const { return adaptive_holds_; }
+  uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }
+  uint64_t frame_downgrades() const { return frame_downgrades_; }
+  uint16_t wire_version() const { return wire_version_; }
+
+  // Commit-path phase histograms (all in microseconds except flush size):
+  //   enqueue — first append in a block until the block is cut;
+  //   quorum  — cut until the LZ quorum write completes (hardened);
+  //   visible — hardened until XLOG admits the block for dissemination.
+  const Histogram& enqueue_phase() const { return hist_enqueue_us_; }
+  const Histogram& quorum_phase() const { return hist_quorum_us_; }
+  const Histogram& visible_phase() const { return hist_visible_us_; }
+  /// Cut-block payload sizes in bytes.
+  const Histogram& flush_sizes() const { return hist_flush_bytes_; }
 
  private:
   sim::Task<> FlusherLoop();
-  sim::Task<> WriteBlockTask(LogBlock block);
+  sim::Task<> WriteBlockTask(LogBlock block, std::string stored,
+                             bool compressed, SimTime cut_at_us);
+  sim::Task<> VisibleWatch(Lsn end, SimTime hardened_at_us);
   sim::Task<> DeliverAsync(LogBlock block);
   sim::Task<> NotifyAsync(Lsn hardened);
+
+  /// Adaptive target: EWMA arrival bytes/us x EWMA write latency us,
+  /// clamped to [0, max_block_bytes].
+  uint64_t TargetBlockBytes() const;
 
   sim::Simulator& sim_;
   LandingZone* lz_;
@@ -104,6 +171,7 @@ class XLogClient : public engine::LogSink {
   std::string buffer_;
   Lsn buffer_start_;
   std::set<PartitionId> buffer_partitions_;
+  SimTime buffer_first_append_us_ = 0;
 
   Lsn end_lsn_;
   sim::Watermark hardened_;
@@ -112,10 +180,31 @@ class XLogClient : public engine::LogSink {
   bool running_ = false;
   bool stopped_ = true;
 
+  // Adaptive-sizing controller state.
+  double ewma_arrival_bpu_ = 0;     // bytes per microsecond
+  double ewma_write_lat_us_ = 0;
+  double ewma_gap_us_ = 0;          // between consecutive appends
+  bool have_last_cut_ = false;
+  SimTime last_cut_us_ = 0;
+  bool have_last_append_ = false;
+  SimTime last_append_us_ = 0;
+
+  uint16_t wire_version_;
+
   uint64_t blocks_written_ = 0;
   uint64_t bytes_written_ = 0;
+  uint64_t stored_bytes_written_ = 0;
+  uint64_t compressed_blocks_ = 0;
   uint64_t deliveries_lost_ = 0;
   uint64_t lz_stalls_ = 0;
+  uint64_t adaptive_holds_ = 0;
+  uint64_t wire_bytes_sent_ = 0;
+  uint64_t frame_downgrades_ = 0;
+
+  Histogram hist_enqueue_us_;
+  Histogram hist_quorum_us_;
+  Histogram hist_visible_us_;
+  Histogram hist_flush_bytes_;
 };
 
 }  // namespace xlog

@@ -1,5 +1,7 @@
 #include "xlog/xlog_process.h"
 
+#include <algorithm>
+
 namespace socrates {
 namespace xlog {
 
@@ -13,6 +15,8 @@ XLogProcess::XLogProcess(sim::Simulator& sim, LandingZone* lz,
       ssd_cache_(std::make_unique<storage::SimBlockDevice>(
           sim, options.ssd_profile, /*seed=*/0x10c)),
       destage_q_(sim),
+      destage_slots_(std::make_unique<sim::Semaphore>(
+          sim, std::max(1, options.destage_lanes))),
       destage_idle_(sim) {
   available_.Advance(engine::kLogStreamStart);
   destage_idle_.Set();
@@ -32,6 +36,26 @@ void XLogProcess::DeliverBlock(LogBlock block) {
   if (block.end_lsn() <= available_.value()) return;  // stale duplicate
   pending_.emplace(block.start_lsn, std::move(block));
   TryAdmit();
+}
+
+Status XLogProcess::DeliverFrame(Slice frame) {
+  LogBlock block;
+  Status s = DecodeBlockFrame(frame, opts_.max_frame_version, &block);
+  if (s.IsNotSupported()) {
+    // Too-new frame: tell the sender so it downgrades. The block itself
+    // is not lost — the sender re-encodes and re-delivers.
+    frames_rejected_++;
+    return s;
+  }
+  if (!s.ok()) {
+    // Damaged on the lossy channel; drop it and let the repair path
+    // reconstruct the range from the LZ.
+    frames_corrupt_++;
+    return s;
+  }
+  frames_delivered_++;
+  DeliverBlock(std::move(block));
+  return Status::OK();
 }
 
 void XLogProcess::NotifyHardened(Lsn lsn) {
@@ -110,31 +134,56 @@ void XLogProcess::Admit(LogBlock block) {
   Lsn end = block.end_lsn();
   seq_map_bytes_ += block.payload_size;
   destage_q_.Push(block);
-  seq_map_.emplace(block.start_lsn, std::move(block));
+  auto ptr = std::make_shared<const LogBlock>(std::move(block));
+  // Index the block into the stream shard of every partition it touches;
+  // shards share ownership with the sequence map, no payload copies.
+  for (PartitionId p : ptr->partitions) {
+    StreamShard& shard = shards_[p];
+    shard.blocks.emplace(ptr->start_lsn, ptr);
+    shard.bytes += ptr->payload_size;
+  }
+  seq_map_.emplace(ptr->start_lsn, std::move(ptr));
   available_.Advance(end);
   EvictSequenceMap();
 }
 
 void XLogProcess::EvictSequenceMap() {
   // Keep the newest blocks; older consumers fall back to the SSD cache,
-  // LZ, or LT.
+  // LZ, or LT. Shard entries leave with their sequence-map block and the
+  // shard floor advances so filtered pulls below it take the slow path.
   while (seq_map_bytes_ > opts_.sequence_map_bytes &&
          seq_map_.size() > 1) {
     auto it = seq_map_.begin();
-    seq_map_bytes_ -= it->second.payload_size;
+    const LogBlock& block = *it->second;
+    seq_map_bytes_ -= block.payload_size;
+    shard_floor_ = std::max(shard_floor_, block.end_lsn());
+    for (PartitionId p : block.partitions) {
+      auto s = shards_.find(p);
+      if (s == shards_.end()) continue;
+      auto b = s->second.blocks.find(it->first);
+      if (b != s->second.blocks.end()) {
+        s->second.bytes -= block.payload_size;
+        s->second.blocks.erase(b);
+      }
+      if (s->second.blocks.empty()) shards_.erase(s);
+    }
     seq_map_.erase(it);
   }
+}
+
+void XLogProcess::MaybeSetDestageIdle() {
+  if (destage_q_.empty() && inflight_destages_ == 0) destage_idle_.Set();
 }
 
 sim::Task<> XLogProcess::DestageLoop() {
   const bool trace = getenv("SOCRATES_TRACE_DESTAGE") != nullptr;
   while (true) {
-    destage_idle_.Reset();
     auto item = co_await destage_q_.Pop();
     if (!item.has_value()) {
-      destage_idle_.Set();
+      MaybeSetDestageIdle();
       co_return;
     }
+    destage_idle_.Reset();
     // Batch contiguous queued blocks into one archive write: the LT
     // write pays a full XStore round trip, so per-block writes would cap
     // destaging far below the log production rate.
@@ -152,35 +201,53 @@ sim::Task<> XLogProcess::DestageLoop() {
               (unsigned long long)block.payload.size(),
               (unsigned long long)destaged_);
     }
-    // Local SSD block cache: circular over the stream, like the LZ.
-    uint64_t cap = opts_.ssd_cache_bytes;
-    uint64_t off = block.start_lsn % cap;
-    uint64_t first = std::min<uint64_t>(block.payload.size(), cap - off);
-    co_await ssd_cache_->Write(off, Slice(block.payload.data(), first));
-    if (first < block.payload.size()) {
-      co_await ssd_cache_->Write(
-          0, Slice(block.payload.data() + first,
-                   block.payload.size() - first));
-    }
-    Lsn batch_end = block.start_lsn + block.payload.size();
-    if (batch_end > ssd_cache_start_ + cap) {
-      ssd_cache_start_ = batch_end - cap;
-    }
-    // Long-term archive in XStore (cheap, durable, slow).
+    // Hand the batch to a destage lane; bounded lanes keep several SSD +
+    // LT writes in flight while the destaged frontier (and the LZ
+    // truncation it drives) advances only over the contiguous prefix of
+    // completed batches.
+    co_await destage_slots_->Acquire();
+    inflight_destages_++;
+    sim::Spawn(sim_, DestageBatchTask(std::move(block)));
+  }
+}
+
+sim::Task<> XLogProcess::DestageBatchTask(LogBlock block) {
+  // Local SSD block cache: circular over the stream, like the LZ.
+  uint64_t cap = opts_.ssd_cache_bytes;
+  uint64_t off = block.start_lsn % cap;
+  uint64_t first = std::min<uint64_t>(block.payload.size(), cap - off);
+  co_await ssd_cache_->Write(off, Slice(block.payload.data(), first));
+  if (first < block.payload.size()) {
+    co_await ssd_cache_->Write(
+        0, Slice(block.payload.data() + first,
+                 block.payload.size() - first));
+  }
+  Lsn batch_end = block.start_lsn + block.payload.size();
+  if (batch_end > ssd_cache_start_ + cap) {
+    ssd_cache_start_ = batch_end - cap;
+  }
+  // Long-term archive in XStore (cheap, durable, slow). Retry in place on
+  // outage: the LZ keeps the batch until the archive write lands, so an
+  // XStore outage never loses log — it only pauses truncation.
+  while (true) {
     Status lt_status = co_await lt_->Write(
         opts_.lt_blob, block.start_lsn - engine::kLogStreamStart,
         Slice(block.payload));
-    if (lt_status.ok()) {
-      destaged_ = batch_end;
-      // The LZ only needs to retain what has not been archived yet.
-      lz_->Truncate(destaged_);
-    } else {
-      // XStore outage: keep the LZ intact; retry this batch.
-      destage_q_.Push(std::move(block));
-      co_await sim::Delay(sim_, kDestageRetryUs);
-    }
-    if (destage_q_.empty()) destage_idle_.Set();
+    if (lt_status.ok()) break;
+    co_await sim::Delay(sim_, kDestageRetryUs);
   }
+  destage_done_[block.start_lsn] = batch_end;
+  while (true) {
+    auto it = destage_done_.find(destaged_);
+    if (it == destage_done_.end()) break;
+    destaged_ = it->second;
+    destage_done_.erase(it);
+  }
+  // The LZ only needs to retain what has not been archived yet.
+  lz_->Truncate(destaged_);
+  inflight_destages_--;
+  destage_slots_->Release();
+  MaybeSetDestageIdle();
 }
 
 std::set<PartitionId> XLogProcess::AnnotatePayload(Slice payload) const {
@@ -203,13 +270,61 @@ sim::Task<Result<std::vector<LogBlock>>> XLogProcess::Pull(
   Lsn end = available_.value();
   if (from >= end) co_return std::move(out);
 
+  // Fast path: a filtered pull inside the shard-covered tail walks only
+  // that partition's stream shard. Relevant blocks are served whole;
+  // the irrelevant stretches between them coalesce into single
+  // metadata-only gap runs. Everything is bounded by `end`, the global
+  // admitted (hardened + contiguous) watermark.
+  if (filter.has_value() && from >= shard_floor_) {
+    // `from` must sit on a block boundary of the admitted tail; a
+    // consumer that progressed through the slow path may be mid-block.
+    bool mid_block = false;
+    auto prev = seq_map_.upper_bound(from);
+    if (prev != seq_map_.begin()) {
+      --prev;
+      mid_block =
+          prev->first < from && prev->second->end_lsn() > from;
+    }
+    if (!mid_block) {
+      pulls_shard_++;
+      auto sit = shards_.find(*filter);
+      const StreamShard* shard =
+          sit == shards_.end() ? nullptr : &sit->second;
+      uint64_t bytes = 0;
+      Lsn pos = from;
+      std::map<Lsn, std::shared_ptr<const LogBlock>>::const_iterator it;
+      if (shard != nullptr) it = shard->blocks.lower_bound(from);
+      while (pos < end && bytes < max_bytes) {
+        bool have_block =
+            shard != nullptr && it != shard->blocks.end() &&
+            it->first < end;
+        Lsn next_start = have_block ? std::max(it->first, pos) : end;
+        if (next_start > pos) {
+          LogBlock run;
+          run.start_lsn = pos;
+          run.payload_size = next_start - pos;
+          run.filtered = true;
+          out.push_back(std::move(run));
+          pos = next_start;
+          continue;
+        }
+        const LogBlock& b = *it->second;
+        out.push_back(b);
+        bytes += b.payload_size;
+        pos = b.end_lsn();
+        ++it;
+      }
+      co_return std::move(out);
+    }
+  }
+
   uint64_t bytes = 0;
   Lsn pos = from;
   while (pos < end && bytes < max_bytes) {
     auto it = seq_map_.find(pos);
     if (it != seq_map_.end()) {
       pulls_seq_++;
-      const LogBlock& b = it->second;
+      const LogBlock& b = *it->second;
       if (!filter.has_value() || b.TouchesPartition(*filter)) {
         out.push_back(b);
         bytes += b.payload_size;

@@ -10,13 +10,28 @@
 // Lost or out-of-order blocks are repaired by reading the missing byte
 // range back from the LZ.
 //
+// On the wire blocks travel as versioned frames (optionally compressed);
+// DeliverFrame answers NotSupported for too-new versions so a newer
+// Primary degrades, mirroring the RBIO kGetPageBatch negotiation.
+//
 // Once admitted, blocks live in the in-memory **sequence map** for fast
-// dissemination; a **destaging** loop copies them to a fixed-size local
+// dissemination and are simultaneously indexed into **per-partition
+// stream shards**: each shard references (not copies) the admitted blocks
+// touching that partition, so a Page Server's filtered pull walks only
+// its own lane and the irrelevant stretches in between collapse into
+// single metadata-only gap runs. All shard serving is bounded by the
+// global `available` watermark — the admitted (hardened + contiguous)
+// frontier — so no lane can ever expose a record whose stream
+// predecessors are unacknowledged.
+//
+// A **destaging** pipeline copies admitted blocks to a fixed-size local
 // SSD block cache and appends them to the long-term archive (LT) in
-// XStore, after which the LZ space is truncated. Consumers (Secondaries,
-// Page Servers) *pull* blocks — the broker does not track consumers —
-// optionally filtered by partition, served from (in order): sequence map,
-// local SSD cache, LZ, LT.
+// XStore over several parallel lanes; the destaged frontier (and LZ
+// truncation) advances only over the contiguous prefix of completed
+// batches. Consumers (Secondaries, Page Servers) *pull* blocks — the
+// broker does not track consumers — optionally filtered by partition,
+// served from (in order): stream shard / sequence map, local SSD cache,
+// LZ, LT.
 
 #pragma once
 
@@ -53,6 +68,12 @@ struct XLogOptions {
   sim::DeviceProfile ssd_profile = sim::DeviceProfile::LocalSsd();
   std::string lt_blob = "log/lt";         // long-term archive blob in XStore
   PartitionMap partition_map;
+  /// Highest block-frame version this process accepts; DeliverFrame
+  /// answers NotSupported above it (mixed-version negotiation).
+  uint16_t max_frame_version = kBlockFrameVersionMax;
+  /// Concurrent destage batches in flight (SSD + LT writes overlap; the
+  /// destaged frontier still advances in order).
+  int destage_lanes = 4;
 };
 
 class XLogProcess {
@@ -72,6 +93,12 @@ class XLogProcess {
   /// pending area until its range is confirmed hardened.
   void DeliverBlock(LogBlock block);
 
+  /// A wire frame arriving from the Primary's async channel. Returns
+  /// NotSupported when the frame version exceeds max_frame_version (the
+  /// sender downgrades and re-encodes) and Corruption for damaged frames
+  /// (dropped; the lossy-channel repair path covers the gap).
+  Status DeliverFrame(Slice frame);
+
   /// The Primary confirms durability up to `lsn`. Pending blocks whose
   /// range is covered move into the LogBroker; gaps are repaired from
   /// the LZ.
@@ -82,7 +109,9 @@ class XLogProcess {
   /// Blocks covering [from, ...), at most `max_bytes` of payload. If
   /// `filter` is set, blocks not touching that partition are returned as
   /// metadata-only (filtered) blocks so the consumer's applied LSN still
-  /// advances. Returns an empty vector if `from` >= available end.
+  /// advances; within the shard-covered tail, consecutive irrelevant
+  /// blocks coalesce into one gap run. Returns an empty vector if `from`
+  /// >= available end.
   sim::Task<Result<std::vector<LogBlock>>> Pull(
       Lsn from, std::optional<PartitionId> filter, uint64_t max_bytes);
 
@@ -114,6 +143,12 @@ class XLogProcess {
   uint64_t pulls_from_ssd() const { return pulls_ssd_; }
   uint64_t pulls_from_lz() const { return pulls_lz_; }
   uint64_t pulls_from_lt() const { return pulls_lt_; }
+  /// Filtered pulls served entirely from a partition stream shard.
+  uint64_t pulls_from_shard() const { return pulls_shard_; }
+  uint64_t stream_shards() const { return shards_.size(); }
+  uint64_t frames_delivered() const { return frames_delivered_; }
+  uint64_t frames_rejected() const { return frames_rejected_; }
+  uint64_t frames_corrupt() const { return frames_corrupt_; }
 
  private:
   // Move contiguous hardened pending blocks into the broker; repair gaps.
@@ -122,6 +157,8 @@ class XLogProcess {
   void Admit(LogBlock block);
   void EvictSequenceMap();
   sim::Task<> DestageLoop();
+  sim::Task<> DestageBatchTask(LogBlock batch);
+  void MaybeSetDestageIdle();
 
   // Compute the partition annotation of a raw stream range (used when a
   // block is reconstructed from LZ/LT bytes).
@@ -139,15 +176,30 @@ class XLogProcess {
   XLogOptions opts_;
 
   std::map<Lsn, LogBlock> pending_;   // by start LSN, awaiting hardening
-  std::map<Lsn, LogBlock> seq_map_;   // by start LSN, admitted tail
+  // Admitted tail, shared with the per-partition shards below.
+  std::map<Lsn, std::shared_ptr<const LogBlock>> seq_map_;
   uint64_t seq_map_bytes_ = 0;
   sim::Watermark available_;          // == admitted end
   Lsn hardened_ = engine::kLogStreamStart;
   Lsn destaged_ = engine::kLogStreamStart;
   Lsn ssd_cache_start_ = engine::kLogStreamStart;
 
+  // Per-partition stream shards: each references the admitted blocks
+  // touching one partition. Authoritative only at/above shard_floor_
+  // (the sequence-map eviction frontier); older ranges use the slow
+  // tiered path.
+  struct StreamShard {
+    std::map<Lsn, std::shared_ptr<const LogBlock>> blocks;
+    uint64_t bytes = 0;
+  };
+  std::map<PartitionId, StreamShard> shards_;
+  Lsn shard_floor_ = engine::kLogStreamStart;
+
   std::unique_ptr<storage::SimBlockDevice> ssd_cache_;
   sim::Channel<LogBlock> destage_q_;
+  std::unique_ptr<sim::Semaphore> destage_slots_;
+  int inflight_destages_ = 0;
+  std::map<Lsn, Lsn> destage_done_;   // out-of-order batch completions
   bool running_ = false;
   bool repairing_ = false;
   sim::Event destage_idle_;
@@ -164,6 +216,10 @@ class XLogProcess {
   uint64_t pulls_ssd_ = 0;
   uint64_t pulls_lz_ = 0;
   uint64_t pulls_lt_ = 0;
+  uint64_t pulls_shard_ = 0;
+  uint64_t frames_delivered_ = 0;
+  uint64_t frames_rejected_ = 0;
+  uint64_t frames_corrupt_ = 0;
 };
 
 }  // namespace xlog

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/coding.h"
+#include "common/compress.h"
 #include "common/crc32c.h"
 #include "common/histogram.h"
 #include "common/random.h"
@@ -185,6 +186,62 @@ TEST(Crc32cTest, DetectsSingleBitFlip) {
   uint32_t before = crc32c::Value(data.data(), data.size());
   data[100] ^= 0x40;
   EXPECT_NE(before, crc32c::Value(data.data(), data.size()));
+}
+
+// --------------------------------------------------------------- Compress
+
+TEST(CompressTest, RoundTripRepetitive) {
+  std::string raw;
+  for (int i = 0; i < 100; i++) raw += "commit-record-payload-";
+  std::string packed;
+  compress::Compress(Slice(raw), &packed);
+  EXPECT_LT(packed.size(), raw.size() / 2);
+  std::string back;
+  ASSERT_TRUE(compress::Decompress(Slice(packed), raw.size(), &back).ok());
+  EXPECT_EQ(back, raw);
+}
+
+TEST(CompressTest, RoundTripIncompressibleAndEmpty) {
+  Random rng(7);
+  std::string raw;
+  for (int i = 0; i < 4096; i++) {
+    raw.push_back(static_cast<char>(rng.Next() & 0xff));
+  }
+  std::string packed;
+  compress::Compress(Slice(raw), &packed);
+  std::string back;
+  ASSERT_TRUE(compress::Decompress(Slice(packed), raw.size(), &back).ok());
+  EXPECT_EQ(back, raw);
+
+  std::string none, out;
+  compress::Compress(Slice(), &none);
+  ASSERT_TRUE(compress::Decompress(Slice(none), 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CompressTest, DeterministicOutput) {
+  std::string raw(1000, 'u');
+  raw += "tail-of-block";
+  std::string a, b;
+  compress::Compress(Slice(raw), &a);
+  compress::Compress(Slice(raw), &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CompressTest, CorruptStreamsRejected) {
+  std::string raw(500, 'z');
+  std::string packed;
+  compress::Compress(Slice(raw), &packed);
+  std::string out;
+  // Truncated stream.
+  EXPECT_FALSE(compress::Decompress(Slice(packed.data(), packed.size() / 2),
+                                    raw.size(), &out)
+                   .ok());
+  // Wrong raw length (both directions).
+  EXPECT_FALSE(
+      compress::Decompress(Slice(packed), raw.size() + 1, &out).ok());
+  EXPECT_FALSE(
+      compress::Decompress(Slice(packed), raw.size() - 1, &out).ok());
 }
 
 // ----------------------------------------------------------------- Random
