@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
       auto blocks = co_await d.xlog().Pull(pos, std::nullopt, 4 * MiB);
       if (!blocks.ok() || blocks->empty()) break;
       for (auto& b : *blocks) {
-        unfiltered_bytes += b.payload.size();
+        unfiltered_bytes += b.payload().size();
         pos = b.end_lsn();
       }
     }
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
         auto blocks = co_await d.xlog().Pull(pos, p, 4 * MiB);
         if (!blocks.ok() || blocks->empty()) break;
         for (auto& b : *blocks) {
-          per_partition[p] += b.payload.size();  // 0 for filtered blocks
+          per_partition[p] += b.payload().size();  // 0 for filtered blocks
           pos = b.start_lsn + b.payload_size;
         }
       }

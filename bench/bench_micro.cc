@@ -1,24 +1,94 @@
 // Micro-benchmarks (google-benchmark, real CPU time) for the hot
 // building blocks: CRC32-C, page checksum, slotted-page operations,
 // version-chain codec, log-record codec + redo, Zipf generation, and the
-// simulator's event loop itself.
+// simulator substrate itself (event core, coroutine wakes, channel
+// hand-offs, the end-to-end simulated GetPage path).
+//
+// A counting allocator (global operator new/delete overrides, this
+// binary only) reports heap allocations per operation for the substrate
+// benches — the number the fleet-scale refactor is budgeted against.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 #include <vector>
 
 #include "common/crc32c.h"
 #include "common/random.h"
 #include "engine/btree_page.h"
 #include "engine/log_record.h"
+#include "engine/redo.h"
 #include "engine/version.h"
+#include "rbio/rbio.h"
+#include "service/deployment.h"
+#include "sim/channel.h"
 #include "sim/simulator.h"
+#include "sim/sync.h"
 #include "sim/task.h"
 #include "storage/page.h"
 
+// ----------------------------------------------------------------------
+// Counting allocator: every heap allocation in this binary bumps a
+// relaxed atomic. Benches sample the counter around their timing loop
+// and report allocs/op, so substrate regressions show up as a number,
+// not a feeling.
+
+static std::atomic<uint64_t> g_heap_allocs{0};
+
+static void* CountedAlloc(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t n) { return CountedAlloc(n); }
+void* operator new[](std::size_t n) { return CountedAlloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(a),
+                                   (n + static_cast<std::size_t>(a) - 1) &
+                                       ~(static_cast<std::size_t>(a) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace socrates {
 namespace {
+
+/// RAII sampler: reports heap allocations per op into a bench counter.
+class AllocCounter {
+ public:
+  explicit AllocCounter(benchmark::State& state)
+      : state_(state), start_(g_heap_allocs.load()) {}
+  void Report(uint64_t ops) {
+    uint64_t delta = g_heap_allocs.load() - start_;
+    state_.counters["allocs_per_op"] = benchmark::Counter(
+        ops == 0 ? 0.0 : static_cast<double>(delta) / ops);
+  }
+
+ private:
+  benchmark::State& state_;
+  uint64_t start_;
+};
 
 void BM_Crc32c(benchmark::State& state) {
   std::string data(state.range(0), 'x');
@@ -119,6 +189,7 @@ void BM_Zipf(benchmark::State& state) {
 BENCHMARK(BM_Zipf);
 
 void BM_SimulatorEventLoop(benchmark::State& state) {
+  AllocCounter allocs(state);
   for (auto _ : state) {
     sim::Simulator s;
     int count = 0;
@@ -129,8 +200,37 @@ void BM_SimulatorEventLoop(benchmark::State& state) {
     benchmark::DoNotOptimize(count);
   }
   state.SetItemsProcessed(state.iterations() * 1000);
+  allocs.Report(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorEventLoop);
+
+// The event-core stress the acceptance numbers are pinned to: a mix of
+// future-time events and same-tick wake cascades (the shape of real
+// cluster sims, where every co_await Delay(0)/wake is a +0 event).
+void BM_EventStorm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  AllocCounter allocs(state);
+  for (auto _ : state) {
+    sim::Simulator s;
+    uint64_t count = 0;
+    for (int i = 0; i < n; i++) {
+      s.ScheduleAt((static_cast<SimTime>(i) * 7919) % 4096,
+                   [&count, &s] {
+                     count++;
+                     // Same-tick cascade: half the events reschedule at
+                     // the current instant, like a wake chain.
+                     if ((count & 1) == 0) {
+                       s.ScheduleAfter(0, [&count] { count++; });
+                     }
+                   });
+    }
+    s.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 3 / 2);
+  allocs.Report(state.iterations() * n * 3 / 2);
+}
+BENCHMARK(BM_EventStorm)->Arg(10000);
 
 sim::Task<> PingPong(sim::Simulator& s, int n, int* out) {
   for (int i = 0; i < n; i++) {
@@ -140,6 +240,7 @@ sim::Task<> PingPong(sim::Simulator& s, int n, int* out) {
 }
 
 void BM_CoroutineSwitch(benchmark::State& state) {
+  AllocCounter allocs(state);
   for (auto _ : state) {
     sim::Simulator s;
     int out = 0;
@@ -148,8 +249,194 @@ void BM_CoroutineSwitch(benchmark::State& state) {
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(state.iterations() * 1000);
+  allocs.Report(state.iterations() * 1000);
 }
 BENCHMARK(BM_CoroutineSwitch);
+
+// Event wake + timeout churn: the sync.h hot path. Every round one
+// waiter parks with a timeout and the event fires first — the pattern
+// behind RBIO pending gets, freshness waits, and pull double-buffering.
+sim::Task<> EventWaiter(sim::Event* ev, int n, int* out) {
+  for (int i = 0; i < n; i++) {
+    bool fired = co_await ev->WaitFor(1000);
+    if (fired) (*out)++;
+    ev->Reset();
+  }
+}
+
+sim::Task<> EventSetter(sim::Simulator& s, sim::Event* ev, int n) {
+  for (int i = 0; i < n; i++) {
+    co_await sim::Delay(s, 1);
+    ev->Set();
+  }
+}
+
+void BM_EventWaitTimeout(benchmark::State& state) {
+  AllocCounter allocs(state);
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Event ev(s);
+    int out = 0;
+    sim::Spawn(s, EventWaiter(&ev, 1000, &out));
+    sim::Spawn(s, EventSetter(s, &ev, 1000));
+    s.Run();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  allocs.Report(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventWaitTimeout);
+
+// Channel hand-off: producer/consumer token passing (log dissemination,
+// destage queues).
+sim::Task<> ChanProducer(sim::Simulator& s, sim::Channel<int>* ch, int n) {
+  for (int i = 0; i < n; i++) {
+    ch->Push(i);
+    co_await sim::Yield(s);
+  }
+  ch->Close();
+}
+
+sim::Task<> ChanConsumer(sim::Channel<int>* ch, uint64_t* sum) {
+  while (true) {
+    auto v = co_await ch->Pop();
+    if (!v.has_value()) co_return;
+    *sum += static_cast<uint64_t>(*v);
+  }
+}
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  AllocCounter allocs(state);
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Channel<int> ch(s);
+    uint64_t sum = 0;
+    sim::Spawn(s, ChanConsumer(&ch, &sum));
+    sim::Spawn(s, ChanProducer(s, &ch, 1000));
+    s.Run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  allocs.Report(state.iterations() * 1000);
+}
+BENCHMARK(BM_ChannelPingPong);
+
+// Page value semantics: what a GetPage response leg pays per hop.
+void BM_PageCopy(benchmark::State& state) {
+  storage::Page page;
+  page.Format(1, storage::PageType::kBTreeLeaf);
+  page.UpdateChecksum();
+  for (auto _ : state) {
+    storage::Page copy = page;
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetBytesProcessed(state.iterations() * kPageSize);
+}
+BENCHMARK(BM_PageCopy);
+
+// Log-apply decode churn: ApplyStream over a synthetic framed block,
+// the per-record cost every Page Server / Secondary pays per byte of
+// log. (Single lane, no CPU model: isolates decode + apply.)
+void BM_ApplyStreamDecode(benchmark::State& state) {
+  sim::Simulator s;
+  // Build one 64-record framed stream.
+  std::string stream;
+  engine::LogRecord rec;
+  rec.type = engine::LogRecordType::kLeafInsert;
+  rec.txn_id = 1;
+  std::string val(64, 'v');
+  for (uint64_t k = 0; k < 64; k++) {
+    rec.page_id = 1 + (k % 4);
+    rec.key = k;
+    rec.value = val;
+    engine::FrameRecord(&stream, Slice(rec.Encode()));
+  }
+  engine::BufferPool pool(s, engine::BufferPoolOptions{}, nullptr);
+  for (PageId id = 1; id <= 4; id++) {
+    auto ref = pool.NewPage(id);
+    engine::BTreePage::Format(ref->page(), id, 0, engine::kMinKey,
+                              engine::kMaxKey, kInvalidPageId);
+  }
+  engine::RedoApplier applier(s, &pool,
+                              engine::RedoApplier::MissPolicy::kMaterialize);
+  AllocCounter allocs(state);
+  Lsn lsn = engine::kLogStreamStart;
+  for (auto _ : state) {
+    bool done = false;
+    sim::Spawn(s, [](engine::RedoApplier* a, Slice st, Lsn at,
+                     bool* done) -> sim::Task<> {
+      auto r = co_await a->ApplyStream(st, at);
+      benchmark::DoNotOptimize(r);
+      *done = true;
+    }(&applier, Slice(stream), lsn, &done));
+    while (!done && s.Step()) {
+    }
+    lsn += stream.size();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  allocs.Report(state.iterations() * 64);
+}
+BENCHMARK(BM_ApplyStreamDecode);
+
+// ----------------------------------------------------------------------
+// End-to-end simulated GetPage: a real Deployment (Primary + Page Server
+// + XLOG + XStore), loaded with data, then a client hammering
+// GetPage@LSN. allocs_per_op is THE substrate frugality number: heap
+// allocations per simulated GetPage across client encode, batcher,
+// server decode/serve, response encode, client decode, pool install.
+
+sim::Task<> DriveLoad(service::Deployment* d, bool* ready) {
+  auto st = co_await d->Start();
+  if (!st.ok()) abort();
+  engine::Engine* e = d->primary_engine();
+  for (uint64_t i = 0; i < 512; i += 32) {
+    auto txn = e->Begin();
+    for (uint64_t k = i; k < i + 32; k++) {
+      (void)e->Put(txn.get(), engine::MakeKey(1, k),
+                   "value-" + std::to_string(k));
+    }
+    (void)co_await e->Commit(txn.get());
+  }
+  co_await d->page_server(0)->applied_lsn().WaitFor(
+      d->log_client().end_lsn());
+  *ready = true;
+}
+
+sim::Task<> OneGetPage(rbio::RbioClient* c,
+                       const std::vector<rbio::Endpoint>* eps, PageId id,
+                       bool* done) {
+  auto r = co_await c->GetPage(*eps, id, 0);
+  benchmark::DoNotOptimize(r);
+  *done = true;
+}
+
+void BM_SimGetPage(benchmark::State& state) {
+  sim::Simulator s;
+  service::DeploymentOptions o;
+  o.partition_map.pages_per_partition = 4096;
+  o.num_page_servers = 1;
+  o.compute.mem_pages = 64;
+  o.compute.ssd_pages = 128;
+  service::Deployment d(s, o);
+  bool ready = false;
+  sim::Spawn(s, DriveLoad(&d, &ready));
+  while (!ready && s.Step()) {
+  }
+  rbio::RbioClient client(s, nullptr, rbio::RbioClientOptions{});
+  std::vector<rbio::Endpoint> eps{{d.page_server(0), "ps0"}};
+  PageId id = 1;
+  AllocCounter allocs(state);
+  for (auto _ : state) {
+    bool done = false;
+    sim::Spawn(s, OneGetPage(&client, &eps, 1 + (id++ % 16), &done));
+    while (!done && s.Step()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  allocs.Report(state.iterations());
+  d.Stop();
+}
+BENCHMARK(BM_SimGetPage);
 
 }  // namespace
 }  // namespace socrates

@@ -24,9 +24,9 @@ const char* CodeName(Status::Code code) {
 
 std::string Status::ToString() const {
   std::string out = CodeName(code_);
-  if (!msg_.empty()) {
+  if (msg_ != nullptr && !msg_->empty()) {
     out += ": ";
-    out += msg_;
+    out += *msg_;
   }
   return out;
 }

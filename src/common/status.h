@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -80,7 +81,10 @@ class [[nodiscard]] Status {
   bool IsShutdown() const { return code_ == Code::kShutdown; }
 
   Code code() const { return code_; }
-  const std::string& message() const { return msg_; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return msg_ != nullptr ? *msg_ : kEmpty;
+  }
 
   /// Human-readable "<code>: <message>" string for logs and test output.
   std::string ToString() const;
@@ -88,10 +92,17 @@ class [[nodiscard]] Status {
   bool operator==(const Status& other) const { return code_ == other.code_; }
 
  private:
-  Status(Code code, std::string_view msg) : code_(code), msg_(msg) {}
+  // The message is immutable and refcounted: copying a Status (it travels
+  // through every layer of an error path by value) bumps a refcount
+  // instead of duplicating the string. Empty messages carry a null
+  // pointer, so OK statuses stay allocation-free.
+  Status(Code code, std::string_view msg)
+      : code_(code),
+        msg_(msg.empty() ? nullptr
+                         : std::make_shared<const std::string>(msg)) {}
 
   Code code_;
-  std::string msg_;
+  std::shared_ptr<const std::string> msg_;
 };
 
 /// Propagate a non-OK Status to the caller (RocksDB idiom).

@@ -241,10 +241,10 @@ sim::Task<> ComputeNode::SecondaryApplyLoop() {
       if (applier_->lanes() <= 1) {
         co_await cpu_->Consume(
             engine::RedoApplier::kApplyCpuFixedUs +
-            block.payload.size() / engine::RedoApplier::kApplyCpuBytesPerUs);
+            block.payload().size() / engine::RedoApplier::kApplyCpuBytesPerUs);
       }
       Result<Lsn> end = co_await applier_->ApplyStream(
-          Slice(block.payload), block.start_lsn,
+          Slice(block.payload()), block.start_lsn,
           /*resume_from=*/applier_->applied_lsn().value());
       if (!end.ok()) {
         fprintf(stderr, "[secondary] FATAL log apply error: %s\n",
@@ -279,7 +279,7 @@ sim::Task<Status> ComputeNode::RecoverPrimary(Lsn replay_from,
     if (blocks->empty()) break;
     for (xlog::LogBlock& block : *blocks) {
       Result<Lsn> end = co_await applier_->ApplyStream(
-          Slice(block.payload), block.start_lsn,
+          Slice(block.payload()), block.start_lsn,
           /*resume_from=*/applier_->applied_lsn().value());
       if (!end.ok()) co_return end.status();
       applier_->applied_lsn().Advance(*end);

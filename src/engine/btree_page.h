@@ -64,9 +64,11 @@ class BTreePage {
   bool is_leaf() const { return p_->aux() == 0; }
   uint32_t level() const { return p_->aux(); }
 
-  uint64_t low_fence() const { return DecodeFixed64(p_->data() + 32); }
-  uint64_t high_fence() const { return DecodeFixed64(p_->data() + 40); }
-  PageId right_sibling() const { return DecodeFixed64(p_->data() + 48); }
+  // Reads go through cdata(): on a COW page the mutable data() overload
+  // would detach a shared frame even though nothing is written.
+  uint64_t low_fence() const { return DecodeFixed64(p_->cdata() + 32); }
+  uint64_t high_fence() const { return DecodeFixed64(p_->cdata() + 40); }
+  PageId right_sibling() const { return DecodeFixed64(p_->cdata() + 48); }
   void set_right_sibling(PageId id) { EncodeFixed64(p_->data() + 48, id); }
   void set_high_fence(uint64_t k) { EncodeFixed64(p_->data() + 40, k); }
 
@@ -79,19 +81,19 @@ class BTreePage {
   int slot_count() const { return p_->slot_count(); }
 
   uint64_t KeyAt(int slot) const {
-    return DecodeFixed64(p_->data() + SlotOffset(slot));
+    return DecodeFixed64(p_->cdata() + SlotOffset(slot));
   }
 
   /// Value of the leaf record in `slot`.
   Slice LeafValueAt(int slot) const {
-    const char* rec = p_->data() + SlotOffset(slot);
+    const char* rec = p_->cdata() + SlotOffset(slot);
     uint32_t len = DecodeFixed32(rec + 8);
     return Slice(rec + 12, len);
   }
 
   /// Child pointer of the interior record in `slot`.
   PageId ChildAt(int slot) const {
-    return DecodeFixed64(p_->data() + SlotOffset(slot) + 8);
+    return DecodeFixed64(p_->cdata() + SlotOffset(slot) + 8);
   }
 
   /// Binary search: index of the first slot with key >= `key`
@@ -226,7 +228,7 @@ class BTreePage {
     std::vector<std::string> recs;
     recs.reserve(n);
     for (int i = 0; i < n; i++) {
-      recs.emplace_back(p_->data() + SlotOffset(i), RecordSize(i));
+      recs.emplace_back(p_->cdata() + SlotOffset(i), RecordSize(i));
     }
     uint16_t off = kRecordAreaStart;
     for (int i = 0; i < n; i++) {
@@ -239,7 +241,7 @@ class BTreePage {
 
  private:
   uint16_t SlotOffset(int slot) const {
-    return DecodeFixed16(p_->data() + kPageSize - 2 * (slot + 1));
+    return DecodeFixed16(p_->cdata() + kPageSize - 2 * (slot + 1));
   }
   void SetSlotOffset(int slot, uint16_t off) {
     EncodeFixed16(p_->data() + kPageSize - 2 * (slot + 1), off);
@@ -247,7 +249,7 @@ class BTreePage {
 
   uint32_t RecordSize(int slot) const {
     if (!is_leaf()) return 16;
-    const char* rec = p_->data() + SlotOffset(slot);
+    const char* rec = p_->cdata() + SlotOffset(slot);
     return 12 + DecodeFixed32(rec + 8);
   }
 

@@ -100,6 +100,46 @@ sim::Task<Result<PageRef>> BufferPool::GetIfCached(PageId page_id) {
   return GetPageInternal(page_id, /*fetch_on_miss=*/false);
 }
 
+std::shared_ptr<sim::Event> BufferPool::AcquireEvent() {
+  if (!event_pool_.empty()) {
+    std::shared_ptr<sim::Event> event = std::move(event_pool_.back());
+    event_pool_.pop_back();
+    return event;
+  }
+  return std::make_shared<sim::Event>(sim_);
+}
+
+void BufferPool::ReleaseEvent(std::shared_ptr<sim::Event> event) {
+  // Pool only when no waiter still holds a reference (the sim is
+  // single-threaded, so use_count is exact); a pooled event is re-armed
+  // here so AcquireEvent hands out ready-to-wait events.
+  if (event.use_count() == 1 && event_pool_.size() < 8) {
+    event->Reset();
+    event_pool_.push_back(std::move(event));
+  }
+}
+
+void BufferPool::InflightInsert(PageId page_id,
+                                std::shared_ptr<sim::Event> event) {
+  if (spare_node_) {
+    spare_node_.key() = page_id;
+    spare_node_.mapped() = std::move(event);
+    inflight_.insert(std::move(spare_node_));
+  } else {
+    inflight_.emplace(page_id, std::move(event));
+  }
+}
+
+void BufferPool::InflightErase(PageId page_id) {
+  auto node = inflight_.extract(page_id);
+  if (node && !spare_node_) {
+    // Drop the stashed node's event reference — otherwise it would keep
+    // the event's use_count above 1 and defeat ReleaseEvent's pooling.
+    node.mapped().reset();
+    spare_node_ = std::move(node);
+  }
+}
+
 sim::Task<Result<PageRef>> BufferPool::GetPageInternal(PageId page_id,
                                                        bool fetch_on_miss) {
   while (true) {
@@ -130,18 +170,19 @@ sim::Task<Result<PageRef>> BufferPool::GetPageInternal(PageId page_id,
       // RBPEX hit: read the image from local SSD and promote to memory.
       // Pin the slot so concurrent SSD-tier eviction cannot recycle it
       // for another page mid-read.
-      auto event = std::make_shared<sim::Event>(sim_);
-      inflight_.emplace(page_id, event);
+      auto event = AcquireEvent();
+      InflightInsert(page_id, event);
       meta->second.readers++;
       uint64_t slot = meta->second.slot;
       std::string image;
       Status s = co_await ssd_->Read(slot * kPageSize, kPageSize, &image);
       auto meta2 = ssd_meta_.find(page_id);
       if (meta2 != ssd_meta_.end()) meta2->second.readers--;
-      inflight_.erase(page_id);
+      InflightErase(page_id);
       event->Set();
+      ReleaseEvent(std::move(event));
       if (!s.ok()) co_return Result<PageRef>(s);
-      storage::Page page;
+      storage::Page page = storage::Page::Uninitialized();
       if (Status ps = page.FromSlice(Slice(image)); !ps.ok()) {
         co_return Result<PageRef>(ps);
       }
@@ -184,11 +225,12 @@ sim::Task<Result<PageRef>> BufferPool::GetPageInternal(PageId page_id,
     // concurrent misses collapse here (one FetchPage), while
     // distinct-page misses suspend on the fetcher in the same tick and
     // get packed into one kGetPageBatch frame by the RBIO client.
-    auto event = std::make_shared<sim::Event>(sim_);
-    inflight_.emplace(page_id, event);
+    auto event = AcquireEvent();
+    InflightInsert(page_id, event);
     Result<storage::Page> fetched = co_await fetcher_->FetchPage(page_id);
-    inflight_.erase(page_id);
+    InflightErase(page_id);
     event->Set();
+    ReleaseEvent(std::move(event));
     if (!fetched.ok()) co_return Result<PageRef>(fetched.status());
     stats_.misses++;
     if (fetched->type() == storage::PageType::kBTreeLeaf) {
@@ -283,7 +325,7 @@ sim::Task<> BufferPool::PrefetchOne(PageId page_id,
       m2->second.readers--;
     }
     if (life->epoch == epoch && s.ok()) {
-      storage::Page page;
+      storage::Page page = storage::Page::Uninitialized();
       if (page.FromSlice(Slice(image)).ok() &&
           page.VerifyChecksum().ok() && page.page_id() == page_id &&
           frames_.count(page_id) == 0) {
@@ -504,7 +546,7 @@ sim::Task<Result<size_t>> BufferPool::Recover(Lsn durable_end_lsn) {
       drop.push_back(id);
       continue;
     }
-    storage::Page page;
+    storage::Page page = storage::Page::Uninitialized();
     if (!page.FromSlice(Slice(image)).ok() ||
         !page.VerifyChecksum().ok() || page.page_lsn() > durable_end_lsn) {
       drop.push_back(id);
@@ -710,9 +752,9 @@ sim::Task<> BufferPool::SpillToSsd(PageId page_id,
 }
 
 void BufferPool::TouchMem(Frame* f) {
+  // splice() relinks the existing node — no allocation on the hit path.
   if (!f->cold) {
-    mem_lru_.erase(f->lru_it);
-    mem_lru_.push_front(f->page_id);
+    mem_lru_.splice(mem_lru_.begin(), mem_lru_, f->lru_it);
     f->lru_it = mem_lru_.begin();
     return;
   }
@@ -722,23 +764,20 @@ void BufferPool::TouchMem(Frame* f) {
     // can only displace itself, never the hot set.
     f->prefetched = false;
     stats_.prefetch_hits++;
-    mem_cold_.erase(f->lru_it);
-    mem_cold_.push_front(f->page_id);
+    mem_cold_.splice(mem_cold_.begin(), mem_cold_, f->lru_it);
     f->lru_it = mem_cold_.begin();
     return;
   }
   // Second demand touch: genuine reuse, promote to the hot segment.
-  mem_cold_.erase(f->lru_it);
   f->cold = false;
-  mem_lru_.push_front(f->page_id);
+  mem_lru_.splice(mem_lru_.begin(), mem_cold_, f->lru_it);
   f->lru_it = mem_lru_.begin();
 }
 
 void BufferPool::TouchSsd(PageId page_id) {
   auto meta = ssd_meta_.find(page_id);
   if (meta == ssd_meta_.end()) return;
-  ssd_lru_.erase(meta->second.lru_it);
-  ssd_lru_.push_front(page_id);
+  ssd_lru_.splice(ssd_lru_.begin(), ssd_lru_, meta->second.lru_it);
   meta->second.lru_it = ssd_lru_.begin();
 }
 

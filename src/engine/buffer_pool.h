@@ -345,8 +345,19 @@ class BufferPool {
   std::vector<uint64_t> ssd_free_slots_;
   uint64_t ssd_next_slot_ = 0;
 
-  // In-flight fetch deduplication.
+  // In-flight fetch deduplication. The hot miss paths recycle both the
+  // completion events (event_pool_) and the map's nodes (spare_node_),
+  // so a pool miss registers and clears its inflight entry without
+  // touching the heap in the steady state.
   std::unordered_map<PageId, std::shared_ptr<sim::Event>> inflight_;
+  std::vector<std::shared_ptr<sim::Event>> event_pool_;
+  std::unordered_map<PageId, std::shared_ptr<sim::Event>>::node_type
+      spare_node_;
+
+  std::shared_ptr<sim::Event> AcquireEvent();
+  void ReleaseEvent(std::shared_ptr<sim::Event> event);
+  void InflightInsert(PageId page_id, std::shared_ptr<sim::Event> event);
+  void InflightErase(PageId page_id);
   // Incremental dirty index: superset of the ids DirtyPages() returns
   // (a page mid-spill, or resident clean over a dirty SSD image, stays
   // tracked until it is definitively clean). Mutable: DirtyPages()

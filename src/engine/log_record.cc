@@ -47,7 +47,7 @@ std::string LogRecord::Encode() const {
 }
 
 Status LogRecord::Decode(Slice payload, LogRecord* out) {
-  *out = LogRecord();
+  out->Reset();
   if (payload.empty()) return Status::Corruption("empty log record");
   out->type = static_cast<LogRecordType>(payload[0]);
   payload.remove_prefix(1);
@@ -71,7 +71,7 @@ Status LogRecord::Decode(Slice payload, LogRecord* out) {
       Slice v;
       ok = GetFixed64(&payload, &out->key) &&
            GetLengthPrefixed(&payload, &v);
-      if (ok) out->value = v.ToString();
+      if (ok) out->value.assign(v.data(), v.size());
       break;
     }
     case LogRecordType::kLeafDelete:
@@ -84,7 +84,7 @@ Status LogRecord::Decode(Slice payload, LogRecord* out) {
     case LogRecordType::kPageImage: {
       Slice v;
       ok = GetLengthPrefixed(&payload, &v);
-      if (ok) out->value = v.ToString();
+      if (ok) out->value.assign(v.data(), v.size());
       break;
     }
     case LogRecordType::kTxnCommit:

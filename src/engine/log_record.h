@@ -66,7 +66,27 @@ struct LogRecord {
   std::string Encode() const;
 
   /// Parse a record payload. Returns Corruption on malformed input.
+  /// Decoding into a recycled record reuses `value`'s capacity — the
+  /// apply path runs records through a scratch arena, so the steady
+  /// state decodes without allocating.
   static Status Decode(Slice payload, LogRecord* out);
+
+  /// Reset to the default-constructed state, keeping `value`'s capacity.
+  void Reset() {
+    type = LogRecordType::kTxnCommit;
+    txn_id = kInvalidTxnId;
+    page_id = kInvalidPageId;
+    key = 0;
+    value.clear();
+    child = kInvalidPageId;
+    page_type = 0;
+    level = 0;
+    low_fence = 0;
+    high_fence = 0;
+    right_sibling = kInvalidPageId;
+    commit_ts = kInvalidTimestamp;
+    next_page_id = kInvalidPageId;
+  }
 
   /// True for record types that target a page.
   bool HasPage() const {

@@ -5,10 +5,11 @@
 namespace socrates {
 namespace engine {
 
-// Shared state of one ApplyItemsParallel batch: the decoded items, the
-// per-lane work lists, and the barrier positions. Heap-allocated and
-// shared_ptr-held because lanes and coordinator are detached coroutines
-// joined via sim::Gather.
+// Shared state of one ApplyItemsParallel batch: a span over the caller's
+// decoded items, the per-lane work lists, and the barrier positions.
+// Heap-allocated and shared_ptr-held because lanes and coordinator are
+// detached coroutines joined via sim::Gather; the item storage itself
+// stays in ApplyStream's arena, which outlives the Gather.
 struct ParallelLane {
   explicit ParallelLane(sim::Simulator& sim) : progress(sim) {}
   std::vector<uint32_t> items;  // indices into state items, stream order
@@ -25,7 +26,8 @@ struct ParallelApplyState {
     }
   }
 
-  std::vector<RedoApplier::StreamItem> items;
+  const RedoApplier::StreamItem* items = nullptr;
+  size_t count = 0;
   std::vector<std::unique_ptr<ParallelLane>> lane;
 
   struct Barrier {
@@ -137,7 +139,15 @@ sim::Task<Result<Lsn>> RedoApplier::ApplyStream(Slice stream, Lsn start_lsn,
                                                 Lsn resume_from,
                                                 Lsn stop_at) {
   // Collect the frames first (the visitor cannot co_await), then apply.
-  std::vector<StreamItem> items;
+  // Frames decode into the recycled scratch arena: each StreamItem (and
+  // the value buffer inside its record) is reused across calls, so the
+  // steady state walks the stream without allocating. A reentrant call
+  // (scratch in use by an in-flight apply) falls back to a local buffer.
+  std::vector<StreamItem> local;
+  const bool use_scratch = !scratch_busy_;
+  if (use_scratch) scratch_busy_ = true;
+  std::vector<StreamItem>& buf = use_scratch ? scratch_items_ : local;
+  size_t used = 0;
   Status parse = Status::OK();
   Lsn walked_end = start_lsn;
   Status iter = ForEachRecord(
@@ -145,31 +155,41 @@ sim::Task<Result<Lsn>> RedoApplier::ApplyStream(Slice stream, Lsn start_lsn,
         if (lsn >= stop_at) return false;  // PITR boundary
         walked_end = lsn + FramedSize(payload.size());
         if (lsn < resume_from) return true;
-        StreamItem item;
+        if (used == buf.size()) buf.emplace_back();
+        StreamItem& item = buf[used];
         item.lsn = lsn;
         item.framed = FramedSize(payload.size());
         parse = LogRecord::Decode(payload, &item.rec);
         if (!parse.ok()) return false;
-        items.push_back(std::move(item));
+        used++;
         return true;
       });
-  if (!iter.ok()) co_return Result<Lsn>(iter);
-  if (!parse.ok()) co_return Result<Lsn>(parse);
-  if (lanes_ > 1 && items.size() > 1) {
-    co_return co_await ApplyItemsParallel(std::move(items), walked_end);
+  Result<Lsn> result = walked_end;
+  if (!iter.ok()) {
+    result = Result<Lsn>(iter);
+  } else if (!parse.ok()) {
+    result = Result<Lsn>(parse);
+  } else if (lanes_ > 1 && used > 1) {
+    result = co_await ApplyItemsParallel(buf.data(), used, walked_end);
+  } else {
+    for (size_t i = 0; i < used; i++) {
+      Status s = co_await Apply(buf[i].lsn, buf[i].framed, buf[i].rec);
+      if (!s.ok()) {
+        result = Result<Lsn>(s);
+        break;
+      }
+    }
   }
-  for (auto& item : items) {
-    SOCRATES_CO_RETURN_IF_ERROR(co_await Apply(item.lsn, item.framed,
-                                               item.rec));
-  }
-  co_return walked_end;
+  if (use_scratch) scratch_busy_ = false;
+  co_return result;
 }
 
 sim::Task<Result<Lsn>> RedoApplier::ApplyItemsParallel(
-    std::vector<StreamItem> items, Lsn walked_end) {
+    StreamItem* items, size_t count, Lsn walked_end) {
   auto st = std::make_shared<ParallelApplyState>(sim_, lanes_);
-  st->items = std::move(items);
-  for (uint32_t i = 0; i < st->items.size(); i++) {
+  st->items = items;
+  st->count = count;
+  for (uint32_t i = 0; i < st->count; i++) {
     const LogRecord& rec = st->items[i].rec;
     if (!rec.HasPage()) {
       ParallelApplyState::Barrier b;

@@ -140,7 +140,7 @@ class RedoApplier {
   /// serial Apply or the parallel coordinator — owns ordering).
   sim::Task<Status> ApplyPageRecord(Lsn lsn, const LogRecord& rec);
 
-  sim::Task<Result<Lsn>> ApplyItemsParallel(std::vector<StreamItem> items,
+  sim::Task<Result<Lsn>> ApplyItemsParallel(StreamItem* items, size_t count,
                                             Lsn walked_end);
   sim::Task<> LaneTask(std::shared_ptr<ParallelApplyState> st, int lane);
   sim::Task<> BarrierTask(std::shared_ptr<ParallelApplyState> st);
@@ -169,6 +169,13 @@ class RedoApplier {
     LogRecord rec;
   };
   std::map<PageId, std::vector<PendingRecord>> pending_;
+
+  // Decode arena for ApplyStream: StreamItems (and the value buffers
+  // inside their records) are recycled across calls, so steady-state
+  // stream parsing allocates nothing. `scratch_busy_` guards against a
+  // reentrant ApplyStream (falls back to a local buffer).
+  std::vector<StreamItem> scratch_items_;
+  bool scratch_busy_ = false;
 };
 
 }  // namespace engine

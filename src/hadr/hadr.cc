@@ -83,8 +83,10 @@ sim::Task<> HadrLogSink::FlusherLoop() {
                   avail);
     uint64_t take = engine::FrameAlignedPrefix(pending, kMaxLogBlockSize);
     if (take == 0) take = avail;  // defensive: partial frame
-    std::string payload = stream_.substr(
-        block_start - engine::kLogStreamStart, take);
+    // One shared immutable copy of the block: the local write and every
+    // Secondary shipment alias it instead of copying it per replica.
+    auto payload = std::make_shared<const std::string>(
+        stream_, block_start - engine::kLogStreamStart, take);
     flushed_ += take;
 
     // Persist locally and ship to all Secondaries in parallel; harden at
@@ -107,17 +109,18 @@ sim::Task<> HadrLogSink::FlusherLoop() {
     };
 
     // Local log write.
-    sim::Spawn(sim_, [](HadrLogSink* self, Lsn start, std::string data,
+    sim::Spawn(sim_, [](HadrLogSink* self, Lsn start,
+                        std::shared_ptr<const std::string> data,
                         std::function<void()> v) -> sim::Task<> {
       (void)co_await self->log_disk_->Write(
-          start % (64 * MiB), Slice(data));
+          start % (64 * MiB), Slice(*data));
       v();
     }(this, block_start, payload, vote));
 
     // Ship to every Secondary.
     for (HadrSecondary* sec : *secondaries_) {
       sim::Spawn(sim_, [](HadrLogSink* self, HadrSecondary* s, Lsn start,
-                          std::string data,
+                          std::shared_ptr<const std::string> data,
                           std::function<void()> v) -> sim::Task<> {
         co_await sim::Delay(self->sim_, self->opts_.network.Sample(
                                             self->rng_));
@@ -204,14 +207,14 @@ HadrSecondary::HadrSecondary(sim::Simulator& sim,
       [this] { return applier_->applied_commit_ts(); });
 }
 
-sim::Task<Status> HadrSecondary::Receive(Lsn start_lsn,
-                                         std::string payload) {
+sim::Task<Status> HadrSecondary::Receive(
+    Lsn start_lsn, std::shared_ptr<const std::string> payload) {
   // Persist the block locally (the ack is meaningless otherwise), then
   // apply it to the local full copy.
-  (void)co_await log_disk_->Write(start_lsn % (64 * MiB), Slice(payload));
-  co_await cpu_->Consume(10 + payload.size() / 2000);
+  (void)co_await log_disk_->Write(start_lsn % (64 * MiB), Slice(*payload));
+  co_await cpu_->Consume(10 + payload->size() / 2000);
   Result<Lsn> end = co_await applier_->ApplyStream(
-      Slice(payload), start_lsn,
+      Slice(*payload), start_lsn,
       /*resume_from=*/applier_->applied_lsn().value());
   if (!end.ok()) co_return end.status();
   applier_->applied_lsn().Advance(*end);

@@ -108,7 +108,10 @@ class HadrSecondary {
 
   /// Deliver a log block (called by the sink's shipping tasks). Applies
   /// the records and returns once persisted locally (the ack point).
-  sim::Task<Status> Receive(Lsn start_lsn, std::string payload);
+  /// The payload is shared immutably with every other replica's shipping
+  /// task — delivery is a refcount bump, not a copy of the block.
+  sim::Task<Status> Receive(Lsn start_lsn,
+                            std::shared_ptr<const std::string> payload);
 
   engine::Engine* engine() { return engine_.get(); }
   engine::RedoApplier* applier() { return applier_.get(); }

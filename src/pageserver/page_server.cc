@@ -47,6 +47,11 @@ class PageServer::XStoreFetcher : public engine::PageFetcher {
   XStoreFetcher(PageServer* ps) : ps_(ps) {}
 
   sim::Task<Result<storage::Page>> FetchPage(PageId page_id) override {
+    // Interned: these fire on every miss past the checkpointed extent,
+    // and a static Status makes returning one a pure refcount bump.
+    static const Status kNoBlobYet = Status::NotFound("no blob yet");
+    static const Status kNeverCheckpointed =
+        Status::NotFound("page never checkpointed");
     uint64_t offset =
         (page_id - ps_->opts_.partition_map.FirstPage(ps_->opts_.partition)) *
         kPageSize;
@@ -55,17 +60,16 @@ class PageServer::XStoreFetcher : public engine::PageFetcher {
     // Scan readahead overshooting the end of a table hits this on every
     // window, and a batch frame serializes those misses server-side.
     if (!ps_->xstore_->Exists(ps_->data_blob_)) {
-      co_return Result<storage::Page>(Status::NotFound("no blob yet"));
+      co_return Result<storage::Page>(kNoBlobYet);
     }
     if (offset + kPageSize > ps_->xstore_->BlobSize(ps_->data_blob_)) {
-      co_return Result<storage::Page>(
-          Status::NotFound("page never checkpointed"));
+      co_return Result<storage::Page>(kNeverCheckpointed);
     }
     std::string image;
     Status s = co_await ps_->xstore_->Read(ps_->data_blob_, offset,
                                            kPageSize, &image);
     if (s.IsNotFound()) {
-      co_return Result<storage::Page>(Status::NotFound("no blob yet"));
+      co_return Result<storage::Page>(kNoBlobYet);
     }
     if (!s.ok()) co_return Result<storage::Page>(s);
     bool all_zero = true;
@@ -76,10 +80,9 @@ class PageServer::XStoreFetcher : public engine::PageFetcher {
       }
     }
     if (all_zero) {
-      co_return Result<storage::Page>(
-          Status::NotFound("page never checkpointed"));
+      co_return Result<storage::Page>(kNeverCheckpointed);
     }
-    storage::Page page;
+    storage::Page page = storage::Page::Uninitialized();
     if (Status ps = page.FromSlice(Slice(image)); !ps.ok()) {
       co_return Result<storage::Page>(ps);
     }
@@ -298,10 +301,10 @@ sim::Task<> PageServer::ApplyLoop(uint64_t epoch) {
         // lanes charge their share of the same cost inside the applier.
         co_await cpu_->Consume(
             engine::RedoApplier::kApplyCpuFixedUs +
-            block.payload.size() / engine::RedoApplier::kApplyCpuBytesPerUs);
+            block.payload().size() / engine::RedoApplier::kApplyCpuBytesPerUs);
       }
       Result<Lsn> end = co_await applier_->ApplyStream(
-          Slice(block.payload), block.start_lsn,
+          Slice(block.payload()), block.start_lsn,
           /*resume_from=*/applier_->applied_lsn().value(),
           /*stop_at=*/opts_.apply_until);
       if (!end.ok()) {
@@ -360,7 +363,8 @@ sim::Task<Result<storage::Page>> PageServer::ServeLocal(PageId page_id) {
   Result<engine::PageRef> ref = co_await pool_->GetPage(page_id);
   if (!ref.ok()) co_return Result<storage::Page>(ref.status());
   // Checksum the cached frame in place (recomputed only when dirtied
-  // since the last serve), then ship a copy.
+  // since the last serve), then ship a COW reference: no 8 KiB copy —
+  // the applier's next write to this frame detaches it instead.
   ref->EnsureChecksum();
   storage::Page copy = *ref->page();
   co_return std::move(copy);
@@ -428,7 +432,8 @@ sim::Task<Result<std::vector<storage::Page>>> PageServer::GetPageRangeAtLsn(
   co_return std::move(pages);
 }
 
-sim::Task<Result<std::string>> PageServer::HandleRbio(std::string frame) {
+sim::Task<Result<std::string>> PageServer::HandleRbio(
+    const std::string& frame) {
   SimTime gray = chaos_port_.GrayDelayUs();
   if (gray > 0) co_await sim::Delay(sim_, gray);
   if (chaos_port_.Out() || chaos_port_.ConsumeFailure()) {
@@ -440,26 +445,30 @@ sim::Task<Result<std::string>> PageServer::HandleRbio(std::string frame) {
   rbio::GetPageRequest get;
   rbio::GetPageRangeRequest range;
   rbio::GetPageBatchRequest batch;
-  if (rbio::GetPageBatchRequest::Decode(Slice(frame), &batch, &version,
+  // Dispatch on the peeked type byte: exactly one decode runs per frame.
+  rbio::MessageType type = rbio::PeekMessageType(frame);
+  if (type == rbio::MessageType::kGetPageBatch &&
+      rbio::GetPageBatchRequest::Decode(Slice(frame), &batch, &version,
                                         opts_.rbio_max_version)
           .ok()) {
     co_return co_await ServeBatch(std::move(batch));
   }
-  if (rbio::GetPageRequest::Decode(Slice(frame), &get, &version,
+  if (type == rbio::MessageType::kGetPage &&
+      rbio::GetPageRequest::Decode(Slice(frame), &get, &version,
                                    opts_.rbio_max_version)
           .ok()) {
+    // Hot path: encode the lone page straight to the wire, skipping the
+    // PageResponse struct and its per-response vector.
     Result<storage::Page> page =
         co_await GetPageAtLsn(get.page_id, get.min_lsn);
-    if (page.ok()) {
-      resp.status = Status::OK();
-      resp.pages.push_back(std::move(page).value());
-    } else {
-      resp.status = page.status();
-    }
-  } else if (rbio::GetPageRangeRequest::Decode(Slice(frame), &range,
-                                               &version,
-                                               opts_.rbio_max_version)
-                 .ok()) {
+    co_return rbio::EncodeSinglePageResponse(
+        page.ok() ? Status::OK() : page.status(),
+        page.ok() ? &page.value() : nullptr);
+  }
+  if (type == rbio::MessageType::kGetPageRange &&
+      rbio::GetPageRangeRequest::Decode(Slice(frame), &range, &version,
+                                        opts_.rbio_max_version)
+          .ok()) {
     Result<std::vector<storage::Page>> pages = co_await GetPageRangeAtLsn(
         range.first_page, range.count, range.min_lsn);
     if (pages.ok()) {
@@ -570,7 +579,7 @@ sim::Task<> PageServer::CheckpointWriteBatch(
       break;
     }
     ref->EnsureChecksum();
-    batch.append(ref->page()->data(), kPageSize);
+    batch.append(ref->page()->cdata(), kPageSize);
     captured.emplace_back(id, pool_->DirtyGen(id));
   }
   if (status.ok() && epoch_ == epoch) {

@@ -126,7 +126,8 @@ class PageServer : public rbio::RbioServer {
       PageId first_page, uint32_t count, Lsn min_lsn);
 
   /// rbio::RbioServer: decode a typed request frame and serve it.
-  sim::Task<Result<std::string>> HandleRbio(std::string frame) override;
+  sim::Task<Result<std::string>> HandleRbio(
+      const std::string& frame) override;
 
   /// Fault injection for RBIO resilience tests: the next `n` requests
   /// fail with Unavailable. (Shim over the chaos port's local

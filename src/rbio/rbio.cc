@@ -74,16 +74,91 @@ Status PeekResponseStatus(Slice wire, Status* out) {
   return GetStatus(&wire, out);
 }
 
+// Code-only variant for the retry loop's transient check: reads the code
+// byte without materializing the message string (error messages exceed
+// SSO, so the full peek allocates on every error response).
+Status PeekResponseStatusCode(Slice wire, Status::Code* out) {
+  uint16_t version;
+  if (!GetFixed16(&wire, &version)) {
+    return Status::Corruption("rbio: truncated response");
+  }
+  if (wire.empty()) return Status::Corruption("rbio: missing status");
+  *out = static_cast<Status::Code>(wire[0]);
+  return Status::OK();
+}
+
 void PutPageImage(std::string* out, const storage::Page& page) {
   out->append(page.data(), kPageSize);
 }
 
-Status GetPageImage(Slice* in, storage::Page* out) {
+// `owner` non-null: the decoded page aliases into the owner's buffer
+// (zero-copy); null: the image is copied out (self-contained decode).
+Status GetPageImage(Slice* in,
+                    const std::shared_ptr<const std::string>& owner,
+                    storage::Page* out) {
   if (in->size() < kPageSize) {
     return Status::Corruption("rbio: truncated page image");
   }
-  SOCRATES_RETURN_IF_ERROR(out->FromSlice(Slice(in->data(), kPageSize)));
+  if (owner != nullptr) {
+    *out = storage::Page::Alias(owner, in->data());
+  } else {
+    storage::Page fresh = storage::Page::Uninitialized();
+    SOCRATES_RETURN_IF_ERROR(fresh.FromSlice(Slice(in->data(), kPageSize)));
+    *out = std::move(fresh);
+  }
   in->remove_prefix(kPageSize);
+  return Status::OK();
+}
+
+Status DecodePageResponse(Slice wire,
+                          const std::shared_ptr<const std::string>& owner,
+                          PageResponse* out) {
+  uint16_t version;
+  if (!GetFixed16(&wire, &version)) {
+    return Status::Corruption("rbio: truncated response");
+  }
+  SOCRATES_RETURN_IF_ERROR(GetStatus(&wire, &out->status));
+  uint32_t n;
+  if (!GetFixed32(&wire, &n)) {
+    return Status::Corruption("rbio: truncated page count");
+  }
+  out->pages.clear();
+  out->pages.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    storage::Page p;
+    SOCRATES_RETURN_IF_ERROR(GetPageImage(&wire, owner, &p));
+    out->pages.push_back(std::move(p));
+  }
+  return Status::OK();
+}
+
+Status DecodeBatchResponse(Slice wire,
+                           const std::shared_ptr<const std::string>& owner,
+                           GetPageBatchResponse* out) {
+  uint16_t version;
+  if (!GetFixed16(&wire, &version)) {
+    return Status::Corruption("rbio: truncated batch response");
+  }
+  SOCRATES_RETURN_IF_ERROR(GetStatus(&wire, &out->status));
+  uint32_t n;
+  if (!GetFixed32(&wire, &n)) {
+    return Status::Corruption("rbio: truncated batch entry count");
+  }
+  out->entries.clear();
+  out->entries.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    GetPageBatchResponse::Entry e;
+    SOCRATES_RETURN_IF_ERROR(GetStatus(&wire, &e.status));
+    if (wire.empty()) {
+      return Status::Corruption("rbio: truncated batch entry");
+    }
+    bool has_page = wire[0] != 0;
+    wire.remove_prefix(1);
+    if (has_page) {
+      SOCRATES_RETURN_IF_ERROR(GetPageImage(&wire, owner, &e.page));
+    }
+    out->entries.push_back(std::move(e));
+  }
   return Status::OK();
 }
 
@@ -91,10 +166,15 @@ Status GetPageImage(Slice* in, storage::Page* out) {
 
 std::string GetPageRequest::Encode(uint16_t version) const {
   std::string out;
-  PutHeader(&out, version, MessageType::kGetPage);
-  PutFixed64(&out, page_id);
-  PutFixed64(&out, min_lsn);
+  EncodeTo(&out, version);
   return out;
+}
+
+void GetPageRequest::EncodeTo(std::string* out, uint16_t version) const {
+  out->clear();
+  PutHeader(out, version, MessageType::kGetPage);
+  PutFixed64(out, page_id);
+  PutFixed64(out, min_lsn);
 }
 
 Status GetPageRequest::Decode(Slice wire, GetPageRequest* out,
@@ -113,11 +193,17 @@ Status GetPageRequest::Decode(Slice wire, GetPageRequest* out,
 
 std::string GetPageRangeRequest::Encode(uint16_t version) const {
   std::string out;
-  PutHeader(&out, version, MessageType::kGetPageRange);
-  PutFixed64(&out, first_page);
-  PutFixed32(&out, count);
-  PutFixed64(&out, min_lsn);
+  EncodeTo(&out, version);
   return out;
+}
+
+void GetPageRangeRequest::EncodeTo(std::string* out,
+                                   uint16_t version) const {
+  out->clear();
+  PutHeader(out, version, MessageType::kGetPageRange);
+  PutFixed64(out, first_page);
+  PutFixed32(out, count);
+  PutFixed64(out, min_lsn);
 }
 
 Status GetPageRangeRequest::Decode(Slice wire, GetPageRangeRequest* out,
@@ -138,13 +224,20 @@ Status GetPageRangeRequest::Decode(Slice wire, GetPageRangeRequest* out,
 
 std::string GetPageBatchRequest::Encode(uint16_t version) const {
   std::string out;
-  PutHeader(&out, version, MessageType::kGetPageBatch);
-  PutFixed32(&out, static_cast<uint32_t>(entries.size()));
-  for (const Entry& e : entries) {
-    PutFixed64(&out, e.page_id);
-    PutFixed64(&out, e.min_lsn);
-  }
+  EncodeTo(&out, version);
   return out;
+}
+
+void GetPageBatchRequest::EncodeTo(std::string* out,
+                                   uint16_t version) const {
+  out->clear();
+  out->reserve(2 + 1 + 4 + entries.size() * 16);
+  PutHeader(out, version, MessageType::kGetPageBatch);
+  PutFixed32(out, static_cast<uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    PutFixed64(out, e.page_id);
+    PutFixed64(out, e.min_lsn);
+  }
 }
 
 Status GetPageBatchRequest::Decode(Slice wire, GetPageBatchRequest* out,
@@ -176,6 +269,9 @@ Status GetPageBatchRequest::Decode(Slice wire, GetPageBatchRequest* out,
 
 std::string PageResponse::Encode() const {
   std::string out;
+  // One exact-size allocation instead of append-growth reallocs.
+  out.reserve(2 + 1 + 5 + status.message().size() + 4 +
+              pages.size() * kPageSize);
   PutFixed16(&out, kProtocolVersion);
   PutStatus(&out, status);
   PutFixed32(&out, static_cast<uint32_t>(pages.size()));
@@ -184,27 +280,18 @@ std::string PageResponse::Encode() const {
 }
 
 Status PageResponse::Decode(Slice wire, PageResponse* out) {
-  uint16_t version;
-  if (!GetFixed16(&wire, &version)) {
-    return Status::Corruption("rbio: truncated response");
-  }
-  SOCRATES_RETURN_IF_ERROR(GetStatus(&wire, &out->status));
-  uint32_t n;
-  if (!GetFixed32(&wire, &n)) {
-    return Status::Corruption("rbio: truncated page count");
-  }
-  out->pages.clear();
-  out->pages.reserve(n);
-  for (uint32_t i = 0; i < n; i++) {
-    storage::Page p;
-    SOCRATES_RETURN_IF_ERROR(GetPageImage(&wire, &p));
-    out->pages.push_back(std::move(p));
-  }
-  return Status::OK();
+  return DecodePageResponse(wire, nullptr, out);
+}
+
+Status PageResponse::Decode(std::shared_ptr<const std::string> frame,
+                            PageResponse* out) {
+  return DecodePageResponse(Slice(*frame), frame, out);
 }
 
 std::string GetPageBatchResponse::Encode() const {
   std::string out;
+  out.reserve(2 + 1 + 5 + status.message().size() + 4 +
+              entries.size() * (kPageSize + 16));
   PutFixed16(&out, kProtocolVersion);
   PutStatus(&out, status);
   PutFixed32(&out, static_cast<uint32_t>(entries.size()));
@@ -217,34 +304,112 @@ std::string GetPageBatchResponse::Encode() const {
 }
 
 Status GetPageBatchResponse::Decode(Slice wire, GetPageBatchResponse* out) {
+  return DecodeBatchResponse(wire, nullptr, out);
+}
+
+Status GetPageBatchResponse::Decode(
+    std::shared_ptr<const std::string> frame, GetPageBatchResponse* out) {
+  return DecodeBatchResponse(Slice(*frame), frame, out);
+}
+
+std::string EncodeSinglePageResponse(const Status& status,
+                                     const storage::Page* page) {
+  std::string out;
+  out.reserve(2 + 1 + 5 + status.message().size() + 4 +
+              (page != nullptr ? kPageSize : 0));
+  PutFixed16(&out, kProtocolVersion);
+  PutStatus(&out, status);
+  PutFixed32(&out, page != nullptr ? 1u : 0u);
+  if (page != nullptr) PutPageImage(&out, *page);
+  return out;
+}
+
+Status DecodeSinglePageResponse(
+    const std::shared_ptr<const std::string>& frame, Status* status,
+    storage::Page* page) {
+  Slice wire(*frame);
   uint16_t version;
   if (!GetFixed16(&wire, &version)) {
-    return Status::Corruption("rbio: truncated batch response");
+    return Status::Corruption("rbio: truncated response");
   }
-  SOCRATES_RETURN_IF_ERROR(GetStatus(&wire, &out->status));
+  SOCRATES_RETURN_IF_ERROR(GetStatus(&wire, status));
   uint32_t n;
   if (!GetFixed32(&wire, &n)) {
-    return Status::Corruption("rbio: truncated batch entry count");
+    return Status::Corruption("rbio: truncated page count");
   }
-  out->entries.clear();
-  out->entries.reserve(n);
-  for (uint32_t i = 0; i < n; i++) {
-    Entry e;
-    SOCRATES_RETURN_IF_ERROR(GetStatus(&wire, &e.status));
-    if (wire.empty()) {
-      return Status::Corruption("rbio: truncated batch entry");
-    }
-    bool has_page = wire[0] != 0;
-    wire.remove_prefix(1);
-    if (has_page) SOCRATES_RETURN_IF_ERROR(GetPageImage(&wire, &e.page));
-    out->entries.push_back(std::move(e));
+  if (!status->ok()) return Status::OK();  // error responses carry no page
+  if (n != 1) {
+    return Status::Corruption("rbio: GetPage returned wrong page count");
   }
-  return Status::OK();
+  return GetPageImage(&wire, frame, page);
 }
 
 RbioClient::RbioClient(sim::Simulator& sim, sim::CpuResource* cpu,
                        const RbioClientOptions& options, uint64_t seed)
     : sim_(sim), cpu_(cpu), opts_(options), rng_(seed) {}
+
+RbioClient::~RbioClient() {
+  for (PendingGet* e : pending_pool_) delete e;
+  // Queued-but-unflushed entries can only exist if the simulator was
+  // abandoned mid-request; their rider coroutines can never resume, so
+  // reclaiming the nodes here is safe.
+  for (auto& [key, q] : batch_queues_) {
+    for (PendingGet* e : q.pending) delete e;
+  }
+}
+
+RbioClient::PendingGet* RbioClient::AcquirePending(PageId page_id,
+                                                   Lsn min_lsn) {
+  // Interned: copying a Status is a refcount bump, so re-arming a
+  // recycled node allocates nothing.
+  static const Status kPending = Status::Unavailable("pending");
+  PendingGet* e;
+  if (!pending_pool_.empty()) {
+    e = pending_pool_.back();
+    pending_pool_.pop_back();
+    e->done.Reset();
+    e->result = Result<storage::Page>(kPending);
+  } else {
+    e = new PendingGet(sim_);
+  }
+  e->page_id = page_id;
+  e->min_lsn = min_lsn;
+  e->refs = 1;  // the queue/flush side's reference
+  return e;
+}
+
+void RbioClient::ReleasePending(PendingGet* entry) {
+  if (--entry->refs == 0) pending_pool_.push_back(entry);
+}
+
+std::string RbioClient::AcquireFrame() {
+  if (frame_pool_.empty()) return std::string();
+  std::string f = std::move(frame_pool_.back());
+  frame_pool_.pop_back();
+  return f;
+}
+
+void RbioClient::ReleaseFrame(std::string&& frame) {
+  if (frame_pool_.size() < 16) {
+    frame.clear();  // keep capacity
+    frame_pool_.push_back(std::move(frame));
+  }
+}
+
+std::shared_ptr<std::string> RbioClient::AcquireRespFrame() {
+  // An entry is recyclable once only the pool holds it — every page that
+  // aliased into it has died. Long-cached pages pin their frames; the
+  // pool is bounded so pinned entries cost at most
+  // 32 * sizeof(response) and overflow falls back to a fresh allocation.
+  for (const std::shared_ptr<std::string>& sp : resp_frame_pool_) {
+    if (sp.use_count() == 1) return sp;
+  }
+  if (resp_frame_pool_.size() < 32) {
+    resp_frame_pool_.push_back(std::make_shared<std::string>());
+    return resp_frame_pool_.back();
+  }
+  return std::make_shared<std::string>();
+}
 
 size_t RbioClient::PickReplica(const std::vector<Endpoint>& replicas,
                                size_t attempt) const {
@@ -268,7 +433,8 @@ size_t RbioClient::PickReplica(const std::vector<Endpoint>& replicas,
 sim::Task<Result<std::string>> RbioClient::RoundtripRaw(
     const std::vector<Endpoint>& replicas, std::string frame,
     SimTime cpu_us) {
-  Status last = Status::Unavailable("no endpoints");
+  static const Status kNoEndpoints = Status::Unavailable("no endpoints");
+  Status last = kNoEndpoints;
   for (int attempt = 0; attempt < opts_.max_attempts; attempt++) {
     if (replicas.empty()) break;
     if (attempt > 0) {
@@ -306,17 +472,27 @@ sim::Task<Result<std::string>> RbioClient::RoundtripRaw(
       if (last.IsUnavailable() || last.IsTimedOut() || last.IsBusy()) {
         continue;  // transient: retry (possibly on another replica)
       }
+      ReleaseFrame(std::move(frame));
       co_return Result<std::string>(last);
     }
-    Status resp_status;
-    Status ps = PeekResponseStatus(Slice(*raw), &resp_status);
-    if (!ps.ok()) co_return Result<std::string>(ps);
-    if (resp_status.IsUnavailable() || resp_status.IsBusy()) {
+    Status::Code resp_code;
+    Status ps = PeekResponseStatusCode(Slice(*raw), &resp_code);
+    if (!ps.ok()) {
+      ReleaseFrame(std::move(frame));
+      co_return Result<std::string>(ps);
+    }
+    if (resp_code == Status::Code::kUnavailable) {
+      // Transient: materialize the full status only on this rare path,
+      // then retry (possibly on another replica).
+      Status resp_status;
+      (void)PeekResponseStatus(Slice(*raw), &resp_status);
       last = resp_status;
       continue;
     }
+    ReleaseFrame(std::move(frame));
     co_return std::move(*raw);
   }
+  ReleaseFrame(std::move(frame));
   co_return Result<std::string>(last);
 }
 
@@ -326,7 +502,11 @@ sim::Task<Result<PageResponse>> RbioClient::Roundtrip(
       replicas, std::move(frame), opts_.cpu_per_request_us);
   if (!raw.ok()) co_return Result<PageResponse>(raw.status());
   PageResponse resp;
-  Status ds = PageResponse::Decode(Slice(*raw), &resp);
+  // Zero-copy: the decoded pages alias into the response frame, which
+  // stays alive (shared) for as long as any of them does.
+  std::shared_ptr<std::string> fp = AcquireRespFrame();
+  *fp = std::move(*raw);
+  Status ds = PageResponse::Decode(fp, &resp);
   if (!ds.ok()) co_return Result<PageResponse>(ds);
   co_return std::move(resp);
 }
@@ -342,15 +522,20 @@ sim::Task<Result<storage::Page>> RbioClient::GetPageSingle(
   // v2 servers without negotiation.
   uint16_t version =
       std::min<uint16_t>(opts_.protocol_version, kGetPageFrameVersion);
-  Result<PageResponse> resp =
-      co_await Roundtrip(replicas, req.Encode(version));
-  if (!resp.ok()) co_return Result<storage::Page>(resp.status());
-  if (!resp->status.ok()) co_return Result<storage::Page>(resp->status);
-  if (resp->pages.size() != 1) {
-    co_return Result<storage::Page>(
-        Status::Corruption("rbio: GetPage returned wrong page count"));
-  }
-  storage::Page page = std::move(resp->pages[0]);
+  std::string frame = AcquireFrame();
+  req.EncodeTo(&frame, version);
+  Result<std::string> raw = co_await RoundtripRaw(
+      replicas, std::move(frame), opts_.cpu_per_request_us);
+  if (!raw.ok()) co_return Result<storage::Page>(raw.status());
+  // Single-page decode: the page aliases into the pooled response frame;
+  // no PageResponse struct, no per-response vector.
+  std::shared_ptr<std::string> fp = AcquireRespFrame();
+  *fp = std::move(*raw);
+  Status rstatus;
+  storage::Page page;
+  Status ds = DecodeSinglePageResponse(fp, &rstatus, &page);
+  if (!ds.ok()) co_return Result<storage::Page>(ds);
+  if (!rstatus.ok()) co_return Result<storage::Page>(rstatus);
   SOCRATES_CO_RETURN_IF_ERROR(page.VerifyChecksum());
   if (page.page_id() != page_id) {
     co_return Result<storage::Page>(
@@ -378,8 +563,8 @@ sim::Task<Result<storage::Page>> RbioClient::GetPage(
   // Batch-aware dedup: a request for a page already queued this window
   // rides along (at the max of both freshness LSNs) instead of adding a
   // duplicate sub-request.
-  std::shared_ptr<PendingGet> entry;
-  for (auto& e : q.pending) {
+  PendingGet* entry = nullptr;
+  for (PendingGet* e : q.pending) {
     if (e->page_id == page_id) {
       if (min_lsn > e->min_lsn) e->min_lsn = min_lsn;
       entry = e;
@@ -388,16 +573,34 @@ sim::Task<Result<storage::Page>> RbioClient::GetPage(
     }
   }
   if (entry == nullptr) {
-    entry = std::make_shared<PendingGet>(sim_, page_id, min_lsn);
-    q.replicas = replicas;  // refresh to the callers' latest view
+    entry = AcquirePending(page_id, min_lsn);
+    // Refresh to the callers' latest view — swapping the shared set only
+    // when it actually changed, so the steady state stays allocation-free.
+    bool same = q.replicas != nullptr &&
+                q.replicas->size() == replicas.size();
+    if (same) {
+      for (size_t i = 0; i < replicas.size(); i++) {
+        if ((*q.replicas)[i].server != replicas[i].server ||
+            (*q.replicas)[i].name != replicas[i].name) {
+          same = false;
+          break;
+        }
+      }
+    }
+    if (!same) {
+      q.replicas = std::make_shared<const std::vector<Endpoint>>(replicas);
+    }
     q.pending.push_back(entry);
     if (!q.flusher_active) {
       q.flusher_active = true;
       sim::Spawn(sim_, BatchFlusher(key));
     }
   }
+  entry->refs++;  // this rider
   co_await entry->done.Wait();
-  co_return entry->result;
+  Result<storage::Page> result = entry->result;
+  ReleasePending(entry);
+  co_return std::move(result);
 }
 
 sim::Task<> RbioClient::BatchFlusher(std::string key) {
@@ -408,8 +611,15 @@ sim::Task<> RbioClient::BatchFlusher(std::string key) {
   BatchQueue& q = batch_queues_[key];
   while (!q.pending.empty()) {
     size_t n = std::min<size_t>(q.pending.size(), opts_.max_batch);
-    std::vector<std::shared_ptr<PendingGet>> batch(
-        q.pending.begin(), q.pending.begin() + n);
+    if (n == 1 && q.pending.size() == 1) {
+      // The common lone-miss case: resolve directly, no batch vector.
+      PendingGet* only = q.pending.front();
+      q.pending.clear();
+      sim::Spawn(sim_, ResolveSingle(q.replicas, only));
+      break;
+    }
+    std::vector<PendingGet*> batch(q.pending.begin(),
+                                   q.pending.begin() + n);
     q.pending.erase(q.pending.begin(), q.pending.begin() + n);
     // Detached: bursts above max_batch go out as several concurrent
     // frames rather than serializing round trips.
@@ -418,16 +628,16 @@ sim::Task<> RbioClient::BatchFlusher(std::string key) {
   q.flusher_active = false;
 }
 
-sim::Task<> RbioClient::ResolveSingle(std::vector<Endpoint> replicas,
-                                      std::shared_ptr<PendingGet> entry) {
+sim::Task<> RbioClient::ResolveSingle(ReplicaSet replicas,
+                                      PendingGet* entry) {
   entry->result =
-      co_await GetPageSingle(replicas, entry->page_id, entry->min_lsn);
+      co_await GetPageSingle(*replicas, entry->page_id, entry->min_lsn);
   entry->done.Set();
+  ReleasePending(entry);
 }
 
-sim::Task<> RbioClient::FlushBatch(
-    std::vector<Endpoint> replicas, std::string key,
-    std::vector<std::shared_ptr<PendingGet>> batch) {
+sim::Task<> RbioClient::FlushBatch(ReplicaSet replicas, std::string key,
+                                   std::vector<PendingGet*> batch) {
   if (batch.size() == 1) {
     // Nothing to multiplex: identical wire behavior to the unbatched
     // path.
@@ -447,11 +657,17 @@ sim::Task<> RbioClient::FlushBatch(
   SimTime cpu_us =
       opts_.cpu_per_request_us +
       (batch.size() - 1) * opts_.cpu_per_batched_page_us;
-  Result<std::string> raw = co_await RoundtripRaw(
-      replicas, req.Encode(opts_.protocol_version), cpu_us);
+  std::string reqframe = AcquireFrame();
+  req.EncodeTo(&reqframe, opts_.protocol_version);
+  Result<std::string> raw =
+      co_await RoundtripRaw(*replicas, std::move(reqframe), cpu_us);
   GetPageBatchResponse resp;
-  Status ds = raw.ok() ? GetPageBatchResponse::Decode(Slice(*raw), &resp)
-                       : raw.status();
+  Status ds = raw.status();
+  if (raw.ok()) {
+    std::shared_ptr<std::string> fp = AcquireRespFrame();
+    *fp = std::move(*raw);
+    ds = GetPageBatchResponse::Decode(fp, &resp);
+  }
   BatchQueue& q = batch_queues_[key];
   if (ds.ok() && resp.status.IsNotSupported() && resp.entries.empty()) {
     // Automatic versioning (§3.4): a pre-v3 server rejected the batch
@@ -488,6 +704,7 @@ sim::Task<> RbioClient::FlushBatch(
       }
     }
     batch[i]->done.Set();
+    ReleasePending(batch[i]);
   }
   if (ds.ok() && resp.status.ok()) {
     q.support_known = true;
@@ -504,8 +721,9 @@ sim::Task<Result<std::vector<storage::Page>>> RbioClient::GetPageRange(
   req.min_lsn = min_lsn;
   uint16_t version =
       std::min<uint16_t>(opts_.protocol_version, kGetPageFrameVersion);
-  Result<PageResponse> resp =
-      co_await Roundtrip(replicas, req.Encode(version));
+  std::string frame = AcquireFrame();
+  req.EncodeTo(&frame, version);
+  Result<PageResponse> resp = co_await Roundtrip(replicas, std::move(frame));
   if (!resp.ok()) {
     co_return Result<std::vector<storage::Page>>(resp.status());
   }

@@ -71,11 +71,22 @@ enum class MessageType : uint8_t {
   kGetPageBatch = 3,
 };
 
+/// Peek a frame's type byte without decoding (0 if truncated). Servers
+/// dispatch on this instead of try-decoding each format in turn — a
+/// failed probe builds an error Status, which is not free.
+inline MessageType PeekMessageType(const std::string& frame) {
+  return frame.size() >= 3 ? static_cast<MessageType>(frame[2])
+                           : static_cast<MessageType>(0);
+}
+
 struct GetPageRequest {
   PageId page_id = kInvalidPageId;
   Lsn min_lsn = kInvalidLsn;
 
   std::string Encode(uint16_t version = kProtocolVersion) const;
+  /// Encode into a caller-owned buffer (cleared first) so hot paths can
+  /// recycle string capacity instead of allocating per frame.
+  void EncodeTo(std::string* out, uint16_t version = kProtocolVersion) const;
   static Status Decode(Slice wire, GetPageRequest* out, uint16_t* version,
                        uint16_t max_version = kProtocolVersion);
 };
@@ -86,6 +97,7 @@ struct GetPageRangeRequest {
   Lsn min_lsn = kInvalidLsn;
 
   std::string Encode(uint16_t version = kProtocolVersion) const;
+  void EncodeTo(std::string* out, uint16_t version = kProtocolVersion) const;
   static Status Decode(Slice wire, GetPageRangeRequest* out,
                        uint16_t* version,
                        uint16_t max_version = kProtocolVersion);
@@ -101,6 +113,7 @@ struct GetPageBatchRequest {
   std::vector<Entry> entries;
 
   std::string Encode(uint16_t version = kProtocolVersion) const;
+  void EncodeTo(std::string* out, uint16_t version = kProtocolVersion) const;
   static Status Decode(Slice wire, GetPageBatchRequest* out,
                        uint16_t* version,
                        uint16_t max_version = kProtocolVersion);
@@ -113,6 +126,11 @@ struct PageResponse {
 
   std::string Encode() const;
   static Status Decode(Slice wire, PageResponse* out);
+  /// Zero-copy decode: the pages alias into `*frame` (sharing ownership)
+  /// instead of copying each 8 KiB image. Mutating a decoded page COW-
+  /// detaches it, so the frame's bytes are never written through a page.
+  static Status Decode(std::shared_ptr<const std::string> frame,
+                       PageResponse* out);
 };
 
 /// Response to a kGetPageBatch frame: per-sub-request status + page, in
@@ -130,14 +148,35 @@ struct GetPageBatchResponse {
 
   std::string Encode() const;
   static Status Decode(Slice wire, GetPageBatchResponse* out);
+  /// Zero-copy decode; see PageResponse::Decode(frame).
+  static Status Decode(std::shared_ptr<const std::string> frame,
+                       GetPageBatchResponse* out);
 };
+
+/// Encode a PageResponse carrying exactly one page (`page` non-null) or
+/// just an error status (`page` null) without materializing the struct —
+/// byte-identical to PageResponse::Encode, but the server's GetPage hot
+/// path skips the per-response page vector.
+std::string EncodeSinglePageResponse(const Status& status,
+                                     const storage::Page* page);
+
+/// Decode a PageResponse expected to carry exactly one page. `*page`
+/// aliases into `frame` (zero-copy); no per-response vector. An error
+/// `*status` with zero pages decodes as OK with `*page` untouched.
+Status DecodeSinglePageResponse(
+    const std::shared_ptr<const std::string>& frame, Status* status,
+    storage::Page* page);
 
 /// Server side of the protocol. Page Servers implement this.
 class RbioServer {
  public:
   virtual ~RbioServer() = default;
   /// Handle one encoded request frame; returns the encoded response.
-  virtual sim::Task<Result<std::string>> HandleRbio(std::string frame) = 0;
+  /// The frame is borrowed: the caller co_awaits the handler to
+  /// completion and keeps the bytes alive for the whole call (so the
+  /// hot path pays no per-request frame copy).
+  virtual sim::Task<Result<std::string>> HandleRbio(
+      const std::string& frame) = 0;
 };
 
 /// One addressable replica of a partition's server.
@@ -233,28 +272,55 @@ class RbioClient {
   /// Observed EWMA latency for an endpoint (0 if never used).
   double EwmaLatencyUs(const std::string& endpoint_name) const;
 
+  ~RbioClient();
+
  private:
   // One queued GetPage awaiting a batch flush (or fallback single).
+  // Nodes are recycled through a free list (AcquirePending /
+  // ReleasePending) with a manual refcount — one ref for the queue/flush
+  // side plus one per awaiting rider — so the steady-state hot path
+  // performs no allocation.
   struct PendingGet {
-    PendingGet(sim::Simulator& sim, PageId page_id, Lsn min_lsn)
-        : page_id(page_id), min_lsn(min_lsn), done(sim) {}
-    PageId page_id;
-    Lsn min_lsn;
+    explicit PendingGet(sim::Simulator& sim) : done(sim) {}
+    PageId page_id = kInvalidPageId;
+    Lsn min_lsn = 0;
+    int refs = 0;
     Result<storage::Page> result{Status::Unavailable("pending")};
     sim::Event done;
   };
 
+  // Endpoint sets are shared immutably between the queue and in-flight
+  // flush coroutines: refreshing the queue's view swaps the pointer
+  // (only when the set actually changed) instead of copying the vector
+  // into every detached flush.
+  using ReplicaSet = std::shared_ptr<const std::vector<Endpoint>>;
+
   // Per endpoint-set batch state. Endpoint sets are few (one per
   // partition), so entries live for the client's lifetime.
   struct BatchQueue {
-    std::vector<Endpoint> replicas;
-    std::vector<std::shared_ptr<PendingGet>> pending;
+    ReplicaSet replicas;
+    std::vector<PendingGet*> pending;
     bool flusher_active = false;
     // Tri-state batch support: unknown (try) / true / false (a server
     // rejected a v3 frame; stay on singles).
     bool support_known = false;
     bool supported = true;
   };
+
+  PendingGet* AcquirePending(PageId page_id, Lsn min_lsn);
+  void ReleasePending(PendingGet* entry);
+
+  // Request-frame capacity recycling: RoundtripRaw returns each frame's
+  // buffer here when the round trip finishes, so the steady-state encode
+  // path never allocates.
+  std::string AcquireFrame();
+  void ReleaseFrame(std::string&& frame);
+
+  // Response-frame recycling: decoded pages alias into the shared frame,
+  // so a frame is reusable once every page decoded from it has died
+  // (use_count back to 1). Recycling reuses both the string capacity and
+  // the shared_ptr control block.
+  std::shared_ptr<std::string> AcquireRespFrame();
 
   bool BatchingEnabled() const {
     return opts_.max_batch > 1 && opts_.protocol_version >= kBatchMinVersion;
@@ -282,10 +348,9 @@ class RbioClient {
   // Drains a queue: flushes full batches this tick, one frame per
   // max_batch sub-requests, each as a detached round trip.
   sim::Task<> BatchFlusher(std::string key);
-  sim::Task<> FlushBatch(std::vector<Endpoint> replicas, std::string key,
-                         std::vector<std::shared_ptr<PendingGet>> batch);
-  sim::Task<> ResolveSingle(std::vector<Endpoint> replicas,
-                            std::shared_ptr<PendingGet> entry);
+  sim::Task<> FlushBatch(ReplicaSet replicas, std::string key,
+                         std::vector<PendingGet*> batch);
+  sim::Task<> ResolveSingle(ReplicaSet replicas, PendingGet* entry);
 
   struct EndpointStats {
     double ewma_us = 0;
@@ -298,6 +363,9 @@ class RbioClient {
   mutable Random rng_;
   std::map<std::string, EndpointStats> stats_;
   std::map<std::string, BatchQueue> batch_queues_;
+  std::vector<PendingGet*> pending_pool_;
+  std::vector<std::string> frame_pool_;
+  std::vector<std::shared_ptr<std::string>> resp_frame_pool_;
   uint64_t requests_ = 0;
   uint64_t retries_ = 0;
   uint64_t batches_sent_ = 0;

@@ -2,12 +2,16 @@
 // backbone between Socrates mini-services (log dissemination, RBIO-style
 // request queues). Close() drains waiters with nullopt, which is how
 // service loops observe shutdown.
+//
+// Substrate v2: a parked popper is an intrusive node embedded in the Pop
+// awaiter (the coroutine frame is stable while suspended), so the wait
+// path allocates nothing and wake-ups ride the simulator's handle fast
+// path instead of a closure.
 
 #pragma once
 
 #include <coroutine>
 #include <deque>
-#include <memory>
 #include <optional>
 
 #include "sim/simulator.h"
@@ -27,11 +31,10 @@ class Channel {
   void Push(T item) {
     if (closed_) return;  // pushes after close are dropped
     if (!poppers_.empty()) {
-      auto w = poppers_.front();
+      PopNode* w = poppers_.front();
       poppers_.pop_front();
       w->item.emplace(std::move(item));
-      w->done = true;
-      sim_.ScheduleAfter(0, [w]() { w->handle.resume(); });
+      sim_.ScheduleResume(0, w->handle);
       return;
     }
     items_.push_back(std::move(item));
@@ -41,44 +44,32 @@ class Channel {
   auto Pop() {
     struct Awaiter {
       Channel& ch;
-      std::shared_ptr<Waiter> w;
-      std::optional<T> immediate;
-      bool has_immediate = false;
+      PopNode node;
 
       bool await_ready() {
         if (!ch.items_.empty()) {
-          immediate.emplace(std::move(ch.items_.front()));
+          node.item.emplace(std::move(ch.items_.front()));
           ch.items_.pop_front();
-          has_immediate = true;
           return true;
         }
-        if (ch.closed_) {
-          has_immediate = true;  // immediate stays nullopt
-          return true;
-        }
-        return false;
+        return ch.closed_;  // closed + empty: resume with nullopt
       }
       void await_suspend(std::coroutine_handle<> h) {
-        w = std::make_shared<Waiter>();
-        w->handle = h;
-        ch.poppers_.push_back(w);
+        node.handle = h;
+        ch.poppers_.push_back(&node);
       }
-      std::optional<T> await_resume() {
-        if (has_immediate) return std::move(immediate);
-        return std::move(w->item);
-      }
+      std::optional<T> await_resume() { return std::move(node.item); }
     };
-    return Awaiter{*this, nullptr, std::nullopt, false};
+    return Awaiter{*this, {}};
   }
 
   /// Close the channel: queued items can still be popped; waiting poppers
   /// receive nullopt.
   void Close() {
     closed_ = true;
-    for (auto& w : poppers_) {
-      w->done = true;  // item stays nullopt
-      auto wc = w;
-      sim_.ScheduleAfter(0, [wc]() { wc->handle.resume(); });
+    for (PopNode* w : poppers_) {
+      // item stays nullopt
+      sim_.ScheduleResume(0, w->handle);
     }
     poppers_.clear();
   }
@@ -88,15 +79,14 @@ class Channel {
   bool empty() const { return items_.empty(); }
 
  private:
-  struct Waiter {
+  struct PopNode {
     std::coroutine_handle<> handle;
     std::optional<T> item;
-    bool done = false;
   };
 
   Simulator& sim_;
   std::deque<T> items_;
-  std::deque<std::shared_ptr<Waiter>> poppers_;
+  std::deque<PopNode*> poppers_;
   bool closed_ = false;
 };
 

@@ -1,0 +1,76 @@
+// FramePool: recycling allocator for coroutine frames.
+//
+// Every hop in a Socrates request path is a Task<> coroutine (client call,
+// RBIO roundtrip, server handler, buffer-pool fetch, ...), and each frame
+// is one heap allocation with the default allocator — a dozen-plus
+// malloc/free pairs per simulated GetPage. Frame sizes are drawn from a
+// tiny fixed set (one per coroutine function), so a size-bucketed free
+// list turns steady-state frame allocation into a pointer pop.
+//
+// Buckets are 64-byte granules up to 16 KiB; larger frames (rare: deep
+// coroutines with big locals) fall through to the global allocator.
+// The lists are thread_local: simulators are single-threaded, but tests
+// run independent simulators on concurrent threads.
+//
+// Wired up via class-specific operator new/delete on the coroutine
+// promise types (task.h). The deallocation function must be the sized
+// variant so the bucket can be recomputed without a per-frame header.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace socrates {
+namespace sim {
+
+class FramePool {
+ public:
+  static void* Alloc(size_t n) {
+    size_t bucket = Bucket(n);
+    if (bucket >= kBuckets) return ::operator new(n);
+    std::vector<void*>& list = Lists()[bucket];
+    if (!list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      return p;
+    }
+    return ::operator new(bucket * kGrain);
+  }
+
+  static void Free(void* p, size_t n) noexcept {
+    size_t bucket = Bucket(n);
+    if (bucket >= kBuckets) {
+      ::operator delete(p);
+      return;
+    }
+    Lists()[bucket].push_back(p);
+  }
+
+ private:
+  static constexpr size_t kGrain = 64;
+  static constexpr size_t kBuckets = 257;  // up to 256 * 64 = 16 KiB
+
+  static size_t Bucket(size_t n) { return (n + kGrain - 1) / kGrain; }
+
+  static std::array<std::vector<void*>, kBuckets>& Lists() {
+    // Freed frames are returned to the global allocator at thread exit
+    // via RAII below, so long-gone worker threads don't strand memory.
+    thread_local Cache cache;
+    return cache.lists;
+  }
+
+  struct Cache {
+    std::array<std::vector<void*>, kBuckets> lists;
+    ~Cache() {
+      for (std::vector<void*>& list : lists) {
+        for (void* p : list) ::operator delete(p);
+      }
+    }
+  };
+};
+
+}  // namespace sim
+}  // namespace socrates

@@ -7,13 +7,40 @@
 // scheduling resumption events in the future, so throughput / latency /
 // utilization numbers *emerge* from the modelled device and CPU contention
 // exactly as they do in a real deployment — but reproducibly.
+//
+// Event-core representation (substrate v2, DESIGN.md §12):
+//  * EventFn — a move-only callable with a 32-byte inline buffer and a
+//    dedicated coroutine-handle representation, so the overwhelmingly
+//    common "resume this coroutine" event carries no closure at all.
+//    Every representation is trivially relocatable by construction
+//    (callables that are not trivially copyable are boxed).
+//  * The pending set is split in three:
+//      - a FIFO ring for events scheduled at the *current* instant
+//        (wake-ups, Yield), which skip all ordering structures;
+//      - a timing wheel covering the next kWheelSlots microseconds —
+//        one slot per microsecond, O(1) schedule and pop, with a 4096-bit
+//        occupancy bitmap for constant-ish next-event scans;
+//      - an overflow min-heap for events beyond the wheel horizon
+//        (leases, checkpoint intervals), drained into the wheel as the
+//        window advances.
+//    Every event consumes one global `seq`, and the pop rule merges all
+//    sources by (at, seq), so execution order is exactly the (at, seq)
+//    total order of the original single-heap design. FIFO within a
+//    timestamp, bit-for-bit deterministic for a given schedule.
+//  * Timers (ScheduleTimer/Cancel) cancel in place: the entry's callable
+//    is destroyed where it sits and the dead entry is skipped when its
+//    slot drains. No tombstone closures, no allocation.
 
 #pragma once
 
 #include <cassert>
+#include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -21,9 +48,127 @@
 namespace socrates {
 namespace sim {
 
+/// Move-only callable for simulator events. Three representations:
+/// a bare coroutine handle (the resume fast path), an inline small-buffer
+/// callable (trivially copyable, <= 32 bytes), or a boxed callable for
+/// everything else. All three are trivially relocatable: moving an
+/// EventFn is a raw byte copy plus abandoning the source.
+class EventFn {
+ public:
+  static constexpr size_t kInlineSize = 32;
+
+  EventFn() noexcept : invoke_(nullptr), destroy_(nullptr) {}
+
+  EventFn(std::coroutine_handle<> h) noexcept
+      : invoke_(&InvokeHandle), destroy_(nullptr) {
+    void* addr = h.address();
+    std::memcpy(storage_, &addr, sizeof(addr));
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                !std::is_convertible_v<F&&, std::coroutine_handle<>>>>
+  EventFn(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_trivially_copyable_v<Fn>) {
+      std::memcpy(storage_, &f, sizeof(Fn));
+      invoke_ = &InvokeInline<Fn>;
+      destroy_ = nullptr;
+    } else {
+      Fn* p = new Fn(std::forward<F>(f));
+      std::memcpy(storage_, &p, sizeof(p));
+      invoke_ = &InvokeBoxed<Fn>;
+      destroy_ = &DestroyBoxed<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept : invoke_(o.invoke_), destroy_(o.destroy_) {
+    std::memcpy(storage_, o.storage_, kInlineSize);
+    o.invoke_ = nullptr;
+    o.destroy_ = nullptr;
+  }
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      invoke_ = o.invoke_;
+      destroy_ = o.destroy_;
+      std::memcpy(storage_, o.storage_, kInlineSize);
+      o.invoke_ = nullptr;
+      o.destroy_ = nullptr;
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Reset(); }
+
+  /// Invoke and release: the callable is consumed (boxed state freed).
+  /// Call at most once; the EventFn is empty afterwards.
+  void Invoke() {
+    auto f = invoke_;
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+    f(storage_);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void Reset() noexcept {
+    if (destroy_) destroy_(storage_);
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+ private:
+  static void InvokeHandle(void* s) {
+    void* addr;
+    std::memcpy(&addr, s, sizeof(addr));
+    std::coroutine_handle<>::from_address(addr).resume();
+  }
+
+  template <typename Fn>
+  static void InvokeInline(void* s) {
+    // The callable is trivially copyable: hoist it to the stack so the
+    // event storage can be reused/invalidated while it runs.
+    alignas(Fn) unsigned char local[sizeof(Fn)];
+    std::memcpy(local, s, sizeof(Fn));
+    (*std::launder(reinterpret_cast<Fn*>(local)))();
+  }
+
+  template <typename Fn>
+  static Fn* Boxed(void* s) {
+    Fn* p;
+    std::memcpy(&p, s, sizeof(p));
+    return p;
+  }
+  template <typename Fn>
+  static void InvokeBoxed(void* s) {
+    Fn* p = Boxed<Fn>(s);
+    (*p)();
+    delete p;
+  }
+  template <typename Fn>
+  static void DestroyBoxed(void* s) {
+    delete Boxed<Fn>(s);
+  }
+
+  void (*invoke_)(void* s);
+  void (*destroy_)(void* s);  // non-null only for the boxed kind
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+};
+
 class Simulator {
  public:
-  Simulator() = default;
+  /// Handle for cancelling a pending timer scheduled with ScheduleTimer.
+  struct TimerId {
+    SimTime at = 0;
+    uint64_t seq = 0;
+  };
+
+  Simulator() : wheel_(kWheelSlots) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -31,24 +176,84 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedule `fn` to run at absolute virtual time `at` (>= now).
-  void ScheduleAt(SimTime at, std::function<void()> fn) {
+  void ScheduleAt(SimTime at, EventFn fn) {
     assert(at >= now_);
-    queue_.push(Entry{at, seq_++, std::move(fn)});
+    live_++;
+    if (at == now_) {
+      ring_.push_back(Ev{seq_++, std::move(fn)});
+    } else {
+      PushFuture(at, std::move(fn));
+    }
   }
 
   /// Schedule `fn` to run `delay` microseconds from now.
-  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  void ScheduleAfter(SimTime delay, EventFn fn) {
     ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Resume coroutine `h` `delay` microseconds from now. Alloc-free: the
+  /// handle is stored directly in the event.
+  void ScheduleResume(SimTime delay, std::coroutine_handle<> h) {
+    ScheduleAt(now_ + delay, EventFn(h));
+  }
+
+  /// Resume each of `n` handles at the current instant, FIFO. The batch
+  /// wake used by Watermark::Advance and friends.
+  void ScheduleResumeBatch(const std::coroutine_handle<>* hs, size_t n) {
+    ring_.reserve(ring_.size() + n);
+    for (size_t i = 0; i < n; i++) {
+      live_++;
+      ring_.push_back(Ev{seq_++, EventFn(hs[i])});
+    }
+  }
+
+  /// Schedule a cancellable event `delay` microseconds from now. Unlike
+  /// plain ScheduleAfter the event is placed in the time-ordered
+  /// structures even at delay 0, so it can be revoked by Cancel().
+  TimerId ScheduleTimer(SimTime delay, EventFn fn) {
+    live_++;
+    SimTime at = now_ + delay;
+    uint64_t seq = PushFuture(at, std::move(fn));
+    return TimerId{at, seq};
+  }
+
+  /// Cancel a pending timer. Returns true if the timer had not yet fired
+  /// (and will now never fire); false if it already ran or was cancelled.
+  /// In place and allocation-free: the callable is destroyed where it
+  /// sits and the dead entry is skipped when its slot drains.
+  bool Cancel(TimerId id) {
+    if (id.at >= base_ && id.at < base_ + kWheelSlots) {
+      Slot& s = wheel_[id.at - base_];
+      for (uint32_t i = s.head; i != kNil; i = pool_[i].next) {
+        if (pool_[i].seq == id.seq) {
+          if (!pool_[i].fn) return false;  // already cancelled
+          pool_[i].fn.Reset();
+          wheel_count_--;
+          live_--;
+          return true;
+        }
+      }
+      return false;
+    }
+    for (OverflowEv& e : overflow_) {
+      if (e.seq == id.seq) {
+        if (!e.fn) return false;
+        e.fn.Reset();
+        live_--;
+        return true;
+      }
+    }
+    return false;
   }
 
   /// Run a single event. Returns false if the queue is empty.
   bool Step() {
-    if (queue_.empty()) return false;
-    // Entry::fn is not movable out of priority_queue top; copy then pop.
-    Entry e = queue_.top();
-    queue_.pop();
-    now_ = e.at;
-    e.fn();
+    EventFn fn;
+    uint64_t seq;
+    if (!PopNext(&fn, &seq)) return false;
+    if (trace_on_) TraceMix(now_, seq);
+    executed_++;
+    fn.Invoke();
     return true;
   }
 
@@ -60,7 +265,9 @@ class Simulator {
 
   /// Run events with timestamp <= t, then set now to t.
   void RunUntil(SimTime t) {
-    while (!queue_.empty() && queue_.top().at <= t) {
+    while (true) {
+      SimTime next;
+      if (!PeekNextTime(&next) || next > t) break;
       Step();
     }
     if (t > now_) now_ = t;
@@ -69,23 +276,270 @@ class Simulator {
   /// Run for `duration` microseconds of virtual time.
   void RunFor(SimTime duration) { RunUntil(now_ + duration); }
 
-  size_t pending_events() const { return queue_.size(); }
+  size_t pending_events() const { return live_; }
+
+  /// Golden-trace instrumentation: when enabled, every executed event
+  /// folds its (time, seq) into an FNV-style hash. Two runs with the same
+  /// seed must produce identical hashes — the determinism contract the
+  /// substrate refactor is held to (tests/golden_trace_test.cc).
+  void EnableTraceHash() {
+    trace_on_ = true;
+    trace_hash_ = kFnvOffset;
+  }
+  uint64_t trace_hash() const { return trace_hash_; }
+  uint64_t events_executed() const { return executed_; }
 
  private:
-  struct Entry {
-    SimTime at;
-    uint64_t seq;  // FIFO tie-break for same-time events (determinism)
-    std::function<void()> fn;
+  // One slot per microsecond; must be a multiple of 64 for the bitmap.
+  static constexpr SimTime kWheelSlots = 4096;
+  static constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+  static constexpr uint64_t kFnvPrime = 0x100000001b3ull;
 
-    bool operator>(const Entry& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Ev {
+    uint64_t seq;
+    EventFn fn;
+  };
+  // Wheel events live in a shared recycled node pool; a slot is the
+  // head/tail of a seq-ordered singly-linked chain for one absolute
+  // microsecond. Steady-state scheduling therefore allocates nothing:
+  // the pool grows to the peak number of outstanding events and stops.
+  struct Node {
+    uint64_t seq;
+    uint32_t next;
+    EventFn fn;
+  };
+  struct Slot {
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
+  };
+  struct OverflowEv {
+    SimTime at;
+    uint64_t seq;
+    EventFn fn;
+
+    bool operator>(const OverflowEv& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
     }
   };
 
+  void TraceMix(SimTime at, uint64_t seq) {
+    trace_hash_ = (trace_hash_ ^ static_cast<uint64_t>(at)) * kFnvPrime;
+    trace_hash_ = (trace_hash_ ^ seq) * kFnvPrime;
+  }
+
+  uint32_t AllocNode(uint64_t seq, EventFn fn) {
+    uint32_t idx;
+    if (free_head_ != kNil) {
+      idx = free_head_;
+      free_head_ = pool_[idx].next;
+    } else {
+      idx = static_cast<uint32_t>(pool_.size());
+      pool_.emplace_back();
+    }
+    Node& n = pool_[idx];
+    n.seq = seq;
+    n.next = kNil;
+    n.fn = std::move(fn);
+    return idx;
+  }
+
+  void FreeNode(uint32_t idx) {
+    pool_[idx].fn.Reset();
+    pool_[idx].next = free_head_;
+    free_head_ = idx;
+  }
+
+  void SlotAppend(SimTime idx, uint64_t seq, EventFn fn) {
+    Slot& s = wheel_[idx];
+    uint32_t node = AllocNode(seq, std::move(fn));
+    if (s.head == kNil) {
+      s.head = s.tail = node;
+      BitSet(idx);
+    } else {
+      pool_[s.tail].next = node;
+      s.tail = node;
+    }
+  }
+
+  void BitSet(SimTime idx) { bitmap_[idx >> 6] |= 1ull << (idx & 63); }
+  void BitClear(SimTime idx) { bitmap_[idx >> 6] &= ~(1ull << (idx & 63)); }
+
+  /// First occupied slot index >= from, or kWheelSlots if none.
+  SimTime BitScan(SimTime from) const {
+    if (from >= kWheelSlots) return kWheelSlots;
+    size_t word = from >> 6;
+    uint64_t w = bitmap_[word] & (~0ull << (from & 63));
+    while (w == 0) {
+      if (++word == kWheelSlots / 64) return kWheelSlots;
+      w = bitmap_[word];
+    }
+    return static_cast<SimTime>((word << 6) + __builtin_ctzll(w));
+  }
+
+  uint64_t PushFuture(SimTime at, EventFn fn) {
+    uint64_t seq = seq_++;
+    // base_ <= now_ <= at always holds here: base_ only advances inside
+    // PopNext, atomically with now_ reaching the rebase target.
+    if (at < base_ + kWheelSlots) {
+      SlotAppend(at - base_, seq, std::move(fn));
+      wheel_count_++;
+    } else {
+      overflow_.push_back(OverflowEv{at, seq, std::move(fn)});
+      std::push_heap(overflow_.begin(), overflow_.end(),
+                     std::greater<OverflowEv>());
+    }
+    return seq;
+  }
+
+  /// Advance the window to `to` (the next event time — everything before
+  /// it has executed) and pull overflow events that now fit into the
+  /// wheel. Only called from PopNext when the wheel is verifiably empty
+  /// (a full scan just cleared every slot), so slots never mix windows.
+  void Rebase(SimTime to) {
+    base_ = to;
+    while (!overflow_.empty() && overflow_.front().at < base_ + kWheelSlots) {
+      std::pop_heap(overflow_.begin(), overflow_.end(),
+                    std::greater<OverflowEv>());
+      OverflowEv& e = overflow_.back();
+      if (e.fn) {  // skip entries cancelled while in overflow
+        SlotAppend(e.at - base_, e.seq, std::move(e.fn));
+        wheel_count_++;
+      }
+      overflow_.pop_back();
+    }
+  }
+
+  /// Skip dead (cancelled) entries at the front of slot `idx`, recycling
+  /// their nodes; returns false (and clears the slot) if nothing live
+  /// remains.
+  bool NormalizeSlot(SimTime idx) {
+    Slot& s = wheel_[idx];
+    while (s.head != kNil && !pool_[s.head].fn) {
+      uint32_t dead = s.head;
+      s.head = pool_[dead].next;
+      FreeNode(dead);
+    }
+    if (s.head == kNil) {
+      s.tail = kNil;
+      BitClear(idx);
+      return false;
+    }
+    return true;
+  }
+
+  /// Earliest live wheel time >= now_, or false. Prunes dead slots as it
+  /// scans; a false return implies every slot and the bitmap are clear.
+  bool WheelNext(SimTime* at) {
+    if (wheel_count_ == 0) return false;
+    SimTime from = now_ > base_ ? now_ - base_ : 0;
+    SimTime idx = BitScan(from);
+    while (idx < kWheelSlots && !NormalizeSlot(idx)) idx = BitScan(idx + 1);
+    if (idx == kWheelSlots) {
+      wheel_count_ = 0;  // only dead entries remained; all cleared now
+      return false;
+    }
+    *at = base_ + idx;
+    return true;
+  }
+
+  void PruneOverflowTop() {
+    while (!overflow_.empty() && !overflow_.front().fn) {
+      std::pop_heap(overflow_.begin(), overflow_.end(),
+                    std::greater<OverflowEv>());
+      overflow_.pop_back();
+    }
+  }
+
+  bool PeekNextTime(SimTime* at) {
+    if (ring_head_ < ring_.size()) {
+      *at = now_;  // ring events are always at the current instant
+      return true;
+    }
+    if (WheelNext(at)) return true;
+    PruneOverflowTop();
+    if (overflow_.empty()) return false;
+    *at = overflow_.front().at;
+    return true;
+  }
+
+  // Pop the globally next event by (at, seq), merging ring, wheel, and
+  // overflow (overflow times always exceed wheel times).
+  bool PopNext(EventFn* fn, uint64_t* seq) {
+    bool ring_has = ring_head_ < ring_.size();
+    SimTime wheel_at = 0;
+    bool wheel_has = WheelNext(&wheel_at);
+    if (!wheel_has && !ring_has) {
+      PruneOverflowTop();
+      if (!overflow_.empty()) {
+        // The wheel ran dry: jump the window forward to the next event.
+        // Safe against out-of-order schedules because now_ reaches the
+        // rebase target before this function returns.
+        Rebase(overflow_.front().at);
+        wheel_has = WheelNext(&wheel_at);
+      }
+    }
+    if (!ring_has && !wheel_has) {
+      if (!ring_.empty()) {
+        ring_.clear();
+        ring_head_ = 0;
+      }
+      return false;
+    }
+    // Ring events are at now_; a wheel event wins only if it is also due
+    // now with a smaller seq (scheduled before time reached now_).
+    bool take_wheel = wheel_has;
+    if (ring_has && wheel_has) {
+      Slot& s = wheel_[wheel_at - base_];
+      take_wheel =
+          wheel_at == now_ && pool_[s.head].seq < ring_[ring_head_].seq;
+    }
+    if (take_wheel) {
+      SimTime idx = wheel_at - base_;
+      Slot& s = wheel_[idx];
+      uint32_t node = s.head;
+      Node& n = pool_[node];
+      *seq = n.seq;
+      *fn = std::move(n.fn);
+      s.head = n.next;
+      FreeNode(node);
+      wheel_count_--;
+      now_ = wheel_at;
+      if (s.head == kNil) {
+        s.tail = kNil;
+        BitClear(idx);
+      }
+    } else {
+      Ev& ev = ring_[ring_head_++];
+      *seq = ev.seq;
+      *fn = std::move(ev.fn);
+      if (ring_head_ == ring_.size()) {
+        ring_.clear();
+        ring_head_ = 0;
+      }
+    }
+    live_--;
+    return true;
+  }
+
   SimTime now_ = 0;
   uint64_t seq_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  size_t live_ = 0;
+  uint64_t executed_ = 0;
+  bool trace_on_ = false;
+  uint64_t trace_hash_ = kFnvOffset;
+
+  std::vector<Ev> ring_;  // FIFO of events due at the current instant
+  size_t ring_head_ = 0;
+  SimTime base_ = 0;  // wheel covers [base_, base_ + kWheelSlots)
+  size_t wheel_count_ = 0;  // live (non-cancelled) wheel events
+  std::vector<Slot> wheel_;
+  uint64_t bitmap_[kWheelSlots / 64] = {};
+  std::vector<Node> pool_;  // recycled chain nodes for wheel events
+  uint32_t free_head_ = kNil;
+  std::vector<OverflowEv> overflow_;  // min-heap beyond the wheel horizon
 };
 
 }  // namespace sim

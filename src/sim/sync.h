@@ -2,6 +2,13 @@
 // Semaphore, WaitGroup. All wake-ups are scheduled through the simulator
 // (never resumed inline) so primitives can be signalled from any context
 // without re-entrancy surprises, and same-time wake-ups stay FIFO.
+//
+// Substrate v2: waiters are intrusive nodes embedded in the awaiter
+// objects — a suspended coroutine's frame (and thus its awaiter) is
+// stable until resumed, so parking a waiter allocates nothing. Timed
+// waits use the simulator's cancellable timers instead of tombstone
+// closures: whichever side loses the race (signal vs timeout) is
+// revoked, never left behind as a no-op event.
 
 #pragma once
 
@@ -27,10 +34,20 @@ class Event {
 
   void Set() {
     set_ = true;
-    for (auto& w : waiters_) {
-      WakeUp(w, /*fired=*/true);
+    WaitNode* n = head_;
+    head_ = tail_ = nullptr;
+    while (n != nullptr) {
+      WaitNode* next = n->next;
+      n->prev = n->next = nullptr;
+      n->linked = false;
+      n->fired = true;
+      if (n->has_timer) {
+        sim_.Cancel(n->timer);
+        n->has_timer = false;
+      }
+      sim_.ScheduleResume(0, n->handle);
+      n = next;
     }
-    waiters_.clear();
   }
 
   void Reset() { set_ = false; }
@@ -40,15 +57,15 @@ class Event {
   auto Wait() {
     struct Awaiter {
       Event& e;
+      WaitNode node;
       bool await_ready() const { return e.set_; }
       void await_suspend(std::coroutine_handle<> h) {
-        auto w = std::make_shared<Waiter>();
-        w->handle = h;
-        e.waiters_.push_back(w);
+        node.handle = h;
+        e.Link(&node);
       }
       void await_resume() const {}
     };
-    return Awaiter{*this};
+    return Awaiter{*this, {}};
   }
 
   /// co_await event.WaitFor(timeout): true if the event fired, false if the
@@ -57,44 +74,72 @@ class Event {
     struct Awaiter {
       Event& e;
       SimTime timeout;
-      std::shared_ptr<Waiter> w;
+      WaitNode node;
       bool await_ready() const { return e.set_; }
       void await_suspend(std::coroutine_handle<> h) {
-        w = std::make_shared<Waiter>();
-        w->handle = h;
-        e.waiters_.push_back(w);
-        std::shared_ptr<Waiter> wc = w;
-        e.sim_.ScheduleAfter(timeout, [wc]() {
-          if (!wc->done) {
-            wc->done = true;
-            wc->fired = false;
-            wc->handle.resume();
-          }
+        node.handle = h;
+        e.Link(&node);
+        WaitNode* n = &node;
+        Event* ev = &e;
+        node.has_timer = true;
+        node.timer = e.sim_.ScheduleTimer(timeout, [ev, n]() {
+          // Timeout won the race: unpark and resume with fired=false.
+          n->has_timer = false;
+          ev->Unlink(n);
+          n->fired = false;
+          n->handle.resume();
         });
       }
-      bool await_resume() const { return w ? w->fired : true; }
+      // fired defaults true so the await_ready fast path (event already
+      // set, node never linked) reports success.
+      bool await_resume() const { return node.fired; }
     };
-    return Awaiter{*this, timeout, nullptr};
+    return Awaiter{*this, timeout, {}};
   }
 
  private:
-  struct Waiter {
+  struct WaitNode {
     std::coroutine_handle<> handle;
-    bool done = false;
-    bool fired = false;
+    WaitNode* prev = nullptr;
+    WaitNode* next = nullptr;
+    Simulator::TimerId timer{};
+    bool has_timer = false;
+    bool linked = false;
+    bool fired = true;  // await_ready fast path reports "fired"
   };
 
-  void WakeUp(const std::shared_ptr<Waiter>& w, bool fired) {
-    if (w->done) return;
-    w->done = true;
-    w->fired = fired;
-    std::shared_ptr<Waiter> wc = w;
-    sim_.ScheduleAfter(0, [wc]() { wc->handle.resume(); });
+  void Link(WaitNode* n) {
+    n->linked = true;
+    n->prev = tail_;
+    n->next = nullptr;
+    if (tail_ != nullptr) {
+      tail_->next = n;
+    } else {
+      head_ = n;
+    }
+    tail_ = n;
+  }
+
+  void Unlink(WaitNode* n) {
+    if (!n->linked) return;
+    if (n->prev != nullptr) {
+      n->prev->next = n->next;
+    } else {
+      head_ = n->next;
+    }
+    if (n->next != nullptr) {
+      n->next->prev = n->prev;
+    } else {
+      tail_ = n->prev;
+    }
+    n->prev = n->next = nullptr;
+    n->linked = false;
   }
 
   Simulator& sim_;
   bool set_ = false;
-  std::deque<std::shared_ptr<Waiter>> waiters_;
+  WaitNode* head_ = nullptr;
+  WaitNode* tail_ = nullptr;
 };
 
 /// FIFO mutex. Use via `auto guard = co_await mu.Acquire();`.
@@ -159,7 +204,7 @@ class Mutex {
       auto h = waiters_.front();
       waiters_.pop_front();
       // Lock stays held; ownership transfers to the resumed waiter.
-      sim_.ScheduleAfter(0, [h]() { h.resume(); });
+      sim_.ScheduleResume(0, h);
     } else {
       locked_ = false;
     }
@@ -201,7 +246,7 @@ class Semaphore {
       auto h = waiters_.front();
       waiters_.pop_front();
       n--;  // permit handed directly to the waiter
-      sim_.ScheduleAfter(0, [h]() { h.resume(); });
+      sim_.ScheduleResume(0, h);
     }
     permits_ += n;
   }
@@ -227,16 +272,20 @@ class Watermark {
   uint64_t value() const { return value_; }
 
   /// Raise the watermark (monotonic; lower values are ignored) and wake
-  /// every waiter whose threshold is now reached.
+  /// every waiter whose threshold is now reached, FIFO within a
+  /// threshold, as one batch.
   void Advance(uint64_t to) {
     if (to <= value_) return;
     value_ = to;
     auto end = waiters_.upper_bound(to);
-    for (auto it = waiters_.begin(); it != end; ++it) {
-      auto h = it->second;
-      sim_.ScheduleAfter(0, [h]() { h.resume(); });
+    if (end != waiters_.begin()) {
+      wake_scratch_.clear();
+      for (auto it = waiters_.begin(); it != end; ++it) {
+        wake_scratch_.push_back(it->second);
+      }
+      waiters_.erase(waiters_.begin(), end);
+      sim_.ScheduleResumeBatch(wake_scratch_.data(), wake_scratch_.size());
     }
-    waiters_.erase(waiters_.begin(), end);
     if (on_advance_) on_advance_(value_);
   }
 
@@ -268,6 +317,7 @@ class Watermark {
   Simulator& sim_;
   uint64_t value_ = 0;
   std::multimap<uint64_t, std::coroutine_handle<>> waiters_;
+  std::vector<std::coroutine_handle<>> wake_scratch_;
   std::function<void(uint64_t)> on_advance_;
 };
 

@@ -21,6 +21,7 @@
 #include <optional>
 #include <utility>
 
+#include "sim/frame_pool.h"
 #include "sim/simulator.h"
 
 namespace socrates {
@@ -35,6 +36,14 @@ template <typename T>
 struct TaskPromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
+
+  // Coroutine frames come from the recycling FramePool: steady-state
+  // task creation performs no heap allocation. The sized delete is what
+  // lets the pool rebucket a frame without a header.
+  static void* operator new(size_t n) { return FramePool::Alloc(n); }
+  static void operator delete(void* p, size_t n) noexcept {
+    FramePool::Free(p, n);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -156,6 +165,11 @@ namespace detail {
 // starts synchronously; final_suspend = never so the frame frees itself.
 struct DetachedTask {
   struct promise_type {
+    static void* operator new(size_t n) { return FramePool::Alloc(n); }
+    static void operator delete(void* p, size_t n) noexcept {
+      FramePool::Free(p, n);
+    }
+
     DetachedTask get_return_object() { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
@@ -195,7 +209,7 @@ class Delay {
   // the back of the current-time event queue.
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    sim_.ScheduleAfter(delay_ > 0 ? delay_ : 0, [h]() { h.resume(); });
+    sim_.ScheduleResume(delay_ > 0 ? delay_ : 0, h);
   }
   void await_resume() const noexcept {}
 

@@ -2,12 +2,29 @@
 // the pageLSN that the GetPage@LSN protocol is built on, and a masked
 // CRC32-C so torn or corrupted page images are detected at every hop
 // (compute cache, page server, XStore).
+//
+// Ownership model (substrate v2): a Page is a refcounted copy-on-write
+// image. Copying a Page shares the underlying frame (a refcount bump, no
+// 8 KiB memcpy); the first mutation through a non-const accessor detaches
+// onto a private frame. A Page can also alias into a buffer owned by
+// something else (e.g. an RBIO response frame) via Alias(), which is how
+// wire decode avoids materialising a fresh image per page. The rules:
+//
+//  * const accessors (cdata(), AsSlice(), header getters, VerifyChecksum)
+//    never copy and are safe on shared frames.
+//  * mutators (data(), header setters, Format, FromSlice, UpdateChecksum)
+//    detach first when the frame is shared, so a reader holding an older
+//    copy keeps its snapshot.
+//  * read-only call sites that hold a non-const Page* must use cdata()
+//    explicitly — plain data() resolves to the mutable overload and would
+//    force a needless detach on a shared frame.
 
 #pragma once
 
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/coding.h"
 #include "common/crc32c.h"
@@ -39,61 +56,83 @@ enum class PageType : uint32_t {
 
 class Page {
  public:
-  Page() : data_(new char[kPageSize]) { memset(data_.get(), 0, kPageSize); }
+  // All default-constructed pages share one immutable zeroed frame; the
+  // first write detaches. Constructing a Page is a refcount bump.
+  Page() : data_(ZeroFrame()) {}
 
-  Page(const Page& other) : data_(new char[kPageSize]) {
-    memcpy(data_.get(), other.data_.get(), kPageSize);
+  /// A page whose frame is allocated but NOT zeroed. For images that are
+  /// fully overwritten immediately (FromSlice after a device read, wire
+  /// decode) — skips the double fill of the zeroing default constructor.
+  static Page Uninitialized() { return Page(NewFrame()); }
+
+  /// Zero-copy view into a frame owned by `owner` (e.g. a decoded RBIO
+  /// response held in a shared string). The Page shares ownership of
+  /// `owner`; mutation detaches onto a private frame, so the owner's
+  /// bytes are never written through this view.
+  static Page Alias(std::shared_ptr<const void> owner, const char* image) {
+    return Page(std::shared_ptr<char>(std::move(owner),
+                                      const_cast<char*>(image)));
   }
-  Page& operator=(const Page& other) {
-    if (this != &other) memcpy(data_.get(), other.data_.get(), kPageSize);
-    return *this;
-  }
+
+  // Copies share the frame; the next mutation on either side detaches.
+  Page(const Page& other) = default;
+  Page& operator=(const Page& other) = default;
   Page(Page&&) noexcept = default;
   Page& operator=(Page&&) noexcept = default;
 
-  char* data() { return data_.get(); }
+  /// Mutable image bytes: detaches from a shared frame first.
+  char* data() {
+    Detach();
+    return data_.get();
+  }
+  /// Read-only image bytes: never detaches. Use this from read paths that
+  /// hold a non-const Page*.
+  const char* cdata() const { return data_.get(); }
   const char* data() const { return data_.get(); }
   Slice AsSlice() const { return Slice(data_.get(), kPageSize); }
 
+  /// True when this Page is the sole owner of its frame (diagnostics).
+  bool unique() const { return data_.use_count() == 1; }
+
   /// Zero the page and stamp a fresh header.
   void Format(PageId id, PageType type) {
-    memset(data_.get(), 0, kPageSize);
-    EncodeFixed32(data_.get() + 4, static_cast<uint32_t>(type));
-    EncodeFixed64(data_.get() + 8, id);
-    EncodeFixed64(data_.get() + 16, kInvalidLsn);
-    EncodeFixed16(data_.get() + 24, 0);
-    EncodeFixed16(data_.get() + 26, static_cast<uint16_t>(kPageHeaderSize));
+    char* d = DetachForOverwrite();
+    memset(d, 0, kPageSize);
+    EncodeFixed32(d + 4, static_cast<uint32_t>(type));
+    EncodeFixed64(d + 8, id);
+    EncodeFixed64(d + 16, kInvalidLsn);
+    EncodeFixed16(d + 24, 0);
+    EncodeFixed16(d + 26, static_cast<uint16_t>(kPageHeaderSize));
   }
 
   PageType type() const {
     return static_cast<PageType>(DecodeFixed32(data_.get() + 4));
   }
   void set_type(PageType t) {
-    EncodeFixed32(data_.get() + 4, static_cast<uint32_t>(t));
+    EncodeFixed32(data() + 4, static_cast<uint32_t>(t));
   }
 
   PageId page_id() const { return DecodeFixed64(data_.get() + 8); }
-  void set_page_id(PageId id) { EncodeFixed64(data_.get() + 8, id); }
+  void set_page_id(PageId id) { EncodeFixed64(data() + 8, id); }
 
   Lsn page_lsn() const { return DecodeFixed64(data_.get() + 16); }
-  void set_page_lsn(Lsn lsn) { EncodeFixed64(data_.get() + 16, lsn); }
+  void set_page_lsn(Lsn lsn) { EncodeFixed64(data() + 16, lsn); }
 
   uint16_t slot_count() const { return DecodeFixed16(data_.get() + 24); }
-  void set_slot_count(uint16_t n) { EncodeFixed16(data_.get() + 24, n); }
+  void set_slot_count(uint16_t n) { EncodeFixed16(data() + 24, n); }
 
   uint16_t free_offset() const { return DecodeFixed16(data_.get() + 26); }
-  void set_free_offset(uint16_t off) {
-    EncodeFixed16(data_.get() + 26, off);
-  }
+  void set_free_offset(uint16_t off) { EncodeFixed16(data() + 26, off); }
 
   uint32_t aux() const { return DecodeFixed32(data_.get() + 28); }
-  void set_aux(uint32_t v) { EncodeFixed32(data_.get() + 28, v); }
+  void set_aux(uint32_t v) { EncodeFixed32(data() + 28, v); }
 
   /// Recompute and store the header checksum. Call before the page image
   /// leaves this node (device write, RPC reply).
   void UpdateChecksum() {
-    uint32_t crc = crc32c::Value(data_.get() + 4, kPageSize - 4);
-    EncodeFixed32(data_.get(), crc32c::Mask(crc));
+    char* d = data();
+    uint32_t crc = crc32c::Value(d + 4, kPageSize - 4);
+    EncodeFixed32(d, crc32c::Mask(crc));
   }
 
   /// Verify the stored checksum against the page contents.
@@ -112,12 +151,49 @@ class Page {
     if (s.size() != kPageSize) {
       return Status::InvalidArgument("page image has wrong size");
     }
-    memcpy(data_.get(), s.data(), kPageSize);
+    memcpy(DetachForOverwrite(), s.data(), kPageSize);
     return Status::OK();
   }
 
  private:
-  std::unique_ptr<char[]> data_;
+  explicit Page(std::shared_ptr<char> frame) : data_(std::move(frame)) {}
+
+  // Single-allocation 8 KiB frame (array control block shared via the
+  // aliasing conversion), left uninitialised.
+  static std::shared_ptr<char> NewFrame() {
+    std::shared_ptr<char[]> arr =
+        std::make_shared_for_overwrite<char[]>(kPageSize);
+    return std::shared_ptr<char>(arr, arr.get());
+  }
+
+  // The process-wide all-zeros frame backing default-constructed pages.
+  // Never written: every mutator detaches first (use_count > 1 always).
+  static const std::shared_ptr<char>& ZeroFrame() {
+    static const std::shared_ptr<char> zero = [] {
+      std::shared_ptr<char> f = NewFrame();
+      memset(f.get(), 0, kPageSize);
+      return f;
+    }();
+    return zero;
+  }
+
+  // Copy-on-write: give this Page a private frame, preserving contents.
+  void Detach() {
+    if (data_.use_count() != 1) {
+      std::shared_ptr<char> fresh = NewFrame();
+      memcpy(fresh.get(), data_.get(), kPageSize);
+      data_ = std::move(fresh);
+    }
+  }
+
+  // Like Detach() but the caller overwrites the whole frame, so a shared
+  // frame is replaced without copying the old contents.
+  char* DetachForOverwrite() {
+    if (data_.use_count() != 1) data_ = NewFrame();
+    return data_.get();
+  }
+
+  std::shared_ptr<char> data_;
 };
 
 }  // namespace storage

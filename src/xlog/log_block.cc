@@ -24,26 +24,26 @@ std::string EncodeBlockFrame(const LogBlock& block, uint16_t version,
   std::string frame;
   std::string stored;
   uint8_t flags = 0;
-  if (version >= kBlockFrameV2 && compress && !block.payload.empty()) {
-    compress::Compress(Slice(block.payload), &stored);
-    if (stored.size() < block.payload.size()) {
+  if (version >= kBlockFrameV2 && compress && !block.payload().empty()) {
+    compress::Compress(Slice(block.payload()), &stored);
+    if (stored.size() < block.payload().size()) {
       flags |= kBlockFrameFlagCompressed;
     } else {
       stored.clear();  // incompressible: ship raw, flag stays clear
     }
   }
   const std::string& body =
-      (flags & kBlockFrameFlagCompressed) ? stored : block.payload;
-  frame.reserve(kHeaderBytes + 4 * block.partitions.size() + body.size() +
-                4);
+      (flags & kBlockFrameFlagCompressed) ? stored : block.payload();
+  frame.reserve(kHeaderBytes + 4 * block.partitions().size() +
+                body.size() + 4);
   PutFixed32(&frame, kFrameMagic);
   PutFixed16(&frame, version);
   frame.push_back(static_cast<char>(flags));
   PutFixed64(&frame, block.start_lsn);
-  PutFixed32(&frame, static_cast<uint32_t>(block.payload.size()));
+  PutFixed32(&frame, static_cast<uint32_t>(block.payload().size()));
   PutFixed32(&frame, static_cast<uint32_t>(body.size()));
-  PutFixed32(&frame, static_cast<uint32_t>(block.partitions.size()));
-  for (PartitionId p : block.partitions) PutFixed32(&frame, p);
+  PutFixed32(&frame, static_cast<uint32_t>(block.partitions().size()));
+  for (PartitionId p : block.partitions()) PutFixed32(&frame, p);
   frame.append(body);
   PutFixed32(&frame,
              crc32c::Mask(crc32c::Value(body.data(), body.size())));
@@ -83,24 +83,23 @@ Status DecodeBlockFrame(Slice frame, uint16_t max_version, LogBlock* out) {
   if (crc32c::Unmask(crc) != crc32c::Value(body, stored_len)) {
     return Status::Corruption("block frame checksum mismatch");
   }
-  LogBlock block;
-  block.start_lsn = start_lsn;
-  block.payload_size = raw_len;
+  std::set<PartitionId> partitions;
   for (uint32_t i = 0; i < npart; i++) {
-    block.partitions.insert(DecodeFixed32(parts + 4ull * i));
+    partitions.insert(DecodeFixed32(parts + 4ull * i));
   }
+  std::string payload;
   if (flags & kBlockFrameFlagCompressed) {
-    Status s =
-        compress::Decompress(Slice(body, stored_len), raw_len,
-                             &block.payload);
+    Status s = compress::Decompress(Slice(body, stored_len), raw_len,
+                                    &payload);
     if (!s.ok()) return s;
   } else {
     if (stored_len != raw_len) {
       return Status::Corruption("block frame raw length mismatch");
     }
-    block.payload.assign(body, stored_len);
+    payload.assign(body, stored_len);
   }
-  *out = std::move(block);
+  *out = LogBlock::Make(start_lsn, std::move(payload),
+                        std::move(partitions));
   return Status::OK();
 }
 

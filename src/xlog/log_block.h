@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <memory>
 #include <set>
 #include <string>
 
@@ -25,41 +26,77 @@
 namespace socrates {
 namespace xlog {
 
+// The payload and the partition annotation are immutable once the block
+// is built, and blocks fan out widely — the sequence map, per-partition
+// stream shards, the destage queue, and every Pull() result share the
+// same bytes. Both are therefore held by refcounted pointer: copying a
+// LogBlock is two refcount bumps, never a payload memcpy or a
+// set-node-by-node clone. Mutation happens before Make() (build the
+// string, then seal it).
 struct LogBlock {
   Lsn start_lsn = 0;
-  std::string payload;  // framed log records
-  std::set<PartitionId> partitions;  // out-of-band filtering annotation
   bool filtered = false;  // true when the payload was dropped by filtering
-
-  Lsn end_lsn() const { return start_lsn + payload_size; }
 
   // When `filtered`, the payload is empty but the block still advances the
   // consumer's applied-LSN watermark by its original size.
   uint64_t payload_size = 0;
+
+  Lsn end_lsn() const { return start_lsn + payload_size; }
+
+  const std::string& payload() const {
+    return data_ != nullptr ? *data_ : EmptyPayload();
+  }
+  /// Shared handle to the payload bytes (null for empty/filtered blocks);
+  /// lets consumers extend the bytes' lifetime without copying.
+  const std::shared_ptr<const std::string>& payload_ptr() const {
+    return data_;
+  }
+  const std::set<PartitionId>& partitions() const {
+    return parts_ != nullptr ? *parts_ : EmptyPartitions();
+  }
 
   static LogBlock Make(Lsn start, std::string data,
                        std::set<PartitionId> parts) {
     LogBlock b;
     b.start_lsn = start;
     b.payload_size = data.size();
-    b.payload = std::move(data);
-    b.partitions = std::move(parts);
+    if (!data.empty()) {
+      b.data_ = std::make_shared<const std::string>(std::move(data));
+    }
+    if (!parts.empty()) {
+      b.parts_ =
+          std::make_shared<const std::set<PartitionId>>(std::move(parts));
+    }
     return b;
   }
 
-  /// A metadata-only copy whose payload was filtered out.
+  /// A metadata-only copy whose payload was filtered out. Shares the
+  /// partition annotation with the original.
   LogBlock AsFiltered() const {
     LogBlock b;
     b.start_lsn = start_lsn;
     b.payload_size = payload_size;
-    b.partitions = partitions;
+    b.parts_ = parts_;
     b.filtered = true;
     return b;
   }
 
   bool TouchesPartition(PartitionId p) const {
-    return partitions.count(p) > 0;
+    return partitions().count(p) > 0;
   }
+
+ private:
+  static const std::string& EmptyPayload() {
+    static const std::string empty;
+    return empty;
+  }
+  static const std::set<PartitionId>& EmptyPartitions() {
+    static const std::set<PartitionId> empty;
+    return empty;
+  }
+
+  std::shared_ptr<const std::string> data_;
+  std::shared_ptr<const std::set<PartitionId>> parts_;
 };
 
 // ----------------------------------------------------------------- frames

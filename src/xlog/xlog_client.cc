@@ -168,20 +168,20 @@ sim::Task<> XLogClient::FlusherLoop() {
     std::string stored;
     bool compressed = false;
     if (opts_.compress_blocks) {
-      compress::Compress(Slice(block.payload), &stored);
-      if (stored.size() < block.payload.size()) {
+      compress::Compress(Slice(block.payload()), &stored);
+      if (stored.size() < block.payload().size()) {
         compressed = true;
       } else {
         stored.clear();
       }
     }
     uint64_t stored_size =
-        compressed ? stored.size() : block.payload.size();
+        compressed ? stored.size() : block.payload().size();
 
     // Reserve the block's LZ range in log order; stall while the LZ is
     // full (destaging behind, §4.3).
     while (true) {
-      Status r = lz_->TryReserve(block.start_lsn, block.payload.size(),
+      Status r = lz_->TryReserve(block.start_lsn, block.payload().size(),
                                  stored_size, compressed);
       if (r.ok()) break;
       lz_stalls_++;
@@ -204,7 +204,7 @@ sim::Task<> XLogClient::FlusherLoop() {
 sim::Task<> XLogClient::WriteBlockTask(LogBlock block, std::string stored,
                                        bool compressed,
                                        SimTime cut_at_us) {
-  Slice data = compressed ? Slice(stored) : Slice(block.payload);
+  Slice data = compressed ? Slice(stored) : Slice(block.payload());
   // The per-I/O + per-byte CPU cost (REST vs RDMA path) lands on the
   // Primary (Table 7); compression trades a cheap per-KB encode for the
   // much larger per-KB wire cost of the stored bytes.
@@ -212,7 +212,7 @@ sim::Task<> XLogClient::WriteBlockTask(LogBlock block, std::string stored,
     SimTime cost = lz_->WriteCpuCostUs(data.size());
     if (opts_.compress_blocks) {
       cost += static_cast<SimTime>(kCompressCpuUsPerKb *
-                                   block.payload.size() / 1024.0);
+                                   block.payload().size() / 1024.0);
     }
     co_await cpu_->Consume(cost);
   }
@@ -228,7 +228,7 @@ sim::Task<> XLogClient::WriteBlockTask(LogBlock block, std::string stored,
       opts_.adaptive_ewma_alpha * static_cast<double>(done - cut_at_us) +
       (1 - opts_.adaptive_ewma_alpha) * ewma_write_lat_us_;
   blocks_written_++;
-  bytes_written_ += block.payload.size();
+  bytes_written_ += block.payload().size();
   stored_bytes_written_ += data.size();
   if (compressed) compressed_blocks_++;
   if (xlog_ != nullptr) {

@@ -133,11 +133,12 @@ sim::Task<> XLogProcess::RepairGap(Lsn from, Lsn to) {
 void XLogProcess::Admit(LogBlock block) {
   Lsn end = block.end_lsn();
   seq_map_bytes_ += block.payload_size;
+  // The queue's copy shares the payload — a refcount bump, not a memcpy.
   destage_q_.Push(block);
   auto ptr = std::make_shared<const LogBlock>(std::move(block));
   // Index the block into the stream shard of every partition it touches;
   // shards share ownership with the sequence map, no payload copies.
-  for (PartitionId p : ptr->partitions) {
+  for (PartitionId p : ptr->partitions()) {
     StreamShard& shard = shards_[p];
     shard.blocks.emplace(ptr->start_lsn, ptr);
     shard.bytes += ptr->payload_size;
@@ -157,7 +158,7 @@ void XLogProcess::EvictSequenceMap() {
     const LogBlock& block = *it->second;
     seq_map_bytes_ -= block.payload_size;
     shard_floor_ = std::max(shard_floor_, block.end_lsn());
-    for (PartitionId p : block.partitions) {
+    for (PartitionId p : block.partitions()) {
       auto s = shards_.find(p);
       if (s == shards_.end()) continue;
       auto b = s->second.blocks.find(it->first);
@@ -186,19 +187,25 @@ sim::Task<> XLogProcess::DestageLoop() {
     destage_idle_.Reset();
     // Batch contiguous queued blocks into one archive write: the LT
     // write pays a full XStore round trip, so per-block writes would cap
-    // destaging far below the log production rate.
+    // destaging far below the log production rate. A lone block (queue
+    // empty behind it) ships its shared payload as-is — no copy; only
+    // actual coalescing concatenates, since those bytes must merge.
     LogBlock block = std::move(*item);
-    while (block.payload.size() < kDestageBatchBytes &&
-           !destage_q_.empty()) {
-      auto next = co_await destage_q_.Pop();
-      if (!next.has_value()) break;
-      // Admission order makes the queue contiguous by construction.
-      block.payload += next->payload;
+    if (block.payload().size() < kDestageBatchBytes &&
+        !destage_q_.empty()) {
+      std::string batch = block.payload();
+      while (batch.size() < kDestageBatchBytes && !destage_q_.empty()) {
+        auto next = co_await destage_q_.Pop();
+        if (!next.has_value()) break;
+        // Admission order makes the queue contiguous by construction.
+        batch += next->payload();
+      }
+      block = LogBlock::Make(block.start_lsn, std::move(batch), {});
     }
     if (trace) {
       fprintf(stderr, "[destage] start=%llu size=%llu destaged=%llu\n",
               (unsigned long long)block.start_lsn,
-              (unsigned long long)block.payload.size(),
+              (unsigned long long)block.payload().size(),
               (unsigned long long)destaged_);
     }
     // Hand the batch to a destage lane; bounded lanes keep several SSD +
@@ -212,17 +219,17 @@ sim::Task<> XLogProcess::DestageLoop() {
 }
 
 sim::Task<> XLogProcess::DestageBatchTask(LogBlock block) {
+  const std::string& payload = block.payload();
   // Local SSD block cache: circular over the stream, like the LZ.
   uint64_t cap = opts_.ssd_cache_bytes;
   uint64_t off = block.start_lsn % cap;
-  uint64_t first = std::min<uint64_t>(block.payload.size(), cap - off);
-  co_await ssd_cache_->Write(off, Slice(block.payload.data(), first));
-  if (first < block.payload.size()) {
+  uint64_t first = std::min<uint64_t>(payload.size(), cap - off);
+  co_await ssd_cache_->Write(off, Slice(payload.data(), first));
+  if (first < payload.size()) {
     co_await ssd_cache_->Write(
-        0, Slice(block.payload.data() + first,
-                 block.payload.size() - first));
+        0, Slice(payload.data() + first, payload.size() - first));
   }
-  Lsn batch_end = block.start_lsn + block.payload.size();
+  Lsn batch_end = block.start_lsn + payload.size();
   if (batch_end > ssd_cache_start_ + cap) {
     ssd_cache_start_ = batch_end - cap;
   }
@@ -232,7 +239,7 @@ sim::Task<> XLogProcess::DestageBatchTask(LogBlock block) {
   while (true) {
     Status lt_status = co_await lt_->Write(
         opts_.lt_blob, block.start_lsn - engine::kLogStreamStart,
-        Slice(block.payload));
+        Slice(payload));
     if (lt_status.ok()) break;
     co_await sim::Delay(sim_, kDestageRetryUs);
   }

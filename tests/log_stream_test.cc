@@ -154,9 +154,9 @@ TEST(BlockFrameTest, RoundTripRawAndCompressed) {
     ASSERT_TRUE(
         DecodeBlockFrame(Slice(frame), kBlockFrameVersionMax, &out).ok());
     EXPECT_EQ(out.start_lsn, b.start_lsn);
-    EXPECT_EQ(out.payload, b.payload);
-    EXPECT_EQ(out.payload_size, b.payload.size());
-    EXPECT_EQ(out.partitions, b.partitions);
+    EXPECT_EQ(out.payload(), b.payload());
+    EXPECT_EQ(out.payload_size, b.payload().size());
+    EXPECT_EQ(out.partitions(), b.partitions());
     EXPECT_FALSE(out.filtered);
   }
   // The compressed frame is genuinely smaller for repetitive payloads.
@@ -167,7 +167,7 @@ TEST(BlockFrameTest, RoundTripRawAndCompressed) {
   std::string v1 = EncodeBlockFrame(b, kBlockFrameV1, true);
   LogBlock out;
   ASSERT_TRUE(DecodeBlockFrame(Slice(v1), kBlockFrameV1, &out).ok());
-  EXPECT_EQ(out.payload, b.payload);
+  EXPECT_EQ(out.payload(), b.payload());
 }
 
 TEST(BlockFrameTest, TooNewFrameAnswersNotSupported) {
@@ -376,7 +376,7 @@ TEST(StreamShardTest, FilteredPullServedFromShardWithGapRuns) {
         EXPECT_EQ(b.start_lsn, pos);
         if (b.filtered) {
           gaps++;
-          EXPECT_TRUE(b.payload.empty());
+          EXPECT_TRUE(b.payload().empty());
         } else {
           real++;
           EXPECT_TRUE(b.TouchesPartition(1));
@@ -459,7 +459,7 @@ TEST(WatermarkTest, NeverExposesRecordWithUnacknowledgedPredecessors) {
     if (blocks->size() != 2) co_return;
     EXPECT_TRUE((*blocks)[0].filtered);
     EXPECT_FALSE((*blocks)[1].filtered);
-    EXPECT_EQ((*blocks)[1].payload, pb);
+    EXPECT_EQ((*blocks)[1].payload(), pb);
   });
 }
 

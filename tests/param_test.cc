@@ -271,7 +271,7 @@ TEST_P(LogPipelineSweep, ReplicaConvergesByteExact) {
       idle = 0;
       for (auto& b : *blocks) {
         auto end = co_await applier.ApplyStream(
-            Slice(b.payload), b.start_lsn,
+            Slice(b.payload()), b.start_lsn,
             applier.applied_lsn().value());
         EXPECT_TRUE(end.ok()) << end.status().ToString();
         if (!end.ok()) co_return;

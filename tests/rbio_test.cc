@@ -216,7 +216,7 @@ class MockServer : public RbioServer {
     return p;
   }
 
-  Task<Result<std::string>> HandleRbio(std::string frame) override {
+  Task<Result<std::string>> HandleRbio(const std::string& frame) override {
     handled_++;
     last_frame_ = frame;
     co_await sim::Delay(sim_, service_us_);

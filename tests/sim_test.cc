@@ -553,6 +553,98 @@ TEST(DeviceProfileTest, HierarchyOrdering) {
             5 * DeviceProfile::DirectDrive().cpu_per_io_us);
 }
 
+// -------------------------------------------------- Event core substrate
+
+TEST(TimerTest, CancelPreventsFire) {
+  Simulator s;
+  int fired = 0;
+  auto id = s.ScheduleTimer(10, [&] { fired++; });
+  EXPECT_TRUE(s.Cancel(id));
+  EXPECT_FALSE(s.Cancel(id));  // double cancel reports already-dead
+  s.Run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(TimerTest, CancelAfterFireReturnsFalse) {
+  Simulator s;
+  int fired = 0;
+  auto id = s.ScheduleTimer(10, [&] { fired++; });
+  s.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.Cancel(id));
+}
+
+TEST(TimerTest, CancelBeyondWheelHorizon) {
+  // Timers past the wheel's span land in the overflow heap; Cancel must
+  // find and kill them there too.
+  Simulator s;
+  int fired = 0;
+  auto far = s.ScheduleTimer(20000, [&] { fired++; });  // > wheel span
+  (void)s.ScheduleTimer(5, [&] { fired += 10; });
+  EXPECT_TRUE(s.Cancel(far));
+  s.Run();
+  EXPECT_EQ(fired, 10);  // near timer unaffected by the far cancel
+}
+
+TEST(TimerTest, CancelledTimerDoesNotBlockSlotNeighbors) {
+  Simulator s;
+  std::vector<int> order;
+  auto a = s.ScheduleTimer(20, [&] { order.push_back(1); });
+  s.ScheduleTimer(20, [&] { order.push_back(2); });
+  s.ScheduleTimer(20, [&] { order.push_back(3); });
+  EXPECT_TRUE(s.Cancel(a));
+  s.Run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // survivors keep their FIFO order
+  EXPECT_EQ(order[1], 3);
+}
+
+TEST(WatermarkTest, BatchResumeWakesEligibleWaitersInFifoOrder) {
+  // Watermark::Advance wakes all satisfied waiters through one
+  // ScheduleResumeBatch call; wake order must stay FIFO per threshold.
+  Simulator s;
+  Watermark w(s);
+  std::vector<int> order;
+  auto waiter = [](Watermark* w, uint64_t lsn, int tag,
+                   std::vector<int>* order) -> Task<> {
+    co_await w->WaitFor(lsn);
+    order->push_back(tag);
+  };
+  Spawn(s, waiter(&w, 100, 1, &order));
+  Spawn(s, waiter(&w, 50, 2, &order));
+  Spawn(s, waiter(&w, 100, 3, &order));
+  Spawn(s, waiter(&w, 200, 4, &order));
+  s.Run();
+  EXPECT_TRUE(order.empty());
+  w.Advance(100);  // wakes 2, then 1 and 3 (registration order within 100)
+  s.Run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 3);
+  w.Advance(500);
+  s.Run();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[3], 4);
+}
+
+TEST(TraceHashTest, SameScheduleSameHash) {
+  auto run = [] {
+    Simulator s;
+    s.EnableTraceHash();
+    int n = 0;
+    for (int i = 0; i < 50; i++) {
+      s.ScheduleAt(10 * (i % 7), [&n] { n++; });
+    }
+    s.Run();
+    return s.trace_hash();
+  };
+  const uint64_t h1 = run();
+  const uint64_t h2 = run();
+  EXPECT_EQ(h1, h2);
+}
+
 }  // namespace
 }  // namespace sim
 }  // namespace socrates

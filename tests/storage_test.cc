@@ -61,6 +61,50 @@ TEST(PageTest, CopyIsDeep) {
   EXPECT_EQ(b.page_id(), 5u);
 }
 
+TEST(PageTest, CopyIsZeroCopyUntilFirstWrite) {
+  Page a;
+  a.Format(5, PageType::kBTreeLeaf);
+  memcpy(a.data() + 64, "payload", 7);
+  Page b = a;
+  // COW: the copy aliases the same frame until someone writes.
+  EXPECT_EQ(a.cdata(), b.cdata());
+  b.data()[64] = 'X';
+  EXPECT_NE(a.cdata(), b.cdata());
+  EXPECT_EQ(a.cdata()[64], 'p');
+  EXPECT_EQ(b.cdata()[64], 'X');
+}
+
+TEST(PageTest, DefaultPagesShareTheZeroFrame) {
+  Page a;
+  Page b;
+  EXPECT_EQ(a.cdata(), b.cdata());
+  EXPECT_EQ(a.cdata()[0], '\0');
+  EXPECT_EQ(a.cdata()[kPageSize - 1], '\0');
+  // Writing one detaches it without disturbing the shared zero frame.
+  a.data()[0] = 'x';
+  EXPECT_NE(a.cdata(), b.cdata());
+  EXPECT_EQ(b.cdata()[0], '\0');
+}
+
+TEST(PageTest, AliasReadsForeignBufferWithoutCopy) {
+  Page src;
+  src.Format(9, PageType::kBTreeLeaf);
+  src.set_page_lsn(55);
+  src.UpdateChecksum();
+  // The idiom of the zero-copy RBIO decode path: alias a page image
+  // inside a (shared) wire frame instead of memcpy'ing it out.
+  auto frame = std::make_shared<std::string>(src.cdata(), kPageSize);
+  Page aliased = Page::Alias(frame, frame->data());
+  EXPECT_EQ(aliased.cdata(), frame->data());
+  EXPECT_EQ(aliased.page_id(), 9u);
+  EXPECT_EQ(aliased.page_lsn(), 55u);
+  EXPECT_TRUE(aliased.VerifyChecksum().ok());
+  // A write detaches the alias; the wire frame is never scribbled on.
+  aliased.data()[100] = 'Z';
+  EXPECT_NE(aliased.cdata(), frame->data());
+  EXPECT_EQ((*frame)[100], src.cdata()[100]);
+}
+
 TEST(PageTest, SliceRoundTrip) {
   Page a;
   a.Format(9, PageType::kVersionStore);

@@ -95,7 +95,7 @@ struct PipelineFixture {
           EXPECT_GT(end, pos);
           if (!b.filtered) {
             (void)engine::ForEachRecord(
-                Slice(b.payload), b.start_lsn, [&](Lsn lsn, Slice p) {
+                Slice(b.payload()), b.start_lsn, [&](Lsn lsn, Slice p) {
                   if (lsn >= pos) {
                     LogRecord rec;
                     EXPECT_TRUE(LogRecord::Decode(p, &rec).ok());
@@ -247,7 +247,7 @@ TEST(XLogPipelineTest, LossyDeliveryPlusEvictionStillContiguous) {
             }
             for (auto& b : *blocks) {
               (void)engine::ForEachRecord(
-                  Slice(b.payload), b.start_lsn, [&](Lsn lsn, Slice p) {
+                  Slice(b.payload()), b.start_lsn, [&](Lsn lsn, Slice p) {
                     if (lsn >= pos) {
                       LogRecord rec;
                       if (LogRecord::Decode(p, &rec).ok() &&

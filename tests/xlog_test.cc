@@ -236,7 +236,7 @@ TEST(XLogTest, ConsumerPullsCompleteStream) {
         EXPECT_EQ(b.start_lsn, pos);
         EXPECT_FALSE(b.filtered);
         (void)engine::ForEachRecord(
-            Slice(b.payload), b.start_lsn, [&](Lsn, Slice p) {
+            Slice(b.payload()), b.start_lsn, [&](Lsn, Slice p) {
               engine::LogRecord rec;
               EXPECT_TRUE(engine::LogRecord::Decode(p, &rec).ok());
               if (rec.type == LogRecordType::kTxnCommit) commits++;
@@ -271,7 +271,7 @@ TEST(XLogTest, PartitionFilteringDropsIrrelevantPayload) {
     EXPECT_EQ(blocks->size(), 2u);
     if (blocks->size() == 2) {
       EXPECT_TRUE((*blocks)[0].filtered);
-      EXPECT_TRUE((*blocks)[0].payload.empty());
+      EXPECT_TRUE((*blocks)[0].payload().empty());
       EXPECT_GT((*blocks)[0].payload_size, 0u);  // LSN still advances
       EXPECT_FALSE((*blocks)[1].filtered);
     }
