@@ -208,6 +208,7 @@ struct FanoutResult {
   uint64_t round_trips = 0;  // frames sent = requests_sent
   uint64_t batches = 0;
   uint64_t round_trips_saved = 0;
+  uint64_t wire_bytes = 0;  // request + response legs
   double occupancy_mean = 0;
   double lat_p50_us = 0;
   double lat_p99_us = 0;
@@ -257,6 +258,7 @@ FanoutResult RunFanout(Bed& bed, const std::vector<PageId>& pool,
   out.round_trips = client.requests_sent();
   out.batches = client.batches_sent();
   out.round_trips_saved = client.round_trips_saved();
+  out.wire_bytes = client.wire_bytes_sent() + client.wire_bytes_received();
   out.occupancy_mean = client.batch_occupancy().mean();
   out.lat_p50_us = lat.Percentile(50.0);
   out.lat_p99_us = lat.Percentile(99.0);
@@ -326,11 +328,12 @@ int main(int argc, char** argv) {
       json.Line("{\"bench\":\"getpage_fanout\",\"phase\":\"fanout\","
                 "\"max_batch\":%u,\"fanout\":%d,\"gets\":%" PRIu64 ","
                 "\"round_trips\":%" PRIu64 ",\"batches\":%" PRIu64 ","
-                "\"round_trips_saved\":%" PRIu64 ",\"occupancy_mean\":%.2f,"
+                "\"round_trips_saved\":%" PRIu64 ",\"wire_bytes\":%" PRIu64
+                ",\"occupancy_mean\":%.2f,"
                 "\"lat_p50_us\":%.1f,\"lat_p99_us\":%.1f}",
                 r.max_batch, r.fanout, r.gets, r.round_trips, r.batches,
-                r.round_trips_saved, r.occupancy_mean, r.lat_p50_us,
-                r.lat_p99_us);
+                r.round_trips_saved, r.wire_bytes, r.occupancy_mean,
+                r.lat_p50_us, r.lat_p99_us);
     }
   }
 

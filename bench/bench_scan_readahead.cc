@@ -38,6 +38,7 @@ struct ScanResult {
   const char* state = "";
   uint64_t round_trips = 0;
   uint64_t round_trips_saved = 0;
+  uint64_t wire_bytes = 0;  // request + response legs
   uint64_t retries = 0;
   double occupancy = 0;
   uint64_t prefetch_issued = 0;
@@ -119,6 +120,7 @@ ScanResult Measure(const Params& p, uint32_t window, const char* state) {
     rbio::RbioClient& c = d.primary()->rbio_client();
     r.round_trips = c.requests_sent();
     r.round_trips_saved = c.round_trips_saved();
+    r.wire_bytes = c.wire_bytes_sent() + c.wire_bytes_received();
     r.retries = c.retries();
     r.occupancy = c.batch_occupancy().count() > 0
                       ? c.batch_occupancy().mean()
@@ -219,14 +221,15 @@ int main(int argc, char** argv) {
       json.Line(
           "{\"bench\":\"scan_readahead\",\"phase\":\"sweep\","
           "\"state\":\"%s\",\"window\":%u,\"round_trips\":%" PRIu64
-          ",\"round_trips_saved\":%" PRIu64 ",\"retries\":%" PRIu64
-          ",\"batch_occupancy\":%.3f,"
+          ",\"round_trips_saved\":%" PRIu64 ",\"wire_bytes\":%" PRIu64
+          ",\"retries\":%" PRIu64 ",\"batch_occupancy\":%.3f,"
           "\"prefetch_issued\":%" PRIu64 ",\"prefetch_hits\":%" PRIu64
           ",\"prefetch_wasted\":%" PRIu64 ",\"p50_us\":%.1f,"
           "\"p99_us\":%.1f,\"scan_ms\":%.2f}",
           r.state, r.window, r.round_trips, r.round_trips_saved,
-          r.retries, r.occupancy, r.prefetch_issued, r.prefetch_hits,
-          r.prefetch_wasted, r.p50_us, r.p99_us, r.scan_ms);
+          r.wire_bytes, r.retries, r.occupancy, r.prefetch_issued,
+          r.prefetch_hits, r.prefetch_wasted, r.p50_us, r.p99_us,
+          r.scan_ms);
     }
   }
 

@@ -106,6 +106,81 @@ class ComputeNode::RemoteFetcher : public engine::PageFetcher {
   ComputeNode* node_;
 };
 
+// Engine::RemoteScanner over RBIO v4 kScanRange (computation pushdown):
+// routes the chunk to the replicas of the partition owning the start
+// leaf, sets the LSN-consistency floor for the node's role, and converts
+// the wire response (tuple Slices aliasing the response frame) into an
+// owned RemoteScanChunk. NotSupported from a pre-v4 server surfaces as an
+// error Result; the planner then falls back to the page-based path and
+// the RBIO client memoizes the endpoint as scan-incapable.
+class ComputeNode::PushdownScanner : public engine::RemoteScanner {
+ public:
+  explicit PushdownScanner(ComputeNode* node) : node_(node) {}
+
+  bool Enabled() const override {
+    return node_->opts_.pushdown_enabled && node_->alive_ &&
+           node_->opts_.rbio_protocol_version >=
+               rbio::kScanRangeMinVersion;
+  }
+
+  double MaxSelectivity() const override {
+    return node_->opts_.pushdown_max_selectivity;
+  }
+
+  sim::Task<Result<engine::RemoteScanChunk>> ScanLeaves(
+      PageId start_leaf, const engine::RemoteScanSpec& spec) override {
+    std::vector<rbio::Endpoint> endpoints =
+        node_->router_->EndpointsFor(start_leaf);
+    if (endpoints.empty()) {
+      co_return Result<engine::RemoteScanChunk>(
+          Status::Unavailable("no page server for partition"));
+    }
+    rbio::ScanRangeRequest req;
+    req.start_page = start_leaf;
+    req.start_key = spec.start_key;
+    req.end_key = spec.end_key;
+    req.limit = spec.limit;
+    req.max_pages = node_->opts_.pushdown_max_pages;
+    req.read_ts = spec.read_ts;
+    req.predicate = spec.predicate;
+    req.projection = spec.projection;
+    req.aggregate = spec.aggregate;
+    // LSN-consistency rule: the server must have applied enough log that
+    // every version visible at read_ts exists in its pages. Primary: the
+    // newest local commit LSN (conservative sink-end at commit; all
+    // applied page images are <= it). Secondary: its applied watermark —
+    // read_ts is the applied-commit ts, so that log covers the snapshot.
+    req.min_lsn = node_->role_ == Role::kPrimary
+                      ? node_->engine_->last_committed_lsn()
+                      : node_->applied_lsn();
+    if (node_->recovery_floor_ != kInvalidLsn) {
+      req.min_lsn = std::max(req.min_lsn, node_->recovery_floor_);
+    }
+
+    Result<rbio::ScanRangeResponse> resp =
+        co_await node_->rbio_->ScanRange(endpoints, req);
+    if (!resp.ok()) co_return Result<engine::RemoteScanChunk>(resp.status());
+    if (!resp->status.ok()) {
+      co_return Result<engine::RemoteScanChunk>(resp->status);
+    }
+    engine::RemoteScanChunk chunk;
+    chunk.complete = resp->complete;
+    chunk.fence_miss = resp->fence_miss;
+    chunk.resume_key = resp->resume_key;
+    chunk.next_leaf = resp->next_leaf;
+    chunk.rows_scanned = resp->rows_scanned;
+    chunk.agg = resp->agg;
+    chunk.tuples.reserve(resp->tuples.size());
+    for (const rbio::ScanRangeResponse::Tuple& t : resp->tuples) {
+      chunk.tuples.emplace_back(t.key, t.value.ToString());
+    }
+    co_return chunk;
+  }
+
+ private:
+  ComputeNode* node_;
+};
+
 ComputeNode::ComputeNode(sim::Simulator& sim, Role role,
                          PageServerRouter* router, xlog::XLogProcess* xlog,
                          engine::LogSink* sink,
@@ -127,6 +202,8 @@ ComputeNode::ComputeNode(sim::Simulator& sim, Role role,
   rbio_opts.protocol_version = options.rbio_protocol_version;
   rbio_opts.injector = options.chaos_injector;
   rbio_opts.site = options.chaos_site;
+  rbio_opts.wire_mb_per_s = options.rbio_wire_mb_per_s;
+  rbio_opts.cpu_per_result_kb_us = options.rbio_cpu_per_result_kb_us;
   rbio_ = std::make_unique<rbio::RbioClient>(
       sim, cpu_.get(), rbio_opts, 0xb10c + options.cpu_cores);
   engine::BufferPoolOptions pool_opts;
@@ -147,6 +224,8 @@ ComputeNode::ComputeNode(sim::Simulator& sim, Role role,
   // Scan readahead is safe on both roles: prefetch misses go through
   // RemoteFetcher::FetchPage and therefore the §4.5 registration.
   engine_->btree()->set_scan_readahead(opts_.scan_readahead);
+  scanner_ = std::make_unique<PushdownScanner>(this);
+  engine_->SetRemoteScanner(scanner_.get());
   if (role == Role::kSecondary) {
     engine_->SetReadTsProvider(
         [this] { return applier_->applied_commit_ts(); });

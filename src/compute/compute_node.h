@@ -156,8 +156,26 @@ struct ComputeOptions {
   /// Cap on warmup promotions (0 = memory capacity).
   size_t warmup_pages = 0;
   /// Highest RBIO protocol version this node speaks (mixed-version
-  /// deployments: < 3 never emits batch frames).
+  /// deployments: < 3 never emits batch frames, < 4 never pushes scans
+  /// down).
   uint16_t rbio_protocol_version = rbio::kProtocolVersion;
+  /// Computation pushdown (RBIO v4 kScanRange) master switch. Even when
+  /// on, only ScanWhere plans that clear the planner's eligibility bar
+  /// (selectivity / aggregate, see Engine::ScanWhere) ship; plain Scan
+  /// and Get are never affected.
+  bool pushdown_enabled = true;
+  /// Tuple-mode pushdown only when the predicate's estimated selectivity
+  /// is at or below this; denser results move fewer bytes as raw pages.
+  double pushdown_max_selectivity = 0.25;
+  /// Leaves evaluated per kScanRange chunk (bounds Page Server work and
+  /// response size per round trip).
+  uint32_t pushdown_max_pages = 64;
+  /// Simulated RBIO wire bandwidth in MB/s for transfer-time accounting
+  /// on request/response legs (0 = infinite — the historical timing,
+  /// bit-identical traces).
+  double rbio_wire_mb_per_s = 0;
+  /// Client CPU per KB of pushdown result tuples materialized.
+  double rbio_cpu_per_result_kb_us = 2.0;
   /// Chaos injection: the node's network site name (unique per node,
   /// stable across role changes) and the deployment's fault hub. The
   /// RBIO client keys link faults on (chaos_site, endpoint name).
@@ -236,6 +254,7 @@ class ComputeNode {
 
  private:
   class RemoteFetcher;
+  class PushdownScanner;
   struct PendingPull;
 
   sim::Task<> SecondaryApplyLoop();
@@ -251,6 +270,7 @@ class ComputeNode {
   std::unique_ptr<sim::CpuResource> cpu_;
   std::unique_ptr<rbio::RbioClient> rbio_;
   std::unique_ptr<RemoteFetcher> fetcher_;
+  std::unique_ptr<PushdownScanner> scanner_;
   std::unique_ptr<engine::BufferPool> pool_;
   std::unique_ptr<engine::RedoApplier> applier_;
   std::unique_ptr<engine::Engine> engine_;

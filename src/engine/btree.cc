@@ -106,6 +106,33 @@ sim::Task<Result<PageRef>> BTree::TraverseToLeaf(uint64_t key,
       Status::Corruption("btree traversal did not converge"));
 }
 
+sim::Task<Result<PageId>> BTree::LeafIdFor(uint64_t key) {
+  for (int attempt = 0; attempt < kMaxTraverseRetries; attempt++) {
+    PageId page_id = kRootPageId;
+    bool retry = false;
+    while (true) {
+      Result<PageRef> ref = co_await pool_->GetPage(page_id);
+      if (!ref.ok()) co_return Result<PageId>(ref.status());
+      BTreePage bp(ref->page());
+      if (!bp.CoversKey(key) ||
+          (!bp.is_leaf() && bp.slot_count() == 0)) {
+        // §4.5: page from the future / apply mid-flight — pause, retry.
+        traversal_retries_++;
+        co_await sim::Delay(sim_, kRetryPauseUs);
+        retry = true;
+        break;
+      }
+      if (bp.is_leaf()) co_return page_id;  // root-is-leaf tree
+      PageId child = bp.ChildAt(bp.FindChildSlot(key));
+      if (bp.level() == 1) co_return child;  // child is the leaf: done
+      page_id = child;
+    }
+    if (retry) continue;
+  }
+  co_return Result<PageId>(
+      Status::Corruption("btree leaf locate did not converge"));
+}
+
 sim::Task<Result<VersionChain>> BTree::Find(uint64_t key) {
   std::vector<PageId> path;
   Result<PageRef> leaf = co_await TraverseToLeaf(key, &path);

@@ -54,6 +54,14 @@ class BTree {
       uint64_t start, size_t count,
       const std::function<bool(uint64_t, const VersionChain&)>& visitor);
 
+  /// Id of the leaf that should cover `key`, found by descending interior
+  /// pages only — the leaf itself is never fetched. This is the pushdown
+  /// planner's leaf locator: interior pages are hot in the compute tier's
+  /// cache, so locating costs no Page Server round trip, and the server
+  /// re-validates the leaf's fences anyway (fence_miss). Subject to the
+  /// same §4.5 retry discipline as TraverseToLeaf.
+  sim::Task<Result<PageId>> LeafIdFor(uint64_t key);
+
   /// Upsert: store `chain` under `key` (insert or replace), splitting as
   /// needed. Primary-only, under the engine's commit mutex.
   sim::Task<Status> Write(TxnId txn, uint64_t key,

@@ -1,0 +1,89 @@
+// RemoteScanner: the engine-side seam for computation pushdown (RBIO v4
+// kScanRange). The scan planner in Engine::ScanWhere decides *whether* to
+// push a filtered scan down; this interface hides *how* — the compute
+// tier implements it over its RBIO client and Page Server routing table
+// (compute::PushdownScanner), while the engine stays free of any rbio
+// dependency and unit tests can plug in fakes.
+//
+// Contract: ScanLeaves evaluates the spec over leaves starting at
+// `start_leaf` (which the caller located by descending its cached
+// interior pages) and returns one chunk — qualifying projected tuples or
+// a partial-aggregate state — plus a resume point. The implementation
+// must evaluate with the exact same scan_expr functions as the local
+// page-based path so both produce identical results.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/scan_expr.h"
+#include "common/types.h"
+#include "sim/task.h"
+
+namespace socrates {
+namespace engine {
+
+/// What a filtered scan evaluates per row: predicate over (key, payload),
+/// then projection (tuple mode) or partial aggregate (aggregate mode).
+struct ScanFilter {
+  common::ScanPredicate predicate;
+  common::ScanProjection projection;
+  common::ScanAggregate aggregate;
+};
+
+/// One remote-evaluation request: [start_key, end_key) at snapshot
+/// read_ts, starting on start_leaf's chain.
+struct RemoteScanSpec {
+  uint64_t start_key = 0;
+  uint64_t end_key = UINT64_MAX;
+  /// Max qualifying tuples wanted (0 = unbounded); ignored in aggregate
+  /// mode.
+  uint32_t limit = 0;
+  Timestamp read_ts = 0;
+  common::ScanPredicate predicate;
+  common::ScanProjection projection;
+  common::ScanAggregate aggregate;
+};
+
+/// One chunk of remote-evaluation results.
+struct RemoteScanChunk {
+  /// The whole [start_key, end_key) range was evaluated.
+  bool complete = false;
+  /// The server saw a leaf inconsistent with the cursor key (§4.5 split
+  /// racing log apply); nothing past resume_key was evaluated.
+  bool fence_miss = false;
+  /// First key not yet evaluated (valid when !complete).
+  uint64_t resume_key = 0;
+  /// Leaf to resume on (kInvalidPageId = caller re-locates by key).
+  PageId next_leaf = kInvalidPageId;
+  /// Visible rows the remote evaluator examined.
+  uint64_t rows_scanned = 0;
+  /// Aggregate mode: mergeable partial state.
+  common::AggState agg;
+  /// Tuple mode: qualifying (key, projected payload), in key order.
+  std::vector<std::pair<uint64_t, std::string>> tuples;
+};
+
+class RemoteScanner {
+ public:
+  virtual ~RemoteScanner() = default;
+
+  /// False disables pushdown wholesale (planner knob / bench baseline).
+  virtual bool Enabled() const = 0;
+
+  /// Ship tuples only when the predicate's estimated selectivity is at
+  /// or below this; denser scans move fewer bytes as raw pages.
+  virtual double MaxSelectivity() const = 0;
+
+  /// Evaluate `spec` remotely starting at `start_leaf`. Transport errors
+  /// and NotSupported (pre-v4 server) surface as error Results — the
+  /// planner falls back to the local page-based path from spec.start_key.
+  virtual sim::Task<Result<RemoteScanChunk>> ScanLeaves(
+      PageId start_leaf, const RemoteScanSpec& spec) = 0;
+};
+
+}  // namespace engine
+}  // namespace socrates

@@ -120,6 +120,227 @@ Engine::Scan(Transaction* txn, uint64_t start, size_t count) {
   co_return std::move(rows);
 }
 
+sim::Task<Status> Engine::CollectFiltered(
+    uint64_t cursor, uint64_t end_key, size_t want, Timestamp read_ts,
+    const ScanFilter& filter, bool project,
+    std::vector<std::pair<uint64_t, std::string>>* rows,
+    uint64_t* window_end) {
+  bool done = false;
+  while (!done && (want == 0 || rows->size() < want)) {
+    const size_t batch = 256;
+    uint64_t last_key = cursor;
+    size_t seen = 0;
+    Result<size_t> r = co_await btree_.Scan(
+        cursor, batch, [&](uint64_t key, const VersionChain& chain) {
+          if (key >= end_key) {
+            done = true;
+            return false;
+          }
+          last_key = key;
+          seen++;
+          const RowVersion* v = chain.VisibleAt(read_ts);
+          if (v != nullptr && !v->tombstone &&
+              common::EvalPredicate(filter.predicate, key,
+                                    Slice(v->payload))) {
+            if (project) {
+              std::string out;
+              filter.projection.Apply(Slice(v->payload), &out);
+              rows->emplace_back(key, std::move(out));
+            } else {
+              rows->emplace_back(key, v->payload);
+            }
+            if (want > 0 && rows->size() >= want) return false;
+          }
+          return true;
+        });
+    if (!r.ok()) co_return r.status();
+    if (!done && seen < batch) done = true;  // tree exhausted
+    if (last_key == UINT64_MAX) done = true;
+    cursor = last_key + 1;
+  }
+  *window_end = done ? end_key : cursor;
+  co_return Status::OK();
+}
+
+sim::Task<Result<FilteredScanResult>> Engine::ScanWhere(
+    Transaction* txn, uint64_t start, uint64_t end_key, size_t limit,
+    const ScanFilter& filter) {
+  // Give up on pushdown after this many consecutive server-side fence
+  // misses (split storms): the local path always makes progress.
+  constexpr int kMaxFenceRetries = 3;
+  stats_.reads++;
+  stats_.filtered_scans++;
+  FilteredScanResult out;
+  const bool agg = filter.aggregate.enabled();
+  out.aggregated = agg;
+  const Timestamp read_ts = txn->read_ts();
+
+  bool writes_in_range = false;
+  {
+    auto it = txn->writes_.lower_bound(start);
+    writes_in_range = it != txn->writes_.end() && it->first < end_key;
+  }
+
+  // The plan: ship the scan to the Page Servers when the result is much
+  // smaller than the pages it lives on — always for partial aggregates
+  // (one frame back), for tuple scans only below the selectivity knee.
+  // Aggregates cannot push down over an uncommitted write set (the
+  // server cannot see it); tuple mode can — the overlay below repairs
+  // the stream exactly like the unfiltered Scan.
+  const bool pushdown_eligible =
+      scanner_ != nullptr && scanner_->Enabled() &&
+      (agg ? !writes_in_range
+           : !filter.predicate.IsAll() &&
+                 common::EstimatedSelectivity(filter.predicate) <=
+                     scanner_->MaxSelectivity());
+
+  std::vector<std::pair<uint64_t, std::string>> rows;
+  // Over-fetch by the write-set size, mirroring Scan: buffered deletes
+  // can only remove fetched rows.
+  const size_t want =
+      (agg || limit == 0) ? 0 : limit + txn->writes_.size();
+  uint64_t cursor = start;
+  uint64_t window_end = end_key;
+  bool need_local_tail = !pushdown_eligible;
+
+  if (pushdown_eligible) {
+    RemoteScanSpec spec;
+    spec.end_key = end_key;
+    spec.read_ts = read_ts;
+    spec.predicate = filter.predicate;
+    spec.projection = filter.projection;
+    spec.aggregate = filter.aggregate;
+    PageId leaf_hint = kInvalidPageId;
+    int fence_retries = 0;
+    while (true) {
+      if (want > 0 && rows.size() >= want) {
+        window_end = cursor;  // limit hit: keys past here not examined
+        need_local_tail = false;
+        break;
+      }
+      PageId leaf = leaf_hint;
+      leaf_hint = kInvalidPageId;
+      if (leaf == kInvalidPageId) {
+        Result<PageId> lid = co_await btree_.LeafIdFor(cursor);
+        if (!lid.ok()) {
+          out.fallbacks++;
+          need_local_tail = true;
+          break;
+        }
+        leaf = lid.value();
+      }
+      spec.start_key = cursor;
+      spec.limit =
+          want == 0 ? 0 : static_cast<uint32_t>(want - rows.size());
+      Result<RemoteScanChunk> c =
+          co_await scanner_->ScanLeaves(leaf, spec);
+      if (!c.ok()) {
+        // NotSupported (pre-v4 server) or a hard transport error: finish
+        // [cursor, end_key) on the local page-based path — partial
+        // remote results already gathered stay valid.
+        out.fallbacks++;
+        need_local_tail = true;
+        break;
+      }
+      if (c->fence_miss) {
+        // §4.5 split racing log apply, observed server-side. Re-locate
+        // the leaf and retry; persistent misses degrade to local.
+        cursor = std::max(cursor, c->resume_key);
+        if (++fence_retries > kMaxFenceRetries) {
+          out.fallbacks++;
+          need_local_tail = true;
+          break;
+        }
+        co_await sim::Delay(sim_, BTree::kRetryPauseUs);
+        continue;
+      }
+      fence_retries = 0;
+      out.pushed_down = true;
+      if (agg) {
+        out.agg.Merge(filter.aggregate.fn, c->agg);
+      } else {
+        for (auto& t : c->tuples) rows.push_back(std::move(t));
+      }
+      if (c->complete) {
+        need_local_tail = false;
+        break;
+      }
+      cursor = c->resume_key;
+      leaf_hint = c->next_leaf;
+    }
+  }
+
+  if (need_local_tail && cursor < end_key) {
+    if (agg && pushdown_eligible) {
+      // Fallback remainder of a pushdown aggregate (no writes in range
+      // by eligibility): accumulate the local tail straight into agg.
+      std::vector<std::pair<uint64_t, std::string>> rest;
+      SOCRATES_CO_RETURN_IF_ERROR(
+          co_await CollectFiltered(cursor, end_key, 0, read_ts, filter,
+                                   /*project=*/false, &rest, &window_end));
+      for (auto& [key, payload] : rest) {
+        out.agg.Accumulate(
+            filter.aggregate.fn,
+            common::AggFieldValue(filter.aggregate, Slice(payload)));
+      }
+    } else {
+      // Tuple mode stores projected values; local aggregate mode keeps
+      // full payloads (aggregated after the write overlay below).
+      SOCRATES_CO_RETURN_IF_ERROR(
+          co_await CollectFiltered(cursor, end_key, want, read_ts, filter,
+                                   /*project=*/!agg, &rows, &window_end));
+    }
+  }
+
+  // Overlay buffered writes inside the examined window, evaluating the
+  // predicate against the written values (same code as both scan paths).
+  if (writes_in_range) {
+    for (auto it = txn->writes_.lower_bound(start);
+         it != txn->writes_.end() && it->first < end_key; ++it) {
+      const uint64_t key = it->first;
+      if (key >= window_end) break;
+      auto pos = std::lower_bound(
+          rows.begin(), rows.end(), key,
+          [](const auto& a, uint64_t k) { return a.first < k; });
+      const bool present = pos != rows.end() && pos->first == key;
+      const bool match =
+          !it->second.is_delete &&
+          common::EvalPredicate(filter.predicate, key,
+                                Slice(it->second.value));
+      if (!match) {
+        if (present) rows.erase(pos);
+        continue;
+      }
+      std::string val;
+      if (agg) {
+        val = it->second.value;
+      } else {
+        filter.projection.Apply(Slice(it->second.value), &val);
+      }
+      if (present) {
+        pos->second = std::move(val);
+      } else {
+        rows.insert(pos, {key, std::move(val)});
+      }
+    }
+  }
+
+  if (agg && !pushdown_eligible) {
+    // Local aggregate: fold the (overlaid) full payloads.
+    for (auto& [key, payload] : rows) {
+      out.agg.Accumulate(
+          filter.aggregate.fn,
+          common::AggFieldValue(filter.aggregate, Slice(payload)));
+    }
+    rows.clear();
+  }
+  if (!agg && limit > 0 && rows.size() > limit) rows.resize(limit);
+  out.rows = std::move(rows);
+  stats_.pushdown_fallbacks += out.fallbacks;
+  if (out.pushed_down) stats_.pushdown_scans++;
+  co_return std::move(out);
+}
+
 sim::Task<Status> Engine::Commit(Transaction* txn) {
   assert(!txn->finished_);
   if (txn->writes_.empty()) {
@@ -179,6 +400,9 @@ sim::Task<Status> Engine::Commit(Transaction* txn) {
     sink_->Append(rec);
     commit_lsn = sink_->end_lsn();  // harden through the commit record
     last_committed_ts_ = commit_ts;
+    // Pushdown LSN floor: a Page Server applied through here has every
+    // version any current snapshot can see.
+    last_committed_lsn_ = commit_lsn;
   }
 
   txn->finished_ = true;

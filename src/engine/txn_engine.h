@@ -35,6 +35,7 @@
 #include "engine/btree.h"
 #include "engine/buffer_pool.h"
 #include "engine/log_sink.h"
+#include "engine/remote_scan.h"
 #include "engine/version.h"
 #include "sim/sync.h"
 
@@ -77,6 +78,25 @@ struct EngineStats {
   uint64_t conflicts = 0;
   uint64_t reads = 0;
   uint64_t writes = 0;
+  /// ScanWhere calls / those served (at least partly) by remote pushdown
+  /// / those that degraded mid-scan to the local page-based path.
+  uint64_t filtered_scans = 0;
+  uint64_t pushdown_scans = 0;
+  uint64_t pushdown_fallbacks = 0;
+};
+
+/// Result of a filtered scan: projected tuples (tuple mode) or one
+/// aggregate state (aggregate mode), plus how the plan executed.
+struct FilteredScanResult {
+  /// (key, projected payload), in key order; empty in aggregate mode.
+  std::vector<std::pair<uint64_t, std::string>> rows;
+  common::AggState agg;
+  bool aggregated = false;
+  /// At least one chunk was evaluated remotely.
+  bool pushed_down = false;
+  /// Times the plan degraded to the local page-based path (errors,
+  /// persistent fence misses, unsupported servers).
+  uint64_t fallbacks = 0;
 };
 
 class Engine {
@@ -105,6 +125,20 @@ class Engine {
   sim::Task<Result<std::vector<std::pair<uint64_t, std::string>>>> Scan(
       Transaction* txn, uint64_t start, size_t count);
 
+  /// Filtered snapshot scan over [start, end_key): rows matching
+  /// filter.predicate, projected (tuple mode) or partially aggregated
+  /// (aggregate mode); `limit` caps returned tuples (0 = unbounded).
+  /// The planner pushes evaluation down to Page Servers via the attached
+  /// RemoteScanner when the filter is selective enough (or aggregating),
+  /// with transparent mid-scan fallback to the local page-based path —
+  /// both paths evaluate the same scan_expr code, so results are
+  /// identical either way.
+  sim::Task<Result<FilteredScanResult>> ScanWhere(Transaction* txn,
+                                                  uint64_t start,
+                                                  uint64_t end_key,
+                                                  size_t limit,
+                                                  const ScanFilter& filter);
+
   /// Validate, apply, log, and harden. Returns Aborted on write-write
   /// conflict (first-committer-wins). The transaction is finished either
   /// way.
@@ -114,6 +148,18 @@ class Engine {
 
   /// Commit timestamp of the newest committed transaction.
   Timestamp last_committed_ts() const { return last_committed_ts_; }
+
+  /// Log position of the newest local commit record (0 before the first
+  /// commit). The pushdown planner's LSN-consistency floor on the
+  /// Primary: a Page Server that has applied through this LSN has every
+  /// version this engine's snapshots can see. Conservative — the sink's
+  /// end LSN at commit time — so waiting on it is always safe.
+  Lsn last_committed_lsn() const { return last_committed_lsn_; }
+
+  /// Attach the remote pushdown evaluator (compute tier); null disables
+  /// pushdown and ScanWhere always runs the local page-based plan.
+  void SetRemoteScanner(RemoteScanner* scanner) { scanner_ = scanner; }
+  RemoteScanner* remote_scanner() const { return scanner_; }
 
   /// Read-only tiers: visibility follows an external watermark (the
   /// applied-commit timestamp) instead of local commits.
@@ -147,15 +193,29 @@ class Engine {
   static constexpr size_t kMaxChainLength = 8;
 
  private:
+  // Local page-based collection for [cursor, end_key): visible rows
+  // matching filter.predicate, stored projected (project=true) or as
+  // full payloads (aggregate paths). Shared by the non-pushdown plan and
+  // the mid-scan fallback. `want` caps collected rows (0 = unbounded);
+  // *window_end receives the first key NOT examined (end_key if the
+  // range was exhausted).
+  sim::Task<Status> CollectFiltered(
+      uint64_t cursor, uint64_t end_key, size_t want, Timestamp read_ts,
+      const ScanFilter& filter, bool project,
+      std::vector<std::pair<uint64_t, std::string>>* rows,
+      uint64_t* window_end);
+
   sim::Simulator& sim_;
   BufferPool* pool_;
   LogSink* sink_;
   BTree btree_;
   sim::Mutex commit_mutex_;
+  RemoteScanner* scanner_ = nullptr;
 
   TxnId next_txn_id_ = 1;
   Timestamp next_ts_ = 0;
   Timestamp last_committed_ts_ = 0;
+  Lsn last_committed_lsn_ = 0;
   std::multiset<Timestamp> active_read_ts_;
   std::function<Timestamp()> read_ts_provider_;
   EngineStats stats_;

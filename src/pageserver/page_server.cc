@@ -4,6 +4,8 @@
 #include <map>
 #include <optional>
 
+#include "engine/btree_page.h"
+
 namespace socrates {
 namespace pageserver {
 
@@ -20,6 +22,31 @@ struct ScopedInflight {
   ScopedInflight& operator=(const ScopedInflight&) = delete;
   uint64_t* counter;
 };
+
+// Find the version visible at `read_ts` in an encoded VersionChain
+// without materializing it (VersionChain::Decode copies every payload —
+// per row, per scan, that would dominate the evaluator). Returns false
+// if the chain is malformed or the row did not exist at read_ts.
+bool VisibleInEncodedChain(Slice chain, Timestamp read_ts, bool* tombstone,
+                           Slice* payload) {
+  uint16_t count;
+  if (!GetFixed16(&chain, &count)) return false;
+  for (uint16_t i = 0; i < count; i++) {
+    uint64_t ts;
+    if (!GetFixed64(&chain, &ts)) return false;
+    if (chain.empty()) return false;
+    uint8_t flags = static_cast<uint8_t>(chain[0]);
+    chain.remove_prefix(1);
+    Slice p;
+    if (!GetLengthPrefixed(&chain, &p)) return false;
+    if (ts <= read_ts) {  // newest-first: first hit is the visible one
+      *tombstone = (flags & 0x1) != 0;
+      *payload = p;
+      return true;
+    }
+  }
+  return false;
+}
 }  // namespace
 
 // Fan-out state shared by one checkpoint round's batch writers.
@@ -445,6 +472,7 @@ sim::Task<Result<std::string>> PageServer::HandleRbio(
   rbio::GetPageRequest get;
   rbio::GetPageRangeRequest range;
   rbio::GetPageBatchRequest batch;
+  rbio::ScanRangeRequest scan;
   // Dispatch on the peeked type byte: exactly one decode runs per frame.
   rbio::MessageType type = rbio::PeekMessageType(frame);
   if (type == rbio::MessageType::kGetPageBatch &&
@@ -453,6 +481,14 @@ sim::Task<Result<std::string>> PageServer::HandleRbio(
           .ok()) {
     co_return co_await ServeBatch(std::move(batch));
   }
+  if (type == rbio::MessageType::kScanRange &&
+      rbio::ScanRangeRequest::Decode(Slice(frame), &scan, &version,
+                                     opts_.rbio_max_version)
+          .ok()) {
+    co_return co_await ServeScan(std::move(scan));
+  }
+  // (A v3-capped server falls through the failed kScanRange decode to
+  // the NotSupported PageResponse below — the §3.4 downgrade signal.)
   if (type == rbio::MessageType::kGetPage &&
       rbio::GetPageRequest::Decode(Slice(frame), &get, &version,
                                    opts_.rbio_max_version)
@@ -534,6 +570,134 @@ sim::Task<Result<std::string>> PageServer::ServeBatch(
     }
     if (all_unavailable) resp.status = resp.entries[0].status;
   }
+  co_return resp.Encode();
+}
+
+// Serve one kScanRange frame: the computation-pushdown evaluator. Wait
+// for min_lsn, then walk leaf pages from req.start_page through right-
+// sibling links, evaluating predicate / projection / aggregate against
+// the covering RBPEX (§4.6) at snapshot req.read_ts — shipping back
+// qualifying tuples (or one partial-aggregate state) instead of raw
+// pages. Fence keys police the walk exactly like a §4.5 traversal: a
+// leaf that does not cover the cursor key (split racing log apply) stops
+// the scan with fence_miss and the client re-locates or falls back.
+sim::Task<Result<std::string>> PageServer::ServeScan(
+    rbio::ScanRangeRequest req) {
+  scan_requests_++;
+  ScopedInflight inflight(&getpage_inflight_);
+  rbio::ScanRangeResponse resp;
+  Status ws = co_await WaitApplied(req.min_lsn);
+  if (!ws.ok()) {
+    resp.status = ws;
+    co_return resp.Encode();
+  }
+  resp.status = Status::OK();
+  resp.aggregated = req.aggregate.enabled();
+  uint64_t cursor = req.start_key;
+  PageId leaf = req.start_page;
+  resp.resume_key = cursor;
+  // Projected tuple bytes accumulate in one arena (the page pins only
+  // live per leaf); response Slices are taken after it stops growing.
+  std::string arena;
+  struct Tup {
+    uint64_t key;
+    uint32_t off;
+    uint32_t len;
+  };
+  std::vector<Tup> tups;
+  const SimTime eval_cpu_us =
+      opts_.pushdown_profile.cpu_per_io_us +
+      static_cast<SimTime>(opts_.pushdown_profile.cpu_per_kb_us *
+                           (static_cast<double>(kPageSize) / 1024.0));
+  bool done = false;
+  while (!done) {
+    if (!InPartition(leaf)) {
+      // Partition boundary: report the remainder's first leaf so the
+      // client resumes against the owning Page Server.
+      resp.next_leaf = leaf;
+      break;
+    }
+    Result<engine::PageRef> ref = co_await pool_->GetPage(leaf);
+    if (!ref.ok()) {
+      if (ref.status().IsNotFound()) {
+        // The sibling pointer led to a not-yet-materialized page (split
+        // racing log apply): nothing past resume_key was evaluated.
+        resp.fence_miss = true;
+        scan_fence_misses_++;
+        break;
+      }
+      resp.status = ref.status();
+      co_return resp.Encode();
+    }
+    engine::BTreePage bp(ref->page());
+    if (!bp.is_leaf() || !bp.CoversKey(cursor)) {
+      resp.fence_miss = true;
+      scan_fence_misses_++;
+      break;
+    }
+    resp.pages_scanned++;
+    scan_pages_scanned_++;
+    // The evaluator is not free: pushdown trades wire bytes for Page
+    // Server CPU, priced per leaf + per KB by the pushdown profile.
+    co_await cpu_->Consume(eval_cpu_us);
+    const uint64_t high = bp.high_fence();
+    const PageId sibling = bp.right_sibling();
+    const int n = bp.slot_count();
+    for (int i = bp.LowerBound(cursor); i < n; i++) {
+      const uint64_t key = bp.KeyAt(i);
+      if (key >= req.end_key) {
+        resp.complete = true;
+        done = true;
+        break;
+      }
+      bool tomb = false;
+      Slice payload;
+      if (!VisibleInEncodedChain(bp.LeafValueAt(i), req.read_ts, &tomb,
+                                 &payload) ||
+          tomb) {
+        continue;  // row not visible at this snapshot
+      }
+      resp.rows_scanned++;
+      scan_rows_scanned_++;
+      if (!common::EvalPredicate(req.predicate, key, payload)) continue;
+      if (resp.aggregated) {
+        resp.agg.Accumulate(req.aggregate.fn,
+                            common::AggFieldValue(req.aggregate, payload));
+      } else {
+        const auto off = static_cast<uint32_t>(arena.size());
+        req.projection.Apply(payload, &arena);
+        tups.push_back(
+            {key, off, static_cast<uint32_t>(arena.size()) - off});
+        if (req.limit > 0 && tups.size() >= req.limit) {
+          resp.resume_key = key + 1;
+          done = true;
+          break;
+        }
+      }
+    }
+    if (done) break;
+    // Page fully evaluated: advance to the right sibling.
+    cursor = high;
+    resp.resume_key = high;
+    if (high == engine::kMaxKey || high >= req.end_key ||
+        sibling == kInvalidPageId) {
+      resp.complete = true;
+      break;
+    }
+    leaf = sibling;
+    if (resp.pages_scanned >= req.max_pages) {
+      // Budget spent: bound frame size / service time; the client
+      // resumes from (resume_key, next_leaf).
+      resp.next_leaf = sibling;
+      break;
+    }
+  }
+  resp.tuples.reserve(tups.size());
+  for (const Tup& t : tups) {
+    resp.tuples.push_back({t.key, Slice(arena.data() + t.off, t.len)});
+    scan_bytes_returned_ += t.len;
+  }
+  scan_tuples_returned_ += tups.size();
   co_return resp.Encode();
 }
 

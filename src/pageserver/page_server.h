@@ -96,8 +96,15 @@ struct PageServerOptions {
   /// Highest RBIO protocol version this server accepts. Lowering it to 2
   /// models a not-yet-upgraded server in a mixed-version deployment: v3
   /// batch frames are rejected with NotSupported (§3.4 automatic
-  /// versioning) and clients degrade to per-page singles.
+  /// versioning) and clients degrade to per-page singles; lowering it to
+  /// 3 rejects v4 kScanRange frames and clients degrade to page-based
+  /// scans.
   uint16_t rbio_max_version = rbio::kProtocolVersion;
+  /// CPU pricing for the kScanRange pushdown evaluator (per leaf page
+  /// visited + per KB of leaf data evaluated). Pushdown trades wire bytes
+  /// for Page Server compute; this profile makes that compute show up in
+  /// the server's CPU accounting instead of being free.
+  sim::DeviceProfile pushdown_profile = sim::DeviceProfile::PushdownEval();
 };
 
 class PageServer : public rbio::RbioServer {
@@ -221,6 +228,21 @@ class PageServer : public rbio::RbioServer {
   /// kGetPageBatch frames served / sub-requests carried in them.
   uint64_t batch_requests() const { return batch_requests_; }
   uint64_t batch_subrequests() const { return batch_subrequests_; }
+
+  // Pushdown-evaluator health (RBIO v4 kScanRange; the benches print
+  // these — rows vs tuples is the server-observed selectivity).
+  /// kScanRange frames served.
+  uint64_t scan_requests() const { return scan_requests_; }
+  /// Leaf pages the evaluator walked.
+  uint64_t scan_pages_scanned() const { return scan_pages_scanned_; }
+  /// Visible rows the evaluator examined.
+  uint64_t scan_rows_scanned() const { return scan_rows_scanned_; }
+  /// Qualifying tuples shipped back.
+  uint64_t scan_tuples_returned() const { return scan_tuples_returned_; }
+  /// Projected tuple payload bytes shipped back.
+  uint64_t scan_bytes_returned() const { return scan_bytes_returned_; }
+  /// Scans aborted on a fence inconsistency (split racing log apply).
+  uint64_t scan_fence_misses() const { return scan_fence_misses_; }
   /// Freshness waiters woken by the event-driven watermark hook (as
   /// opposed to requests that found the LSN already applied).
   uint64_t waiter_wakes() const { return waiter_wakes_; }
@@ -280,6 +302,10 @@ class PageServer : public rbio::RbioServer {
   // has already waited). Shared by the single and batch paths.
   sim::Task<Result<storage::Page>> ServeLocal(PageId page_id);
   sim::Task<Result<std::string>> ServeBatch(rbio::GetPageBatchRequest req);
+  // kScanRange pushdown evaluator (§4.6 covering RBPEX + PushdownDB
+  // economics): wait for min_lsn, then walk leaves from req.start_page
+  // evaluating predicate/projection/aggregate at req.read_ts.
+  sim::Task<Result<std::string>> ServeScan(rbio::ScanRangeRequest req);
 
   // Hook the current applier's watermark so every Advance wakes exactly
   // the waiters whose threshold was crossed.
@@ -344,6 +370,12 @@ class PageServer : public rbio::RbioServer {
   uint64_t getpage_requests_ = 0;
   uint64_t batch_requests_ = 0;
   uint64_t batch_subrequests_ = 0;
+  uint64_t scan_requests_ = 0;
+  uint64_t scan_pages_scanned_ = 0;
+  uint64_t scan_rows_scanned_ = 0;
+  uint64_t scan_tuples_returned_ = 0;
+  uint64_t scan_bytes_returned_ = 0;
+  uint64_t scan_fence_misses_ = 0;
   uint64_t pulls_ = 0;
   uint64_t pipelined_pull_hits_ = 0;
   SimTime pull_wait_us_ = 0;

@@ -272,7 +272,7 @@ std::string PageResponse::Encode() const {
   // One exact-size allocation instead of append-growth reallocs.
   out.reserve(2 + 1 + 5 + status.message().size() + 4 +
               pages.size() * kPageSize);
-  PutFixed16(&out, kProtocolVersion);
+  PutFixed16(&out, kPageResponseVersion);
   PutStatus(&out, status);
   PutFixed32(&out, static_cast<uint32_t>(pages.size()));
   for (const storage::Page& p : pages) PutPageImage(&out, p);
@@ -292,7 +292,7 @@ std::string GetPageBatchResponse::Encode() const {
   std::string out;
   out.reserve(2 + 1 + 5 + status.message().size() + 4 +
               entries.size() * (kPageSize + 16));
-  PutFixed16(&out, kProtocolVersion);
+  PutFixed16(&out, kPageResponseVersion);
   PutStatus(&out, status);
   PutFixed32(&out, static_cast<uint32_t>(entries.size()));
   for (const Entry& e : entries) {
@@ -317,7 +317,7 @@ std::string EncodeSinglePageResponse(const Status& status,
   std::string out;
   out.reserve(2 + 1 + 5 + status.message().size() + 4 +
               (page != nullptr ? kPageSize : 0));
-  PutFixed16(&out, kProtocolVersion);
+  PutFixed16(&out, kPageResponseVersion);
   PutStatus(&out, status);
   PutFixed32(&out, page != nullptr ? 1u : 0u);
   if (page != nullptr) PutPageImage(&out, *page);
@@ -342,6 +342,128 @@ Status DecodeSinglePageResponse(
     return Status::Corruption("rbio: GetPage returned wrong page count");
   }
   return GetPageImage(&wire, frame, page);
+}
+
+std::string ScanRangeRequest::Encode(uint16_t version) const {
+  std::string out;
+  EncodeTo(&out, version);
+  return out;
+}
+
+void ScanRangeRequest::EncodeTo(std::string* out, uint16_t version) const {
+  out->clear();
+  PutHeader(out, version, MessageType::kScanRange);
+  PutFixed64(out, start_page);
+  PutFixed64(out, start_key);
+  PutFixed64(out, end_key);
+  PutFixed32(out, limit);
+  PutFixed32(out, max_pages);
+  PutFixed64(out, min_lsn);
+  PutFixed64(out, read_ts);
+  common::EncodePredicate(out, predicate);
+  common::EncodeProjection(out, projection);
+  common::EncodeAggregate(out, aggregate);
+}
+
+Status ScanRangeRequest::Decode(Slice wire, ScanRangeRequest* out,
+                                uint16_t* version, uint16_t max_version) {
+  MessageType type = MessageType::kGetPage;
+  SOCRATES_RETURN_IF_ERROR(GetHeader(&wire, version, &type, max_version));
+  if (type != MessageType::kScanRange) {
+    return Status::InvalidArgument("rbio: not a ScanRange request");
+  }
+  if (*version < kScanRangeMinVersion) {
+    return Status::NotSupported("rbio: scan frame below v4");
+  }
+  if (!GetFixed64(&wire, &out->start_page) ||
+      !GetFixed64(&wire, &out->start_key) ||
+      !GetFixed64(&wire, &out->end_key) || !GetFixed32(&wire, &out->limit) ||
+      !GetFixed32(&wire, &out->max_pages) ||
+      !GetFixed64(&wire, &out->min_lsn) ||
+      !GetFixed64(&wire, &out->read_ts)) {
+    return Status::Corruption("rbio: truncated ScanRange request");
+  }
+  SOCRATES_RETURN_IF_ERROR(common::DecodePredicate(&wire, &out->predicate));
+  SOCRATES_RETURN_IF_ERROR(
+      common::DecodeProjection(&wire, &out->projection));
+  SOCRATES_RETURN_IF_ERROR(common::DecodeAggregate(&wire, &out->aggregate));
+  return Status::OK();
+}
+
+std::string ScanRangeResponse::Encode() const {
+  std::string out;
+  size_t tuple_bytes = 0;
+  for (const Tuple& t : tuples) tuple_bytes += 12 + t.value.size();
+  out.reserve(2 + 1 + 5 + status.message().size() + 29 +
+              (aggregated ? 16 : 4 + tuple_bytes));
+  PutFixed16(&out, kProtocolVersion);
+  PutStatus(&out, status);
+  uint8_t flags = (complete ? 1u : 0u) | (fence_miss ? 2u : 0u) |
+                  (aggregated ? 4u : 0u);
+  out.push_back(static_cast<char>(flags));
+  PutFixed64(&out, resume_key);
+  PutFixed64(&out, next_leaf);
+  PutFixed64(&out, rows_scanned);
+  PutFixed32(&out, pages_scanned);
+  if (aggregated) {
+    PutFixed64(&out, agg.rows);
+    PutFixed64(&out, agg.value);
+  } else {
+    PutFixed32(&out, static_cast<uint32_t>(tuples.size()));
+    for (const Tuple& t : tuples) {
+      PutFixed64(&out, t.key);
+      PutLengthPrefixed(&out, t.value);
+    }
+  }
+  return out;
+}
+
+Status ScanRangeResponse::Decode(std::shared_ptr<const std::string> frame,
+                                 ScanRangeResponse* out) {
+  Slice wire(*frame);
+  uint16_t version;
+  if (!GetFixed16(&wire, &version)) {
+    return Status::Corruption("rbio: truncated scan response");
+  }
+  SOCRATES_RETURN_IF_ERROR(GetStatus(&wire, &out->status));
+  // Error responses carry no body — and a pre-v4 server's NotSupported
+  // PageResponse shares this exact prefix, so it decodes cleanly here as
+  // the negotiation fallback signal.
+  if (!out->status.ok()) return Status::OK();
+  if (wire.empty()) return Status::Corruption("rbio: truncated scan flags");
+  uint8_t flags = static_cast<uint8_t>(wire[0]);
+  wire.remove_prefix(1);
+  out->complete = (flags & 1) != 0;
+  out->fence_miss = (flags & 2) != 0;
+  out->aggregated = (flags & 4) != 0;
+  if (!GetFixed64(&wire, &out->resume_key) ||
+      !GetFixed64(&wire, &out->next_leaf) ||
+      !GetFixed64(&wire, &out->rows_scanned) ||
+      !GetFixed32(&wire, &out->pages_scanned)) {
+    return Status::Corruption("rbio: truncated scan response");
+  }
+  out->tuples.clear();
+  if (out->aggregated) {
+    if (!GetFixed64(&wire, &out->agg.rows) ||
+        !GetFixed64(&wire, &out->agg.value)) {
+      return Status::Corruption("rbio: truncated scan aggregate");
+    }
+    return Status::OK();
+  }
+  uint32_t n;
+  if (!GetFixed32(&wire, &n)) {
+    return Status::Corruption("rbio: truncated tuple count");
+  }
+  out->tuples.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    Tuple t;
+    if (!GetFixed64(&wire, &t.key) || !GetLengthPrefixed(&wire, &t.value)) {
+      return Status::Corruption("rbio: truncated scan tuple");
+    }
+    out->tuples.push_back(t);
+  }
+  out->owner = std::move(frame);  // tuple values alias the frame
+  return Status::OK();
 }
 
 RbioClient::RbioClient(sim::Simulator& sim, sim::CpuResource* cpu,
@@ -443,6 +565,7 @@ sim::Task<Result<std::string>> RbioClient::RoundtripRaw(
     }
     const Endpoint& ep = replicas[PickReplica(replicas, attempt)];
     requests_++;
+    wire_bytes_sent_ += frame.size();  // retried frames really were sent
     if (cpu_ != nullptr) co_await cpu_->Consume(cpu_us);
     SimTime begin = sim_.now();
     SimTime link_delay = 0;
@@ -457,9 +580,26 @@ sim::Task<Result<std::string>> RbioClient::RoundtripRaw(
       }
       link_delay = opts_.injector->LinkDelayUs(opts_.site, ep.name);
     }
-    co_await sim::Delay(sim_, opts_.network.Sample(rng_) + link_delay);
+    // A configured wire bandwidth adds a size-proportional transfer term
+    // per leg; the default (0) keeps the pre-v4 base-latency-only timing.
+    SimTime xfer_out =
+        opts_.wire_mb_per_s > 0
+            ? static_cast<SimTime>(static_cast<double>(frame.size()) /
+                                   opts_.wire_mb_per_s)
+            : 0;
+    co_await sim::Delay(sim_, opts_.network.Sample(rng_) + link_delay +
+                                  xfer_out);
     Result<std::string> raw = co_await ep.server->HandleRbio(frame);
-    co_await sim::Delay(sim_, opts_.network.Sample(rng_) + link_delay);
+    SimTime xfer_in = 0;
+    if (raw.ok()) {
+      wire_bytes_received_ += raw->size();
+      if (opts_.wire_mb_per_s > 0) {
+        xfer_in = static_cast<SimTime>(static_cast<double>(raw->size()) /
+                                       opts_.wire_mb_per_s);
+      }
+    }
+    co_await sim::Delay(sim_, opts_.network.Sample(rng_) + link_delay +
+                                  xfer_in);
     double elapsed = static_cast<double>(sim_.now() - begin);
     EndpointStats& st = stats_[ep.name];
     st.ewma_us = st.seen
@@ -658,7 +798,11 @@ sim::Task<> RbioClient::FlushBatch(ReplicaSet replicas, std::string key,
       opts_.cpu_per_request_us +
       (batch.size() - 1) * opts_.cpu_per_batched_page_us;
   std::string reqframe = AcquireFrame();
-  req.EncodeTo(&reqframe, opts_.protocol_version);
+  // Batch frames carry the oldest version whose semantics match
+  // (kGetPageBatch is unchanged since v3), so a v4 client's batches
+  // interoperate with v3 servers without renegotiation.
+  req.EncodeTo(&reqframe,
+               std::min<uint16_t>(opts_.protocol_version, kBatchFrameVersion));
   Result<std::string> raw =
       co_await RoundtripRaw(*replicas, std::move(reqframe), cpu_us);
   GetPageBatchResponse resp;
@@ -734,6 +878,68 @@ sim::Task<Result<std::vector<storage::Page>>> RbioClient::GetPageRange(
     SOCRATES_CO_RETURN_IF_ERROR(p.VerifyChecksum());
   }
   co_return std::move(resp->pages);
+}
+
+sim::Task<Result<ScanRangeResponse>> RbioClient::ScanRange(
+    const std::vector<Endpoint>& replicas, const ScanRangeRequest& req) {
+  static const Status kNotSupp =
+      Status::NotSupported("rbio: scan pushdown unsupported");
+  scan_requests_++;
+  if (replicas.empty() || opts_.protocol_version < kScanRangeMinVersion) {
+    // A < v4 client never emits kScanRange frames (mixed-version
+    // deployments): the caller takes the page-based path immediately.
+    scan_fallbacks_++;
+    co_return Result<ScanRangeResponse>(kNotSupp);
+  }
+  std::string key;
+  for (const Endpoint& ep : replicas) {
+    key += ep.name;
+    key += '|';
+  }
+  ScanSupport& sup = scan_support_[key];
+  if (sup.known && !sup.supported) {
+    // This endpoint set rejected a v4 scan frame before: short-circuit
+    // without wire traffic so repeated planner probes cost nothing.
+    scan_fallbacks_++;
+    co_return Result<ScanRangeResponse>(kNotSupp);
+  }
+  scans_sent_++;
+  std::string frame = AcquireFrame();
+  req.EncodeTo(&frame, opts_.protocol_version);
+  Result<std::string> raw = co_await RoundtripRaw(
+      replicas, std::move(frame), opts_.cpu_per_request_us);
+  if (!raw.ok()) co_return Result<ScanRangeResponse>(raw.status());
+  ScanRangeResponse resp;
+  std::shared_ptr<std::string> fp = AcquireRespFrame();
+  *fp = std::move(*raw);
+  Status ds = ScanRangeResponse::Decode(fp, &resp);
+  if (!ds.ok()) co_return Result<ScanRangeResponse>(ds);
+  if (resp.status.IsNotSupported()) {
+    // Automatic versioning (§3.4): a pre-v4 server rejected the scan
+    // frame. Memoize and let the caller degrade to page-based scans.
+    sup.known = true;
+    sup.supported = false;
+    scan_fallbacks_++;
+    co_return Result<ScanRangeResponse>(resp.status);
+  }
+  if (!resp.status.ok()) co_return Result<ScanRangeResponse>(resp.status);
+  sup.known = true;
+  sup.supported = true;
+  scan_tuples_received_ += resp.tuples.size();
+  // Tuple frames are variable-size, so decode CPU scales with the bytes
+  // actually shipped (fixed-size page frames amortize this into
+  // cpu_per_request_us instead).
+  if (cpu_ != nullptr && opts_.cpu_per_result_kb_us > 0 &&
+      !resp.tuples.empty()) {
+    size_t bytes = 0;
+    for (const ScanRangeResponse::Tuple& t : resp.tuples) {
+      bytes += 8 + t.value.size();
+    }
+    auto us = static_cast<SimTime>(opts_.cpu_per_result_kb_us *
+                                   static_cast<double>(bytes) / 1024.0);
+    if (us > 0) co_await cpu_->Consume(us);
+  }
+  co_return std::move(resp);
 }
 
 double RbioClient::EwmaLatencyUs(const std::string& endpoint_name) const {

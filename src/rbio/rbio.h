@@ -41,6 +41,7 @@
 #include "chaos/chaos.h"
 #include "common/coding.h"
 #include "common/histogram.h"
+#include "common/scan_expr.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -55,20 +56,31 @@
 namespace socrates {
 namespace rbio {
 
-inline constexpr uint16_t kProtocolVersion = 3;
+inline constexpr uint16_t kProtocolVersion = 4;
 /// Oldest protocol version a server still understands.
 inline constexpr uint16_t kMinSupportedVersion = 1;
 /// First version that understands kGetPageBatch frames.
 inline constexpr uint16_t kBatchMinVersion = 3;
+/// First version that understands kScanRange (computation pushdown).
+inline constexpr uint16_t kScanRangeMinVersion = 4;
 /// Wire version per-page frames are encoded at: the oldest version whose
-/// GetPage/GetPageRange semantics match (unchanged since v2), so a v3
+/// GetPage/GetPageRange semantics match (unchanged since v2), so a v4
 /// client's singles interoperate with v2 servers without negotiation.
 inline constexpr uint16_t kGetPageFrameVersion = 2;
+/// Wire version batch frames are encoded at: kGetPageBatch semantics are
+/// unchanged since v3, so a v4 client's batches interoperate with v3
+/// servers without negotiation (only kScanRange frames carry v4).
+inline constexpr uint16_t kBatchFrameVersion = 3;
+/// Wire version stamped on page/batch response frames. Response formats
+/// are unchanged since v3 and decoders ignore the value; pinning it
+/// keeps every pre-v4 response byte-identical across the version bump.
+inline constexpr uint16_t kPageResponseVersion = 3;
 
 enum class MessageType : uint8_t {
   kGetPage = 1,
   kGetPageRange = 2,
   kGetPageBatch = 3,
+  kScanRange = 4,
 };
 
 /// Peek a frame's type byte without decoding (0 if truncated). Servers
@@ -153,6 +165,74 @@ struct GetPageBatchResponse {
                        GetPageBatchResponse* out);
 };
 
+/// Protocol v4 (computation pushdown): evaluate a predicate +
+/// projection (or partial aggregate) over the key range
+/// [start_key, end_key) directly on the Page Server's covering RBPEX,
+/// walking leaves from `start_page` at freshness `min_lsn` and snapshot
+/// `read_ts`. The server returns qualifying projected tuples (or one
+/// partial-aggregate frame) instead of raw pages.
+struct ScanRangeRequest {
+  /// Leaf the range starts on (the client locates it by descending its
+  /// cached interior pages; the B+-tree spans partitions, so the server
+  /// cannot traverse from the root).
+  PageId start_page = kInvalidPageId;
+  uint64_t start_key = 0;
+  /// Exclusive; UINT64_MAX scans to the end of the key space.
+  uint64_t end_key = UINT64_MAX;
+  /// Max qualifying tuples to return (0 = bounded only by max_pages).
+  uint32_t limit = 0;
+  /// Leaf-page budget per frame; the server stops after this many leaves
+  /// and reports a resume point (bounds frame size and service time).
+  uint32_t max_pages = 64;
+  Lsn min_lsn = kInvalidLsn;
+  Timestamp read_ts = 0;
+  common::ScanPredicate predicate;
+  common::ScanProjection projection;
+  common::ScanAggregate aggregate;
+
+  std::string Encode(uint16_t version = kProtocolVersion) const;
+  void EncodeTo(std::string* out, uint16_t version = kProtocolVersion) const;
+  static Status Decode(Slice wire, ScanRangeRequest* out, uint16_t* version,
+                       uint16_t max_version = kProtocolVersion);
+};
+
+/// kScanRange response. The wire prefix ([u16 version][status]) is the
+/// format-shared one, so a pre-v4 server's NotSupported PageResponse
+/// decodes cleanly as an error ScanRangeResponse — that is the
+/// negotiation fallback signal, exactly like kGetPageBatch.
+struct ScanRangeResponse {
+  Status status;
+  /// True when the whole requested range was evaluated; false means the
+  /// client resumes from `resume_key` (budget/limit hit, or a partition
+  /// boundary — `next_leaf` then hints the first leaf of the remainder).
+  bool complete = false;
+  /// The server observed a leaf inconsistent with the requested key
+  /// (a §4.5-style split racing log apply): nothing past `resume_key`
+  /// was evaluated; the client re-locates the leaf and retries or falls
+  /// back to page-based scanning.
+  bool fence_miss = false;
+  bool aggregated = false;
+  uint64_t resume_key = 0;
+  PageId next_leaf = kInvalidPageId;
+  /// Rows the evaluator examined (visible-version checks) — the
+  /// selectivity denominator in the client's stats.
+  uint64_t rows_scanned = 0;
+  uint32_t pages_scanned = 0;
+  common::AggState agg;  // valid iff aggregated
+  /// Qualifying projected tuples, in key order. Values alias the decoded
+  /// response frame (zero-copy; `owner` keeps it alive).
+  struct Tuple {
+    uint64_t key = 0;
+    Slice value;
+  };
+  std::vector<Tuple> tuples;
+  std::shared_ptr<const std::string> owner;
+
+  std::string Encode() const;
+  static Status Decode(std::shared_ptr<const std::string> frame,
+                       ScanRangeResponse* out);
+};
+
 /// Encode a PageResponse carrying exactly one page (`page` non-null) or
 /// just an error status (`page` null) without materializing the struct —
 /// byte-identical to PageResponse::Encode, but the server's GetPage hot
@@ -200,9 +280,18 @@ struct RbioClientOptions {
   /// miss goes out as a per-page frame, byte-identical to protocol v2.
   uint32_t max_batch = 16;
   /// Highest protocol version this client speaks. A < v3 client never
-  /// emits batch frames (mixed-version deployments, §3.4 automatic
-  /// versioning).
+  /// emits batch frames, a < v4 client never emits kScanRange frames
+  /// (mixed-version deployments, §3.4 automatic versioning).
   uint16_t protocol_version = kProtocolVersion;
+  /// Client-side CPU charged per KiB of pushdown result decoded (tuple
+  /// frames are variable-size, unlike the fixed 8 KiB page frames whose
+  /// cost cpu_per_request_us already amortizes).
+  double cpu_per_result_kb_us = 2.0;
+  /// Compute <-> Page Server wire bandwidth in MB/s: each leg pays an
+  /// extra frame_bytes / bandwidth transfer term on top of the sampled
+  /// base latency (1 MB/s == 1 byte/us). 0 keeps the pre-v4 behavior
+  /// (base latency only), byte-identical in time for existing traffic.
+  double wire_mb_per_s = 0;
   /// Chaos injection: when set, every frame consults the hub for a
   /// partition / lossy-link verdict between `site` (this node) and the
   /// target endpoint's name, and pays any configured link delay. A
@@ -232,8 +321,32 @@ class RbioClient {
       const std::vector<Endpoint>& replicas, PageId first_page,
       uint32_t count, Lsn min_lsn);
 
+  /// Computation pushdown (protocol v4): evaluate `req` on the best
+  /// replica. A NotSupported response (pre-v4 server) is memoized per
+  /// endpoint set — subsequent calls short-circuit without wire traffic
+  /// so the planner's page-based fallback costs nothing extra.
+  sim::Task<Result<ScanRangeResponse>> ScanRange(
+      const std::vector<Endpoint>& replicas, const ScanRangeRequest& req);
+
   uint64_t requests_sent() const { return requests_; }
   uint64_t retries() const { return retries_; }
+
+  // ----- Wire-volume counters (both directions, all message types).
+  /// Request-frame bytes put on the wire (each retry attempt counts —
+  /// the bytes really were sent).
+  uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }
+  /// Response-frame bytes received.
+  uint64_t wire_bytes_received() const { return wire_bytes_received_; }
+
+  // ----- Pushdown counters.
+  /// ScanRange calls made by the planner.
+  uint64_t scan_requests() const { return scan_requests_; }
+  /// kScanRange frames actually sent (excludes memoized short-circuits).
+  uint64_t scans_sent() const { return scans_sent_; }
+  /// ScanRange calls resolved NotSupported (fresh rejection or memoized).
+  uint64_t scan_fallbacks() const { return scan_fallbacks_; }
+  /// Qualifying tuples received in ScanRange responses.
+  uint64_t scan_tuples_received() const { return scan_tuples_received_; }
 
   // ----- Batching counters.
   /// kGetPageBatch frames sent (each is one round trip).
@@ -266,6 +379,12 @@ class RbioClient {
     singles_sent_ = 0;
     batch_fallbacks_ = 0;
     batch_dedup_hits_ = 0;
+    scan_requests_ = 0;
+    scans_sent_ = 0;
+    scan_fallbacks_ = 0;
+    scan_tuples_received_ = 0;
+    wire_bytes_sent_ = 0;
+    wire_bytes_received_ = 0;
     batch_occupancy_.Clear();
   }
 
@@ -361,8 +480,16 @@ class RbioClient {
   sim::CpuResource* cpu_;
   RbioClientOptions opts_;
   mutable Random rng_;
+  // Tri-state kScanRange support per endpoint set, mirroring
+  // BatchQueue's batch negotiation (unknown / supported / rejected).
+  struct ScanSupport {
+    bool known = false;
+    bool supported = true;
+  };
+
   std::map<std::string, EndpointStats> stats_;
   std::map<std::string, BatchQueue> batch_queues_;
+  std::map<std::string, ScanSupport> scan_support_;
   std::vector<PendingGet*> pending_pool_;
   std::vector<std::string> frame_pool_;
   std::vector<std::shared_ptr<std::string>> resp_frame_pool_;
@@ -373,6 +500,12 @@ class RbioClient {
   uint64_t singles_sent_ = 0;
   uint64_t batch_fallbacks_ = 0;
   uint64_t batch_dedup_hits_ = 0;
+  uint64_t scan_requests_ = 0;
+  uint64_t scans_sent_ = 0;
+  uint64_t scan_fallbacks_ = 0;
+  uint64_t scan_tuples_received_ = 0;
+  uint64_t wire_bytes_sent_ = 0;
+  uint64_t wire_bytes_received_ = 0;
   Histogram batch_occupancy_;
 };
 

@@ -150,6 +150,22 @@ struct DeviceProfile {
     return p;
   }
 
+  /// Server-side pushdown evaluation (RBIO v4 kScanRange): the CPU a
+  /// Page Server burns walking leaf pages and evaluating predicates /
+  /// projections / aggregates against its covering RBPEX. No I/O latency
+  /// of its own — the page reads pay the RBPEX device; this profile
+  /// prices only the evaluator (per leaf visited + per KB of leaf data
+  /// scanned), so pushdown trades compute-tier bytes for measured Page
+  /// Server CPU instead of being free.
+  static DeviceProfile PushdownEval() {
+    DeviceProfile p;
+    p.read = LatencyModel::Zero();
+    p.write = LatencyModel::Zero();
+    p.cpu_per_io_us = 3;     // per leaf page: slot walk + fence checks
+    p.cpu_per_kb_us = 0.8;   // per KB evaluated: version chains + predicate
+    return p;
+  }
+
   /// Intra-datacenter network round trip for RBIO-style RPCs.
   static DeviceProfile IntraDcNetwork() {
     DeviceProfile p;

@@ -14,6 +14,7 @@ constexpr double kScanRowUs = 18;    // sequential row
 constexpr double kUpdateRowUs = 90;  // row update + log record
 constexpr double kInsertRowUs = 100;
 constexpr double kLiteUpdateUs = 45;
+constexpr double kAnalyticRowUs = 2;  // predicate eval per spanned row
 }  // namespace
 
 sim::Task<Status> CdbWorkload::Load(Engine* engine) {
@@ -39,7 +40,7 @@ sim::Task<Status> CdbWorkload::Load(Engine* engine) {
 CdbTxnType CdbWorkload::PickType(Random* rng) const {
   double r = rng->NextDouble();
   double acc = 0;
-  for (int i = 0; i < 6; i++) {
+  for (int i = 0; i < kCdbTxnTypes; i++) {
     acc += mix_.weights[i];
     if (r < acc) return static_cast<CdbTxnType>(i);
   }
@@ -158,6 +159,41 @@ sim::Task<TxnResult> CdbWorkload::RunOne(Engine* engine,
               : MakePayload(t, rng);
       (void)engine->Put(txn.get(), key, payload);
       result.is_write = true;
+      result.committed = (co_await engine->Commit(txn.get())).ok();
+      break;
+    }
+    case CdbTxnType::kAnalyticScan: {
+      // HTAP analytic read: selective predicate (or partial aggregate)
+      // over a contiguous span of 512-2048 rows. With a v4 deployment
+      // the engine ships this to the owning Page Servers (kScanRange);
+      // against v3 it transparently degrades to a page-based scan.
+      auto txn = engine->Begin(true);
+      int t = static_cast<int>(rng->Uniform(6));
+      uint64_t rows = TableRows(t);
+      uint64_t span = std::min<uint64_t>(rows, 512 + rng->Uniform(1537));
+      uint64_t start = rng->Uniform(rows - span + 1);
+      static constexpr uint64_t kMods[] = {8, 16, 64};
+      uint64_t mod = kMods[rng->Uniform(3)];
+      engine::ScanFilter filter;
+      filter.predicate =
+          common::ScanPredicate::KeyModEq(mod, rng->Uniform(mod));
+      if (rng->Uniform(2) == 0) {
+        filter.aggregate = rng->Uniform(2) == 0
+                               ? common::ScanAggregate::Count()
+                               : common::ScanAggregate::Sum(0);
+      } else {
+        filter.projection.extents.push_back({0, 32});
+      }
+      // CPU for issuing the scan + consuming the (small) result; the
+      // per-row evaluation cost lands wherever it runs — Page Server
+      // (pushdown_profile) or locally (buffer-pool page reads).
+      (void)co_await Charge(cpu,
+                            kAnalyticRowUs * static_cast<double>(span) *
+                                0.1);
+      (void)co_await engine->ScanWhere(
+          txn.get(), MakeKey(static_cast<TableId>(t + 1), start),
+          MakeKey(static_cast<TableId>(t + 1), start + span),
+          /*limit=*/0, filter);
       result.committed = (co_await engine->Commit(txn.get())).ok();
       break;
     }

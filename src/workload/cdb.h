@@ -39,10 +39,14 @@ enum class CdbTxnType {
   kBulkUpdate = 3,    // update ~100 rows (complex bulk update)
   kInsert = 4,        // insert ~8 rows
   kUpdateLite = 5,    // single tiny update (Appendix A)
+  kAnalyticScan = 6,  // selective filtered scan / partial aggregate over
+                      // a wide span (pushdown-eligible, HTAP read)
 };
 
+inline constexpr int kCdbTxnTypes = 7;
+
 struct CdbMix {
-  std::array<double, 6> weights{};
+  std::array<double, kCdbTxnTypes> weights{};
 
   /// Default mix: all transaction types; ~25% write transactions
   /// (Table 2's read/write TPS split).
@@ -65,7 +69,17 @@ struct CdbMix {
   }
   static CdbMix ReadOnly() {
     CdbMix m;
-    m.weights = {0.70, 0.30, 0.0, 0.0, 0.0, 0.0};
+    m.weights = {0.70, 0.30, 0.0, 0.0, 0.0, 0.0, 0.0};
+    return m;
+  }
+  /// HTAP mix: OLTP foreground plus a heavy analytic-scan component —
+  /// the workload computation pushdown is built for. Scans are filtered
+  /// wide-span reads (selective predicates, ~half aggregating), so a v4
+  /// deployment ships them to Page Servers while the OLTP side still
+  /// moves pages.
+  static CdbMix Htap() {
+    CdbMix m;
+    m.weights = {0.40, 0.15, 0.10, 0.01, 0.04, 0.0, 0.30};
     return m;
   }
 };

@@ -38,6 +38,34 @@ void RunSim(Simulator& s, Fn&& fn) {
   ASSERT_TRUE(done) << "driver did not finish";
 }
 
+// A filtered (pushdown-eligible) scan against the acked state. While a
+// fault window is open the degraded path may refuse it outright
+// (require_ok=false), but an OK result must match the acked map exactly:
+// kScanRange either retries through the fault or falls back to the local
+// page path — it never returns wrong rows.
+Task<> VerifyFilteredScan(Deployment& d, uint64_t mod, uint64_t res,
+                          const std::map<uint64_t, std::string>& acked,
+                          bool require_ok) {
+  Engine* e = d.primary_engine();
+  engine::ScanFilter f;
+  f.predicate = common::ScanPredicate::KeyModEq(
+      static_cast<uint32_t>(mod), static_cast<uint32_t>(res));
+  auto txn = e->Begin(true);
+  auto r = co_await e->ScanWhere(txn.get(), MakeKey(1, 0),
+                                 MakeKey(1, 300), 0, f);
+  if (r.ok()) {
+    std::vector<std::pair<uint64_t, std::string>> want;
+    for (auto& [k, v] : acked) {
+      if (k % mod == res) want.emplace_back(k, v);
+    }
+    EXPECT_EQ(r->rows, want) << "filtered scan diverged from acked state";
+  } else {
+    EXPECT_FALSE(require_ok)
+        << "scan on healed cluster failed: " << r.status().ToString();
+  }
+  (void)co_await e->Commit(txn.get());
+}
+
 // Commit a few transactions while a fault window is open: the degraded
 // path may refuse them (never acked), but anything acked here is held
 // to the same durability bar as calm-weather commits.
@@ -55,6 +83,8 @@ Task<> DegradedTraffic(Simulator& s, Deployment& d, Random& rng,
     if (cs.ok()) (*acked)[key] = val;
     co_await sim::Delay(s, window_us / 8);
   }
+  // A mid-window analytic scan rides the same degraded links.
+  co_await VerifyFilteredScan(d, 8, rng.Uniform(8), *acked, false);
 }
 
 // Apply one plan event synchronously: crashes are repaired in place
@@ -156,6 +186,11 @@ Task<> ApplyDisaster(Simulator& s, Deployment& d,
         auto probe = e->Begin(true);
         (void)co_await e->Get(probe.get(), MakeKey(1, rng.Uniform(300)));
         (void)co_await e->Commit(probe.get());
+        if (i % 2 == 1) {
+          // Pushdown scans must absorb the same burst: retry through it
+          // or fall back, never return wrong rows.
+          co_await VerifyFilteredScan(d, 8, i % 8, *acked, false);
+        }
         co_await sim::Delay(s, 2000);
       }
       inj.InjectFailures(ps_site, 0);  // brownout over
@@ -244,6 +279,9 @@ TEST_P(CrashFuzz, AckedCommitsSurviveAnyDisaster) {
       auto ghost = co_await e->Get(reader.get(), MakeKey(2, 77777));
       EXPECT_TRUE(ghost.status().IsNotFound());
       (void)co_await e->Commit(reader.get());
+      // On the healed cluster a filtered scan must succeed and agree
+      // with the acked state, whichever plan (pushdown or local) ran.
+      co_await VerifyFilteredScan(d, 4, rng.Uniform(4), acked, true);
       if (dangling) {
         // After a restart the old engine object may be gone; only abort
         // on the engine that created it.

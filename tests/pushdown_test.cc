@@ -1,0 +1,662 @@
+// Computation pushdown tests (RBIO v4 kScanRange): the ScanWhere planner
+// against a fake RemoteScanner (eligibility, chunked resume, fence-miss
+// retry, mid-scan fallback, write-set overlay), and end to end through a
+// real deployment (pushdown vs local plans must agree row for row; v3
+// Page Servers degrade transparently; chaos bursts never corrupt
+// results).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/coding.h"
+#include "engine/log_sink.h"
+#include "engine/txn_engine.h"
+#include "service/deployment.h"
+
+namespace socrates {
+namespace engine {
+namespace {
+
+using sim::Simulator;
+using sim::Spawn;
+using sim::Task;
+
+Task<> Wrap(Task<> inner, bool* done) {
+  co_await std::move(inner);
+  *done = true;
+}
+
+template <typename Fn>
+void RunSim(Simulator& s, Fn&& fn) {
+  bool done = false;
+  Spawn(s, Wrap(fn(), &done));
+  while (!done && s.Step()) {
+  }
+  ASSERT_TRUE(done);
+}
+
+// Payload whose first 8 bytes are a known aggregate field (3*key, LE)
+// followed by a predicate-testable tail.
+std::string RowPayload(uint64_t key) {
+  std::string p;
+  PutFixed64(&p, key * 3);
+  p += "tail-" + std::to_string(key);
+  return p;
+}
+
+// ----------------------------------------------------- fake RemoteScanner
+
+// Evaluates specs over an in-memory copy of the data with the real
+// scan_expr functions; knobs inject chunking, fence misses, and errors.
+class FakeScanner : public RemoteScanner {
+ public:
+  bool enabled = true;
+  double max_sel = 0.25;
+  uint64_t chunk_span = UINT64_MAX;  // keys evaluated per call
+  int fence_misses_to_inject = 0;
+  int error_after_chunks = -1;  // serve this many chunks, then error
+  int calls = 0;
+  int chunks_served = 0;
+  std::map<uint64_t, std::string> data;
+
+  bool Enabled() const override { return enabled; }
+  double MaxSelectivity() const override { return max_sel; }
+
+  Task<Result<RemoteScanChunk>> ScanLeaves(
+      PageId, const RemoteScanSpec& spec) override {
+    calls++;
+    if (fence_misses_to_inject > 0) {
+      fence_misses_to_inject--;
+      RemoteScanChunk c;
+      c.fence_miss = true;
+      c.resume_key = spec.start_key;
+      co_return c;
+    }
+    if (error_after_chunks >= 0 && chunks_served >= error_after_chunks) {
+      co_return Result<RemoteScanChunk>(
+          Status::Unavailable("fake transport error"));
+    }
+    chunks_served++;
+    RemoteScanChunk c;
+    uint64_t hi = spec.end_key;
+    if (chunk_span != UINT64_MAX &&
+        spec.end_key - spec.start_key > chunk_span) {
+      hi = spec.start_key + chunk_span;
+    }
+    for (auto it = data.lower_bound(spec.start_key);
+         it != data.end() && it->first < hi; ++it) {
+      c.rows_scanned++;
+      if (!common::EvalPredicate(spec.predicate, it->first,
+                                 Slice(it->second))) {
+        continue;
+      }
+      if (spec.aggregate.enabled()) {
+        c.agg.Accumulate(spec.aggregate.fn,
+                         common::AggFieldValue(spec.aggregate,
+                                               Slice(it->second)));
+      } else {
+        std::string out;
+        spec.projection.Apply(Slice(it->second), &out);
+        c.tuples.emplace_back(it->first, std::move(out));
+      }
+    }
+    c.complete = hi >= spec.end_key;
+    c.resume_key = hi;
+    co_return c;
+  }
+};
+
+// ---------------------------------------------------------- local fixture
+
+struct EngineFixture {
+  Simulator sim;
+  MemLogSink sink{sim};
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<Engine> engine;
+  FakeScanner fake;
+
+  explicit EngineFixture(uint64_t rows = 400) {
+    BufferPoolOptions opts;
+    opts.mem_pages = 4096;
+    pool = std::make_unique<BufferPool>(sim, opts, nullptr);
+    engine = std::make_unique<Engine>(sim, pool.get(), &sink);
+    RunSim(sim, [&]() -> Task<> {
+      EXPECT_TRUE((co_await engine->Bootstrap()).ok());
+      for (uint64_t i = 0; i < rows; i += 64) {
+        auto txn = engine->Begin();
+        for (uint64_t k = i; k < std::min(rows, i + 64); k++) {
+          std::string p = RowPayload(k);
+          fake.data[k] = p;
+          (void)engine->Put(txn.get(), k, p);
+        }
+        EXPECT_TRUE((co_await engine->Commit(txn.get())).ok());
+      }
+    });
+  }
+};
+
+// Reference evaluation of a tuple-mode filter over [start, end).
+std::vector<std::pair<uint64_t, std::string>> Expected(
+    const std::map<uint64_t, std::string>& data, uint64_t start,
+    uint64_t end, const ScanFilter& f) {
+  std::vector<std::pair<uint64_t, std::string>> out;
+  for (auto it = data.lower_bound(start);
+       it != data.end() && it->first < end; ++it) {
+    if (!common::EvalPredicate(f.predicate, it->first,
+                               Slice(it->second))) {
+      continue;
+    }
+    std::string v;
+    f.projection.Apply(Slice(it->second), &v);
+    out.emplace_back(it->first, v);
+  }
+  return out;
+}
+
+// -------------------------------------------------------- local-plan path
+
+TEST(ScanWhereLocalTest, FilterAndProjection) {
+  EngineFixture f;
+  ScanFilter filter;
+  filter.predicate = common::ScanPredicate::KeyModEq(8, 3);
+  filter.projection.extents.push_back({8, 6});  // "tail-N" prefix
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin(true);
+    auto r = co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_FALSE(r->pushed_down);  // no scanner attached
+      EXPECT_EQ(r->rows, Expected(f.fake.data, 0, 400, filter));
+      EXPECT_EQ(r->rows.size(), 50u);
+      EXPECT_EQ(r->rows[0].first, 3u);
+      EXPECT_EQ(r->rows[0].second, "tail-3");
+    }
+    (void)co_await f.engine->Commit(txn.get());
+  });
+  EXPECT_EQ(f.engine->stats().filtered_scans, 1u);
+  EXPECT_EQ(f.engine->stats().pushdown_scans, 0u);
+}
+
+TEST(ScanWhereLocalTest, LimitCapsRows) {
+  EngineFixture f;
+  ScanFilter filter;
+  filter.predicate = common::ScanPredicate::KeyModEq(4, 0);
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin(true);
+    auto r = co_await f.engine->ScanWhere(txn.get(), 0, 400, 7, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_EQ(r->rows.size(), 7u);
+      EXPECT_EQ(r->rows.back().first, 24u);
+    }
+    (void)co_await f.engine->Commit(txn.get());
+  });
+}
+
+TEST(ScanWhereLocalTest, Aggregates) {
+  EngineFixture f;
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin(true);
+    // COUNT of keys % 10 == 5 in [0, 400): 40 rows.
+    ScanFilter count;
+    count.predicate = common::ScanPredicate::KeyModEq(10, 5);
+    count.aggregate = common::ScanAggregate::Count();
+    auto r = co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, count);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_TRUE(r->aggregated);
+      EXPECT_TRUE(r->rows.empty());
+      EXPECT_EQ(r->agg.rows, 40u);
+    }
+    // SUM of the field (3*key) over the same rows.
+    ScanFilter sum = count;
+    sum.aggregate = common::ScanAggregate::Sum(0);
+    auto r2 = co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, sum);
+    EXPECT_TRUE(r2.ok());
+    if (r2.ok()) {
+      uint64_t want = 0;
+      for (uint64_t k = 5; k < 400; k += 10) want += k * 3;
+      EXPECT_EQ(r2->agg.value, want);
+    }
+    // MIN/MAX of the field over all rows.
+    ScanFilter mm;
+    mm.aggregate = common::ScanAggregate::Min(0);
+    auto r3 = co_await f.engine->ScanWhere(txn.get(), 10, 20, 0, mm);
+    EXPECT_TRUE(r3.ok());
+    if (r3.ok()) {
+      EXPECT_EQ(r3->agg.value, 30u);
+    }
+    mm.aggregate = common::ScanAggregate::Max(0);
+    auto r4 = co_await f.engine->ScanWhere(txn.get(), 10, 20, 0, mm);
+    EXPECT_TRUE(r4.ok());
+    if (r4.ok()) {
+      EXPECT_EQ(r4->agg.value, 57u);
+    }
+    (void)co_await f.engine->Commit(txn.get());
+  });
+}
+
+TEST(ScanWhereLocalTest, WriteSetOverlay) {
+  EngineFixture f;
+  ScanFilter filter;
+  filter.predicate = common::ScanPredicate::KeyModEq(2, 0);  // even keys
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin();
+    // Delete a matching row, overwrite another one, and write a brand-new
+    // matching key — all uncommitted, all must be reflected.
+    EXPECT_TRUE(f.engine->Delete(txn.get(), 4).ok());
+    EXPECT_TRUE(f.engine->Put(txn.get(), 6, RowPayload(600)).ok());
+    EXPECT_TRUE(f.engine->Put(txn.get(), 1000, RowPayload(1000)).ok());
+    auto r = co_await f.engine->ScanWhere(txn.get(), 0, 2000, 0, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      std::map<uint64_t, std::string> want_data = f.fake.data;
+      want_data.erase(4);
+      want_data[6] = RowPayload(600);
+      want_data[1000] = RowPayload(1000);
+      EXPECT_EQ(r->rows, Expected(want_data, 0, 2000, filter));
+    }
+    f.engine->Abort(txn.get());
+  });
+}
+
+// ------------------------------------------------- planner w/ FakeScanner
+
+TEST(ScanWherePlannerTest, SelectivePredicatePushesDown) {
+  EngineFixture f;
+  f.engine->SetRemoteScanner(&f.fake);
+  ScanFilter filter;
+  filter.predicate = common::ScanPredicate::KeyModEq(16, 1);  // ~6%
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin(true);
+    auto r = co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_TRUE(r->pushed_down);
+      EXPECT_EQ(r->fallbacks, 0u);
+      EXPECT_EQ(r->rows, Expected(f.fake.data, 0, 400, filter));
+    }
+    (void)co_await f.engine->Commit(txn.get());
+  });
+  EXPECT_GT(f.fake.calls, 0);
+  EXPECT_EQ(f.engine->stats().pushdown_scans, 1u);
+}
+
+TEST(ScanWherePlannerTest, DensePredicateStaysLocal) {
+  EngineFixture f;
+  f.engine->SetRemoteScanner(&f.fake);
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin(true);
+    // Unfiltered tuple scans and dense predicates (sel > MaxSelectivity)
+    // move fewer bytes as raw pages: the planner must not push them.
+    ScanFilter all;
+    auto r = co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, all);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_FALSE(r->pushed_down);
+      EXPECT_EQ(r->rows.size(), 400u);
+    }
+    ScanFilter dense;
+    dense.predicate = common::ScanPredicate::KeyModEq(2, 0);  // 50%
+    auto r2 = co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, dense);
+    EXPECT_TRUE(r2.ok());
+    if (r2.ok()) {
+      EXPECT_FALSE(r2->pushed_down);
+      EXPECT_EQ(r2->rows, Expected(f.fake.data, 0, 400, dense));
+    }
+    (void)co_await f.engine->Commit(txn.get());
+  });
+  EXPECT_EQ(f.fake.calls, 0);
+}
+
+TEST(ScanWherePlannerTest, AggregatePushesDownEvenUnfiltered) {
+  EngineFixture f;
+  f.engine->SetRemoteScanner(&f.fake);
+  ScanFilter filter;
+  filter.aggregate = common::ScanAggregate::Sum(0);
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin(true);
+    auto r = co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_TRUE(r->pushed_down);
+      uint64_t want = 0;
+      for (uint64_t k = 0; k < 400; k++) want += k * 3;
+      EXPECT_EQ(r->agg.value, want);
+      EXPECT_EQ(r->agg.rows, 400u);
+    }
+    (void)co_await f.engine->Commit(txn.get());
+  });
+  EXPECT_GT(f.fake.calls, 0);
+}
+
+TEST(ScanWherePlannerTest, AggregateWithWritesInRangeStaysLocal) {
+  EngineFixture f;
+  f.engine->SetRemoteScanner(&f.fake);
+  ScanFilter filter;
+  filter.aggregate = common::ScanAggregate::Count();
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin();
+    // The server cannot see this uncommitted row; the aggregate must run
+    // locally (and count it).
+    EXPECT_TRUE(f.engine->Put(txn.get(), 1000, RowPayload(1000)).ok());
+    auto r = co_await f.engine->ScanWhere(txn.get(), 0, 2000, 0, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_FALSE(r->pushed_down);
+      EXPECT_EQ(r->agg.rows, 401u);
+    }
+    f.engine->Abort(txn.get());
+  });
+  EXPECT_EQ(f.fake.calls, 0);
+}
+
+TEST(ScanWherePlannerTest, ChunkedResumeCoversWholeRange) {
+  EngineFixture f;
+  f.engine->SetRemoteScanner(&f.fake);
+  f.fake.chunk_span = 64;  // force many chunks
+  ScanFilter filter;
+  filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin(true);
+    auto r = co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_TRUE(r->pushed_down);
+      EXPECT_EQ(r->rows, Expected(f.fake.data, 0, 400, filter));
+    }
+    (void)co_await f.engine->Commit(txn.get());
+  });
+  EXPECT_GE(f.fake.chunks_served, 6);  // ceil(400/64)
+}
+
+TEST(ScanWherePlannerTest, FenceMissRetriesThenSucceeds) {
+  EngineFixture f;
+  f.engine->SetRemoteScanner(&f.fake);
+  f.fake.fence_misses_to_inject = 2;  // below the retry budget
+  ScanFilter filter;
+  filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin(true);
+    auto r = co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_TRUE(r->pushed_down);
+      EXPECT_EQ(r->fallbacks, 0u);
+      EXPECT_EQ(r->rows, Expected(f.fake.data, 0, 400, filter));
+    }
+    (void)co_await f.engine->Commit(txn.get());
+  });
+  EXPECT_GE(f.fake.calls, 3);
+}
+
+TEST(ScanWherePlannerTest, PersistentFenceMissFallsBackToLocal) {
+  EngineFixture f;
+  f.engine->SetRemoteScanner(&f.fake);
+  f.fake.fence_misses_to_inject = 1000;  // a split storm that never ends
+  ScanFilter filter;
+  filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin(true);
+    auto r = co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_FALSE(r->pushed_down);
+      EXPECT_GE(r->fallbacks, 1u);
+      EXPECT_EQ(r->rows, Expected(f.fake.data, 0, 400, filter));
+    }
+    (void)co_await f.engine->Commit(txn.get());
+  });
+  EXPECT_EQ(f.engine->stats().pushdown_fallbacks, 1u);
+}
+
+TEST(ScanWherePlannerTest, MidScanErrorFallsBackForTheTail) {
+  EngineFixture f;
+  f.engine->SetRemoteScanner(&f.fake);
+  f.fake.chunk_span = 64;
+  f.fake.error_after_chunks = 2;  // two good chunks, then the link dies
+  ScanFilter filter;
+  filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin(true);
+    auto r = co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      // Partial remote results + local tail must still be exact.
+      EXPECT_TRUE(r->pushed_down);
+      EXPECT_GE(r->fallbacks, 1u);
+      EXPECT_EQ(r->rows, Expected(f.fake.data, 0, 400, filter));
+    }
+    (void)co_await f.engine->Commit(txn.get());
+  });
+}
+
+TEST(ScanWherePlannerTest, AggregateFallbackTailAccumulatesLocally) {
+  EngineFixture f;
+  f.engine->SetRemoteScanner(&f.fake);
+  f.fake.chunk_span = 64;
+  f.fake.error_after_chunks = 1;  // one remote chunk, rest local
+  ScanFilter filter;
+  filter.aggregate = common::ScanAggregate::Sum(0);
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin(true);
+    auto r = co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      uint64_t want = 0;
+      for (uint64_t k = 0; k < 400; k++) want += k * 3;
+      EXPECT_EQ(r->agg.value, want);
+      EXPECT_EQ(r->agg.rows, 400u);
+    }
+    (void)co_await f.engine->Commit(txn.get());
+  });
+}
+
+// --------------------------------------------- end to end via deployment
+
+service::DeploymentOptions SmallDeployment() {
+  service::DeploymentOptions o;
+  o.partition_map.pages_per_partition = 8192;
+  o.num_page_servers = 1;
+  o.compute.mem_pages = 64;  // most leaves are remote
+  o.compute.ssd_pages = 128;
+  return o;
+}
+
+Task<> Load(engine::Engine* e, uint64_t n) {
+  for (uint64_t i = 0; i < n; i += 64) {
+    auto txn = e->Begin();
+    for (uint64_t k = i; k < std::min(n, i + 64); k++) {
+      (void)e->Put(txn.get(), MakeKey(1, k), RowPayload(k));
+    }
+    EXPECT_TRUE((co_await e->Commit(txn.get())).ok());
+  }
+}
+
+// Run the same filtered scan with pushdown and with the scanner detached;
+// both plans must agree row for row.
+Task<> ComparePlans(engine::Engine* e, uint64_t n,
+                    const ScanFilter& filter, bool* pushed) {
+  auto txn = e->Begin(true);
+  auto remote =
+      co_await e->ScanWhere(txn.get(), MakeKey(1, 0), MakeKey(1, n), 0,
+                            filter);
+  EXPECT_TRUE(remote.ok());
+  RemoteScanner* scanner = e->remote_scanner();
+  e->SetRemoteScanner(nullptr);
+  auto local =
+      co_await e->ScanWhere(txn.get(), MakeKey(1, 0), MakeKey(1, n), 0,
+                            filter);
+  e->SetRemoteScanner(scanner);
+  EXPECT_TRUE(local.ok());
+  if (remote.ok() && local.ok()) {
+    *pushed = remote->pushed_down;
+    EXPECT_EQ(remote->rows, local->rows);
+    EXPECT_EQ(remote->agg.rows, local->agg.rows);
+    EXPECT_EQ(remote->agg.value, local->agg.value);
+  }
+  (void)co_await e->Commit(txn.get());
+}
+
+TEST(PushdownEndToEndTest, TupleScanMatchesLocalPlan) {
+  Simulator s;
+  service::Deployment d(s, SmallDeployment());
+  bool pushed = false;
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 3000);
+    ScanFilter filter;
+    filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+    filter.projection.extents.push_back({0, 8});
+    co_await ComparePlans(d.primary_engine(), 3000, filter, &pushed);
+  });
+  EXPECT_TRUE(pushed);
+  EXPECT_GT(d.primary()->rbio_client().scans_sent(), 0u);
+  EXPECT_GT(d.page_server(0)->scan_requests(), 0u);
+  EXPECT_GT(d.page_server(0)->scan_tuples_returned(), 0u);
+  d.Stop();
+}
+
+TEST(PushdownEndToEndTest, AggregateScanMatchesLocalPlan) {
+  Simulator s;
+  service::Deployment d(s, SmallDeployment());
+  bool pushed = false;
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 3000);
+    ScanFilter filter;
+    filter.predicate = common::ScanPredicate::KeyModEq(10, 5);
+    filter.aggregate = common::ScanAggregate::Sum(0);
+    co_await ComparePlans(d.primary_engine(), 3000, filter, &pushed);
+  });
+  EXPECT_TRUE(pushed);
+  // Aggregate mode streams no tuples: one tiny state per chunk.
+  EXPECT_EQ(d.primary()->rbio_client().scan_tuples_received(), 0u);
+  EXPECT_GT(d.page_server(0)->scan_rows_scanned(), 0u);
+  d.Stop();
+}
+
+TEST(PushdownEndToEndTest, UncommittedWritesOverlayPushedResults) {
+  Simulator s;
+  service::Deployment d(s, SmallDeployment());
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 3000);
+    engine::Engine* e = d.primary_engine();
+    ScanFilter filter;
+    filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+    auto txn = e->Begin();
+    // The Page Server cannot see these; the overlay must repair the
+    // pushed-down stream.
+    EXPECT_TRUE(e->Delete(txn.get(), MakeKey(1, 17)).ok());
+    EXPECT_TRUE(e->Put(txn.get(), MakeKey(1, 3009), RowPayload(1)).ok());
+    auto r = co_await e->ScanWhere(txn.get(), MakeKey(1, 0),
+                                   MakeKey(1, 4000), 0, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_TRUE(r->pushed_down);
+      bool saw_deleted = false, saw_new = false;
+      for (auto& [k, v] : r->rows) {
+        if (k == MakeKey(1, 17)) saw_deleted = true;
+        if (k == MakeKey(1, 3009)) saw_new = true;
+      }
+      EXPECT_FALSE(saw_deleted);
+      EXPECT_TRUE(saw_new);
+    }
+    e->Abort(txn.get());
+  });
+  d.Stop();
+}
+
+TEST(PushdownEndToEndTest, V3PageServerDegradesTransparently) {
+  Simulator s;
+  service::DeploymentOptions o = SmallDeployment();
+  o.page_server.rbio_max_version = 3;  // a not-yet-upgraded server
+  service::Deployment d(s, o);
+  bool pushed = true;
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 3000);
+    ScanFilter filter;
+    filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+    co_await ComparePlans(d.primary_engine(), 3000, filter, &pushed);
+  });
+  // Results identical (checked in ComparePlans), nothing pushed down,
+  // and the v4 client memoized the rejection after one probe.
+  EXPECT_FALSE(pushed);
+  EXPECT_EQ(d.page_server(0)->scan_requests(), 0u);
+  EXPECT_GT(d.primary()->rbio_client().scan_fallbacks(), 0u);
+  EXPECT_EQ(d.primary()->rbio_client().scans_sent(), 1u);
+  d.Stop();
+}
+
+TEST(PushdownEndToEndTest, TransientFailuresFallBackWithoutWrongResults) {
+  Simulator s;
+  service::Deployment d(s, SmallDeployment());
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 3000);
+    engine::Engine* e = d.primary_engine();
+    ScanFilter filter;
+    filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+    uint64_t want = 0;
+    for (uint64_t k = 1; k < 3000; k += 16) want++;
+    uint64_t degraded = 0;
+    for (int round = 0; round < 12; round++) {
+      // Failure bursts straddling the retry budget: some scans retry
+      // through, some degrade to the local path — none return wrong
+      // rows.
+      d.page_server(0)->InjectTransientFailures(round % 5);
+      auto txn = e->Begin(true);
+      auto r = co_await e->ScanWhere(txn.get(), MakeKey(1, 0),
+                                     MakeKey(1, 3000), 0, filter);
+      EXPECT_TRUE(r.ok());
+      if (r.ok()) {
+        EXPECT_EQ(r->rows.size(), want);
+        degraded += r->fallbacks;
+      }
+      (void)co_await e->Commit(txn.get());
+    }
+    // The chaos must have actually exercised at least one path end:
+    // either a retry succeeded or a fallback happened.
+    EXPECT_TRUE(d.primary()->rbio_client().retries() > 0 || degraded > 0);
+  });
+  d.Stop();
+}
+
+TEST(PushdownEndToEndTest, SecondaryScansAtAppliedWatermark) {
+  Simulator s;
+  service::DeploymentOptions o = SmallDeployment();
+  o.num_secondaries = 1;
+  service::Deployment d(s, o);
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 2000);
+    // Let the Secondary catch up to the full load.
+    co_await d.secondary(0)->applier()->applied_lsn().WaitFor(
+        d.log_client().end_lsn());
+    engine::Engine* e = d.secondary(0)->engine();
+    ScanFilter filter;
+    filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+    filter.aggregate = common::ScanAggregate::Count();
+    auto txn = e->Begin(true);
+    auto r = co_await e->ScanWhere(txn.get(), MakeKey(1, 0),
+                                   MakeKey(1, 2000), 0, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_TRUE(r->pushed_down);
+      uint64_t want = 0;
+      for (uint64_t k = 1; k < 2000; k += 16) want++;
+      EXPECT_EQ(r->agg.rows, want);
+    }
+    (void)co_await e->Commit(txn.get());
+  });
+  EXPECT_GT(d.secondary(0)->rbio_client().scans_sent(), 0u);
+  d.Stop();
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace socrates

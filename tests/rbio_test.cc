@@ -200,6 +200,119 @@ TEST(RbioCodecTest, V2NotSupportedReplyDecodesAsBatchFallbackSignal) {
   EXPECT_TRUE(out.entries.empty());
 }
 
+TEST(RbioCodecTest, ScanRangeRequestRoundTrip) {
+  ScanRangeRequest req;
+  req.start_page = 17;
+  req.start_key = 1000;
+  req.end_key = 5000;
+  req.limit = 64;
+  req.max_pages = 8;
+  req.min_lsn = 4242;
+  req.read_ts = 99;
+  req.predicate = common::ScanPredicate::KeyModEq(16, 3);
+  req.projection.extents.push_back({4, 12});
+  req.aggregate = common::ScanAggregate::Sum(8);
+  std::string wire = req.Encode();
+  ScanRangeRequest out;
+  uint16_t v = 0;
+  ASSERT_TRUE(ScanRangeRequest::Decode(Slice(wire), &out, &v).ok());
+  EXPECT_EQ(v, kProtocolVersion);
+  EXPECT_EQ(out.start_page, 17u);
+  EXPECT_EQ(out.start_key, 1000u);
+  EXPECT_EQ(out.end_key, 5000u);
+  EXPECT_EQ(out.limit, 64u);
+  EXPECT_EQ(out.max_pages, 8u);
+  EXPECT_EQ(out.min_lsn, 4242u);
+  EXPECT_EQ(out.read_ts, 99u);
+  EXPECT_EQ(out.predicate.op, common::PredOp::kKeyModEq);
+  EXPECT_EQ(out.predicate.a, 16u);
+  EXPECT_EQ(out.predicate.b, 3u);
+  ASSERT_EQ(out.projection.extents.size(), 1u);
+  EXPECT_EQ(out.projection.extents[0].offset, 4u);
+  EXPECT_EQ(out.projection.extents[0].len, 12u);
+  EXPECT_EQ(out.aggregate.fn, common::AggFn::kSum);
+  EXPECT_EQ(out.aggregate.field_offset, 8u);
+  // Truncations anywhere are rejected, never mis-read.
+  for (size_t cut = 0; cut < wire.size(); cut++) {
+    EXPECT_FALSE(
+        ScanRangeRequest::Decode(Slice(wire.data(), cut), &out, &v).ok());
+  }
+}
+
+TEST(RbioCodecTest, ScanRangeVersionGate) {
+  ScanRangeRequest req;
+  ScanRangeRequest out;
+  uint16_t v;
+  // A server capped at v3 (not yet upgraded) rejects scan frames.
+  EXPECT_TRUE(ScanRangeRequest::Decode(Slice(req.Encode()), &out, &v,
+                                       /*max_version=*/3)
+                  .IsNotSupported());
+  // A scan frame mislabeled with a pre-v4 version is also rejected.
+  EXPECT_TRUE(ScanRangeRequest::Decode(Slice(req.Encode(/*version=*/3)),
+                                       &out, &v)
+                  .IsNotSupported());
+}
+
+TEST(RbioCodecTest, ScanRangeResponseTupleRoundTrip) {
+  ScanRangeResponse resp;
+  resp.status = Status::OK();
+  resp.complete = false;
+  resp.resume_key = 777;
+  resp.next_leaf = 31;
+  resp.rows_scanned = 120;
+  resp.pages_scanned = 3;
+  std::string v1 = "hello", v2 = "";
+  resp.tuples.push_back({10, Slice(v1)});
+  resp.tuples.push_back({20, Slice(v2)});
+  auto frame = std::make_shared<const std::string>(resp.Encode());
+  ScanRangeResponse out;
+  ASSERT_TRUE(ScanRangeResponse::Decode(frame, &out).ok());
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_FALSE(out.complete);
+  EXPECT_FALSE(out.aggregated);
+  EXPECT_EQ(out.resume_key, 777u);
+  EXPECT_EQ(out.next_leaf, 31u);
+  EXPECT_EQ(out.rows_scanned, 120u);
+  EXPECT_EQ(out.pages_scanned, 3u);
+  ASSERT_EQ(out.tuples.size(), 2u);
+  EXPECT_EQ(out.tuples[0].key, 10u);
+  EXPECT_EQ(out.tuples[0].value.ToString(), "hello");
+  EXPECT_EQ(out.tuples[1].value.size(), 0u);
+  // Tuple slices alias the frame; the decode must have retained it.
+  EXPECT_NE(out.owner, nullptr);
+}
+
+TEST(RbioCodecTest, ScanRangeResponseAggRoundTrip) {
+  ScanRangeResponse resp;
+  resp.status = Status::OK();
+  resp.complete = true;
+  resp.aggregated = true;
+  resp.agg.rows = 42;
+  resp.agg.value = 123456789;
+  auto frame = std::make_shared<const std::string>(resp.Encode());
+  ScanRangeResponse out;
+  ASSERT_TRUE(ScanRangeResponse::Decode(frame, &out).ok());
+  EXPECT_TRUE(out.complete);
+  EXPECT_TRUE(out.aggregated);
+  EXPECT_EQ(out.agg.rows, 42u);
+  EXPECT_EQ(out.agg.value, 123456789u);
+  EXPECT_TRUE(out.tuples.empty());
+}
+
+TEST(RbioCodecTest, V3NotSupportedReplyDecodesAsScanFallbackSignal) {
+  // Same negotiation trick as batch-vs-v2: a pre-v4 server answers a
+  // kScanRange frame with PageResponse{NotSupported}, whose wire prefix
+  // ScanRangeResponse::Decode reads as an error status and returns OK
+  // with that status — the client's cue to fall back and memoize.
+  PageResponse v3_reject;
+  v3_reject.status = Status::NotSupported("rbio: unsupported request");
+  auto frame = std::make_shared<const std::string>(v3_reject.Encode());
+  ScanRangeResponse out;
+  ASSERT_TRUE(ScanRangeResponse::Decode(frame, &out).ok());
+  EXPECT_TRUE(out.status.IsNotSupported());
+  EXPECT_TRUE(out.tuples.empty());
+}
+
 // ------------------------------------------------------------ mock server
 
 class MockServer : public RbioServer {
@@ -503,6 +616,88 @@ TEST(RbioMixedVersionTest, V2ClientWorksAgainstV3Server) {
   EXPECT_EQ(server.single_frames_, 6);
   EXPECT_EQ(client.batches_sent(), 0u);
   EXPECT_EQ(client.singles_sent(), 6u);
+}
+
+TEST(RbioMixedVersionTest, V4ScanFallsBackOnV3ServerAndMemoizes) {
+  Simulator s;
+  // A server still on protocol v3: kScanRange frames are NotSupported
+  // (the MockServer answers undecodable frames exactly like a real
+  // pre-v4 server: PageResponse{NotSupported}).
+  MockServer server(s, 100, /*max_version=*/3);
+  RbioClient client(s, nullptr, {});
+  std::vector<Endpoint> eps{{&server, "m"}};
+  ScanRangeRequest req;
+  req.start_page = 2;
+  RunSim(s, [&]() -> Task<> {
+    auto r = co_await client.ScanRange(eps, req);
+    // The client surfaces the rejection as a NotSupported error: the
+    // caller's signal to degrade to the page-based plan.
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsNotSupported());
+  });
+  EXPECT_EQ(server.handled_, 1);
+  EXPECT_EQ(client.scans_sent(), 1u);
+  EXPECT_EQ(client.scan_fallbacks(), 1u);
+
+  // The rejection is memoized: the next scan for the same endpoint set
+  // short-circuits client-side, no wire traffic at all.
+  RunSim(s, [&]() -> Task<> {
+    auto r = co_await client.ScanRange(eps, req);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsNotSupported());
+  });
+  EXPECT_EQ(server.handled_, 1);  // unchanged
+  EXPECT_EQ(client.scans_sent(), 1u);
+  EXPECT_EQ(client.scan_fallbacks(), 2u);
+}
+
+TEST(RbioMixedVersionTest, V3ClientNeverEmitsScanFrames) {
+  Simulator s;
+  MockServer server(s, 100);  // fully v4-capable
+  RbioClientOptions opts;
+  opts.protocol_version = 3;  // an old client
+  RbioClient client(s, nullptr, opts);
+  std::vector<Endpoint> eps{{&server, "m"}};
+  RunSim(s, [&]() -> Task<> {
+    auto r = co_await client.ScanRange(eps, ScanRangeRequest{});
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsNotSupported());
+    // ...and its GetPage traffic is untouched by the v4 upgrade.
+    auto p = co_await client.GetPage(eps, 5, 0);
+    EXPECT_TRUE(p.ok());
+  });
+  // The scan short-circuited client-side: zero scan frames on the wire.
+  EXPECT_EQ(client.scans_sent(), 0u);
+  EXPECT_EQ(client.scan_fallbacks(), 1u);
+  EXPECT_EQ(server.single_frames_, 1);
+}
+
+TEST(RbioMixedVersionTest, V4ClientPagePathBytesUnchanged) {
+  // The v3-fallback acceptance bar: a v4 client's page-based wire frames
+  // must be byte-identical to a pre-v4 client's. Single GetPage frames
+  // are pinned at kGetPageFrameVersion and responses at
+  // kPageResponseVersion, so the upgrade is invisible on the page path.
+  GetPageRequest req;
+  req.page_id = 31;
+  req.min_lsn = 64;
+  // The client stamps min(protocol_version, kGetPageFrameVersion) on
+  // every single-page frame; that pin must resolve below v4.
+  std::string wire_req = req.Encode(
+      std::min<uint16_t>(kProtocolVersion, kGetPageFrameVersion));
+  EXPECT_EQ(wire_req, req.Encode(kGetPageFrameVersion));
+  uint16_t req_version =
+      static_cast<uint16_t>(static_cast<unsigned char>(wire_req[0])) |
+      static_cast<uint16_t>(static_cast<unsigned char>(wire_req[1])) << 8;
+  EXPECT_EQ(req_version, kGetPageFrameVersion);
+  static_assert(kGetPageFrameVersion < kScanRangeMinVersion);
+  static_assert(kPageResponseVersion < kScanRangeMinVersion);
+  PageResponse resp;
+  resp.status = Status::OK();
+  std::string wire = resp.Encode();
+  uint16_t wire_version =
+      static_cast<uint16_t>(static_cast<unsigned char>(wire[0])) |
+      static_cast<uint16_t>(static_cast<unsigned char>(wire[1])) << 8;
+  EXPECT_EQ(wire_version, kPageResponseVersion);
 }
 
 // --------------------------------------------- end-to-end via Page Server

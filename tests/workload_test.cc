@@ -239,6 +239,39 @@ TEST(DriverTest, RunsAgainstSocratesDeployment) {
   d.Stop();
 }
 
+TEST(DriverTest, HtapMixPushesAnalyticScansDown) {
+  Simulator s;
+  service::DeploymentOptions o;
+  o.partition_map.pages_per_partition = 4096;
+  o.num_page_servers = 1;
+  o.compute.mem_pages = 256;  // analytic spans overflow the memory tier
+  o.compute.ssd_pages = 1024;
+  service::Deployment d(s, o);
+  CdbOptions copts;
+  copts.scale_factor = 5;
+  CdbWorkload cdb(copts, CdbMix::Htap());
+  DriverReport report;
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    EXPECT_TRUE((co_await cdb.Load(d.primary_engine())).ok());
+    DriverOptions dopts;
+    dopts.clients = 8;
+    dopts.warmup_us = 50 * 1000;
+    dopts.measure_us = 500 * 1000;
+    report = co_await RunDriver(s, d.primary_engine(),
+                                &d.primary()->cpu(), &cdb, dopts);
+  });
+  EXPECT_GT(report.commits, 20u);
+  // The 30% analytic slice ran filtered scans, and at least some of
+  // them were evaluated on the Page Server (the mix mods are all
+  // selective enough or aggregating).
+  const engine::EngineStats& es = d.primary_engine()->stats();
+  EXPECT_GT(es.filtered_scans, 0u);
+  EXPECT_GT(es.pushdown_scans, 0u);
+  EXPECT_GT(d.page_server(0)->scan_requests(), 0u);
+  d.Stop();
+}
+
 }  // namespace
 }  // namespace workload
 }  // namespace socrates
