@@ -12,6 +12,9 @@
 //   agg     kScanRange additionally carries a partial-aggregate spec
 //           (SUM over the first payload field); one tiny frame returns
 //           per chunk regardless of row count.
+//   planned cost-based planner decides per range: residency-probe the
+//           local tiers, push only when the modeled remote cost wins
+//           (warm ranges stay local, cold ranges ship).
 //
 // Each (mode, selectivity) runs against a cold compute tier (restart with
 // non-recoverable RBPEX: the page plan refetches every leaf) and a warm
@@ -39,7 +42,7 @@ struct Params {
 };
 
 struct Config {
-  const char* mode = "";   // pages | tuples | agg
+  const char* mode = "";   // pages | tuples | agg | planned
   uint64_t mod = 1;        // KeyModEq modulus: selectivity = 1/mod
   const char* state = "";  // cold | warm
 };
@@ -115,8 +118,10 @@ PushdownResult Measure(const Params& p, const Config& c) {
   o.compute.rbpex_recoverable = std::strcmp(c.state, "cold") != 0;
   o.compute.pushdown_enabled = std::strcmp(c.mode, "pages") != 0;
   // The sweep axis is the predicate, not the planner knob: let every
-  // selectivity push down so the crossover is visible in the data.
+  // selectivity push down so the crossover is visible in the data. Only
+  // the "planned" mode hands the choice to the cost-based planner.
   o.compute.pushdown_max_selectivity = 1.0;
+  o.compute.pushdown_cost_planning = std::strcmp(c.mode, "planned") == 0;
   // Finite wire so bytes moved show up as time (2 GB/s intra-DC link).
   o.compute.rbio_wire_mb_per_s = 2000;
   o.page_server.mem_pages = 1024;
@@ -176,10 +181,9 @@ int main(int argc, char** argv) {
                                    ? std::vector<uint64_t>{100, 10}
                                    : std::vector<uint64_t>{1000, 100, 10,
                                                            1};
-  std::vector<const char*> states =
-      p.smoke ? std::vector<const char*>{"cold"}
-              : std::vector<const char*>{"cold", "warm"};
-  const char* modes[] = {"pages", "tuples", "agg"};
+  // Smoke keeps the warm state: the warm-floor line below is a CI gate.
+  std::vector<const char*> states = {"cold", "warm"};
+  const char* modes[] = {"pages", "tuples", "agg", "planned"};
 
   printf("\n%-6s %-7s %8s %12s %10s %6s %5s %9s %10s %10s %9s\n", "state",
          "mode", "sel %%", "wire bytes", "roundtrip", "scans", "fall",
@@ -233,6 +237,17 @@ int main(int argc, char** argv) {
                     "\"bytes_reduction_x\":%.2f,\"p99_speedup_x\":%.2f}",
                     state, mode, sel, byte_x,
                     r.p99_us > 0 ? baseline_p99 / r.p99_us : 0.0);
+          if (std::strcmp(mode, "planned") == 0 &&
+              std::strcmp(state, "warm") == 0) {
+            // The regression this planner exists to kill: on a warm
+            // range the planner must not be slower than the local plan.
+            json.Line("{\"bench\":\"pushdown_scan\",\"phase\":"
+                      "\"warm_floor\",\"sel_pct\":%.1f,"
+                      "\"planned_p99_us\":%.1f,\"local_p99_us\":%.1f,"
+                      "\"ratio\":%.3f}",
+                      sel, r.p99_us, baseline_p99,
+                      baseline_p99 > 0 ? r.p99_us / baseline_p99 : 0.0);
+          }
         }
       }
     }

@@ -18,6 +18,14 @@
 //   * projections as a list of [offset, len) payload extents;
 //   * partial aggregates COUNT / SUM / MIN / MAX over a little-endian
 //     u64 read at a fixed payload offset.
+//
+// The v5 extension (kScanExprV5MinVersion in rbio) widens the vocabulary
+// without touching the v4 wire shapes: key-range predicates (a <= key
+// < b), conjunctions of terms (the primary term ANDed with a bounded
+// list of extra byte/key tests), and multi-field aggregate lists. A spec
+// that uses none of the new forms still encodes byte-identically to v4;
+// NeedsV5() is the client-side gate that decides which frame shape (and
+// therefore which minimum protocol version) a scan requires.
 
 #pragma once
 
@@ -36,36 +44,84 @@ enum class PredOp : uint8_t {
   kKeyModEq = 1,     // (key % a) == b — selectivity exactly 1/a
   kPayloadByteEq = 2,  // payload[a] == (b & 0xff); short payloads miss
   kPayloadByteLt = 3,  // payload[a] <  (b & 0xff); short payloads miss
+  // ----- v5 vocabulary. Only encodable in v5+ frames; a v4-version
+  // decode rejects these ops as NotSupported (the negotiation signal).
+  kKeyRange = 4,     // a <= key < b (b == 0 means unbounded above)
 };
+
+/// Highest op encodable in a v4 frame; everything above requires v5.
+inline constexpr uint8_t kMaxV4PredOp =
+    static_cast<uint8_t>(PredOp::kPayloadByteLt);
 
 struct ScanPredicate {
   PredOp op = PredOp::kAll;
   uint64_t a = 0;
   uint64_t b = 0;
 
+  /// Extra terms ANDed with the primary (op, a, b) term — the v5
+  /// "conjunction of byte tests" form. Empty for every v4 predicate.
+  struct Term {
+    PredOp op = PredOp::kAll;
+    uint64_t a = 0;
+    uint64_t b = 0;
+  };
+  std::vector<Term> conjuncts;
+
   static ScanPredicate All() { return ScanPredicate{}; }
   static ScanPredicate KeyModEq(uint64_t modulus, uint64_t residue) {
-    return ScanPredicate{PredOp::kKeyModEq, modulus, residue};
+    return ScanPredicate{PredOp::kKeyModEq, modulus, residue, {}};
   }
   static ScanPredicate PayloadByteEq(uint64_t offset, uint8_t value) {
-    return ScanPredicate{PredOp::kPayloadByteEq, offset, value};
+    return ScanPredicate{PredOp::kPayloadByteEq, offset, value, {}};
   }
   static ScanPredicate PayloadByteLt(uint64_t offset, uint8_t bound) {
-    return ScanPredicate{PredOp::kPayloadByteLt, offset, bound};
+    return ScanPredicate{PredOp::kPayloadByteLt, offset, bound, {}};
+  }
+  /// v5: lo <= key < hi (hi == 0 → unbounded above).
+  static ScanPredicate KeyRange(uint64_t lo, uint64_t hi) {
+    return ScanPredicate{PredOp::kKeyRange, lo, hi, {}};
   }
 
-  bool IsAll() const { return op == PredOp::kAll; }
+  /// AND another single-term predicate onto this one (v5 conjunction).
+  /// The argument's own conjuncts are appended too, so chains compose.
+  ScanPredicate& And(const ScanPredicate& other) {
+    conjuncts.push_back(Term{other.op, other.a, other.b});
+    for (const Term& t : other.conjuncts) conjuncts.push_back(t);
+    return *this;
+  }
+
+  bool IsAll() const {
+    return op == PredOp::kAll && conjuncts.empty();
+  }
+
+  /// True iff this predicate uses v5-only vocabulary (key-range op or
+  /// any conjunct) and therefore cannot ride in a v4 frame.
+  bool NeedsV5() const {
+    return static_cast<uint8_t>(op) > kMaxV4PredOp || !conjuncts.empty();
+  }
 };
 
-/// True iff the row (key, payload) satisfies `pred`. Payload-byte
-/// predicates never match rows whose payload is too short — on both
-/// tiers, so pushdown and local evaluation agree on every row.
+/// True iff the row (key, payload) satisfies `pred` (primary term AND
+/// every conjunct). Payload-byte predicates never match rows whose
+/// payload is too short — on both tiers, so pushdown and local
+/// evaluation agree on every row.
 bool EvalPredicate(const ScanPredicate& pred, uint64_t key, Slice payload);
 
 /// Planner-side selectivity estimate in [0, 1]. kKeyModEq is exact
 /// (1/a); the payload-byte ops use fixed priors — the planner only needs
 /// a coarse "is this scan sparse enough to ship tuples" signal.
+/// Conjunct terms multiply under an independence assumption.
 double EstimatedSelectivity(const ScanPredicate& pred);
+
+/// Range-aware overload: the selectivity of `pred` over keys in
+/// [start_key, end_key) (end_key == 0 → unbounded above). Key-dependent
+/// terms are computed exactly against the range: kKeyModEq counts its
+/// actual hits in the window (a range narrower than the modulus holds at
+/// most one hit, so a tiny scan is *dense*, not 1/a-sparse), and
+/// kKeyRange is the overlap fraction. Falls back to the priors above
+/// for payload terms and for an unbounded range.
+double EstimatedSelectivity(const ScanPredicate& pred, uint64_t start_key,
+                            uint64_t end_key);
 
 /// Projection: concatenated payload extents, clamped to the payload
 /// length. An empty extent list means "whole payload".
@@ -115,6 +171,13 @@ struct ScanAggregate {
   }
 };
 
+/// v5 multi-field aggregates: a bounded list of per-field specs computed
+/// in one pass over the scanned rows (e.g. COUNT + SUM(price) +
+/// MAX(ts)). A single-element list is semantically identical to the v4
+/// scalar aggregate; lists longer than one require a v5 frame.
+using ScanAggregateList = std::vector<ScanAggregate>;
+inline constexpr size_t kMaxScanAggregates = 8;
+
 /// The u64 aggregate input for one row (LE, zero-padded).
 uint64_t AggFieldValue(const ScanAggregate& agg, Slice payload);
 
@@ -130,15 +193,31 @@ struct AggState {
 };
 
 // ----- Wire codec (shared by the rbio kScanRange frames).
+//
+// The v4 codecs are frozen: their byte layout is pinned by the
+// mixed-version tests, and DecodePredicate's unknown-op NotSupported
+// rejection is the negotiation signal an old server sends back when a
+// new client leaks v5 vocabulary at it. The v5 codecs append the
+// conjunct list after the primary term and replace the scalar aggregate
+// with a counted list; they are only ever used inside frames stamped
+// >= kScanExprV5MinVersion.
 
 void EncodePredicate(std::string* out, const ScanPredicate& pred);
 Status DecodePredicate(Slice* in, ScanPredicate* out);
+
+/// v5: primary term, then [u8 n_conjuncts]([u8 op][u64 a][u64 b])*.
+void EncodePredicateV5(std::string* out, const ScanPredicate& pred);
+Status DecodePredicateV5(Slice* in, ScanPredicate* out);
 
 void EncodeProjection(std::string* out, const ScanProjection& proj);
 Status DecodeProjection(Slice* in, ScanProjection* out);
 
 void EncodeAggregate(std::string* out, const ScanAggregate& agg);
 Status DecodeAggregate(Slice* in, ScanAggregate* out);
+
+/// v5: [u8 n]([u8 fn][u16 field_offset])*, n <= kMaxScanAggregates.
+void EncodeAggregateListV5(std::string* out, const ScanAggregateList& aggs);
+Status DecodeAggregateListV5(Slice* in, ScanAggregateList* out);
 
 }  // namespace common
 }  // namespace socrates

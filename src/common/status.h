@@ -28,6 +28,7 @@ class [[nodiscard]] Status {
     kNotSupported = 9,
     kOutOfSpace = 10,     // landing zone full, device full
     kShutdown = 11,       // service is stopping
+    kOverloaded = 12,     // server shedding load; retry elsewhere / later
   };
 
   Status() noexcept : code_(Code::kOk) {}
@@ -66,6 +67,9 @@ class [[nodiscard]] Status {
   static Status Shutdown(std::string_view msg = "") {
     return Status(Code::kShutdown, msg);
   }
+  static Status Overloaded(std::string_view msg = "") {
+    return Status(Code::kOverloaded, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -79,6 +83,7 @@ class [[nodiscard]] Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsOutOfSpace() const { return code_ == Code::kOutOfSpace; }
   bool IsShutdown() const { return code_ == Code::kShutdown; }
+  bool IsOverloaded() const { return code_ == Code::kOverloaded; }
 
   Code code() const { return code_; }
   const std::string& message() const {

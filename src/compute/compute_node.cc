@@ -127,6 +127,14 @@ class ComputeNode::PushdownScanner : public engine::RemoteScanner {
     return node_->opts_.pushdown_max_selectivity;
   }
 
+  engine::PushdownCostModel CostModel() const override {
+    engine::PushdownCostModel m = node_->opts_.pushdown_cost_model;
+    m.enabled = node_->opts_.pushdown_cost_planning;
+    m.leaves_per_frame =
+        static_cast<double>(node_->opts_.pushdown_max_pages);
+    return m;
+  }
+
   sim::Task<Result<engine::RemoteScanChunk>> ScanLeaves(
       PageId start_leaf, const engine::RemoteScanSpec& spec) override {
     std::vector<rbio::Endpoint> endpoints =
@@ -145,6 +153,7 @@ class ComputeNode::PushdownScanner : public engine::RemoteScanner {
     req.predicate = spec.predicate;
     req.projection = spec.projection;
     req.aggregate = spec.aggregate;
+    req.extra_aggregates = spec.extra_aggregates;
     // LSN-consistency rule: the server must have applied enough log that
     // every version visible at read_ts exists in its pages. Primary: the
     // newest local commit LSN (conservative sink-end at commit; all
@@ -169,7 +178,9 @@ class ComputeNode::PushdownScanner : public engine::RemoteScanner {
     chunk.resume_key = resp->resume_key;
     chunk.next_leaf = resp->next_leaf;
     chunk.rows_scanned = resp->rows_scanned;
+    chunk.pages_scanned = resp->pages_scanned;
     chunk.agg = resp->agg;
+    chunk.extra_aggs = resp->extra_aggs;
     chunk.tuples.reserve(resp->tuples.size());
     for (const rbio::ScanRangeResponse::Tuple& t : resp->tuples) {
       chunk.tuples.emplace_back(t.key, t.value.ToString());
@@ -204,6 +215,7 @@ ComputeNode::ComputeNode(sim::Simulator& sim, Role role,
   rbio_opts.site = options.chaos_site;
   rbio_opts.wire_mb_per_s = options.rbio_wire_mb_per_s;
   rbio_opts.cpu_per_result_kb_us = options.rbio_cpu_per_result_kb_us;
+  rbio_opts.overload_backoff_us = options.rbio_overload_backoff_us;
   rbio_ = std::make_unique<rbio::RbioClient>(
       sim, cpu_.get(), rbio_opts, 0xb10c + options.cpu_cores);
   engine::BufferPoolOptions pool_opts;

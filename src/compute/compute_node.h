@@ -167,6 +167,14 @@ struct ComputeOptions {
   /// Tuple-mode pushdown only when the predicate's estimated selectivity
   /// is at or below this; denser results move fewer bytes as raw pages.
   double pushdown_max_selectivity = 0.25;
+  /// Residency- and load-aware cost planning for ScanWhere: the engine
+  /// probes the scanned range's leaf residency and picks local vs
+  /// pushdown vs hybrid from modeled cost with per-range EWMA feedback.
+  /// Off = the legacy selectivity-only gate above.
+  bool pushdown_cost_planning = true;
+  /// Pricing knobs for the cost planner (enabled/leaves_per_frame are
+  /// overridden from this node's state; the rest are taken as-is).
+  engine::PushdownCostModel pushdown_cost_model;
   /// Leaves evaluated per kScanRange chunk (bounds Page Server work and
   /// response size per round trip).
   uint32_t pushdown_max_pages = 64;
@@ -176,6 +184,9 @@ struct ComputeOptions {
   double rbio_wire_mb_per_s = 0;
   /// Client CPU per KB of pushdown result tuples materialized.
   double rbio_cpu_per_result_kb_us = 2.0;
+  /// How long a kOverloaded reply keeps this client off an endpoint's
+  /// scan path (temporary, unlike the NotSupported version memo).
+  SimTime rbio_overload_backoff_us = 50 * 1000;
   /// Chaos injection: the node's network site name (unique per node,
   /// stable across role changes) and the deployment's fault hub. The
   /// RBIO client keys link faults on (chaos_site, endpoint name).
@@ -249,6 +260,12 @@ class ComputeNode {
   /// metric checkpoint pacing protects.
   const Histogram& remote_fetch_us() const { return remote_fetch_us_; }
   rbio::RbioClient& rbio_client() { return *rbio_; }
+  /// Reconfiguration hook: the deployment bumps its config epoch after
+  /// every topology change, and endpoint names may now resolve to
+  /// different servers — drop the client's memoized per-endpoint scan
+  /// support (and any temporary overload backoff) so capability is
+  /// re-probed against the new topology.
+  void InvalidateScanSupport() { rbio_->InvalidateScanSupport(); }
   uint64_t pipelined_pull_hits() const { return pipelined_pull_hits_; }
   SimTime pull_wait_us() const { return pull_wait_us_; }
 

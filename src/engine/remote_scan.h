@@ -32,6 +32,46 @@ struct ScanFilter {
   common::ScanPredicate predicate;
   common::ScanProjection projection;
   common::ScanAggregate aggregate;
+  /// v5 multi-field aggregates computed in the same pass as `aggregate`
+  /// (ignored unless `aggregate` is enabled). Requires a v5-capable
+  /// server end to end; older servers trigger the usual fallback.
+  common::ScanAggregateList extra_aggregates;
+};
+
+/// Cost-model constants for the residency-aware scan planner, all in
+/// virtual µs per leaf / per round trip. `enabled == false` (the
+/// default, and what test fakes inherit) keeps the legacy
+/// selectivity-only pushdown gate; the compute tier's scanner turns the
+/// model on and prices it from its device profiles. The planner
+/// multiplies these by per-range EWMA correction factors learned from
+/// observed scan outcomes, so the constants only need to be in the
+/// right ballpark.
+struct PushdownCostModel {
+  bool enabled = false;
+  /// Local evaluation of one leaf, by residency tier.
+  double mem_leaf_us = 8;
+  double ssd_leaf_us = 95;
+  /// Non-resident leaf on the local path: a GetPage round trip.
+  double miss_leaf_us = 600;
+  /// Server-side evaluator CPU per leaf (pushdown path).
+  double remote_leaf_us = 10;
+  /// Per kScanRange round trip (request + response latency).
+  double round_trip_us = 550;
+  /// Shipping qualifying tuple bytes back over the wire.
+  double wire_us_per_kb = 1.0;
+  /// Server max_pages budget: leaves evaluated per round trip.
+  double leaves_per_frame = 64;
+  /// Tree geometry estimates for sizing a range in leaves/bytes.
+  double rows_per_leaf = 64;
+  double avg_row_bytes = 128;
+  /// EWMA smoothing for the per-range observed/modeled correction.
+  double ewma_alpha = 0.3;
+  /// A hybrid (split) plan must beat the straight local plan by this
+  /// factor before the planner splits. The pushed suffix's round-trip
+  /// tail lands directly on the scan's completion time, so a hybrid
+  /// that is only marginally cheaper on modeled mean cost trades p99
+  /// for a sliver of throughput; demand a decisive win instead.
+  double hybrid_margin = 0.75;
 };
 
 /// One remote-evaluation request: [start_key, end_key) at snapshot
@@ -46,6 +86,8 @@ struct RemoteScanSpec {
   common::ScanPredicate predicate;
   common::ScanProjection projection;
   common::ScanAggregate aggregate;
+  /// v5 multi-field aggregates (see ScanFilter::extra_aggregates).
+  common::ScanAggregateList extra_aggregates;
 };
 
 /// One chunk of remote-evaluation results.
@@ -61,8 +103,13 @@ struct RemoteScanChunk {
   PageId next_leaf = kInvalidPageId;
   /// Visible rows the remote evaluator examined.
   uint64_t rows_scanned = 0;
+  /// Leaf pages the remote evaluator walked (EWMA feedback input).
+  uint64_t pages_scanned = 0;
   /// Aggregate mode: mergeable partial state.
   common::AggState agg;
+  /// v5 multi-field aggregates, index-aligned with the spec's
+  /// extra_aggregates (empty from a v4-only implementation).
+  std::vector<common::AggState> extra_aggs;
   /// Tuple mode: qualifying (key, projected payload), in key order.
   std::vector<std::pair<uint64_t, std::string>> tuples;
 };
@@ -77,6 +124,11 @@ class RemoteScanner {
   /// Ship tuples only when the predicate's estimated selectivity is at
   /// or below this; denser scans move fewer bytes as raw pages.
   virtual double MaxSelectivity() const = 0;
+
+  /// Cost model for the residency-aware planner. The default (disabled)
+  /// keeps the legacy selectivity-only gate, so existing fakes and any
+  /// scanner that predates the model are unaffected.
+  virtual PushdownCostModel CostModel() const { return PushdownCostModel{}; }
 
   /// Evaluate `spec` remotely starting at `start_leaf`. Transport errors
   /// and NotSupported (pre-v4 server) surface as error Results — the

@@ -1,6 +1,9 @@
 #include "engine/txn_engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 namespace socrates {
 namespace engine {
@@ -162,6 +165,51 @@ sim::Task<Status> Engine::CollectFiltered(
   co_return Status::OK();
 }
 
+sim::Task<Engine::ResidencyProbe> Engine::ProbeResidency(uint64_t start,
+                                                         uint64_t end) {
+  ResidencyProbe p;
+  p.warm_prefix_end = start;
+  if (end <= start) co_return p;
+  const uint64_t width = end - start;
+  const int n =
+      static_cast<int>(std::min<uint64_t>(kProbeSamples, width));
+  const uint64_t step = width / static_cast<uint64_t>(n);
+  int resident = 0;
+  int in_mem = 0;
+  bool prefix_unbroken = true;
+  for (int i = 0; i < n; i++) {
+    const uint64_t key = start + static_cast<uint64_t>(i) * step;
+    Result<PageId> leaf = co_await btree_.LeafIdFor(key);
+    // A racing split loses the sample; under-sampling just makes the
+    // planner lean on its priors, never wrong results.
+    if (!leaf.ok()) continue;
+    p.samples++;
+    const bool mem = pool_->InMemory(leaf.value());
+    const bool res = mem || pool_->Contains(leaf.value());
+    if (res) resident++;
+    if (mem) in_mem++;
+    if (prefix_unbroken) {
+      if (res) {
+        p.warm_prefix_end =
+            i == n - 1 ? end : start + static_cast<uint64_t>(i + 1) * step;
+      } else {
+        prefix_unbroken = false;
+      }
+    }
+  }
+  if (p.samples > 0) {
+    p.resident_frac = static_cast<double>(resident) / p.samples;
+    p.mem_frac = static_cast<double>(in_mem) / p.samples;
+  }
+  co_return p;
+}
+
+Engine::ScanCostEwma& Engine::EwmaFor(uint64_t start, uint64_t end) {
+  uint64_t h = start * 0x9E3779B97F4A7C15ull ^ (end + 0x7F4A7C15ull);
+  h ^= h >> 29;
+  return scan_ewma_[h % kEwmaBuckets];
+}
+
 sim::Task<Result<FilteredScanResult>> Engine::ScanWhere(
     Transaction* txn, uint64_t start, uint64_t end_key, size_t limit,
     const ScanFilter& filter) {
@@ -173,6 +221,7 @@ sim::Task<Result<FilteredScanResult>> Engine::ScanWhere(
   FilteredScanResult out;
   const bool agg = filter.aggregate.enabled();
   out.aggregated = agg;
+  if (agg) out.extra_aggs.resize(filter.extra_aggregates.size());
   const Timestamp read_ts = txn->read_ts();
 
   bool writes_in_range = false;
@@ -181,18 +230,126 @@ sim::Task<Result<FilteredScanResult>> Engine::ScanWhere(
     writes_in_range = it != txn->writes_.end() && it->first < end_key;
   }
 
-  // The plan: ship the scan to the Page Servers when the result is much
-  // smaller than the pages it lives on — always for partial aggregates
-  // (one frame back), for tuple scans only below the selectivity knee.
-  // Aggregates cannot push down over an uncommitted write set (the
-  // server cannot see it); tuple mode can — the overlay below repairs
-  // the stream exactly like the unfiltered Scan.
-  const bool pushdown_eligible =
-      scanner_ != nullptr && scanner_->Enabled() &&
-      (agg ? !writes_in_range
-           : !filter.predicate.IsAll() &&
-                 common::EstimatedSelectivity(filter.predicate) <=
-                     scanner_->MaxSelectivity());
+  // Folds one full payload into the aggregate states; both the local
+  // paths and the write overlay use it, so multi-field aggregates stay
+  // consistent with the remote evaluator's one-pass fold.
+  auto fold = [&](Slice payload) {
+    out.agg.Accumulate(filter.aggregate.fn,
+                       common::AggFieldValue(filter.aggregate, payload));
+    for (size_t i = 0; i < filter.extra_aggregates.size(); i++) {
+      out.extra_aggs[i].Accumulate(
+          filter.extra_aggregates[i].fn,
+          common::AggFieldValue(filter.extra_aggregates[i], payload));
+    }
+  };
+
+  // ----- Plan. Policy first: aggregates cannot push down over an
+  // uncommitted write set (the server cannot see it); tuple mode can —
+  // the overlay below repairs the stream exactly like the unfiltered
+  // Scan.
+  const bool remote_allowed = scanner_ != nullptr && scanner_->Enabled() &&
+                              (!agg || !writes_in_range);
+  const PushdownCostModel cm =
+      scanner_ != nullptr ? scanner_->CostModel() : PushdownCostModel{};
+  // Range-aware selectivity: a window narrower than a kKeyModEq modulus
+  // is dense relative to itself, never 1/a-sparse.
+  const double sel =
+      common::EstimatedSelectivity(filter.predicate, start, end_key);
+
+  ScanPlanDebug plan;
+  bool use_remote = false;     // the plan includes a remote portion
+  uint64_t push_from = start;  // keys >= push_from go remote
+  const bool cost_planned = remote_allowed && cm.enabled &&
+                            end_key != UINT64_MAX && end_key > start;
+  // Residency-weighted model constants, kept for the EWMA update below.
+  double model_local_leaf_us = 0;
+  double model_remote_leaf_us = 0;
+
+  if (remote_allowed && !cost_planned) {
+    // Legacy gate (cost model off, or an unbounded range the residency
+    // probe cannot size): always push aggregates (one frame back), push
+    // tuple scans only below the selectivity knee.
+    plan.kind = ScanPlanDebug::Kind::kLegacy;
+    use_remote = agg || (!filter.predicate.IsAll() &&
+                         sel <= scanner_->MaxSelectivity());
+  } else if (cost_planned) {
+    // Residency- and load-aware plan: sample the range's leaves against
+    // the pool tiers, price local vs pushdown vs hybrid from the model
+    // (corrected by per-range EWMA feedback), take the cheapest.
+    const ResidencyProbe probe = co_await ProbeResidency(start, end_key);
+    const ScanCostEwma& e = EwmaFor(start, end_key);
+    const double width = static_cast<double>(end_key - start);
+    const double rows_per_leaf = std::max(1.0, cm.rows_per_leaf);
+    const double leaves = std::max(1.0, width / rows_per_leaf);
+    const double ssd_frac =
+        std::max(0.0, probe.resident_frac - probe.mem_frac);
+    const double miss_frac = std::max(0.0, 1.0 - probe.resident_frac);
+    model_local_leaf_us = probe.mem_frac * cm.mem_leaf_us +
+                          ssd_frac * cm.ssd_leaf_us +
+                          miss_frac * cm.miss_leaf_us;
+    // Per shipped tuple: key + projected payload bytes.
+    const double proj_bytes =
+        16.0 + static_cast<double>(filter.projection.ProjectedSize(
+                   static_cast<size_t>(std::max(0.0, cm.avg_row_bytes))));
+    const double remote_corr = e.remote_seen ? e.remote_corr : 1.0;
+    const double local_corr = e.local_seen ? e.local_corr : 1.0;
+    // Pushdown cost of `l` leaves: round trips + server eval CPU + the
+    // qualifying tuple bytes on the wire (aggregates ship one fixed-size
+    // state per round trip).
+    auto push_cost_us = [&](double l) {
+      if (l <= 0) return 0.0;
+      const double rts =
+          std::max(1.0, std::ceil(l / std::max(1.0, cm.leaves_per_frame)));
+      const double wire_kb =
+          agg ? rts * 0.05 : sel * l * rows_per_leaf * proj_bytes / 1024.0;
+      const double c = rts * cm.round_trip_us + l * cm.remote_leaf_us +
+                       wire_kb * cm.wire_us_per_kb;
+      return c * remote_corr;
+    };
+    model_remote_leaf_us = push_cost_us(leaves) / leaves / remote_corr;
+    const double est_local = leaves * model_local_leaf_us * local_corr;
+    const double est_push = push_cost_us(leaves);
+    // Hybrid: the probe saw a warm prefix and a cold remainder — read
+    // the prefix from the local tiers, push only the cold suffix.
+    double est_hybrid = std::numeric_limits<double>::infinity();
+    if (probe.warm_prefix_end > start && probe.warm_prefix_end < end_key) {
+      const double warm_leaves =
+          leaves * static_cast<double>(probe.warm_prefix_end - start) /
+          width;
+      const double mem_share =
+          probe.resident_frac > 0
+              ? std::min(1.0, probe.mem_frac / probe.resident_frac)
+              : 0.0;
+      const double warm_leaf_us = mem_share * cm.mem_leaf_us +
+                                  (1.0 - mem_share) * cm.ssd_leaf_us;
+      est_hybrid = warm_leaves * warm_leaf_us * local_corr +
+                   push_cost_us(leaves - warm_leaves);
+    }
+    plan.resident_frac = probe.resident_frac;
+    plan.mem_frac = probe.mem_frac;
+    plan.est_local_us = est_local;
+    plan.est_push_us = est_push;
+    plan.est_hybrid_us = est_hybrid;
+    plan.local_corr = local_corr;
+    plan.remote_corr = remote_corr;
+    // Splitting is only worth it on a decisive modeled win: the pushed
+    // suffix's round trips sit on the completion path, so a marginal
+    // hybrid beats local on mean cost but loses on tail latency.
+    const double hybrid_bar =
+        est_local * std::clamp(cm.hybrid_margin, 0.0, 1.0);
+    if (est_hybrid < hybrid_bar && est_hybrid < est_push) {
+      plan.kind = ScanPlanDebug::Kind::kHybrid;
+      plan.split_key = probe.warm_prefix_end;
+      use_remote = true;
+      push_from = probe.warm_prefix_end;
+    } else if (est_push < est_local) {
+      plan.kind = ScanPlanDebug::Kind::kPushdown;
+      use_remote = true;
+    } else {
+      plan.kind = ScanPlanDebug::Kind::kLocal;
+    }
+  }
+  last_scan_plan_ = plan;
 
   std::vector<std::pair<uint64_t, std::string>> rows;
   // Over-fetch by the write-set size, mirroring Scan: buffered deletes
@@ -201,17 +358,55 @@ sim::Task<Result<FilteredScanResult>> Engine::ScanWhere(
       (agg || limit == 0) ? 0 : limit + txn->writes_.size();
   uint64_t cursor = start;
   uint64_t window_end = end_key;
-  bool need_local_tail = !pushdown_eligible;
+  bool need_local_tail = !use_remote;
+  bool limit_hit_in_prefix = false;
+  // EWMA instrumentation: virtual time and coverage per executed path.
+  SimTime local_us_spent = 0;
+  uint64_t local_width_covered = 0;
+  SimTime remote_us_spent = 0;
+  uint64_t remote_pages = 0;
+  uint64_t remote_width_covered = 0;
 
-  if (pushdown_eligible) {
+  // Hybrid warm prefix: [start, push_from) on the local page path.
+  if (use_remote && push_from > start) {
+    stats_.hybrid_scans++;
+    const SimTime t0 = sim_.now();
+    uint64_t prefix_end = push_from;
+    if (agg) {
+      // No writes in range by eligibility: fold straight into the state.
+      std::vector<std::pair<uint64_t, std::string>> rest;
+      SOCRATES_CO_RETURN_IF_ERROR(
+          co_await CollectFiltered(start, push_from, 0, read_ts, filter,
+                                   /*project=*/false, &rest, &prefix_end));
+      for (auto& [key, payload] : rest) fold(Slice(payload));
+    } else {
+      SOCRATES_CO_RETURN_IF_ERROR(
+          co_await CollectFiltered(start, push_from, want, read_ts, filter,
+                                   /*project=*/true, &rows, &prefix_end));
+    }
+    local_us_spent += sim_.now() - t0;
+    if (prefix_end > start) local_width_covered += prefix_end - start;
+    cursor = push_from;
+    if (want > 0 && rows.size() >= want && prefix_end <= push_from) {
+      // Limit satisfied inside the warm prefix: nothing remote to do,
+      // and the examined window ends where the prefix stopped.
+      window_end = prefix_end;
+      limit_hit_in_prefix = true;
+    }
+  }
+
+  if (use_remote && !limit_hit_in_prefix) {
     RemoteScanSpec spec;
     spec.end_key = end_key;
     spec.read_ts = read_ts;
     spec.predicate = filter.predicate;
     spec.projection = filter.projection;
     spec.aggregate = filter.aggregate;
+    spec.extra_aggregates = filter.extra_aggregates;
     PageId leaf_hint = kInvalidPageId;
     int fence_retries = 0;
+    const uint64_t remote_from = cursor;
+    const SimTime rt0 = sim_.now();
     while (true) {
       if (want > 0 && rows.size() >= want) {
         window_end = cursor;  // limit hit: keys past here not examined
@@ -235,9 +430,11 @@ sim::Task<Result<FilteredScanResult>> Engine::ScanWhere(
       Result<RemoteScanChunk> c =
           co_await scanner_->ScanLeaves(leaf, spec);
       if (!c.ok()) {
-        // NotSupported (pre-v4 server) or a hard transport error: finish
-        // [cursor, end_key) on the local page-based path — partial
-        // remote results already gathered stay valid.
+        // NotSupported (pre-v4/v5 server), kOverloaded (scan admission
+        // shed — the rbio client is already backing off that endpoint),
+        // or a hard transport error: finish [cursor, end_key) on the
+        // local page-based path — partial remote results stay valid.
+        if (c.status().IsOverloaded()) stats_.pushdown_overloaded++;
         out.fallbacks++;
         need_local_tail = true;
         break;
@@ -256,8 +453,15 @@ sim::Task<Result<FilteredScanResult>> Engine::ScanWhere(
       }
       fence_retries = 0;
       out.pushed_down = true;
+      remote_pages += c->pages_scanned;
       if (agg) {
         out.agg.Merge(filter.aggregate.fn, c->agg);
+        // v5 multi-field aggregates (empty from a v4-only server path).
+        for (size_t i = 0;
+             i < out.extra_aggs.size() && i < c->extra_aggs.size(); i++) {
+          out.extra_aggs[i].Merge(filter.extra_aggregates[i].fn,
+                                  c->extra_aggs[i]);
+        }
       } else {
         for (auto& t : c->tuples) rows.push_back(std::move(t));
       }
@@ -268,21 +472,24 @@ sim::Task<Result<FilteredScanResult>> Engine::ScanWhere(
       cursor = c->resume_key;
       leaf_hint = c->next_leaf;
     }
+    remote_us_spent += sim_.now() - rt0;
+    const uint64_t remote_to = need_local_tail ? cursor : window_end;
+    if (remote_to > remote_from) {
+      remote_width_covered += remote_to - remote_from;
+    }
   }
 
   if (need_local_tail && cursor < end_key) {
-    if (agg && pushdown_eligible) {
-      // Fallback remainder of a pushdown aggregate (no writes in range
-      // by eligibility): accumulate the local tail straight into agg.
+    const SimTime t0 = sim_.now();
+    const uint64_t from = cursor;
+    if (agg && use_remote) {
+      // Fallback remainder of a remote-participating aggregate (no
+      // writes in range by eligibility): fold the local tail directly.
       std::vector<std::pair<uint64_t, std::string>> rest;
       SOCRATES_CO_RETURN_IF_ERROR(
           co_await CollectFiltered(cursor, end_key, 0, read_ts, filter,
                                    /*project=*/false, &rest, &window_end));
-      for (auto& [key, payload] : rest) {
-        out.agg.Accumulate(
-            filter.aggregate.fn,
-            common::AggFieldValue(filter.aggregate, Slice(payload)));
-      }
+      for (auto& [key, payload] : rest) fold(Slice(payload));
     } else {
       // Tuple mode stores projected values; local aggregate mode keeps
       // full payloads (aggregated after the write overlay below).
@@ -290,6 +497,8 @@ sim::Task<Result<FilteredScanResult>> Engine::ScanWhere(
           co_await CollectFiltered(cursor, end_key, want, read_ts, filter,
                                    /*project=*/!agg, &rows, &window_end));
     }
+    local_us_spent += sim_.now() - t0;
+    if (window_end > from) local_width_covered += window_end - from;
   }
 
   // Overlay buffered writes inside the examined window, evaluating the
@@ -325,19 +534,52 @@ sim::Task<Result<FilteredScanResult>> Engine::ScanWhere(
     }
   }
 
-  if (agg && !pushdown_eligible) {
+  if (agg && !use_remote) {
     // Local aggregate: fold the (overlaid) full payloads.
-    for (auto& [key, payload] : rows) {
-      out.agg.Accumulate(
-          filter.aggregate.fn,
-          common::AggFieldValue(filter.aggregate, Slice(payload)));
-    }
+    for (auto& [key, payload] : rows) fold(Slice(payload));
     rows.clear();
   }
   if (!agg && limit > 0 && rows.size() > limit) rows.resize(limit);
   out.rows = std::move(rows);
   stats_.pushdown_fallbacks += out.fallbacks;
   if (out.pushed_down) stats_.pushdown_scans++;
+
+  // Per-range EWMA feedback: fold this scan's observed per-leaf cost
+  // into the correction the next plan over this range will apply. The
+  // ratio is clamped so one pathological outcome cannot wedge the
+  // planner.
+  if (cost_planned) {
+    ScanCostEwma& e = EwmaFor(start, end_key);
+    const double alpha = std::clamp(cm.ewma_alpha, 0.01, 1.0);
+    const double rows_per_leaf = std::max(1.0, cm.rows_per_leaf);
+    if (local_width_covered > 0 && model_local_leaf_us > 0) {
+      const double l = std::max(
+          1.0, static_cast<double>(local_width_covered) / rows_per_leaf);
+      const double ratio = std::clamp(
+          (static_cast<double>(local_us_spent) / l) / model_local_leaf_us,
+          0.05, 20.0);
+      e.local_corr =
+          e.local_seen ? (1 - alpha) * e.local_corr + alpha * ratio : ratio;
+      e.local_seen = true;
+    }
+    if (remote_width_covered > 0 && model_remote_leaf_us > 0) {
+      // Normalize by the *modeled* leaves of the width pushed — the
+      // same denominator the planner multiplies back — not the server's
+      // reported page count. With the server count, geometry error
+      // (real leaves per key vs rows_per_leaf) cancels out of the
+      // feedback loop and the corrected push estimate stays
+      // permanently optimistic by exactly that factor.
+      const double l = std::max(
+          1.0, static_cast<double>(remote_width_covered) / rows_per_leaf);
+      const double ratio = std::clamp(
+          (static_cast<double>(remote_us_spent) / l) / model_remote_leaf_us,
+          0.05, 20.0);
+      e.remote_corr = e.remote_seen
+                          ? (1 - alpha) * e.remote_corr + alpha * ratio
+                          : ratio;
+      e.remote_seen = true;
+    }
+  }
   co_return std::move(out);
 }
 

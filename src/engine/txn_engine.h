@@ -83,6 +83,31 @@ struct EngineStats {
   uint64_t filtered_scans = 0;
   uint64_t pushdown_scans = 0;
   uint64_t pushdown_fallbacks = 0;
+  /// Cost-planned scans that split the range: warm prefix read locally,
+  /// cold suffix pushed down.
+  uint64_t hybrid_scans = 0;
+  /// Remote chunks shed by Page-Server scan admission (kOverloaded);
+  /// each also counts as a fallback — the local path finished the range.
+  uint64_t pushdown_overloaded = 0;
+};
+
+/// How the residency-aware planner decided the last ScanWhere (debug /
+/// test visibility; meaningful when the scanner's cost model is on).
+struct ScanPlanDebug {
+  enum class Kind : uint8_t { kLegacy = 0, kLocal, kPushdown, kHybrid };
+  Kind kind = Kind::kLegacy;
+  /// Sampled fraction of the range's leaves resident locally (mem+ssd).
+  double resident_frac = 0;
+  double mem_frac = 0;
+  /// Modeled costs (µs, EWMA-corrected) the choice was made from.
+  double est_local_us = 0;
+  double est_push_us = 0;
+  double est_hybrid_us = 0;
+  /// Hybrid split: keys >= split_key were pushed down.
+  uint64_t split_key = 0;
+  /// EWMA observed/modeled correction factors in force at plan time.
+  double local_corr = 1.0;
+  double remote_corr = 1.0;
 };
 
 /// Result of a filtered scan: projected tuples (tuple mode) or one
@@ -91,6 +116,9 @@ struct FilteredScanResult {
   /// (key, projected payload), in key order; empty in aggregate mode.
   std::vector<std::pair<uint64_t, std::string>> rows;
   common::AggState agg;
+  /// v5 multi-field aggregates, index-aligned with the filter's
+  /// extra_aggregates (empty unless aggregating with extras).
+  std::vector<common::AggState> extra_aggs;
   bool aggregated = false;
   /// At least one chunk was evaluated remotely.
   bool pushed_down = false;
@@ -185,6 +213,8 @@ class Engine {
   BufferPool* pool() { return pool_; }
   LogSink* sink() { return sink_; }
   const EngineStats& stats() const { return stats_; }
+  /// How the most recent ScanWhere was planned (tests / benches).
+  const ScanPlanDebug& last_scan_plan() const { return last_scan_plan_; }
 
   /// Oldest read_ts among active transactions (version-trim watermark).
   Timestamp OldestActiveTs() const;
@@ -205,6 +235,33 @@ class Engine {
       std::vector<std::pair<uint64_t, std::string>>* rows,
       uint64_t* window_end);
 
+  // Residency probe for the cost-based planner: descend to the leaf id
+  // of `kProbeSamples` evenly spaced keys in [start, end) (interior
+  // pages only — never faults a leaf in) and classify each against the
+  // pool's tiers. warm_prefix_end is the first sampled key whose leaf
+  // was NOT resident (== end when the whole range sampled warm).
+  struct ResidencyProbe {
+    double resident_frac = 0;  // mem or ssd
+    double mem_frac = 0;
+    uint64_t warm_prefix_end = 0;
+    int samples = 0;
+  };
+  static constexpr int kProbeSamples = 8;
+  sim::Task<ResidencyProbe> ProbeResidency(uint64_t start, uint64_t end);
+
+  // Per-range EWMA of observed/modeled cost ratios (the planner's
+  // feedback loop). Ranges hash into a small fixed table; collisions
+  // just share a correction, which is harmless — corrections are
+  // calibration, not correctness.
+  struct ScanCostEwma {
+    double local_corr = 1.0;
+    double remote_corr = 1.0;
+    bool local_seen = false;
+    bool remote_seen = false;
+  };
+  static constexpr size_t kEwmaBuckets = 64;
+  ScanCostEwma& EwmaFor(uint64_t start, uint64_t end);
+
   sim::Simulator& sim_;
   BufferPool* pool_;
   LogSink* sink_;
@@ -219,6 +276,8 @@ class Engine {
   std::multiset<Timestamp> active_read_ts_;
   std::function<Timestamp()> read_ts_provider_;
   EngineStats stats_;
+  ScanPlanDebug last_scan_plan_;
+  ScanCostEwma scan_ewma_[kEwmaBuckets];
 };
 
 }  // namespace engine

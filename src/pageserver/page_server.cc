@@ -377,9 +377,14 @@ sim::Task<Result<storage::Page>> PageServer::GetPageAtLsn(PageId page_id,
         Status::InvalidArgument("page not in this partition"));
   }
   // Freshness protocol (§4.4): wait until all log up to min_lsn applied.
+  const SimTime t0 = sim_.now();
   SOCRATES_CO_RETURN_IF_ERROR(co_await WaitApplied(min_lsn));
   co_await cpu_->Consume(5);
-  co_return co_await ServeLocal(page_id);
+  Result<storage::Page> page = co_await ServeLocal(page_id);
+  // Feed the scan-admission health signal: this is the point-read
+  // service time a co-resident scan must not be allowed to inflate.
+  RecordGetPageServiceTime(sim_.now() - t0);
+  co_return page;
 }
 
 sim::Task<Result<storage::Page>> PageServer::ServeLocal(PageId page_id) {
@@ -584,8 +589,21 @@ sim::Task<Result<std::string>> PageServer::ServeBatch(
 sim::Task<Result<std::string>> PageServer::ServeScan(
     rbio::ScanRangeRequest req) {
   scan_requests_++;
-  ScopedInflight inflight(&getpage_inflight_);
   rbio::ScanRangeResponse resp;
+  // Admission (§4.6 serving health): while the point-read path is
+  // degraded, scans queue behind a token bucket and are shed with
+  // kOverloaded past the wait bound — before they pin pages, wait on
+  // freshness, or burn evaluator CPU.
+  Status admit = co_await AdmitScan();
+  if (!admit.ok()) {
+    resp.status = admit;
+    co_return resp.Encode();
+  }
+  // Scans count in getpage_inflight_ (the checkpoint pacer watches total
+  // foreground pressure) and in scan_inflight_ (so the admission gate
+  // can subtract them out and see pure point-read depth).
+  ScopedInflight inflight(&getpage_inflight_);
+  ScopedInflight scan_flight(&scan_inflight_);
   Status ws = co_await WaitApplied(req.min_lsn);
   if (!ws.ok()) {
     resp.status = ws;
@@ -593,6 +611,7 @@ sim::Task<Result<std::string>> PageServer::ServeScan(
   }
   resp.status = Status::OK();
   resp.aggregated = req.aggregate.enabled();
+  if (resp.aggregated) resp.extra_aggs.resize(req.extra_aggregates.size());
   uint64_t cursor = req.start_key;
   PageId leaf = req.start_page;
   resp.resume_key = cursor;
@@ -663,6 +682,12 @@ sim::Task<Result<std::string>> PageServer::ServeScan(
       if (resp.aggregated) {
         resp.agg.Accumulate(req.aggregate.fn,
                             common::AggFieldValue(req.aggregate, payload));
+        // v5 multi-field aggregates: one pass, one AggState per extra.
+        for (size_t ai = 0; ai < req.extra_aggregates.size(); ai++) {
+          resp.extra_aggs[ai].Accumulate(
+              req.extra_aggregates[ai].fn,
+              common::AggFieldValue(req.extra_aggregates[ai], payload));
+        }
       } else {
         const auto off = static_cast<uint32_t>(arena.size());
         req.projection.Apply(payload, &arena);
@@ -699,6 +724,99 @@ sim::Task<Result<std::string>> PageServer::ServeScan(
   }
   scan_tuples_returned_ += tups.size();
   co_return resp.Encode();
+}
+
+void PageServer::RecordGetPageServiceTime(SimTime us) {
+  getpage_service_us_.Add(static_cast<double>(us));
+  getpage_lat_ring_[getpage_lat_next_] = us;
+  getpage_lat_next_ = (getpage_lat_next_ + 1) % kGetPageLatWindow;
+  if (getpage_lat_count_ < kGetPageLatWindow) getpage_lat_count_++;
+}
+
+SimTime PageServer::RecentGetPageP99Us() const {
+  // Too few samples = no signal (a freshly started server must not look
+  // degraded because its first request waited on recovery).
+  if (getpage_lat_count_ < 16) return 0;
+  SimTime buf[kGetPageLatWindow];
+  std::copy(getpage_lat_ring_, getpage_lat_ring_ + getpage_lat_count_, buf);
+  size_t idx = (getpage_lat_count_ * 99) / 100;
+  if (idx >= getpage_lat_count_) idx = getpage_lat_count_ - 1;
+  std::nth_element(buf, buf + idx, buf + getpage_lat_count_);
+  return buf[idx];
+}
+
+bool PageServer::ServingDegraded() const {
+  // Pure point-read depth: scans hold getpage_inflight_ too (for the
+  // checkpoint pacer), so subtract them — scans queueing behind their
+  // own inflight count would self-deadlock the admission gate.
+  const uint64_t point_depth = getpage_inflight_ > scan_inflight_
+                                   ? getpage_inflight_ - scan_inflight_
+                                   : 0;
+  if (opts_.scan_admission_getpage_depth > 0 &&
+      point_depth >= opts_.scan_admission_getpage_depth) {
+    return true;
+  }
+  if (opts_.scan_admission_p99_us > 0 &&
+      RecentGetPageP99Us() > opts_.scan_admission_p99_us) {
+    return true;
+  }
+  return false;
+}
+
+// Gate one kScanRange request. Healthy server: admit immediately, zero
+// added latency. Degraded server: the scan joins a token-bucket queue
+// (refill scan_admission_tokens_per_s, cap scan_admission_burst) and is
+// shed with kOverloaded once waiting any longer cannot yield a token
+// before scan_admission_max_wait_us. The health predicate is re-checked
+// every wakeup, so scans stop paying the bucket as soon as the point-
+// read burst drains.
+sim::Task<Status> PageServer::AdmitScan() {
+  if (!opts_.scan_admission_enabled) co_return Status::OK();
+  if (!ServingDegraded()) co_return Status::OK();
+  scans_queued_++;
+  const SimTime start = sim_.now();
+  const SimTime deadline = start + opts_.scan_admission_max_wait_us;
+  while (true) {
+    const SimTime now = sim_.now();
+    // Lazy refill from elapsed virtual time.
+    if (scan_tokens_refill_at_ == 0) scan_tokens_refill_at_ = now;
+    if (now > scan_tokens_refill_at_ &&
+        opts_.scan_admission_tokens_per_s > 0) {
+      const double refill =
+          static_cast<double>(now - scan_tokens_refill_at_) *
+          opts_.scan_admission_tokens_per_s / 1e6;
+      scan_tokens_ =
+          std::min(opts_.scan_admission_burst, scan_tokens_ + refill);
+    }
+    scan_tokens_refill_at_ = now;
+    if (!ServingDegraded()) {
+      // Recovered while we queued; no token needed.
+      scan_queue_wait_us_.Add(static_cast<double>(now - start));
+      co_return Status::OK();
+    }
+    if (scan_tokens_ >= 1.0) {
+      scan_tokens_ -= 1.0;
+      scan_queue_wait_us_.Add(static_cast<double>(now - start));
+      co_return Status::OK();
+    }
+    // Time until the bucket reaches one token; shed if that lands past
+    // the deadline (waiting longer cannot help).
+    if (opts_.scan_admission_tokens_per_s <= 0) {
+      scans_rejected_++;
+      scan_queue_wait_us_.Add(static_cast<double>(now - start));
+      co_return Status::Overloaded("ps: scan admission shed");
+    }
+    const SimTime token_wait =
+        static_cast<SimTime>((1.0 - scan_tokens_) * 1e6 /
+                             opts_.scan_admission_tokens_per_s) +
+        1;
+    if (now + token_wait > deadline) {
+      scans_rejected_++;
+      scan_queue_wait_us_.Add(static_cast<double>(now - start));
+      co_return Status::Overloaded("ps: scan admission shed");
+    }
+    co_await sim::Delay(sim_, token_wait);
+  }
 }
 
 bool PageServer::PaceCheckpoint() const {

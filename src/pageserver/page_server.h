@@ -105,6 +105,29 @@ struct PageServerOptions {
   /// for Page Server compute; this profile makes that compute show up in
   /// the server's CPU accounting instead of being free.
   sim::DeviceProfile pushdown_profile = sim::DeviceProfile::PushdownEval();
+
+  // ----- Scan admission (§4.6: scan CPU must not starve the GetPage
+  // path). ServeScan work is metered against a serving-health signal —
+  // point-read inflight depth plus recent GetPage p99, the same family
+  // as the checkpoint pacer. While healthy, scans are admitted
+  // immediately; while degraded they queue behind a token bucket and are
+  // rejected with kOverloaded once the queue wait exceeds its bound (the
+  // client treats that as "fall back locally, back off this endpoint").
+  /// Master switch; off = pre-admission behavior (scans always admitted).
+  bool scan_admission_enabled = true;
+  /// Degraded while this many point reads (GetPage/range/batch frames,
+  /// excluding scans) are in service. Same family as
+  /// checkpoint_pace_getpage_depth. 0 disables the trigger.
+  uint64_t scan_admission_getpage_depth = 8;
+  /// ...or while the recent GetPage service p99 exceeds this (µs over a
+  /// sliding window of served point reads). 0 disables the trigger.
+  SimTime scan_admission_p99_us = 5000;
+  /// Token bucket draining queued scans while degraded: refill rate.
+  double scan_admission_tokens_per_s = 100.0;
+  /// Token bucket capacity (burst allowance).
+  double scan_admission_burst = 2.0;
+  /// Max admission-queue wait before a scan is shed with kOverloaded.
+  SimTime scan_admission_max_wait_us = 20 * 1000;
 };
 
 class PageServer : public rbio::RbioServer {
@@ -243,6 +266,23 @@ class PageServer : public rbio::RbioServer {
   uint64_t scan_bytes_returned() const { return scan_bytes_returned_; }
   /// Scans aborted on a fence inconsistency (split racing log apply).
   uint64_t scan_fence_misses() const { return scan_fence_misses_; }
+
+  // Scan-admission health (the interference bench prints these).
+  /// Scans currently in service (subset of getpage_inflight_).
+  uint64_t scan_inflight() const { return scan_inflight_; }
+  /// Scans that found the server degraded and waited on the token bucket
+  /// (whether or not they were eventually admitted).
+  uint64_t scans_queued() const { return scans_queued_; }
+  /// Scans shed with kOverloaded (queue wait exceeded its bound).
+  uint64_t scans_rejected() const { return scans_rejected_; }
+  /// Admission-queue wait of every queued scan, admitted or shed.
+  const Histogram& scan_queue_wait_us() const { return scan_queue_wait_us_; }
+  /// Recent GetPage service p99 (µs) over the sliding sample window the
+  /// admission gate reads; 0 until enough point reads have been served.
+  SimTime recent_getpage_p99_us() const { return RecentGetPageP99Us(); }
+  /// Full-lifetime GetPage service-time distribution (freshness wait +
+  /// pool read), server side — the interference bench's defended metric.
+  const Histogram& getpage_service_us() const { return getpage_service_us_; }
   /// Freshness waiters woken by the event-driven watermark hook (as
   /// opposed to requests that found the LSN already applied).
   uint64_t waiter_wakes() const { return waiter_wakes_; }
@@ -306,6 +346,18 @@ class PageServer : public rbio::RbioServer {
   // economics): wait for min_lsn, then walk leaves from req.start_page
   // evaluating predicate/projection/aggregate at req.read_ts.
   sim::Task<Result<std::string>> ServeScan(rbio::ScanRangeRequest req);
+
+  // Scan admission (§4.6 serving-health defense): decide whether a
+  // kScanRange request may run now. OK = admitted (possibly after a
+  // token-bucket wait); kOverloaded = shed, the client falls back to a
+  // local scan and backs off this endpoint.
+  sim::Task<Status> AdmitScan();
+  // True while the point-read path looks unhealthy (inflight depth or
+  // recent p99 over threshold) — scans must queue.
+  bool ServingDegraded() const;
+  // Sliding-window p99 of GetPage service time (0 = not enough samples).
+  SimTime RecentGetPageP99Us() const;
+  void RecordGetPageServiceTime(SimTime us);
 
   // Hook the current applier's watermark so every Advance wakes exactly
   // the waiters whose threshold was crossed.
@@ -376,6 +428,22 @@ class PageServer : public rbio::RbioServer {
   uint64_t scan_tuples_returned_ = 0;
   uint64_t scan_bytes_returned_ = 0;
   uint64_t scan_fence_misses_ = 0;
+  // Scan admission state. Scans bump BOTH getpage_inflight_ (so the
+  // checkpoint pacer still sees total foreground pressure) and
+  // scan_inflight_; the admission gate's point-read depth is the
+  // difference. GetPage service times feed a small ring whose p99 is the
+  // second health signal.
+  uint64_t scan_inflight_ = 0;
+  uint64_t scans_queued_ = 0;
+  uint64_t scans_rejected_ = 0;
+  Histogram scan_queue_wait_us_;
+  double scan_tokens_ = 0;
+  SimTime scan_tokens_refill_at_ = 0;
+  static constexpr size_t kGetPageLatWindow = 128;
+  SimTime getpage_lat_ring_[kGetPageLatWindow] = {};
+  size_t getpage_lat_next_ = 0;
+  size_t getpage_lat_count_ = 0;
+  Histogram getpage_service_us_;
   uint64_t pulls_ = 0;
   uint64_t pipelined_pull_hits_ = 0;
   SimTime pull_wait_us_ = 0;

@@ -56,6 +56,9 @@ Status GetStatus(Slice* in, Status* out) {
     case Status::Code::kNotSupported:
       *out = Status::NotSupported(msg.ToView());
       break;
+    case Status::Code::kOverloaded:
+      *out = Status::Overloaded(msg.ToView());
+      break;
     default:
       *out = Status::IOError(msg.ToView());
       break;
@@ -360,9 +363,18 @@ void ScanRangeRequest::EncodeTo(std::string* out, uint16_t version) const {
   PutFixed32(out, max_pages);
   PutFixed64(out, min_lsn);
   PutFixed64(out, read_ts);
-  common::EncodePredicate(out, predicate);
-  common::EncodeProjection(out, projection);
-  common::EncodeAggregate(out, aggregate);
+  if (version >= kScanExprV5MinVersion) {
+    common::EncodePredicateV5(out, predicate);
+    common::EncodeProjection(out, projection);
+    common::EncodeAggregate(out, aggregate);
+    common::EncodeAggregateListV5(out, extra_aggregates);
+  } else {
+    // Pinned v4 body — byte-identical to the pre-v5 codec. Callers only
+    // frame at v4 when NeedsV5() is false, so nothing is dropped here.
+    common::EncodePredicate(out, predicate);
+    common::EncodeProjection(out, projection);
+    common::EncodeAggregate(out, aggregate);
+  }
 }
 
 Status ScanRangeRequest::Decode(Slice wire, ScanRangeRequest* out,
@@ -383,10 +395,24 @@ Status ScanRangeRequest::Decode(Slice wire, ScanRangeRequest* out,
       !GetFixed64(&wire, &out->read_ts)) {
     return Status::Corruption("rbio: truncated ScanRange request");
   }
-  SOCRATES_RETURN_IF_ERROR(common::DecodePredicate(&wire, &out->predicate));
-  SOCRATES_RETURN_IF_ERROR(
-      common::DecodeProjection(&wire, &out->projection));
-  SOCRATES_RETURN_IF_ERROR(common::DecodeAggregate(&wire, &out->aggregate));
+  if (*version >= kScanExprV5MinVersion) {
+    SOCRATES_RETURN_IF_ERROR(
+        common::DecodePredicateV5(&wire, &out->predicate));
+    SOCRATES_RETURN_IF_ERROR(
+        common::DecodeProjection(&wire, &out->projection));
+    SOCRATES_RETURN_IF_ERROR(
+        common::DecodeAggregate(&wire, &out->aggregate));
+    SOCRATES_RETURN_IF_ERROR(
+        common::DecodeAggregateListV5(&wire, &out->extra_aggregates));
+  } else {
+    SOCRATES_RETURN_IF_ERROR(
+        common::DecodePredicate(&wire, &out->predicate));
+    SOCRATES_RETURN_IF_ERROR(
+        common::DecodeProjection(&wire, &out->projection));
+    SOCRATES_RETURN_IF_ERROR(
+        common::DecodeAggregate(&wire, &out->aggregate));
+    out->extra_aggregates.clear();
+  }
   return Status::OK();
 }
 
@@ -395,8 +421,12 @@ std::string ScanRangeResponse::Encode() const {
   size_t tuple_bytes = 0;
   for (const Tuple& t : tuples) tuple_bytes += 12 + t.value.size();
   out.reserve(2 + 1 + 5 + status.message().size() + 29 +
-              (aggregated ? 16 : 4 + tuple_bytes));
-  PutFixed16(&out, kProtocolVersion);
+              (aggregated ? 17 + 16 * extra_aggs.size() : 4 + tuple_bytes));
+  // Multi-aggregate bodies are the only v5 response shape; everything
+  // else keeps the pinned v4 stamp so pre-v5 responses stay
+  // byte-identical across the protocol bump.
+  bool v5_body = aggregated && !extra_aggs.empty();
+  PutFixed16(&out, v5_body ? kScanExprV5MinVersion : kScanResponseVersion);
   PutStatus(&out, status);
   uint8_t flags = (complete ? 1u : 0u) | (fence_miss ? 2u : 0u) |
                   (aggregated ? 4u : 0u);
@@ -408,6 +438,13 @@ std::string ScanRangeResponse::Encode() const {
   if (aggregated) {
     PutFixed64(&out, agg.rows);
     PutFixed64(&out, agg.value);
+    if (v5_body) {
+      out.push_back(static_cast<char>(extra_aggs.size() & 0xff));
+      for (const common::AggState& st : extra_aggs) {
+        PutFixed64(&out, st.rows);
+        PutFixed64(&out, st.value);
+      }
+    }
   } else {
     PutFixed32(&out, static_cast<uint32_t>(tuples.size()));
     for (const Tuple& t : tuples) {
@@ -443,10 +480,26 @@ Status ScanRangeResponse::Decode(std::shared_ptr<const std::string> frame,
     return Status::Corruption("rbio: truncated scan response");
   }
   out->tuples.clear();
+  out->extra_aggs.clear();
   if (out->aggregated) {
     if (!GetFixed64(&wire, &out->agg.rows) ||
         !GetFixed64(&wire, &out->agg.value)) {
       return Status::Corruption("rbio: truncated scan aggregate");
+    }
+    if (version >= kScanExprV5MinVersion) {
+      if (wire.empty()) {
+        return Status::Corruption("rbio: truncated extra-agg count");
+      }
+      uint8_t n = static_cast<uint8_t>(wire[0]);
+      wire.remove_prefix(1);
+      out->extra_aggs.reserve(n);
+      for (uint8_t i = 0; i < n; i++) {
+        common::AggState st;
+        if (!GetFixed64(&wire, &st.rows) || !GetFixed64(&wire, &st.value)) {
+          return Status::Corruption("rbio: truncated extra aggregate");
+        }
+        out->extra_aggs.push_back(st);
+      }
     }
     return Status::OK();
   }
@@ -884,9 +937,15 @@ sim::Task<Result<ScanRangeResponse>> RbioClient::ScanRange(
     const std::vector<Endpoint>& replicas, const ScanRangeRequest& req) {
   static const Status kNotSupp =
       Status::NotSupported("rbio: scan pushdown unsupported");
+  static const Status kBackedOff =
+      Status::Overloaded("rbio: endpoint in overload backoff");
   scan_requests_++;
-  if (replicas.empty() || opts_.protocol_version < kScanRangeMinVersion) {
-    // A < v4 client never emits kScanRange frames (mixed-version
+  // Frames carry the lowest version whose vocabulary covers the spec:
+  // a v4-expressible scan is byte-identical to the pre-v5 wire and a
+  // v4 server serves it without negotiation.
+  uint16_t frame_version = req.MinFrameVersion();
+  if (replicas.empty() || opts_.protocol_version < frame_version) {
+    // A client too old for the frame never emits it (mixed-version
     // deployments): the caller takes the page-based path immediately.
     scan_fallbacks_++;
     co_return Result<ScanRangeResponse>(kNotSupp);
@@ -897,15 +956,23 @@ sim::Task<Result<ScanRangeResponse>> RbioClient::ScanRange(
     key += '|';
   }
   ScanSupport& sup = scan_support_[key];
-  if (sup.known && !sup.supported) {
-    // This endpoint set rejected a v4 scan frame before: short-circuit
-    // without wire traffic so repeated planner probes cost nothing.
+  if (sup.known && sup.max_version < frame_version) {
+    // This endpoint set rejected a frame at (or below) this version
+    // before: short-circuit without wire traffic so repeated planner
+    // probes cost nothing. v4 scans still flow to a set that only
+    // rejected v5 vocabulary.
     scan_fallbacks_++;
     co_return Result<ScanRangeResponse>(kNotSupp);
   }
+  if (sup.backoff_until > sim_.now()) {
+    // The set shed a scan recently (kOverloaded): stay off it until the
+    // backoff expires. Temporary, unlike the version memo above.
+    scans_overloaded_++;
+    co_return Result<ScanRangeResponse>(kBackedOff);
+  }
   scans_sent_++;
   std::string frame = AcquireFrame();
-  req.EncodeTo(&frame, opts_.protocol_version);
+  req.EncodeTo(&frame, frame_version);
   Result<std::string> raw = co_await RoundtripRaw(
       replicas, std::move(frame), opts_.cpu_per_request_us);
   if (!raw.ok()) co_return Result<ScanRangeResponse>(raw.status());
@@ -915,16 +982,26 @@ sim::Task<Result<ScanRangeResponse>> RbioClient::ScanRange(
   Status ds = ScanRangeResponse::Decode(fp, &resp);
   if (!ds.ok()) co_return Result<ScanRangeResponse>(ds);
   if (resp.status.IsNotSupported()) {
-    // Automatic versioning (§3.4): a pre-v4 server rejected the scan
-    // frame. Memoize and let the caller degrade to page-based scans.
+    // Automatic versioning (§3.4): the server rejected this frame
+    // version. Cap the memo one tier below what we sent — a v4-capped
+    // server that rejected v5 vocabulary still speaks v4 — and let the
+    // caller degrade (to a v4 plan or to page-based scans).
     sup.known = true;
-    sup.supported = false;
+    sup.max_version =
+        std::min<uint16_t>(sup.max_version, frame_version - 1);
     scan_fallbacks_++;
+    co_return Result<ScanRangeResponse>(resp.status);
+  }
+  if (resp.status.IsOverloaded()) {
+    // Scan admission shed the work: back off this endpoint set for a
+    // while and fall back locally for this scan. Point reads (GetPage)
+    // are unaffected — that is the entire point of admission.
+    sup.backoff_until = sim_.now() + opts_.overload_backoff_us;
+    scans_overloaded_++;
     co_return Result<ScanRangeResponse>(resp.status);
   }
   if (!resp.status.ok()) co_return Result<ScanRangeResponse>(resp.status);
   sup.known = true;
-  sup.supported = true;
   scan_tuples_received_ += resp.tuples.size();
   // Tuple frames are variable-size, so decode CPU scales with the bytes
   // actually shipped (fixed-size page frames amortize this into

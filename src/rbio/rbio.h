@@ -56,13 +56,19 @@
 namespace socrates {
 namespace rbio {
 
-inline constexpr uint16_t kProtocolVersion = 4;
+inline constexpr uint16_t kProtocolVersion = 5;
 /// Oldest protocol version a server still understands.
 inline constexpr uint16_t kMinSupportedVersion = 1;
 /// First version that understands kGetPageBatch frames.
 inline constexpr uint16_t kBatchMinVersion = 3;
 /// First version that understands kScanRange (computation pushdown).
 inline constexpr uint16_t kScanRangeMinVersion = 4;
+/// First version that understands the v5 scan-expression vocabulary
+/// (key-range predicates, conjunctions, multi-field aggregates). Scan
+/// frames are stamped with the *lowest* version whose vocabulary covers
+/// the spec — a v4-expressible scan still goes out as v4, byte-identical,
+/// and interoperates with v4 servers without negotiation.
+inline constexpr uint16_t kScanExprV5MinVersion = 5;
 /// Wire version per-page frames are encoded at: the oldest version whose
 /// GetPage/GetPageRange semantics match (unchanged since v2), so a v4
 /// client's singles interoperate with v2 servers without negotiation.
@@ -75,6 +81,11 @@ inline constexpr uint16_t kBatchFrameVersion = 3;
 /// are unchanged since v3 and decoders ignore the value; pinning it
 /// keeps every pre-v4 response byte-identical across the version bump.
 inline constexpr uint16_t kPageResponseVersion = 3;
+/// Wire version stamped on scan responses that use only v4 shapes
+/// (tuples or a single aggregate). Multi-aggregate responses stamp
+/// kScanExprV5MinVersion; everything else is pinned so pre-v5 scan
+/// responses stay byte-identical across the version bump.
+inline constexpr uint16_t kScanResponseVersion = 4;
 
 enum class MessageType : uint8_t {
   kGetPage = 1,
@@ -189,6 +200,21 @@ struct ScanRangeRequest {
   common::ScanPredicate predicate;
   common::ScanProjection projection;
   common::ScanAggregate aggregate;
+  /// v5 multi-field aggregates: extra specs evaluated in the same pass
+  /// as `aggregate` (which stays the primary field — a request whose
+  /// extra list is empty is v4-expressible). Total fields are bounded by
+  /// common::kMaxScanAggregates.
+  common::ScanAggregateList extra_aggregates;
+
+  /// True iff this request uses v5-only vocabulary and therefore must
+  /// be framed at kScanExprV5MinVersion or above.
+  bool NeedsV5() const {
+    return predicate.NeedsV5() || !extra_aggregates.empty();
+  }
+  /// The lowest frame version whose vocabulary covers this request.
+  uint16_t MinFrameVersion() const {
+    return NeedsV5() ? kScanExprV5MinVersion : kScanRangeMinVersion;
+  }
 
   std::string Encode(uint16_t version = kProtocolVersion) const;
   void EncodeTo(std::string* out, uint16_t version = kProtocolVersion) const;
@@ -219,6 +245,11 @@ struct ScanRangeResponse {
   uint64_t rows_scanned = 0;
   uint32_t pages_scanned = 0;
   common::AggState agg;  // valid iff aggregated
+  /// v5: partial states for the request's extra_aggregates, in spec
+  /// order (`agg` holds the primary field's state). A response with a
+  /// non-empty list is stamped kScanExprV5MinVersion on the wire; all
+  /// other responses keep the pinned v4 shape.
+  std::vector<common::AggState> extra_aggs;
   /// Qualifying projected tuples, in key order. Values alias the decoded
   /// response frame (zero-copy; `owner` keeps it alive).
   struct Tuple {
@@ -287,6 +318,12 @@ struct RbioClientOptions {
   /// frames are variable-size, unlike the fixed 8 KiB page frames whose
   /// cost cpu_per_request_us already amortizes).
   double cpu_per_result_kb_us = 2.0;
+  /// How long ScanRange avoids an endpoint set after it replied
+  /// kOverloaded (scan admission shed the work). Unlike the NotSupported
+  /// memo this is time-based, not permanent: overload passes, protocol
+  /// versions don't. During the window scans short-circuit to Overloaded
+  /// without wire traffic and the planner runs its local plan.
+  SimTime overload_backoff_us = 50 * 1000;
   /// Compute <-> Page Server wire bandwidth in MB/s: each leg pays an
   /// extra frame_bytes / bandwidth transfer term on top of the sampled
   /// base latency (1 MB/s == 1 byte/us). 0 keeps the pre-v4 behavior
@@ -345,8 +382,24 @@ class RbioClient {
   uint64_t scans_sent() const { return scans_sent_; }
   /// ScanRange calls resolved NotSupported (fresh rejection or memoized).
   uint64_t scan_fallbacks() const { return scan_fallbacks_; }
+  /// ScanRange calls resolved Overloaded (server shed the scan, or the
+  /// endpoint set is inside its overload-backoff window).
+  uint64_t scans_overloaded() const { return scans_overloaded_; }
   /// Qualifying tuples received in ScanRange responses.
   uint64_t scan_tuples_received() const { return scan_tuples_received_; }
+
+  /// Drop every memoized scan/batch capability verdict (and any overload
+  /// backoff). Call on config-epoch change: after a failover or reseed
+  /// the endpoint name may now be served by a replacement speaking a
+  /// different RBIO version, so a stale memo would either skip an
+  /// eligible server forever or keep a degraded path pinned.
+  void InvalidateScanSupport() {
+    scan_support_.clear();
+    for (auto& [key, q] : batch_queues_) {
+      q.support_known = false;
+      q.supported = true;
+    }
+  }
 
   // ----- Batching counters.
   /// kGetPageBatch frames sent (each is one round trip).
@@ -382,6 +435,7 @@ class RbioClient {
     scan_requests_ = 0;
     scans_sent_ = 0;
     scan_fallbacks_ = 0;
+    scans_overloaded_ = 0;
     scan_tuples_received_ = 0;
     wire_bytes_sent_ = 0;
     wire_bytes_received_ = 0;
@@ -480,11 +534,16 @@ class RbioClient {
   sim::CpuResource* cpu_;
   RbioClientOptions opts_;
   mutable Random rng_;
-  // Tri-state kScanRange support per endpoint set, mirroring
-  // BatchQueue's batch negotiation (unknown / supported / rejected).
+  // Per-endpoint-set kScanRange capability, mirroring BatchQueue's batch
+  // negotiation but tiered by frame version: optimistic until a frame at
+  // some version is rejected, after which max_version caps what this set
+  // is believed to speak (a v4-capped server still serves v4 scans after
+  // rejecting a v5 one). `backoff_until` is the orthogonal, *temporary*
+  // kOverloaded signal — admission pressure passes, versions don't.
   struct ScanSupport {
     bool known = false;
-    bool supported = true;
+    uint16_t max_version = kProtocolVersion;
+    SimTime backoff_until = 0;
   };
 
   std::map<std::string, EndpointStats> stats_;
@@ -503,6 +562,7 @@ class RbioClient {
   uint64_t scan_requests_ = 0;
   uint64_t scans_sent_ = 0;
   uint64_t scan_fallbacks_ = 0;
+  uint64_t scans_overloaded_ = 0;
   uint64_t scan_tuples_received_ = 0;
   uint64_t wire_bytes_sent_ = 0;
   uint64_t wire_bytes_received_ = 0;

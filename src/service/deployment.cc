@@ -186,7 +186,7 @@ sim::Task<Status> Deployment::FailoverLocked(int idx) {
       co_await promoted->Promote(client_.get(), lz_->durable_end()));
   primary_ = std::move(promoted);
   client_->SetCpu(&primary_->cpu());
-  config_epoch_++;
+  BumpConfigEpoch();
   co_return Status::OK();
 }
 
@@ -203,7 +203,7 @@ sim::Task<Status> Deployment::RestartPrimaryLocked() {
   }
   Status s = co_await primary_->RecoverPrimary(last_checkpoint_lsn_,
                                                lz_->durable_end());
-  if (s.ok()) config_epoch_++;
+  if (s.ok()) BumpConfigEpoch();
   co_return s;
 }
 
@@ -274,9 +274,22 @@ sim::Task<Status> Deployment::FailoverPageServer(PartitionId partition) {
     page_servers_[partition]->Crash();
   }
   // The replica is warm (it has been applying the same filtered log all
-  // along); rerouting is a metadata operation.
+  // along); rerouting is a metadata operation — but it IS a topology
+  // change: "ps-N" now resolves to the replica, so complete it like any
+  // other reconfiguration.
   router_->Add(partition, it->second.get());
+  BumpConfigEpoch();
   co_return Status::OK();
+}
+
+void Deployment::BumpConfigEpoch() {
+  config_epoch_++;
+  if (primary_ != nullptr && primary_->alive()) {
+    primary_->InvalidateScanSupport();
+  }
+  for (auto& s : secondaries_) {
+    if (s != nullptr && s->alive()) s->InvalidateScanSupport();
+  }
 }
 
 ClusterMonitor* Deployment::EnableMonitor(const MonitorOptions& mopts) {
@@ -333,7 +346,7 @@ sim::Task<Status> Deployment::RecoverPageServer(PartitionId p) {
   // any compute node.
   SOCRATES_CO_RETURN_IF_ERROR(co_await ps->Start());
   router_->Add(p, ps);  // re-point (a replica may have been serving)
-  config_epoch_++;
+  BumpConfigEpoch();
   co_return Status::OK();
 }
 
@@ -341,7 +354,7 @@ void Deployment::RemoveSecondary(int idx) {
   if (idx < 0 || idx >= num_secondaries()) return;
   graveyard_.push_back(std::move(secondaries_[idx]));
   secondaries_.erase(secondaries_.begin() + idx);
-  config_epoch_++;
+  BumpConfigEpoch();
 }
 
 sim::Task<Result<BackupHandle>> Deployment::Backup() {

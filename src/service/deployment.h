@@ -219,6 +219,13 @@ class Deployment {
     return "compute-" + std::to_string(compute_serial_++);
   }
 
+  // Complete a reconfiguration: bump the config epoch and drop every
+  // live compute node's memoized per-endpoint scan capability — an
+  // endpoint name may now resolve to a different server (a replica
+  // promoted, a recovered server at another rbio version), so negative
+  // NotSupported memos and overload backoffs must be re-probed.
+  void BumpConfigEpoch();
+
   sim::Simulator& sim_;
   DeploymentOptions opts_;
 

@@ -82,6 +82,16 @@ struct CdbMix {
     m.weights = {0.40, 0.15, 0.10, 0.01, 0.04, 0.0, 0.30};
     return m;
   }
+  /// Interference mix: pure point lookups against a heavy analytic-scan
+  /// backdrop, no writes — the worst case for Page Server serving health
+  /// (§4.6). Every point read that misses compute caches competes with
+  /// ServeScan CPU on the same server; bench_pushdown_interference
+  /// measures how far GetPage p99 degrades with scan admission on/off.
+  static CdbMix Interference() {
+    CdbMix m;
+    m.weights = {0.70, 0.0, 0.0, 0.0, 0.0, 0.0, 0.30};
+    return m;
+  }
 };
 
 class CdbWorkload : public Workload {

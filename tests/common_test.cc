@@ -8,6 +8,7 @@
 
 #include "common/coding.h"
 #include "common/compress.h"
+#include "common/scan_expr.h"
 #include "common/crc32c.h"
 #include "common/histogram.h"
 #include "common/random.h"
@@ -402,6 +403,147 @@ TEST(CounterStatsTest, HitRate) {
   s.hits = 3;
   s.misses = 1;
   EXPECT_DOUBLE_EQ(s.HitRate(), 0.75);
+}
+
+// ----------------------------------------------- scan expressions (v5)
+
+TEST(ScanExprV5Test, KeyRangeEval) {
+  auto p = common::ScanPredicate::KeyRange(10, 20);
+  EXPECT_TRUE(p.NeedsV5());
+  EXPECT_FALSE(common::EvalPredicate(p, 9, Slice()));
+  EXPECT_TRUE(common::EvalPredicate(p, 10, Slice()));
+  EXPECT_TRUE(common::EvalPredicate(p, 19, Slice()));
+  EXPECT_FALSE(common::EvalPredicate(p, 20, Slice()));
+  // hi == 0: unbounded above.
+  auto open = common::ScanPredicate::KeyRange(100, 0);
+  EXPECT_TRUE(common::EvalPredicate(open, UINT64_MAX, Slice()));
+  EXPECT_FALSE(common::EvalPredicate(open, 99, Slice()));
+}
+
+TEST(ScanExprV5Test, ConjunctionEval) {
+  std::string payload = "\x07rest";
+  auto p = common::ScanPredicate::KeyModEq(2, 0);
+  p.And(common::ScanPredicate::PayloadByteEq(0, 7));
+  EXPECT_TRUE(p.NeedsV5());
+  EXPECT_TRUE(common::EvalPredicate(p, 4, Slice(payload)));
+  EXPECT_FALSE(common::EvalPredicate(p, 5, Slice(payload)));  // odd key
+  EXPECT_FALSE(common::EvalPredicate(p, 4, Slice("xrest")));  // byte miss
+  // And() flattens chains: (a AND b) AND c carries both extra terms.
+  auto q = common::ScanPredicate::KeyRange(0, 100);
+  q.And(p);
+  EXPECT_EQ(q.conjuncts.size(), 2u);
+  EXPECT_TRUE(common::EvalPredicate(q, 4, Slice(payload)));
+  EXPECT_FALSE(common::EvalPredicate(q, 102, Slice(payload)));
+}
+
+TEST(ScanExprV5Test, V4PredicatesDoNotNeedV5) {
+  EXPECT_FALSE(common::ScanPredicate::All().NeedsV5());
+  EXPECT_FALSE(common::ScanPredicate::KeyModEq(8, 1).NeedsV5());
+  EXPECT_FALSE(common::ScanPredicate::PayloadByteEq(3, 9).NeedsV5());
+  EXPECT_FALSE(common::ScanPredicate::PayloadByteLt(3, 9).NeedsV5());
+}
+
+TEST(ScanExprV5Test, RangeAwareModSelectivityClamps) {
+  // Full-range prior: 1/1000.
+  auto p = common::ScanPredicate::KeyModEq(1000, 5);
+  EXPECT_DOUBLE_EQ(common::EstimatedSelectivity(p), 0.001);
+  // A 10-key window holds exactly one hit (key 5): density 1/10, three
+  // orders denser than the prior — the satellite fix.
+  EXPECT_DOUBLE_EQ(common::EstimatedSelectivity(p, 0, 10), 0.1);
+  // The same window placed past the hit holds none.
+  EXPECT_DOUBLE_EQ(common::EstimatedSelectivity(p, 6, 16), 0.0);
+  // A wide window converges back to the prior.
+  EXPECT_NEAR(common::EstimatedSelectivity(p, 0, 100000), 0.001, 1e-5);
+  // Unbounded range falls back to the prior.
+  EXPECT_DOUBLE_EQ(common::EstimatedSelectivity(p, 0, 0), 0.001);
+}
+
+TEST(ScanExprV5Test, RangeAwareKeyRangeSelectivityIsOverlap) {
+  auto p = common::ScanPredicate::KeyRange(50, 150);
+  // Without range context the key-range term is uninformative.
+  EXPECT_DOUBLE_EQ(common::EstimatedSelectivity(p), 1.0);
+  EXPECT_DOUBLE_EQ(common::EstimatedSelectivity(p, 0, 100), 0.5);
+  EXPECT_DOUBLE_EQ(common::EstimatedSelectivity(p, 100, 200), 0.5);
+  EXPECT_DOUBLE_EQ(common::EstimatedSelectivity(p, 200, 300), 0.0);
+  EXPECT_DOUBLE_EQ(common::EstimatedSelectivity(p, 60, 140), 1.0);
+}
+
+TEST(ScanExprV5Test, PredicateV5CodecRoundTrip) {
+  auto p = common::ScanPredicate::KeyRange(100, 900);
+  p.And(common::ScanPredicate::KeyModEq(7, 3));
+  p.And(common::ScanPredicate::PayloadByteLt(12, 200));
+  std::string wire;
+  common::EncodePredicateV5(&wire, p);
+  Slice in(wire);
+  common::ScanPredicate out;
+  ASSERT_TRUE(common::DecodePredicateV5(&in, &out).ok());
+  EXPECT_EQ(out.op, common::PredOp::kKeyRange);
+  EXPECT_EQ(out.a, 100u);
+  EXPECT_EQ(out.b, 900u);
+  ASSERT_EQ(out.conjuncts.size(), 2u);
+  EXPECT_EQ(out.conjuncts[0].op, common::PredOp::kKeyModEq);
+  EXPECT_EQ(out.conjuncts[0].a, 7u);
+  EXPECT_EQ(out.conjuncts[1].op, common::PredOp::kPayloadByteLt);
+  // Truncations rejected, never mis-read.
+  for (size_t cut = 0; cut + 1 < wire.size(); cut++) {
+    Slice t(wire.data(), cut);
+    common::ScanPredicate scratch;
+    EXPECT_FALSE(common::DecodePredicateV5(&t, &scratch).ok());
+  }
+}
+
+TEST(ScanExprV5Test, V4CodecRejectsV5Vocabulary) {
+  // The frozen v4 decoder answers NotSupported for a v5 op byte — the
+  // negotiation signal an un-upgraded server sends a too-new client.
+  std::string wire;
+  common::EncodePredicate(&wire, common::ScanPredicate::KeyRange(1, 2));
+  Slice in(wire);
+  common::ScanPredicate out;
+  EXPECT_TRUE(common::DecodePredicate(&in, &out).IsNotSupported());
+}
+
+TEST(ScanExprV5Test, AggregateListCodecRoundTrip) {
+  common::ScanAggregateList aggs;
+  aggs.push_back(common::ScanAggregate::Count());
+  aggs.push_back(common::ScanAggregate::Sum(8));
+  aggs.push_back(common::ScanAggregate::Max(16));
+  std::string wire;
+  common::EncodeAggregateListV5(&wire, aggs);
+  Slice in(wire);
+  common::ScanAggregateList out;
+  ASSERT_TRUE(common::DecodeAggregateListV5(&in, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].fn, common::AggFn::kCount);
+  EXPECT_EQ(out[1].fn, common::AggFn::kSum);
+  EXPECT_EQ(out[1].field_offset, 8u);
+  EXPECT_EQ(out[2].fn, common::AggFn::kMax);
+  EXPECT_EQ(out[2].field_offset, 16u);
+}
+
+TEST(ScanExprV5Test, MultiAggOnePassMatchesScalarRuns) {
+  // One pass over rows with a 3-spec list == three scalar passes.
+  common::ScanAggregateList aggs;
+  aggs.push_back(common::ScanAggregate::Count());
+  aggs.push_back(common::ScanAggregate::Sum(0));
+  aggs.push_back(common::ScanAggregate::Min(0));
+  std::vector<common::AggState> multi(aggs.size());
+  common::AggState scalar[3];
+  for (uint64_t k = 1; k <= 100; k++) {
+    std::string payload;
+    PutFixed64(&payload, k * 7);
+    for (size_t i = 0; i < aggs.size(); i++) {
+      uint64_t v = common::AggFieldValue(aggs[i], Slice(payload));
+      multi[i].Accumulate(aggs[i].fn, v);
+      scalar[i].Accumulate(aggs[i].fn, v);
+    }
+  }
+  for (size_t i = 0; i < aggs.size(); i++) {
+    EXPECT_EQ(multi[i].rows, scalar[i].rows);
+    EXPECT_EQ(multi[i].value, scalar[i].value);
+  }
+  EXPECT_EQ(multi[0].rows, 100u);
+  EXPECT_EQ(multi[1].value, 7u * (100u * 101u / 2u));
+  EXPECT_EQ(multi[2].value, 7u);
 }
 
 }  // namespace

@@ -462,6 +462,11 @@ service::DeploymentOptions SmallDeployment() {
   o.num_page_servers = 1;
   o.compute.mem_pages = 64;  // most leaves are remote
   o.compute.ssd_pages = 128;
+  // These tests exercise the kScanRange wire path end to end; pin the
+  // legacy selectivity-only gate so the residency-aware planner cannot
+  // (correctly!) keep the small warm fixture local. The cost planner has
+  // its own tests (ScanWhereCostPlannerTest, residency suites).
+  o.compute.pushdown_cost_planning = false;
   return o;
 }
 
@@ -592,6 +597,99 @@ TEST(PushdownEndToEndTest, V3PageServerDegradesTransparently) {
   d.Stop();
 }
 
+TEST(PushdownEndToEndTest, V5ConjunctionAndMultiAggregatePushdown) {
+  Simulator s;
+  service::Deployment d(s, SmallDeployment());
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 3000);
+    engine::Engine* e = d.primary_engine();
+    // v5 vocabulary end to end: key-range ∧ mod predicate, three
+    // aggregate fields in one pass. COUNT + SUM(field) + MAX(field)
+    // over keys in [500, 2500) with k % 10 == 5.
+    ScanFilter filter;
+    filter.predicate = common::ScanPredicate::KeyRange(MakeKey(1, 500),
+                                                       MakeKey(1, 2500));
+    filter.predicate.And(common::ScanPredicate::KeyModEq(10, 5));
+    filter.aggregate = common::ScanAggregate::Count();
+    filter.extra_aggregates.push_back(common::ScanAggregate::Sum(0));
+    filter.extra_aggregates.push_back(common::ScanAggregate::Max(0));
+    auto txn = e->Begin(true);
+    auto r = co_await e->ScanWhere(txn.get(), MakeKey(1, 0),
+                                   MakeKey(1, 3000), 0, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_TRUE(r->pushed_down);
+      // The mod predicate applies to the full key (partition prefix
+      // included); compute the reference the same way.
+      uint64_t count = 0, sum = 0, mx = 0;
+      for (uint64_t k = 500; k < 2500; k++) {
+        if (MakeKey(1, k) % 10 != 5) continue;
+        count++;
+        sum += 3 * k;
+        mx = std::max<uint64_t>(mx, 3 * k);
+      }
+      EXPECT_EQ(r->agg.rows, count);
+      EXPECT_EQ(r->extra_aggs.size(), 2u);
+      if (r->extra_aggs.size() == 2) {
+        EXPECT_EQ(r->extra_aggs[0].value, sum);
+        EXPECT_EQ(r->extra_aggs[1].value, mx);
+      }
+      // The same spec evaluated locally must agree field for field.
+      RemoteScanner* scanner = e->remote_scanner();
+      e->SetRemoteScanner(nullptr);
+      auto local = co_await e->ScanWhere(txn.get(), MakeKey(1, 0),
+                                         MakeKey(1, 3000), 0, filter);
+      e->SetRemoteScanner(scanner);
+      EXPECT_TRUE(local.ok());
+      if (local.ok()) {
+        EXPECT_EQ(local->agg.rows, r->agg.rows);
+        EXPECT_EQ(local->extra_aggs.size(), 2u);
+        if (local->extra_aggs.size() == 2 && r->extra_aggs.size() == 2) {
+          EXPECT_EQ(local->extra_aggs[0].value, r->extra_aggs[0].value);
+          EXPECT_EQ(local->extra_aggs[1].value, r->extra_aggs[1].value);
+        }
+      }
+    }
+    (void)co_await e->Commit(txn.get());
+  });
+  // The key-range ∧ conjunct predicate required a v5 frame on the wire.
+  EXPECT_GT(d.primary()->rbio_client().scans_sent(), 0u);
+  EXPECT_GT(d.page_server(0)->scan_requests(), 0u);
+  d.Stop();
+}
+
+TEST(PushdownEndToEndTest, ConfigEpochChangeInvalidatesScanSupportMemo) {
+  Simulator s;
+  service::DeploymentOptions o = SmallDeployment();
+  o.page_server.rbio_max_version = 3;  // scans rejected and memoized
+  service::Deployment d(s, o);
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 2000);
+    ScanFilter filter;
+    filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+    bool pushed = true;
+    co_await ComparePlans(d.primary_engine(), 2000, filter, &pushed);
+    EXPECT_FALSE(pushed);
+    EXPECT_EQ(d.primary()->rbio_client().scans_sent(), 1u);
+    // Memoized: the second scan never touches the wire.
+    co_await ComparePlans(d.primary_engine(), 2000, filter, &pushed);
+    EXPECT_EQ(d.primary()->rbio_client().scans_sent(), 1u);
+    // Reconfigure the partition: promote a hot-standby replica. The
+    // endpoint name now resolves to a different physical server, so the
+    // config-epoch bump must drop the stale capability memo and let the
+    // client probe the replacement.
+    EXPECT_TRUE((co_await d.AddPageServerReplica(0)).ok());
+    const uint64_t epoch_before = d.config_epoch();
+    EXPECT_TRUE((co_await d.FailoverPageServer(0)).ok());
+    EXPECT_GT(d.config_epoch(), epoch_before);
+    co_await ComparePlans(d.primary_engine(), 2000, filter, &pushed);
+    EXPECT_EQ(d.primary()->rbio_client().scans_sent(), 2u);
+  });
+  d.Stop();
+}
+
 TEST(PushdownEndToEndTest, TransientFailuresFallBackWithoutWrongResults) {
   Simulator s;
   service::Deployment d(s, SmallDeployment());
@@ -655,6 +753,401 @@ TEST(PushdownEndToEndTest, SecondaryScansAtAppliedWatermark) {
   });
   EXPECT_GT(d.secondary(0)->rbio_client().scans_sent(), 0u);
   d.Stop();
+}
+
+// ------------------------------------- residency-aware cost planner
+
+// FakeScanner with a test-controlled cost model (the base class keeps
+// the model disabled so the legacy-gate suites above stay legacy).
+class CostFakeScanner : public FakeScanner {
+ public:
+  PushdownCostModel cm;
+
+  CostFakeScanner() { cm.enabled = true; }
+  PushdownCostModel CostModel() const override { return cm; }
+
+  Task<Result<RemoteScanChunk>> ScanLeaves(
+      PageId leaf, const RemoteScanSpec& spec) override {
+    auto r = co_await FakeScanner::ScanLeaves(leaf, spec);
+    if (r.ok() && !r->fence_miss) {
+      // The EWMA denominator: pretend one leaf per 64 keys evaluated.
+      uint64_t span = (r->resume_key > spec.start_key
+                           ? r->resume_key - spec.start_key
+                           : 64);
+      r->pages_scanned = (span + 63) / 64;
+    }
+    co_return r;
+  }
+};
+
+// Deployment sized so residency is test-controlled: the compute memory
+// tier either holds the whole fixture (warm) or is emptied by a
+// non-recoverable restart (cold).
+service::DeploymentOptions PlannerDeployment() {
+  service::DeploymentOptions o;
+  o.partition_map.pages_per_partition = 8192;
+  o.num_page_servers = 1;
+  o.compute.mem_pages = 2048;
+  o.compute.ssd_pages = 8192;
+  o.compute.warmup_after_recovery = false;
+  o.compute.rbpex_recoverable = false;  // restart = fully cold tiers
+  return o;  // pushdown_cost_planning stays at its default (on)
+}
+
+// Run one cost-planned scan, snapshot the plan the engine chose, then
+// compare against the detached-scanner local plan row for row.
+Task<> PlannedScanAndCompare(engine::Engine* e, uint64_t n,
+                             const ScanFilter& filter,
+                             FilteredScanResult* planned,
+                             ScanPlanDebug* plan) {
+  auto txn = e->Begin(true);
+  auto remote = co_await e->ScanWhere(txn.get(), MakeKey(1, 0),
+                                      MakeKey(1, n), 0, filter);
+  EXPECT_TRUE(remote.ok());
+  *plan = e->last_scan_plan();  // before the local compare overwrites it
+  RemoteScanner* scanner = e->remote_scanner();
+  e->SetRemoteScanner(nullptr);
+  auto local = co_await e->ScanWhere(txn.get(), MakeKey(1, 0),
+                                     MakeKey(1, n), 0, filter);
+  e->SetRemoteScanner(scanner);
+  EXPECT_TRUE(local.ok());
+  if (remote.ok() && local.ok()) {
+    EXPECT_EQ(remote->rows, local->rows);
+    EXPECT_EQ(remote->agg.rows, local->agg.rows);
+    EXPECT_EQ(remote->agg.value, local->agg.value);
+    *planned = std::move(*remote);
+  }
+  (void)co_await e->Commit(txn.get());
+}
+
+TEST(ScanCostPlannerTest, WarmRangeStaysLocal) {
+  Simulator s;
+  service::Deployment d(s, PlannerDeployment());
+  FilteredScanResult r;
+  ScanPlanDebug plan;
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 3000);  // loads through the pool
+    ScanFilter filter;
+    filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+    filter.projection.extents.push_back({0, 8});
+    co_await PlannedScanAndCompare(d.primary_engine(), 3000, filter, &r,
+                                   &plan);
+  });
+  // PR 8's warm inversion, eliminated: the probe sees the range resident
+  // and the planner keeps it on the memory tier instead of paying RBIO
+  // round trips for data that is already here.
+  EXPECT_EQ(plan.kind, ScanPlanDebug::Kind::kLocal);
+  EXPECT_GT(plan.resident_frac, 0.9);
+  EXPECT_LT(plan.est_local_us, plan.est_push_us);
+  EXPECT_FALSE(r.pushed_down);
+  EXPECT_EQ(d.primary()->rbio_client().scans_sent(), 0u);
+  d.Stop();
+}
+
+TEST(ScanCostPlannerTest, ColdRangePushesDown) {
+  Simulator s;
+  service::Deployment d(s, PlannerDeployment());
+  FilteredScanResult r;
+  ScanPlanDebug plan;
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 3000);
+    EXPECT_TRUE((co_await d.Checkpoint()).ok());
+    // Non-recoverable RBPEX: the restart empties both compute tiers.
+    EXPECT_TRUE((co_await d.RestartPrimary()).ok());
+    ScanFilter filter;
+    filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+    filter.projection.extents.push_back({0, 8});
+    co_await PlannedScanAndCompare(d.primary_engine(), 3000, filter, &r,
+                                   &plan);
+  });
+  EXPECT_EQ(plan.kind, ScanPlanDebug::Kind::kPushdown);
+  EXPECT_LT(plan.resident_frac, 0.5);
+  EXPECT_LT(plan.est_push_us, plan.est_local_us);
+  EXPECT_TRUE(r.pushed_down);
+  EXPECT_GT(d.primary()->rbio_client().scans_sent(), 0u);
+  d.Stop();
+}
+
+TEST(ScanCostPlannerTest, MixedResidencyPicksHybrid) {
+  Simulator s;
+  service::Deployment d(s, PlannerDeployment());
+  FilteredScanResult r;
+  ScanPlanDebug plan;
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 6000);
+    EXPECT_TRUE((co_await d.Checkpoint()).ok());
+    EXPECT_TRUE((co_await d.RestartPrimary()).ok());
+    engine::Engine* e = d.primary_engine();
+    // Warm exactly the first half with a scanner-detached local scan.
+    RemoteScanner* scanner = e->remote_scanner();
+    e->SetRemoteScanner(nullptr);
+    {
+      auto txn = e->Begin(true);
+      ScanFilter all;
+      auto warm = co_await e->ScanWhere(txn.get(), MakeKey(1, 0),
+                                        MakeKey(1, 3000), 0, all);
+      EXPECT_TRUE(warm.ok());
+      (void)co_await e->Commit(txn.get());
+    }
+    e->SetRemoteScanner(scanner);
+    ScanFilter filter;
+    filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+    filter.projection.extents.push_back({0, 8});
+    co_await PlannedScanAndCompare(e, 6000, filter, &r, &plan);
+  });
+  // Warm prefix read locally, cold suffix pushed: one plan, both paths.
+  EXPECT_EQ(plan.kind, ScanPlanDebug::Kind::kHybrid);
+  EXPECT_GT(plan.split_key, MakeKey(1, 1500));
+  EXPECT_LT(plan.split_key, MakeKey(1, 4500));
+  EXPECT_LT(plan.est_hybrid_us, plan.est_local_us);
+  EXPECT_LT(plan.est_hybrid_us, plan.est_push_us);
+  EXPECT_TRUE(r.pushed_down);
+  EXPECT_EQ(d.primary_engine()->stats().hybrid_scans, 1u);
+  EXPECT_GT(d.primary()->rbio_client().scans_sent(), 0u);
+  d.Stop();
+}
+
+TEST(ScanCostPlannerTest, LegacyGateWhenModelDisabled) {
+  EngineFixture f;
+  f.engine->SetRemoteScanner(&f.fake);  // base fake: cost model off
+  ScanFilter filter;
+  filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+  RunSim(f.sim, [&]() -> Task<> {
+    auto txn = f.engine->Begin(true);
+    auto r = co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, filter);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_TRUE(r->pushed_down);
+    }
+    (void)co_await f.engine->Commit(txn.get());
+  });
+  EXPECT_EQ(f.engine->last_scan_plan().kind, ScanPlanDebug::Kind::kLegacy);
+}
+
+TEST(ScanCostPlannerTest, EwmaFeedbackConvergesToObservedCost) {
+  EngineFixture f;
+  CostFakeScanner scanner;
+  scanner.data = f.fake.data;
+  // Mis-tune the model toward pushdown: the fake remote path is
+  // virtually free, so feedback must drive remote_corr to the clamp
+  // floor and keep the plan pinned to the observed-cheaper path.
+  scanner.cm.round_trip_us = 1;
+  scanner.cm.remote_leaf_us = 0.5;
+  f.engine->SetRemoteScanner(&scanner);
+  ScanFilter filter;
+  filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+  std::vector<double> corrs;
+  RunSim(f.sim, [&]() -> Task<> {
+    for (int i = 0; i < 6; i++) {
+      auto txn = f.engine->Begin(true);
+      auto r = co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, filter);
+      EXPECT_TRUE(r.ok());
+      if (r.ok()) {
+        EXPECT_TRUE(r->pushed_down);
+      }
+      corrs.push_back(f.engine->last_scan_plan().remote_corr);
+      EXPECT_EQ(f.engine->last_scan_plan().kind,
+                ScanPlanDebug::Kind::kPushdown);
+      (void)co_await f.engine->Commit(txn.get());
+    }
+  });
+  ASSERT_EQ(corrs.size(), 6u);
+  // First plan has no feedback yet.
+  EXPECT_DOUBLE_EQ(corrs[0], 1.0);
+  // The observed/modeled ratio of a free remote path clamps at 0.05;
+  // the first observation seeds the EWMA directly, then it holds.
+  EXPECT_NEAR(corrs[1], 0.05, 1e-9);
+  for (size_t i = 2; i < corrs.size(); i++) {
+    EXPECT_NEAR(corrs[i], 0.05, 1e-9);
+  }
+}
+
+TEST(ScanCostPlannerTest, EwmaBlendsLaterObservations) {
+  // Unit check of the blend itself: seed ratio r1, then alpha-blend r2.
+  EngineFixture f;
+  CostFakeScanner scanner;
+  scanner.data = f.fake.data;
+  scanner.cm.round_trip_us = 1;
+  scanner.cm.remote_leaf_us = 0.5;
+  scanner.cm.ewma_alpha = 0.3;
+  f.engine->SetRemoteScanner(&scanner);
+  ScanFilter filter;
+  filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+  RunSim(f.sim, [&]() -> Task<> {
+    // Two scans over DIFFERENT ranges hash to independent EWMA buckets:
+    // feedback for one range never contaminates another.
+    auto txn = f.engine->Begin(true);
+    (void)co_await f.engine->ScanWhere(txn.get(), 0, 400, 0, filter);
+    double corr_a = f.engine->last_scan_plan().remote_corr;
+    (void)co_await f.engine->ScanWhere(txn.get(), 0, 200, 0, filter);
+    double corr_b = f.engine->last_scan_plan().remote_corr;
+    // The second range had no prior feedback of its own.
+    EXPECT_DOUBLE_EQ(corr_a, 1.0);
+    EXPECT_DOUBLE_EQ(corr_b, 1.0);
+    (void)co_await f.engine->Commit(txn.get());
+  });
+}
+
+// --------------------------------------------- Page Server admission
+
+// A deployment whose Page Server is easy to degrade: a tiny server
+// memory tier (point reads fall through to the covering RBPEX, so their
+// service times are SSD-bound) and a p99 health bar set below that
+// SSD-bound service time, so a full sample window marks the server
+// degraded deterministically.
+service::DeploymentOptions AdmissionDeployment() {
+  service::DeploymentOptions o;
+  o.partition_map.pages_per_partition = 8192;
+  o.num_page_servers = 1;
+  o.compute.mem_pages = 96;  // compute misses reach the server
+  o.compute.ssd_pages = 128;
+  o.compute.pushdown_cost_planning = false;  // force the wire path
+  o.compute.warmup_after_recovery = false;   // restart = fully cold tiers
+  o.compute.rbpex_recoverable = false;
+  o.page_server.mem_pages = 48;  // server misses reach the SSD tier
+  o.page_server.scan_admission_p99_us = 2;
+  return o;
+}
+
+// Serve `n` cold point reads so the server's GetPage p99 window fills
+// with slow (XStore-bound) samples.
+Task<> ColdPointReads(engine::Engine* e, uint64_t n, uint64_t range) {
+  auto txn = e->Begin(true);
+  for (uint64_t i = 0; i < n; i++) {
+    auto v = co_await e->Get(txn.get(), MakeKey(1, (i * 97) % range));
+    EXPECT_TRUE(v.ok());
+  }
+  (void)co_await e->Commit(txn.get());
+}
+
+TEST(ScanAdmissionTest, HealthyServerAdmitsImmediately) {
+  Simulator s;
+  service::DeploymentOptions o = AdmissionDeployment();
+  o.page_server.scan_admission_p99_us = 0;       // disable p99 trigger
+  o.page_server.scan_admission_getpage_depth = 0;  // disable depth trigger
+  service::Deployment d(s, o);
+  bool pushed = false;
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 3000);
+    ScanFilter filter;
+    filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+    co_await ComparePlans(d.primary_engine(), 3000, filter, &pushed);
+  });
+  EXPECT_TRUE(pushed);
+  EXPECT_EQ(d.page_server(0)->scans_queued(), 0u);
+  EXPECT_EQ(d.page_server(0)->scans_rejected(), 0u);
+  d.Stop();
+}
+
+TEST(ScanAdmissionTest, DegradedServerQueuesScansBehindTokenBucket) {
+  Simulator s;
+  service::Deployment d(s, AdmissionDeployment());
+  bool pushed = false;
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 3000);
+    EXPECT_TRUE((co_await d.Checkpoint()).ok());
+    // Cold restart so point reads actually leave the compute tier, then
+    // fill the server's GetPage window with slow XStore-bound reads.
+    EXPECT_TRUE((co_await d.RestartPrimary()).ok());
+    co_await ColdPointReads(d.primary_engine(), 32, 3000);
+    EXPECT_GT(d.page_server(0)->recent_getpage_p99_us(), 2u);
+    ScanFilter filter;
+    filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+    co_await ComparePlans(d.primary_engine(), 3000, filter, &pushed);
+  });
+  // The scan was admitted — after paying the token bucket, not shed.
+  EXPECT_TRUE(pushed);
+  EXPECT_GT(d.page_server(0)->scans_queued(), 0u);
+  EXPECT_EQ(d.page_server(0)->scans_rejected(), 0u);
+  EXPECT_GT(d.page_server(0)->scan_queue_wait_us().max(), 0.0);
+  d.Stop();
+}
+
+TEST(ScanAdmissionTest, OverloadShedsScanAndClientFallsBackEqual) {
+  Simulator s;
+  service::DeploymentOptions o = AdmissionDeployment();
+  // A token every ~30 minutes: every degraded-window scan is shed.
+  o.page_server.scan_admission_tokens_per_s = 0.0005;
+  service::Deployment d(s, o);
+  bool pushed = true;
+  RunSim(s, [&]() -> Task<> {
+    EXPECT_TRUE((co_await d.Start()).ok());
+    co_await Load(d.primary_engine(), 3000);
+    EXPECT_TRUE((co_await d.Checkpoint()).ok());
+    EXPECT_TRUE((co_await d.RestartPrimary()).ok());
+    co_await ColdPointReads(d.primary_engine(), 32, 3000);
+    ScanFilter filter;
+    filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+    // Cross-plan equality under kOverloaded: the shed scan falls back
+    // to the local page path and must lose no rows.
+    co_await ComparePlans(d.primary_engine(), 3000, filter, &pushed);
+    EXPECT_EQ(d.page_server(0)->scans_rejected(), 1u);
+    const uint64_t served_after_shed = d.page_server(0)->scan_requests();
+    // Within the overload backoff the client doesn't even try the wire.
+    bool pushed2 = true;
+    co_await ComparePlans(d.primary_engine(), 3000, filter, &pushed2);
+    EXPECT_FALSE(pushed2);
+    EXPECT_EQ(d.page_server(0)->scan_requests(), served_after_shed);
+    // Past the backoff the endpoint is probed again (the memo is
+    // temporary, unlike the NotSupported version ladder).
+    co_await sim::Delay(s, 60 * 1000);
+    bool pushed3 = true;
+    co_await ComparePlans(d.primary_engine(), 3000, filter, &pushed3);
+    EXPECT_GT(d.page_server(0)->scan_requests(), served_after_shed);
+  });
+  EXPECT_FALSE(pushed);  // first scan fell back locally
+  EXPECT_GT(d.primary()->rbio_client().scans_overloaded(), 0u);
+  EXPECT_GT(d.primary_engine()->stats().pushdown_overloaded, 0u);
+  EXPECT_GT(d.primary_engine()->stats().pushdown_fallbacks, 0u);
+  d.Stop();
+}
+
+TEST(ScanAdmissionTest, PointReadP99DefendedWhileScansShed) {
+  // Identical interference runs, admission on vs off; the defended
+  // server must not serve point reads any worse than the undefended one.
+  auto run = [](bool admission, uint64_t* queued_or_shed) {
+    Simulator s;
+    service::DeploymentOptions o = AdmissionDeployment();
+    o.page_server.scan_admission_enabled = admission;
+    o.page_server.scan_admission_tokens_per_s = 0.0005;
+    service::Deployment d(s, o);
+    double p99 = 0;
+    RunSim(s, [&]() -> Task<> {
+      EXPECT_TRUE((co_await d.Start()).ok());
+      co_await Load(d.primary_engine(), 3000);
+      EXPECT_TRUE((co_await d.Checkpoint()).ok());
+      EXPECT_TRUE((co_await d.RestartPrimary()).ok());
+      engine::Engine* e = d.primary_engine();
+      // Degrade the window, then interleave scans with point reads.
+      co_await ColdPointReads(e, 32, 3000);
+      ScanFilter filter;
+      filter.predicate = common::ScanPredicate::KeyModEq(16, 1);
+      for (int round = 0; round < 4; round++) {
+        auto txn = e->Begin(true);
+        auto r = co_await e->ScanWhere(txn.get(), MakeKey(1, 0),
+                                       MakeKey(1, 3000), 0, filter);
+        EXPECT_TRUE(r.ok());
+        (void)co_await e->Commit(txn.get());
+        co_await ColdPointReads(e, 16, 3000);
+      }
+      p99 = d.page_server(0)->getpage_service_us().Percentile(99.0);
+      *queued_or_shed = d.page_server(0)->scans_queued() +
+                       d.page_server(0)->scans_rejected();
+    });
+    d.Stop();
+    return p99;
+  };
+  uint64_t on_gated = 0, off_gated = 0;
+  double p99_on = run(true, &on_gated);
+  double p99_off = run(false, &off_gated);
+  EXPECT_GT(on_gated, 0u);   // admission actually intervened
+  EXPECT_EQ(off_gated, 0u);  // counterfactual ran ungated
+  EXPECT_LE(p99_on, p99_off * 1.05);
 }
 
 }  // namespace

@@ -313,6 +313,99 @@ TEST(RbioCodecTest, V3NotSupportedReplyDecodesAsScanFallbackSignal) {
   EXPECT_TRUE(out.tuples.empty());
 }
 
+TEST(RbioCodecTest, ScanRangeRequestV5RoundTrip) {
+  ScanRangeRequest req;
+  req.start_key = 100;
+  req.end_key = 900;
+  req.predicate = common::ScanPredicate::KeyRange(100, 900);
+  req.predicate.And(common::ScanPredicate::KeyModEq(7, 3));
+  req.aggregate = common::ScanAggregate::Count();
+  req.extra_aggregates.push_back(common::ScanAggregate::Sum(0));
+  req.extra_aggregates.push_back(common::ScanAggregate::Max(8));
+  EXPECT_TRUE(req.NeedsV5());
+  EXPECT_EQ(req.MinFrameVersion(), kScanExprV5MinVersion);
+  std::string wire = req.Encode(req.MinFrameVersion());
+  ScanRangeRequest out;
+  uint16_t v = 0;
+  ASSERT_TRUE(ScanRangeRequest::Decode(Slice(wire), &out, &v).ok());
+  EXPECT_EQ(v, kScanExprV5MinVersion);
+  EXPECT_EQ(out.predicate.op, common::PredOp::kKeyRange);
+  ASSERT_EQ(out.predicate.conjuncts.size(), 1u);
+  EXPECT_EQ(out.predicate.conjuncts[0].a, 7u);
+  ASSERT_EQ(out.extra_aggregates.size(), 2u);
+  EXPECT_EQ(out.extra_aggregates[0].fn, common::AggFn::kSum);
+  EXPECT_EQ(out.extra_aggregates[1].fn, common::AggFn::kMax);
+  // A server capped at v4 rejects the v5 frame — negotiation signal.
+  EXPECT_TRUE(ScanRangeRequest::Decode(Slice(wire), &out, &v,
+                                       /*max_version=*/4)
+                  .IsNotSupported());
+  // Truncations rejected, never mis-read.
+  for (size_t cut = 0; cut < wire.size(); cut++) {
+    EXPECT_FALSE(
+        ScanRangeRequest::Decode(Slice(wire.data(), cut), &out, &v).ok());
+  }
+}
+
+TEST(RbioCodecTest, V4ExpressibleSpecFramesByteIdenticalV4) {
+  // A spec using no v5 vocabulary must hit the wire exactly as the v4
+  // codec framed it, whatever the client's own protocol version — the
+  // backward-compat contract for mixed fleets.
+  ScanRangeRequest req;
+  req.start_key = 10;
+  req.end_key = 500;
+  req.predicate = common::ScanPredicate::KeyModEq(16, 1);
+  req.projection.extents.push_back({0, 8});
+  EXPECT_FALSE(req.NeedsV5());
+  EXPECT_EQ(req.MinFrameVersion(), kScanRangeMinVersion);
+  EXPECT_EQ(req.Encode(req.MinFrameVersion()),
+            req.Encode(/*version=*/kScanRangeMinVersion));
+  ScanRangeRequest out;
+  uint16_t v = 0;
+  ASSERT_TRUE(ScanRangeRequest::Decode(
+                  Slice(req.Encode(req.MinFrameVersion())), &out, &v)
+                  .ok());
+  EXPECT_EQ(v, kScanRangeMinVersion);
+  EXPECT_TRUE(out.extra_aggregates.empty());
+}
+
+TEST(RbioCodecTest, ScanRangeResponseExtraAggsRoundTrip) {
+  ScanRangeResponse resp;
+  resp.status = Status::OK();
+  resp.complete = true;
+  resp.aggregated = true;
+  resp.agg.rows = 50;
+  resp.agg.value = 111;
+  common::AggState s1;
+  s1.rows = 50;
+  s1.value = 4242;
+  common::AggState s2;
+  s2.rows = 50;
+  s2.value = 99;
+  resp.extra_aggs.push_back(s1);
+  resp.extra_aggs.push_back(s2);
+  auto frame = std::make_shared<const std::string>(resp.Encode());
+  ScanRangeResponse out;
+  ASSERT_TRUE(ScanRangeResponse::Decode(frame, &out).ok());
+  EXPECT_TRUE(out.aggregated);
+  EXPECT_EQ(out.agg.rows, 50u);
+  ASSERT_EQ(out.extra_aggs.size(), 2u);
+  EXPECT_EQ(out.extra_aggs[0].value, 4242u);
+  EXPECT_EQ(out.extra_aggs[1].value, 99u);
+}
+
+TEST(RbioCodecTest, OverloadedStatusSurvivesWire) {
+  // kOverloaded is the scan-admission shed signal; it must round-trip so
+  // the client planner can distinguish it from NotSupported (permanent)
+  // and Unavailable (retried by transport).
+  ScanRangeResponse resp;
+  resp.status = Status::Overloaded("ps: scan admission shed");
+  auto frame = std::make_shared<const std::string>(resp.Encode());
+  ScanRangeResponse out;
+  ASSERT_TRUE(ScanRangeResponse::Decode(frame, &out).ok());
+  EXPECT_TRUE(out.status.IsOverloaded());
+  EXPECT_FALSE(out.status.IsNotSupported());
+}
+
 // ------------------------------------------------------------ mock server
 
 class MockServer : public RbioServer {
