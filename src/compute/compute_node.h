@@ -46,9 +46,15 @@ namespace compute {
 /// Routes pages to the Page Server(s) owning their partition: one main
 /// server plus any number of hot-standby replicas (§6). The RBIO client
 /// picks among them by observed latency and fails over on outages.
+///
+/// ServerFor/EndpointsFor are virtual so a fleet gateway can interpose:
+/// a multi-tenant router resolves pages to per-tenant gateway ports
+/// instead of Page Servers directly (src/fleet/gateway.h), and the
+/// compute tier never knows the difference.
 class PageServerRouter {
  public:
   explicit PageServerRouter(xlog::PartitionMap pmap) : pmap_(pmap) {}
+  virtual ~PageServerRouter() = default;
 
   void Add(PartitionId partition, pageserver::PageServer* server) {
     servers_[partition] = server;
@@ -58,14 +64,14 @@ class PageServerRouter {
   }
   void Remove(PartitionId partition) { servers_.erase(partition); }
 
-  pageserver::PageServer* ServerFor(PageId page) const {
+  virtual pageserver::PageServer* ServerFor(PageId page) const {
     auto it = servers_.find(pmap_.PartitionOf(page));
     return it == servers_.end() ? nullptr : it->second;
   }
 
   /// RBIO endpoints for the partition owning `page`: main first, then
   /// replicas.
-  std::vector<rbio::Endpoint> EndpointsFor(PageId page) const {
+  virtual std::vector<rbio::Endpoint> EndpointsFor(PageId page) const {
     std::vector<rbio::Endpoint> out;
     PartitionId part = pmap_.PartitionOf(page);
     auto it = servers_.find(part);

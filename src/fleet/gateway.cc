@@ -1,0 +1,195 @@
+#include "fleet/gateway.h"
+
+namespace socrates {
+namespace fleet {
+
+sim::Task<Result<std::string>> TenantPort::HandleRbio(
+    const std::string& frame) {
+  co_return co_await gw_->Forward(this, frame);
+}
+
+pageserver::PageServer* TenantRouter::ServerFor(PageId page) const {
+  return directory_->Resolve(tenant_, partition_map().PartitionOf(page));
+}
+
+std::vector<rbio::Endpoint> TenantRouter::EndpointsFor(PageId page) const {
+  TenantPort* port =
+      gw_->PortFor(tenant_, partition_map().PartitionOf(page));
+  return {rbio::Endpoint{port, port->name()}};
+}
+
+Gateway::Gateway(sim::Simulator& sim, TenantDirectory* directory,
+                 const GatewayOptions& options)
+    : sim_(sim),
+      directory_(directory),
+      opts_(options),
+      cpu_(sim, options.cpu_cores) {}
+
+compute::PageServerRouter* Gateway::RouterFor(
+    TenantId tenant, const xlog::PartitionMap& pmap) {
+  auto it = routers_.find(tenant);
+  if (it == routers_.end()) {
+    it = routers_
+             .emplace(tenant, std::make_unique<TenantRouter>(
+                                  this, directory_, tenant, pmap))
+             .first;
+  }
+  return it->second.get();
+}
+
+TenantPort* Gateway::PortFor(TenantId tenant, PartitionId partition) {
+  auto key = std::make_pair(tenant, partition);
+  auto it = ports_.find(key);
+  if (it == ports_.end()) {
+    it = ports_
+             .emplace(key,
+                      std::make_unique<TenantPort>(this, tenant, partition))
+             .first;
+  }
+  return it->second.get();
+}
+
+void Gateway::Refill(TenantQos& q) {
+  const SimTime now = sim_.now();
+  if (!q.primed) {
+    q.tokens = opts_.tenant_burst;
+    q.primed = true;
+  } else if (now > q.refilled_at) {
+    q.tokens += static_cast<double>(now - q.refilled_at) *
+                opts_.tenant_tokens_per_s / 1e6;
+    if (q.tokens > opts_.tenant_burst) q.tokens = opts_.tenant_burst;
+  }
+  q.refilled_at = now;
+}
+
+namespace {
+
+// Shed response: the format-shared [version][status] prefix means this
+// decodes as an error PageResponse, batch response or ScanRangeResponse
+// alike — the client's existing overload machinery (backoff + local-plan
+// fallback) handles it with no gateway-specific wire format.
+std::string EncodeShed(const char* why) {
+  rbio::PageResponse resp;
+  resp.status = Status::Overloaded(why);
+  return resp.Encode();
+}
+
+}  // namespace
+
+sim::Task<Result<std::string>> Gateway::Forward(TenantPort* port,
+                                                const std::string& frame) {
+  TenantRecord* rec = directory_->Lookup(port->tenant_);
+  if (rec == nullptr || rec->deployment == nullptr) {
+    co_return Result<std::string>(
+        Status::Unavailable("gateway: unknown tenant"));
+  }
+  // Epoch-fenced route cache: any reconfiguration of this tenant bumps
+  // the route epoch and forces a re-resolve on next use. The cached
+  // server can still go stale *mid-flight* (a migration cuts over while
+  // this frame is queued behind QoS) — then the stopped incumbent
+  // answers Unavailable and the client's retry resolves fresh. Routes
+  // are never silently wrong, and never left broken.
+  const uint64_t epoch = directory_->RouteEpoch(port->tenant_);
+  TenantQos& q = qos_[port->tenant_];
+  if (port->server_ == nullptr || port->epoch_ != epoch) {
+    pageserver::PageServer* server =
+        directory_->Resolve(port->tenant_, port->partition_);
+    if (server == nullptr) {
+      co_return Result<std::string>(
+          Status::Unavailable("gateway: no route for partition"));
+    }
+    if (port->server_ != nullptr) q.route_refreshes++;
+    port->server_ = server;
+    port->epoch_ = epoch;
+    port->host_site_ = rec->deployment->PageServerSite(port->partition_);
+  }
+
+  const bool is_scan =
+      rbio::PeekMessageType(frame) == rbio::MessageType::kScanRange;
+  if (opts_.qos_enabled) {
+    if (is_scan) {
+      auto it = q.scan_backoff_until.find(port->host_site_);
+      if (it != q.scan_backoff_until.end()) {
+        if (sim_.now() < it->second) {
+          q.scans_shed_backoff++;
+          frames_shed_++;
+          co_return EncodeShed("gateway: tenant in scan backoff");
+        }
+        q.scan_backoff_until.erase(it);
+      }
+    }
+    if (is_scan && opts_.scan_hold_off_us > 0) {
+      // Bulk yields to interactive: another tenant's point read on this
+      // host inside the window means the scan's CPU burst would land on
+      // an interactive server. Shed it — the scanner's client falls back
+      // to its local plan and backs off.
+      auto hp = host_points_.find(port->host_site_);
+      if (hp != host_points_.end()) {
+        for (const auto& [t, at] : hp->second) {
+          if (t != port->tenant_ &&
+              sim_.now() < at + opts_.scan_hold_off_us) {
+            q.scans_shed_holdoff++;
+            frames_shed_++;
+            co_return EncodeShed("gateway: host serving interactive");
+          }
+        }
+      }
+    }
+    const double cost = is_scan ? opts_.scan_cost : opts_.page_cost;
+    Refill(q);
+    if (is_scan && q.tokens < cost) {
+      const SimTime wait = static_cast<SimTime>(
+          (cost - q.tokens) * 1e6 / opts_.tenant_tokens_per_s);
+      if (wait > opts_.max_scan_wait_us) {
+        q.scans_shed_quota++;
+        frames_shed_++;
+        co_return EncodeShed("gateway: tenant scan quota");
+      }
+    }
+    // Pace until the bucket covers the cost. Points are never shed: an
+    // over-quota tenant's point reads stretch out, they don't error.
+    while (q.tokens < cost) {
+      const SimTime wait = static_cast<SimTime>(
+                               (cost - q.tokens) * 1e6 /
+                               opts_.tenant_tokens_per_s) +
+                           1;
+      q.throttle_waits++;
+      q.throttle_wait_us_total += wait;
+      co_await sim::Delay(sim_, wait);
+      Refill(q);
+    }
+    q.tokens -= cost;
+  }
+
+  if (is_scan) {
+    q.scans_forwarded++;
+  } else {
+    q.points_forwarded++;
+    if (opts_.qos_enabled && opts_.scan_hold_off_us > 0) {
+      host_points_[port->host_site_][port->tenant_] = sim_.now();
+    }
+  }
+  frames_forwarded_++;
+  co_await cpu_.Consume(opts_.cpu_per_frame_us);
+  if (opts_.hop_latency_us > 0) {
+    co_await sim::Delay(sim_, opts_.hop_latency_us);
+  }
+  pageserver::PageServer* target = port->server_;
+  Result<std::string> resp = co_await target->HandleRbio(frame);
+
+  // A Page Server that shed this tenant's scan (host admission control)
+  // earns a (tenant, host) backoff window: this tenant's next scans to
+  // that host short-circuit at the gateway, other tenants are untouched.
+  if (is_scan && resp.ok() && opts_.qos_enabled) {
+    Status prefix;
+    if (rbio::DecodeResponseStatusPrefix(Slice(*resp), &prefix).ok() &&
+        prefix.IsOverloaded()) {
+      q.scan_backoff_until[port->host_site_] =
+          sim_.now() + opts_.scan_backoff_us;
+    }
+  }
+  co_return resp;
+}
+
+}  // namespace fleet
+}  // namespace socrates

@@ -1,0 +1,42 @@
+#include "fleet/tenant_directory.h"
+
+namespace socrates {
+namespace fleet {
+
+void TenantDirectory::Register(TenantId tenant,
+                               service::Deployment* deployment) {
+  TenantRecord& rec = tenants_[tenant];
+  rec.id = tenant;
+  rec.deployment = deployment;
+}
+
+TenantRecord* TenantDirectory::Lookup(TenantId tenant) {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+const TenantRecord* TenantDirectory::Lookup(TenantId tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+uint64_t TenantDirectory::RouteEpoch(TenantId tenant) const {
+  const TenantRecord* rec = Lookup(tenant);
+  if (rec == nullptr || rec->deployment == nullptr) return 0;
+  return rec->placement_epoch + rec->deployment->config_epoch();
+}
+
+pageserver::PageServer* TenantDirectory::Resolve(TenantId tenant,
+                                                 PartitionId partition) {
+  TenantRecord* rec = Lookup(tenant);
+  if (rec == nullptr || rec->deployment == nullptr) return nullptr;
+  return rec->deployment->ServingPageServer(partition);
+}
+
+void TenantDirectory::BumpPlacement(TenantId tenant) {
+  TenantRecord* rec = Lookup(tenant);
+  if (rec != nullptr) rec->placement_epoch++;
+}
+
+}  // namespace fleet
+}  // namespace socrates

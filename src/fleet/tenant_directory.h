@@ -1,0 +1,64 @@
+// TenantDirectory: the fleet control plane's authoritative map from
+// tenant id to that tenant's deployment, serving topology, and placement
+// epoch (paper §6: many databases, one shared pool of Page Servers, XLOG
+// and XStore capacity).
+//
+// The directory is the source of truth the gateway routes against. A
+// route is valid only under the route epoch it was resolved at; any
+// reconfiguration that can move a partition — primary failover, Page
+// Server recovery, live migration — bumps the epoch, and every cached
+// route re-resolves on its next use. Stale routes are therefore never
+// *wrong*, only slow: a request routed on a dead epoch lands on a
+// stopped incumbent, fails Unavailable, and the retry resolves fresh.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/types.h"
+#include "service/deployment.h"
+
+namespace socrates {
+namespace fleet {
+
+using TenantId = uint32_t;
+
+/// One tenant's directory entry. `placement_epoch` counts completed
+/// partition migrations; the deployment's own config epoch counts every
+/// other reconfiguration. Their sum is the route epoch.
+struct TenantRecord {
+  TenantId id = 0;
+  service::Deployment* deployment = nullptr;
+  uint64_t placement_epoch = 0;
+};
+
+class TenantDirectory {
+ public:
+  void Register(TenantId tenant, service::Deployment* deployment);
+
+  /// Null when the tenant was never registered.
+  TenantRecord* Lookup(TenantId tenant);
+  const TenantRecord* Lookup(TenantId tenant) const;
+
+  /// The epoch every cached route for `tenant` is fenced on. Monotonic:
+  /// both terms only grow. 0 for unknown tenants.
+  uint64_t RouteEpoch(TenantId tenant) const;
+
+  /// The Page Server currently serving `partition` of `tenant` (the
+  /// deployment's serving truth, after any failover/migration), or null.
+  pageserver::PageServer* Resolve(TenantId tenant, PartitionId partition);
+
+  /// Record a completed migration: invalidates every route cached for
+  /// the tenant (the deployment's config-epoch bump at cutover already
+  /// did; this keeps the directory's migration count authoritative).
+  void BumpPlacement(TenantId tenant);
+
+  size_t size() const { return tenants_.size(); }
+
+ private:
+  std::map<TenantId, TenantRecord> tenants_;
+};
+
+}  // namespace fleet
+}  // namespace socrates

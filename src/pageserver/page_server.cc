@@ -14,13 +14,19 @@ namespace pageserver {
 // co_return paths).
 namespace {
 struct ScopedInflight {
-  explicit ScopedInflight(uint64_t* counter) : counter(counter) {
+  explicit ScopedInflight(uint64_t* counter, uint64_t* host = nullptr)
+      : counter(counter), host(host) {
     (*counter)++;
+    if (host != nullptr) (*host)++;
   }
-  ~ScopedInflight() { (*counter)--; }
+  ~ScopedInflight() {
+    (*counter)--;
+    if (host != nullptr) (*host)--;
+  }
   ScopedInflight(const ScopedInflight&) = delete;
   ScopedInflight& operator=(const ScopedInflight&) = delete;
   uint64_t* counter;
+  uint64_t* host;
 };
 
 // Find the version visible at `read_ts` in an encoded VersionChain
@@ -134,7 +140,12 @@ PageServer::PageServer(sim::Simulator& sim, xlog::XLogProcess* xlog,
                      ? BlobName(options.partition)
                      : options.blob_override),
       meta_blob_(data_blob_ + "/meta"),
-      cpu_(std::make_unique<sim::CpuResource>(sim, options.cpu_cores)),
+      owned_cpu_(options.shared_cpu != nullptr
+                     ? nullptr
+                     : std::make_unique<sim::CpuResource>(
+                           sim, options.cpu_cores)),
+      cpu_(options.shared_cpu != nullptr ? options.shared_cpu
+                                         : owned_cpu_.get()),
       checkpoint_mu_(std::make_unique<sim::Mutex>(sim)),
       checkpoint_rng_(std::hash<std::string>{}(data_blob_) ^ 0xc4e9) {
   engine::BufferPoolOptions pool_opts;
@@ -152,7 +163,7 @@ PageServer::PageServer(sim::Simulator& sim, xlog::XLogProcess* xlog,
   applier_ = std::make_unique<engine::RedoApplier>(
       sim, pool_.get(), engine::RedoApplier::MissPolicy::kMaterialize);
   applier_->SetPageFilter([this](PageId id) { return InPartition(id); });
-  applier_->ConfigureLanes(opts_.apply_lanes, cpu_.get());
+  applier_->ConfigureLanes(opts_.apply_lanes, cpu_);
   AttachWaiterWake();
 }
 
@@ -172,7 +183,7 @@ sim::Task<Status> PageServer::Start() {
   applier_ = std::make_unique<engine::RedoApplier>(
       sim_, pool_.get(), engine::RedoApplier::MissPolicy::kMaterialize);
   applier_->SetPageFilter([this](PageId id) { return InPartition(id); });
-  applier_->ConfigureLanes(opts_.apply_lanes, cpu_.get());
+  applier_->ConfigureLanes(opts_.apply_lanes, cpu_);
   AttachWaiterWake();
   applier_->applied_lsn().Advance(restart_lsn_);
   xlog_consumer_id_ = xlog_->RegisterConsumer(
@@ -190,6 +201,13 @@ void PageServer::Stop() {
   running_ = false;
   epoch_++;
   WakeAllWaiters();
+}
+
+void PageServer::ResumeCheckpointing() {
+  if (opts_.checkpointing_enabled) return;
+  opts_.checkpointing_enabled = true;
+  // A stopped server picks the loop up on its next Start().
+  if (running_) sim::Spawn(sim_, CheckpointLoop(epoch_));
 }
 
 void PageServer::Crash() {
@@ -371,7 +389,10 @@ sim::Task<> PageServer::ApplyLoop(uint64_t epoch) {
 sim::Task<Result<storage::Page>> PageServer::GetPageAtLsn(PageId page_id,
                                                           Lsn min_lsn) {
   getpage_requests_++;
-  ScopedInflight inflight(&getpage_inflight_);
+  ScopedInflight inflight(&getpage_inflight_,
+                          opts_.host_load != nullptr
+                              ? &opts_.host_load->getpage_inflight
+                              : nullptr);
   if (!InPartition(page_id)) {
     co_return Result<storage::Page>(
         Status::InvalidArgument("page not in this partition"));
@@ -434,7 +455,10 @@ sim::Task<Status> PageServer::WaitApplied(Lsn min_lsn) {
 sim::Task<Result<std::vector<storage::Page>>> PageServer::GetPageRangeAtLsn(
     PageId first_page, uint32_t count, Lsn min_lsn) {
   getpage_requests_++;
-  ScopedInflight inflight(&getpage_inflight_);
+  ScopedInflight inflight(&getpage_inflight_,
+                          opts_.host_load != nullptr
+                              ? &opts_.host_load->getpage_inflight
+                              : nullptr);
   SOCRATES_CO_RETURN_IF_ERROR(co_await WaitApplied(min_lsn));
   // One logical I/O against the covering, stride-preserving cache: the
   // whole range costs a single CPU slice plus the (mostly local-SSD)
@@ -535,7 +559,10 @@ sim::Task<Result<std::string>> PageServer::ServeBatch(
   batch_requests_++;
   batch_subrequests_ += req.entries.size();
   getpage_requests_ += req.entries.size();
-  ScopedInflight inflight(&getpage_inflight_);
+  ScopedInflight inflight(&getpage_inflight_,
+                          opts_.host_load != nullptr
+                              ? &opts_.host_load->getpage_inflight
+                              : nullptr);
   rbio::GetPageBatchResponse resp;
   resp.status = Status::OK();
   resp.entries.resize(req.entries.size());
@@ -602,8 +629,14 @@ sim::Task<Result<std::string>> PageServer::ServeScan(
   // Scans count in getpage_inflight_ (the checkpoint pacer watches total
   // foreground pressure) and in scan_inflight_ (so the admission gate
   // can subtract them out and see pure point-read depth).
-  ScopedInflight inflight(&getpage_inflight_);
-  ScopedInflight scan_flight(&scan_inflight_);
+  ScopedInflight inflight(&getpage_inflight_,
+                          opts_.host_load != nullptr
+                              ? &opts_.host_load->getpage_inflight
+                              : nullptr);
+  ScopedInflight scan_flight(&scan_inflight_,
+                             opts_.host_load != nullptr
+                                 ? &opts_.host_load->scan_inflight
+                                 : nullptr);
   Status ws = co_await WaitApplied(req.min_lsn);
   if (!ws.ok()) {
     resp.status = ws;
@@ -759,6 +792,19 @@ bool PageServer::ServingDegraded() const {
   if (opts_.scan_admission_p99_us > 0 &&
       RecentGetPageP99Us() > opts_.scan_admission_p99_us) {
     return true;
+  }
+  // Fleet colocation: a co-resident tenant's point-read burst degrades
+  // this server too — its scans would steal the shared host CPU those
+  // point reads are queued on. Host depth uses the same subtraction
+  // (scans host-wide are not point pressure).
+  if (opts_.host_load != nullptr && opts_.scan_admission_use_host_load &&
+      opts_.scan_admission_getpage_depth > 0) {
+    const HostLoad& h = *opts_.host_load;
+    const uint64_t host_point_depth =
+        h.getpage_inflight > h.scan_inflight
+            ? h.getpage_inflight - h.scan_inflight
+            : 0;
+    if (host_point_depth >= opts_.scan_admission_getpage_depth) return true;
   }
   return false;
 }

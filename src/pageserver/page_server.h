@@ -41,6 +41,17 @@
 namespace socrates {
 namespace pageserver {
 
+/// Shared load board for Page Servers co-resident on one fleet host.
+/// Each server adds its foreground counters here (alongside its own), so
+/// admission decisions can see host-wide pressure: tenant A's scans must
+/// queue while tenant B's point reads are hot on the same box, even
+/// though the two partitions are served by different PageServer objects.
+struct HostLoad {
+  uint64_t getpage_inflight = 0;  // all foreground frames, host-wide
+  uint64_t scan_inflight = 0;     // subset that is scans
+  int residents = 0;              // (tenant, partition) servers placed here
+};
+
 struct PageServerOptions {
   PartitionId partition = 0;
   xlog::PartitionMap partition_map;
@@ -128,6 +139,19 @@ struct PageServerOptions {
   double scan_admission_burst = 2.0;
   /// Max admission-queue wait before a scan is shed with kOverloaded.
   SimTime scan_admission_max_wait_us = 20 * 1000;
+
+  // ----- Fleet colocation (multi-tenant shared hosts).
+  /// When set, this server runs on a shared host CPU instead of owning
+  /// its own: co-resident tenants' serving, apply, and scan-evaluation
+  /// work contend for the same cores — the noisy-neighbor substrate.
+  sim::CpuResource* shared_cpu = nullptr;
+  /// Host-wide load board shared by co-resident servers (see HostLoad).
+  HostLoad* host_load = nullptr;
+  /// Feed host-wide point-read depth into the scan-admission degradation
+  /// signal (only meaningful with host_load set): a scan on this server
+  /// queues while any co-resident tenant's point path is hot. Off = the
+  /// per-server-only PR 9 signal, the bench counterfactual.
+  bool scan_admission_use_host_load = true;
 };
 
 class PageServer : public rbio::RbioServer {
@@ -192,6 +216,13 @@ class PageServer : public rbio::RbioServer {
   /// Crash the process: volatile state is lost; RBPEX survives.
   void Crash();
 
+  /// Enable the periodic checkpoint loop on a server constructed with
+  /// checkpointing_enabled = false. Live migration builds the
+  /// replacement server with checkpointing off (two writers on one blob
+  /// would interleave extents) and flips it on here after cutover, once
+  /// the incumbent has stopped. Idempotent.
+  void ResumeCheckpointing();
+
   PartitionId partition() const { return opts_.partition; }
   /// True between a successful Start() and the next Stop()/Crash() —
   /// the liveness bit the cluster monitor's heartbeats read.
@@ -203,6 +234,8 @@ class PageServer : public rbio::RbioServer {
   Lsn restart_lsn() const { return restart_lsn_; }
   engine::BufferPool* pool() { return pool_.get(); }
   sim::CpuResource& cpu() { return *cpu_; }
+  /// The host load board this server reports into (null outside fleets).
+  HostLoad* host_load() const { return opts_.host_load; }
   const std::string& data_blob() const { return data_blob_; }
   uint64_t seeded_pages() const { return seeded_pages_; }
   bool seeding_done() const { return seeding_done_; }
@@ -389,7 +422,9 @@ class PageServer : public rbio::RbioServer {
   std::string data_blob_;
   std::string meta_blob_;
 
-  std::unique_ptr<sim::CpuResource> cpu_;
+  // Owned unless the options bind this server to a shared host CPU.
+  std::unique_ptr<sim::CpuResource> owned_cpu_;
+  sim::CpuResource* cpu_;
   std::unique_ptr<XStoreFetcher> fetcher_;
   std::unique_ptr<engine::BufferPool> pool_;
   std::unique_ptr<engine::RedoApplier> applier_;

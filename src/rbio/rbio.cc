@@ -167,6 +167,10 @@ Status DecodeBatchResponse(Slice wire,
 
 }  // namespace
 
+Status DecodeResponseStatusPrefix(Slice wire, Status* out) {
+  return PeekResponseStatus(wire, out);
+}
+
 std::string GetPageRequest::Encode(uint16_t version) const {
   std::string out;
   EncodeTo(&out, version);

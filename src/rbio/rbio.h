@@ -278,6 +278,12 @@ Status DecodeSinglePageResponse(
     const std::shared_ptr<const std::string>& frame, Status* status,
     storage::Page* page);
 
+/// Peek the format-shared [u16 version][status] prefix every response
+/// format starts with. Interposers (the fleet gateway) classify a
+/// forwarded response — e.g. a Page Server's kOverloaded scan shed —
+/// without knowing or decoding the format-specific payload.
+Status DecodeResponseStatusPrefix(Slice wire, Status* out);
+
 /// Server side of the protocol. Page Servers implement this.
 class RbioServer {
  public:
@@ -399,6 +405,22 @@ class RbioClient {
       q.support_known = false;
       q.supported = true;
     }
+  }
+
+  /// Remaining overload-backoff window for an endpoint set, 0 when none.
+  /// The key is the concatenated replica names, each followed by '|' —
+  /// the same key ScanRange builds internally. All per-endpoint state in
+  /// this client (EWMA, capability memos, this backoff) is keyed by
+  /// endpoint *name*; in a multi-tenant fleet each tenant's client sees
+  /// tenant-prefixed names, so backoff earned by one tenant tripping a
+  /// server's admission control is scoped (tenant, endpoint) and never
+  /// bleeds into a neighbor's scans against the same physical server.
+  SimTime ScanBackoffRemainingUs(const std::string& endpoint_key) const {
+    auto it = scan_support_.find(endpoint_key);
+    if (it == scan_support_.end()) return 0;
+    SimTime now = sim_.now();
+    return it->second.backoff_until > now ? it->second.backoff_until - now
+                                          : 0;
   }
 
   // ----- Batching counters.

@@ -12,18 +12,35 @@ Deployment::Deployment(sim::Simulator& sim,
     opts_.page_server.apply_lanes = opts_.apply_lanes;
     opts_.compute.apply_lanes = opts_.apply_lanes;
   }
-  owned_chaos_ = std::make_unique<chaos::Injector>();
-  chaos_ = owned_chaos_.get();
+  // Fleet mode: attach to the shared pools instead of owning them. The
+  // shared XStore/chaos hub are attached once by the fleet ("xstore");
+  // everything this tenant registers is namespaced by site_prefix /
+  // blob_namespace so tenants cannot collide.
+  if (opts_.shared_chaos != nullptr) {
+    chaos_ = opts_.shared_chaos;
+  } else {
+    owned_chaos_ = std::make_unique<chaos::Injector>();
+    chaos_ = owned_chaos_.get();
+  }
   reconfig_mu_ = std::make_unique<sim::Mutex>(sim);
-  owned_xstore_ = std::make_unique<xstore::XStore>(
-      sim, sim::DeviceProfile::XStore(), opts_.xstore_bandwidth_mb_s);
-  xstore_ = owned_xstore_.get();
-  owned_xstore_->AttachChaos(chaos_, "xstore");
+  if (opts_.shared_xstore != nullptr) {
+    xstore_ = opts_.shared_xstore;
+  } else {
+    owned_xstore_ = std::make_unique<xstore::XStore>(
+        sim, sim::DeviceProfile::XStore(), opts_.xstore_bandwidth_mb_s);
+    xstore_ = owned_xstore_.get();
+    owned_xstore_->AttachChaos(chaos_, "xstore");
+  }
   lz_ = std::make_unique<xlog::LandingZone>(sim, opts_.lz_profile,
                                             opts_.lz_capacity_bytes);
-  lz_->device()->AttachChaos(chaos_, "lz");
+  lz_->device()->AttachChaos(chaos_, opts_.lz_site.empty()
+                                         ? opts_.site_prefix + "lz"
+                                         : opts_.lz_site);
   xlog::XLogOptions xopts = opts_.xlog;
   xopts.partition_map = opts_.partition_map;
+  // The long-term log archive lives in the (possibly shared) XStore:
+  // namespace it per tenant like every other blob.
+  xopts.lt_blob = opts_.blob_namespace + xopts.lt_blob;
   owned_xlog_ = std::make_unique<xlog::XLogProcess>(sim, lz_.get(),
                                                     xstore_, xopts);
   xlog_ = owned_xlog_.get();
@@ -59,6 +76,7 @@ sim::Task<Status> Deployment::Start() {
   xlog::XLogClientOptions copts = opts_.xlog_client;
   copts.partition_map = opts_.partition_map;
   copts.injector = chaos_;
+  copts.site = opts_.site_prefix + copts.site;
   client_ = std::make_unique<xlog::XLogClient>(sim_, lz_.get(), xlog_,
                                                nullptr, copts);
   client_->Start();
@@ -69,7 +87,7 @@ sim::Task<Status> Deployment::Start() {
   primary_opts.chaos_injector = chaos_;
   primary_opts.chaos_site = NextComputeSite();
   primary_ = std::make_unique<compute::ComputeNode>(
-      sim_, compute::ComputeNode::Role::kPrimary, router_.get(), xlog_,
+      sim_, compute::ComputeNode::Role::kPrimary, compute_router(), xlog_,
       client_.get(), primary_opts);
   // The log writer runs inside the Primary process: its LZ I/O burns the
   // Primary's CPU (the Table 7 effect).
@@ -84,16 +102,40 @@ sim::Task<Status> Deployment::Start() {
   co_return Status::OK();
 }
 
+pageserver::PageServerOptions Deployment::MakePsOptions(
+    PartitionId p, const PsHostBinding& binding) {
+  pageserver::PageServerOptions ps_opts = opts_.page_server;
+  ps_opts.partition = p;
+  ps_opts.partition_map = opts_.partition_map;
+  // Shared-pool tenants must never collide on blob names; standalone
+  // deployments (empty namespace) keep the historical names exactly.
+  if (!opts_.blob_namespace.empty() && ps_opts.blob_override.empty()) {
+    ps_opts.blob_override = PartitionBlobName(p);
+  }
+  ps_opts.shared_cpu = binding.cpu;
+  ps_opts.host_load = binding.load;
+  return ps_opts;
+}
+
+std::string Deployment::PageServerSite(PartitionId p) const {
+  if (p < ps_sites_.size() && !ps_sites_[p].empty()) return ps_sites_[p];
+  return opts_.site_prefix + "ps-" + std::to_string(p);
+}
+
 sim::Task<Status> Deployment::StartPageServers() {
   for (int p = 0; p < opts_.num_page_servers; p++) {
-    pageserver::PageServerOptions ps_opts = opts_.page_server;
-    ps_opts.partition = static_cast<PartitionId>(p);
-    ps_opts.partition_map = opts_.partition_map;
+    const PartitionId part = static_cast<PartitionId>(p);
+    PsHostBinding binding;
+    if (opts_.ps_host) binding = opts_.ps_host(part);
+    pageserver::PageServerOptions ps_opts = MakePsOptions(part, binding);
     auto ps = std::make_unique<pageserver::PageServer>(sim_, xlog_,
                                                        xstore_, ps_opts);
-    ps->AttachChaos(chaos_, "ps-" + std::to_string(p));
+    ps_sites_.push_back(binding.site.empty()
+                            ? opts_.site_prefix + "ps-" + std::to_string(p)
+                            : binding.site);
+    ps->AttachChaos(chaos_, ps_sites_.back());
     SOCRATES_CO_RETURN_IF_ERROR(co_await ps->Start());
-    router_->Add(static_cast<PartitionId>(p), ps.get());
+    router_->Add(part, ps.get());
     page_servers_.push_back(std::move(ps));
   }
   co_return Status::OK();
@@ -116,8 +158,9 @@ sim::Task<Status> Deployment::Checkpoint() {
   // must find it without any compute node's memory.
   std::string state;
   PutFixed64(&state, last_checkpoint_lsn_);
-  Status ps = co_await xstore_->Write("control/state" + blob_suffix_, 0,
-                                      Slice(state));
+  Status ps = co_await xstore_->Write(
+      opts_.blob_namespace + "control/state" + blob_suffix_, 0,
+      Slice(state));
   // Control-state persistence is best-effort here: if XStore is out, the
   // in-memory value still covers this control plane's lifetime and the
   // next checkpoint retries.
@@ -150,8 +193,8 @@ sim::Task<Status> Deployment::CheckpointAll() {
 
 sim::Task<Result<Lsn>> Deployment::LoadControlCheckpointLsn() {
   std::string state;
-  Status s = co_await xstore_->Read("control/state" + blob_suffix_, 0, 8,
-                                    &state);
+  Status s = co_await xstore_->Read(
+      opts_.blob_namespace + "control/state" + blob_suffix_, 0, 8, &state);
   if (!s.ok()) co_return Result<Lsn>(s);
   co_return DecodeFixed64(state.data());
 }
@@ -217,8 +260,8 @@ sim::Task<Result<compute::ComputeNode*>> Deployment::AddSecondaryWithOptions(
   node_opts.chaos_injector = chaos_;
   node_opts.chaos_site = NextComputeSite();
   auto node = std::make_unique<compute::ComputeNode>(
-      sim_, compute::ComputeNode::Role::kSecondary, router_.get(), xlog_,
-      nullptr, node_opts);
+      sim_, compute::ComputeNode::Role::kSecondary, compute_router(),
+      xlog_, nullptr, node_opts);
   SOCRATES_CO_RETURN_IF_ERROR(co_await node->StartSecondary());
   secondaries_.push_back(std::move(node));
   co_return secondaries_.back().get();
@@ -252,11 +295,11 @@ sim::Task<Status> Deployment::AddPageServerReplica(PartitionId partition) {
   pageserver::PageServerOptions ps_opts = opts_.page_server;
   ps_opts.partition = partition;
   ps_opts.partition_map = opts_.partition_map;
-  ps_opts.blob_override =
-      pageserver::PageServer::BlobName(partition) + "-replica";
+  ps_opts.blob_override = PartitionBlobName(partition) + "-replica";
   auto replica = std::make_unique<pageserver::PageServer>(
       sim_, xlog_, xstore_, ps_opts);
-  replica->AttachChaos(chaos_, "ps-" + std::to_string(partition) + "-r0");
+  replica->AttachChaos(chaos_, opts_.site_prefix + "ps-" +
+                                   std::to_string(partition) + "-r0");
   SOCRATES_CO_RETURN_IF_ERROR(co_await replica->Start());
   // Visible to the RBIO client immediately: QoS replica selection can
   // route reads to it, and failover is a metadata flip.
@@ -320,7 +363,14 @@ chaos::FaultTargets Deployment::ChaosTargets() {
   t.primary_site = [this]() -> std::string {
     return primary_ != nullptr ? primary_->chaos_site() : std::string();
   };
-  t.page_server_site = [](int p) { return "ps-" + std::to_string(p); };
+  // Resolved through the deployment: in a fleet a partition's site is
+  // its current host (and moves when a migration moves the partition).
+  t.page_server_site = [this](int p) {
+    return PageServerSite(static_cast<PartitionId>(p));
+  };
+  t.logwriter_site = opts_.site_prefix + opts_.xlog_client.site;
+  t.lz_site =
+      opts_.lz_site.empty() ? opts_.site_prefix + "lz" : opts_.lz_site;
   t.crash_primary = [this] { CrashPrimary(); };
   t.crash_secondary = [this](int i) { CrashSecondary(i); };
   t.crash_page_server = [this](int p) { CrashPageServer(p); };
@@ -348,6 +398,69 @@ sim::Task<Status> Deployment::RecoverPageServer(PartitionId p) {
   router_->Add(p, ps);  // re-point (a replica may have been serving)
   BumpConfigEpoch();
   co_return Status::OK();
+}
+
+sim::Task<Result<pageserver::PageServer*>> Deployment::MigratePartition(
+    PartitionId p, const PsHostBinding& binding) {
+  using ResultPs = Result<pageserver::PageServer*>;
+  sim::Mutex::Guard g = co_await reconfig_mu_->Acquire();
+  if (stopping_) co_return ResultPs(Status::Unavailable("deployment stopping"));
+  if (p >= page_servers_.size()) {
+    co_return ResultPs(Status::InvalidArgument("no such partition"));
+  }
+  pageserver::PageServer* old = page_servers_[p].get();
+
+  // 1. Bound the replacement's replay window: force a checkpoint on the
+  //    incumbent. Best-effort — if the incumbent is sick the replacement
+  //    just replays a longer log tail (this is exactly the §4.3 restart
+  //    path, which never depends on the outgoing server's health).
+  if (old->running()) (void)co_await old->Checkpoint();
+
+  // 2. Build the replacement on the destination host against the SAME
+  //    namespaced blob, checkpointing off: two writers to one checkpoint
+  //    blob until cutover would be a split-brain.
+  pageserver::PageServerOptions ps_opts = MakePsOptions(p, binding);
+  ps_opts.checkpointing_enabled = false;
+  auto next = std::make_unique<pageserver::PageServer>(sim_, xlog_, xstore_,
+                                                       ps_opts);
+  const std::string site = binding.site.empty() ? PageServerSite(p)
+                                                : binding.site;
+  next->AttachChaos(chaos_, site);
+  SOCRATES_CO_RETURN_IF_ERROR(co_await next->Start());
+  next->SeedAsync();  // warm the covering cache in the background
+
+  // 3. Catch up to the log hardened as of now, AND wait for the
+  //    background seed to finish: cutting over to a cold replacement
+  //    would turn the migration into a cache-miss storm (every read a
+  //    multi-ms XStore fetch) — a far longer brownout than the cutover
+  //    itself. The incumbent keeps serving; reads are never blocked on
+  //    the migration. Poll (rather than WaitFor) so a replacement killed
+  //    mid-catch-up by chaos aborts the migration instead of
+  //    deadlocking the reconfiguration lock.
+  const Lsn target = lz_->durable_end();
+  while (!next->seeding_done() || next->applied_lsn().value() < target) {
+    if (!next->running()) {
+      ps_graveyard_.push_back(std::move(next));
+      co_return ResultPs(
+          Status::Unavailable("migration target died during catch-up"));
+    }
+    co_await sim::Delay(sim_, 2000);
+  }
+
+  // 4. Cutover: a metadata flip plus an epoch bump. Requests routed on
+  //    the old epoch either land on the stopped incumbent (and retry) or
+  //    observe the bumped epoch and re-resolve — never a stale answer,
+  //    because the replacement has applied everything the incumbent had.
+  pageserver::PageServer* fresh = next.get();
+  router_->Add(p, fresh);
+  if (old->running()) old->Stop();
+  fresh->ResumeCheckpointing();
+  if (ps_sites_.size() <= p) ps_sites_.resize(p + 1);
+  ps_sites_[p] = site;
+  ps_graveyard_.push_back(std::move(page_servers_[p]));
+  page_servers_[p] = std::move(next);
+  BumpConfigEpoch();
+  co_return ResultPs(fresh);
 }
 
 void Deployment::RemoveSecondary(int idx) {
@@ -392,9 +505,7 @@ Deployment::PointInTimeRestore(const BackupHandle& backup,
   // 1. Constant-time: copy each snapshot to a new blob and write its
   //    restore metadata (replay point).
   for (size_t p = 0; p < backup.partition_snapshots.size(); p++) {
-    std::string blob =
-        pageserver::PageServer::BlobName(static_cast<PartitionId>(p)) +
-        suffix;
+    std::string blob = PartitionBlobName(static_cast<PartitionId>(p)) + suffix;
     SOCRATES_CO_RETURN_IF_ERROR(
         co_await xstore_->Restore(backup.partition_snapshots[p], blob));
     std::string meta;
@@ -410,9 +521,10 @@ Deployment::PointInTimeRestore(const BackupHandle& backup,
     ps_opts.partition = static_cast<PartitionId>(p);
     ps_opts.partition_map = opts_.partition_map;
     ps_opts.apply_until = target_lsn;
+    // Restore blobs live inside the tenant's namespace: two tenants
+    // restoring concurrently must not collide on "db/partition-N/restore-K".
     ps_opts.blob_override =
-        pageserver::PageServer::BlobName(static_cast<PartitionId>(p)) +
-        suffix;
+        PartitionBlobName(static_cast<PartitionId>(p)) + suffix;
     auto ps = std::make_unique<pageserver::PageServer>(
         sim_, xlog_, xstore_, ps_opts);
     SOCRATES_CO_RETURN_IF_ERROR(co_await ps->Start());

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +31,16 @@ namespace service {
 class ClusterMonitor;
 struct MonitorOptions;
 
+/// Where a Page Server runs in a multi-tenant fleet: the host's chaos
+/// site (a host outage takes down every resident partition of every
+/// tenant placed there), the host's shared CPU, and the host-wide load
+/// board. Empty/null fields keep the single-tenant defaults.
+struct PsHostBinding {
+  std::string site;
+  sim::CpuResource* cpu = nullptr;
+  pageserver::HostLoad* load = nullptr;
+};
+
 struct DeploymentOptions {
   /// Landing-zone storage service (XIO vs DirectDrive, Appendix A).
   sim::DeviceProfile lz_profile = sim::DeviceProfile::DirectDrive();
@@ -47,6 +58,38 @@ struct DeploymentOptions {
   /// count on every Page Server and Compute node (0 keeps the per-tier
   /// defaults in their own options structs).
   int apply_lanes = 0;
+
+  // ----- Fleet mode (multi-tenant shared pools; src/fleet/). All off by
+  // default: a standalone deployment owns its tiers and is byte-for-byte
+  // the pre-fleet system.
+  /// Shared XStore pool. When set the deployment does not own an XStore;
+  /// every blob it writes MUST be namespaced via blob_namespace.
+  xstore::XStore* shared_xstore = nullptr;
+  /// Shared fault hub: all tenants' sites live in one chaos namespace so
+  /// a fleet fault plan can take out a host under several tenants at
+  /// once. When set the deployment does not own an Injector.
+  chaos::Injector* shared_chaos = nullptr;
+  /// Prefix for every chaos site this deployment registers ("t3/"):
+  /// tenants sharing one hub cannot collide on "compute-0" or "lz".
+  std::string site_prefix;
+  /// Prefix for every XStore blob ("t3/"): partition data + checkpoint
+  /// meta, the XLOG long-term archive, control state, PITR restores.
+  /// Shared-pool tenants can never collide on blob names.
+  std::string blob_namespace;
+  /// Landing-zone chaos site override (fleet: several tenants' LZs can
+  /// live on one "lzhost-<i>" so an LZ-host outage has a multi-tenant
+  /// blast radius). Empty = site_prefix + "lz".
+  std::string lz_site;
+  /// Router handed to compute nodes instead of the deployment's own
+  /// (the fleet gateway's per-tenant router). The deployment still
+  /// maintains its internal router — that is the serving truth the
+  /// gateway resolves against; this only redirects compute traffic
+  /// through the gateway ports.
+  compute::PageServerRouter* compute_router = nullptr;
+  /// Page Server placement: partition -> host binding (chaos site,
+  /// shared CPU, load board). Null = every server on its own
+  /// site_prefix + "ps-<p>" with its own CPU.
+  std::function<PsHostBinding(PartitionId)> ps_host;
 };
 
 /// Handle returned by Backup(); the input to PITR.
@@ -133,6 +176,29 @@ class Deployment {
   /// XStore checkpoint + log replay, then re-point the router at it.
   sim::Task<Status> RecoverPageServer(PartitionId p);
 
+  /// Live partition migration (fleet): bring up a replacement Page
+  /// Server for `p` at `binding` — reseeded from the partition's XStore
+  /// checkpoint (a forced checkpoint first bounds its replay window),
+  /// warmed and caught up on the log — while the incumbent keeps
+  /// serving; then swap the router and bump the config epoch. A
+  /// migration is a bounded-MTTR "failover" to a server that was never
+  /// sick: the only tenant-visible window is the cutover itself (stale
+  /// in-flight requests fail Unavailable at the stopped incumbent and
+  /// retry against the fresh route). If the replacement dies mid-build
+  /// the migration aborts with the incumbent still serving — routes are
+  /// never left broken. Returns the new serving server.
+  sim::Task<Result<pageserver::PageServer*>> MigratePartition(
+      PartitionId p, const PsHostBinding& binding);
+
+  /// Chaos site of partition `p`'s main server (fleet host site when
+  /// placed by ps_host, site_prefix + "ps-<p>" otherwise).
+  std::string PageServerSite(PartitionId p) const;
+
+  /// XStore blob for partition `p`'s data, namespaced for shared pools.
+  std::string PartitionBlobName(PartitionId p) const {
+    return opts_.blob_namespace + pageserver::PageServer::BlobName(p);
+  }
+
   /// Drop a dead Secondary from the deployment (monitor replace path).
   /// The object is parked, not destroyed — in-flight coroutines of the
   /// dead incarnation must be allowed to observe their epoch fence.
@@ -216,7 +282,16 @@ class Deployment {
 
   sim::Task<Status> StartPageServers();
   std::string NextComputeSite() {
-    return "compute-" + std::to_string(compute_serial_++);
+    return opts_.site_prefix + "compute-" +
+           std::to_string(compute_serial_++);
+  }
+  // Build a partition's server options (shared by bootstrap, recovery,
+  // and migration): namespaced blob, host binding, partition map.
+  pageserver::PageServerOptions MakePsOptions(PartitionId p,
+                                              const PsHostBinding& binding);
+  compute::PageServerRouter* compute_router() {
+    return opts_.compute_router != nullptr ? opts_.compute_router
+                                           : router_.get();
   }
 
   // Complete a reconfiguration: bump the config epoch and drop every
@@ -237,6 +312,12 @@ class Deployment {
   std::unique_ptr<xlog::XLogClient> client_;
   std::unique_ptr<compute::PageServerRouter> router_;
   std::vector<std::unique_ptr<pageserver::PageServer>> page_servers_;
+  // Chaos site each partition's main server is attached under (fleet
+  // migrations move a partition between host sites).
+  std::vector<std::string> ps_sites_;
+  // Migrated-away incumbents, parked like dead compute nodes: in-flight
+  // requests of the old incarnation must unwind against a live object.
+  std::vector<std::unique_ptr<pageserver::PageServer>> ps_graveyard_;
   std::map<PartitionId, std::unique_ptr<pageserver::PageServer>>
       ps_replicas_;
   std::unique_ptr<compute::ComputeNode> primary_;
